@@ -1,0 +1,57 @@
+// Ablation: synchronized vs desynchronized SMI phases across nodes.
+//
+// DESIGN.md's max-of-N claim: the MPI amplification in Tables 1-3 comes
+// from per-node SMI phases being independent, so every synchronizing
+// operation waits for the most recently frozen node. If firmware fired all
+// nodes' SMIs at the same instant, a synchronized job would lose only the
+// duty cycle. This bench measures FT and BT with both phase policies.
+#include <cstdio>
+
+#include "nas_table.h"
+
+using namespace smilab;
+
+namespace {
+
+void run_case(NasBenchmark bench, NasClass cls, int nodes, int rpn, int trials) {
+  const NasJobSpec spec{bench, cls, nodes, rpn};
+  const NasKnob knob = calibrate_nas_knob(spec);
+
+  OnlineStats base, desync, sync;
+  for (int t = 0; t < trials; ++t) {
+    const auto seed = static_cast<std::uint64_t>(1000 + t * 7919);
+    base.add(simulate_nas_once(spec, knob, SmiConfig::none(), seed, 0.0));
+    desync.add(simulate_nas_once(spec, knob, SmiConfig::long_every_second(),
+                                 seed, 0.0));
+    SmiConfig synced = SmiConfig::long_every_second();
+    synced.synchronized_across_nodes = true;
+    sync.add(simulate_nas_once(spec, knob, synced, seed, 0.0));
+  }
+  std::printf("%-2s %s %2d nodes x %d rpn: base %8.2fs | desync +%6.2f%% | "
+              "sync +%6.2f%% | amplification attributable to phase "
+              "independence: %.2fx\n",
+              to_string(bench), to_string(cls), nodes, rpn, base.mean(),
+              (desync.mean() / base.mean() - 1.0) * 100.0,
+              (sync.mean() / base.mean() - 1.0) * 100.0,
+              (desync.mean() - base.mean()) /
+                  std::max(1e-9, sync.mean() - base.mean()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = smilab::benchtool::BenchArgs::parse(argc, argv);
+  const int trials = args.quick ? 2 : 4;
+  std::printf("=== Ablation: synchronized vs desynchronized SMI phases "
+              "(long SMIs @ 1/s, %d trials) ===\n\n", trials);
+  run_case(NasBenchmark::kFT, NasClass::kA, 8, 1, trials);
+  run_case(NasBenchmark::kFT, NasClass::kB, 8, 1, trials);
+  run_case(NasBenchmark::kBT, NasClass::kA, 16, 1, trials);
+  run_case(NasBenchmark::kEP, NasClass::kA, 16, 1, trials);
+  std::printf(
+      "\nExpected: desynchronized phases amplify the impact well past the\n"
+      "~10.5%% duty cycle for synchronizing codes (FT/BT); synchronized\n"
+      "firing collapses it back toward the duty cycle; EP barely changes\n"
+      "(no mid-run synchronization to amplify).\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// google-benchmark micro-suite for the simulator itself: event engine
+// throughput, cache-model access rate, collective lowering, and small
+// end-to-end system runs. These guard the simulator's own performance —
+// the table benches run hundreds of simulations per invocation.
+#include <benchmark/benchmark.h>
+
+#include "smilab/apps/nas/nas.h"
+#include "smilab/cache/cache.h"
+#include "smilab/mpi/collectives.h"
+#include "smilab/mpi/job.h"
+#include "smilab/sim/event_queue.h"
+#include "smilab/sim/system.h"
+#include "smilab/time/rng.h"
+
+namespace {
+
+using namespace smilab;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine engine;
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      engine.schedule_at(SimTime{(i * 7919) % n}, [&fired] { ++fired; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_EngineCancelHalf(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine engine;
+    std::vector<EventId> ids;
+    ids.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(engine.schedule_at(SimTime{i}, [] {}));
+    }
+    for (int i = 0; i < n; i += 2) engine.cancel(ids[static_cast<std::size_t>(i)]);
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineCancelHalf)->Arg(1 << 14);
+
+void BM_CacheHierarchyAccess(benchmark::State& state) {
+  CacheHierarchy hierarchy = CacheHierarchy::e5620();
+  Rng rng{1};
+  for (auto _ : state) {
+    // 64 MB working set: plenty of misses at every level.
+    benchmark::DoNotOptimize(
+        hierarchy.access(rng.next_u64() % (64ull << 20)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHierarchyAccess);
+
+void BM_CollectiveLowering(benchmark::State& state) {
+  const auto p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto programs = make_rank_programs(p);
+    TagAllocator tags;
+    alltoall(programs, 65536, tags);
+    allreduce(programs, 1024, tags);
+    benchmark::DoNotOptimize(programs[0].size());
+  }
+}
+BENCHMARK(BM_CollectiveLowering)->Arg(16)->Arg(64);
+
+void BM_NasTraceBuild(benchmark::State& state) {
+  const NasJobSpec spec{NasBenchmark::kBT, NasClass::kA, 16, 1};
+  for (auto _ : state) {
+    auto programs = build_nas_trace(spec, NasKnob{4096, 0});
+    benchmark::DoNotOptimize(programs.size());
+  }
+}
+BENCHMARK(BM_NasTraceBuild);
+
+void BM_SystemComputeRun(benchmark::State& state) {
+  for (auto _ : state) {
+    SystemConfig cfg;
+    cfg.machine = MachineSpec::poweredge_r410_e5620();
+    cfg.smi = SmiConfig::long_every_second();
+    System sys{cfg};
+    std::vector<Action> prog(100, Action{Compute{milliseconds(100)}});
+    sys.spawn(TaskSpec::with_actions("t", 0, std::move(prog)));
+    sys.run();
+    benchmark::DoNotOptimize(sys.last_finish_time());
+  }
+}
+BENCHMARK(BM_SystemComputeRun);
+
+void BM_MpiJobAlltoall(benchmark::State& state) {
+  for (auto _ : state) {
+    SystemConfig cfg;
+    cfg.machine = MachineSpec::wyeast_e5520();
+    cfg.node_count = 8;
+    cfg.net = NetworkParams::wyeast();
+    cfg.smi = SmiConfig::long_every_second();
+    System sys{cfg};
+    auto programs = make_rank_programs(8);
+    TagAllocator tags;
+    for (int iter = 0; iter < 10; ++iter) {
+      for (auto& rp : programs) rp.compute(milliseconds(50));
+      alltoall(programs, 65536, tags);
+    }
+    auto result = run_mpi_job(sys, std::move(programs), block_placement(8, 1),
+                              WorkloadProfile::dense_fp());
+    benchmark::DoNotOptimize(result.elapsed);
+  }
+}
+BENCHMARK(BM_MpiJobAlltoall);
+
+}  // namespace
+
+BENCHMARK_MAIN();

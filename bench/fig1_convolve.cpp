@@ -1,0 +1,112 @@
+// Reproduces Figure 1: the Convolve experiments.
+//
+// Left panels:  execution time vs time-between-SMIs (50-1500 ms, 50 ms
+//               steps), one series per CPU configuration (1-8 logical
+//               CPUs), 24 threads, long SMIs; CacheUnfriendly (top) and
+//               CacheFriendly (bottom). Mean of 3 runs, like the paper.
+// Right panels: execution time vs CPU configuration at a fixed 50 ms SMI
+//               gap, with min/max across runs to show the variance the
+//               paper highlights.
+//
+// Usage: fig1_convolve [--trials=N] [--quick]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "nas_table.h"  // BenchArgs
+#include "smilab/apps/convolve/workload.h"
+#include "smilab/stats/ascii_chart.h"
+#include "smilab/stats/online_stats.h"
+#include "smilab/stats/table.h"
+
+using namespace smilab;
+
+namespace {
+
+void run_case(const char* label, const ConvolveWorkload& workload, int trials,
+              int gap_step_ms, const std::string& csv_prefix) {
+  std::printf("--- Convolve %s: L1 miss rate %.1f%%, %.1f cycles/ref, "
+              "%d threads ---\n",
+              label, workload.cache.l1_miss_rate * 100.0,
+              workload.cache.avg_latency_cycles, workload.threads);
+
+  std::vector<std::string> series_names;
+  for (int cpus = 1; cpus <= 8; ++cpus) {
+    series_names.push_back(std::to_string(cpus) + "cpu");
+  }
+  Series series{"gap_ms", series_names};
+
+  // Baseline row (no SMIs) printed separately.
+  std::printf("no-SMI baselines (s):");
+  for (int cpus = 1; cpus <= 8; ++cpus) {
+    const auto r = run_convolve_sim(workload, cpus, SmiConfig::none(), 1);
+    std::printf(" %d:%.2f", cpus, r.seconds);
+  }
+  std::printf("\n\n");
+
+  std::vector<OnlineStats> at_50ms(8);
+  for (int gap = 50; gap <= 1500; gap += gap_step_ms) {
+    std::vector<double> ys;
+    ys.reserve(8);
+    for (int cpus = 1; cpus <= 8; ++cpus) {
+      OnlineStats stats;
+      for (int trial = 0; trial < trials; ++trial) {
+        const auto r = run_convolve_sim(
+            workload, cpus, SmiConfig::long_with_gap(gap),
+            static_cast<std::uint64_t>(gap * 131 + cpus * 17 + trial));
+        stats.add(r.seconds);
+        if (gap == 50) at_50ms[static_cast<std::size_t>(cpus - 1)].add(r.seconds);
+      }
+      ys.push_back(stats.mean());
+    }
+    series.add_point(gap, ys);
+    std::fflush(stdout);
+  }
+  ChartOptions chart;
+  chart.y_label = "execution time (s)";
+  std::printf("Execution time (s) vs SMI gap, long SMIs (left panel):\n%s\n%s\n",
+              render_ascii_chart(series, chart).c_str(),
+              series.to_aligned_text(2).c_str());
+  if (!csv_prefix.empty()) {
+    benchtool::write_file_report(csv_prefix + "_" + label + ".csv", series.to_csv());
+  }
+
+  Table right{{"cpus", "mean s", "min s", "max s", "spread %"}};
+  for (int cpus = 1; cpus <= 8; ++cpus) {
+    const auto& stats = at_50ms[static_cast<std::size_t>(cpus - 1)];
+    right.row()
+        .cell(static_cast<long long>(cpus))
+        .cell(stats.mean())
+        .cell(stats.min())
+        .cell(stats.max())
+        .cell((stats.max() - stats.min()) / stats.mean() * 100.0);
+  }
+  std::printf("Execution time at 50 ms gap vs CPU configuration (right panel):\n%s\n",
+              right.to_aligned_text().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = benchtool::BenchArgs::parse(argc, argv);
+  const int trials = args.quick ? 2 : std::max(3, args.trials == 6 ? 3 : args.trials);
+  const int gap_step = args.quick ? 250 : 50;
+
+  std::printf("=== Figure 1: Convolve experiments (24 threads, long SMIs, "
+              "%d trials/point) ===\n\n", trials);
+  run_case("CacheUnfriendly", ConvolveWorkload::cache_unfriendly_workload(),
+           trials, gap_step, args.csv_prefix);
+  run_case("CacheFriendly", ConvolveWorkload::cache_friendly_workload(),
+           trials, gap_step, args.csv_prefix);
+
+  // The paper also checked short SMIs: no visible effect at any rate.
+  std::printf("Short-SMI check (CacheFriendly, 8 CPUs): ");
+  const auto base = run_convolve_sim(ConvolveWorkload::cache_friendly_workload(),
+                                     8, SmiConfig::none(), 5);
+  const auto shrt = run_convolve_sim(ConvolveWorkload::cache_friendly_workload(),
+                                     8, SmiConfig::short_with_gap(50), 5);
+  std::printf("base %.3fs, short SMIs every 50ms %.3fs (%+.2f%%)\n",
+              base.seconds, shrt.seconds,
+              (shrt.seconds / base.seconds - 1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Extension bench: the operator's mitigation menu.
+//
+// Given a fleet that *must* run SMM work (say, a 64 MB/s integrity-scanning
+// budget per node), what are the options and what do they cost a
+// synchronizing MPI job? Each row keeps the same total SMM work per second
+// and changes only how it is delivered:
+//   A. one 105 ms SMI per second (the paper's long regime)
+//   B. many short SMIs (4 x ~26 ms)
+//   C. very fine slicing (32 x ~3.3 ms)
+//   D. one long SMI per second, firmware-synchronized across nodes
+//   E. half the scanning rate (one 105 ms SMI every 2 s)
+#include <cstdio>
+
+#include "nas_table.h"
+#include "smilab/mpi/collectives.h"
+#include "smilab/mpi/job.h"
+
+using namespace smilab;
+
+namespace {
+
+double run(const SmiConfig& smi, std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::wyeast_e5520();
+  cfg.node_count = 8;
+  cfg.net = NetworkParams::wyeast();
+  cfg.smi = smi;
+  cfg.seed = seed;
+  System sys{cfg};
+  sys.set_online_cpus(4);
+  auto programs = make_rank_programs(8);
+  TagAllocator tags;
+  for (int iter = 0; iter < 40; ++iter) {
+    for (auto& rp : programs) rp.compute(milliseconds(120));
+    allreduce(programs, 8192, tags);
+  }
+  return run_mpi_job(sys, std::move(programs), block_placement(8, 1),
+                     WorkloadProfile::dense_fp())
+      .elapsed.seconds();
+}
+
+SmiConfig sliced(std::int64_t slice_ms, std::int64_t gap_ms) {
+  SmiConfig smi;
+  smi.kind = SmiKind::kLong;  // band overridden
+  smi.long_min = milliseconds(slice_ms) - microseconds(200);
+  smi.long_max = milliseconds(slice_ms) + microseconds(200);
+  smi.interval_jiffies = gap_ms;
+  return smi;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = smilab::benchtool::BenchArgs::parse(argc, argv);
+  const int trials = args.quick ? 2 : 4;
+  std::printf("=== Mitigation menu: same SMM budget, different delivery "
+              "(8-node allreduce solver, %d trials) ===\n\n", trials);
+
+  struct Row {
+    const char* label;
+    SmiConfig smi;
+  };
+  SmiConfig synced = SmiConfig::long_every_second();
+  synced.synchronized_across_nodes = true;
+  SmiConfig half_rate = SmiConfig::long_with_gap(2000);
+  const Row rows[] = {
+      {"A. 105 ms x 1/s (the paper's long regime)", SmiConfig::long_every_second()},
+      {"B. ~26 ms x 4/s (same budget, sliced)", sliced(26, 250)},
+      {"C. ~3.3 ms x 32/s (finely sliced)", sliced(3, 31)},
+      {"D. 105 ms x 1/s, synchronized across nodes", synced},
+      {"E. 105 ms x 1/2s (half the scanning rate)", half_rate},
+  };
+
+  OnlineStats base;
+  for (int t = 0; t < trials; ++t) {
+    base.add(run(SmiConfig::none(), static_cast<std::uint64_t>(100 + t)));
+  }
+  std::printf("no SMIs: %.2fs\n\n", base.mean());
+  for (const Row& row : rows) {
+    OnlineStats stats;
+    for (int t = 0; t < trials; ++t) {
+      stats.add(run(row.smi, static_cast<std::uint64_t>(100 + t)));
+    }
+    std::printf("%-46s %+7.2f%%\n", row.label,
+                (stats.mean() / base.mean() - 1.0) * 100.0);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nReading: for the same SMM budget, slicing the work into short\n"
+      "intervals (C) converts an amplified, synchronized loss into roughly\n"
+      "the raw duty cycle — short residencies neither trigger TCP recovery\n"
+      "nor evict much cache, and sub-quantum freezes are absorbed. Firmware\n"
+      "synchronization (D) removes the max-of-N term. Halving the rate (E)\n"
+      "halves detection coverage for a proportional saving.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Extension bench: the paper's future work — "test additional parallel
+// applications at larger scales". Projects the long-SMI amplification of a
+// synchronizing solver from the paper's 16 nodes out to 128, for several
+// synchronization frequencies.
+#include <cstdio>
+#include <string>
+
+#include "nas_table.h"
+#include "smilab/mpi/collectives.h"
+#include "smilab/mpi/job.h"
+#include "smilab/stats/table.h"
+
+using namespace smilab;
+
+namespace {
+
+double run(int nodes, int sync_per_10s, bool smi, std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::wyeast_e5520();
+  cfg.node_count = nodes;
+  cfg.net = NetworkParams::wyeast();
+  cfg.smi = smi ? SmiConfig::long_every_second() : SmiConfig::none();
+  cfg.seed = seed;
+  System sys{cfg};
+  auto programs = make_rank_programs(nodes);
+  TagAllocator tags;
+  const SimDuration step = seconds(10) / sync_per_10s;
+  for (int i = 0; i < sync_per_10s; ++i) {
+    for (auto& rp : programs) rp.compute(step);
+    allreduce(programs, 8192, tags);
+  }
+  return run_mpi_job(sys, std::move(programs), block_placement(nodes, 1),
+                     WorkloadProfile::dense_fp())
+      .elapsed.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = smilab::benchtool::BenchArgs::parse(argc, argv);
+  const int trials = args.quick ? 1 : 3;
+  std::printf("=== Scale projection: long SMIs @ 1/s on a 10s solver, "
+              "1 rank/node (%d trials) ===\n\n", trials);
+  std::printf("Slowdown %% by node count and synchronization frequency:\n\n");
+  Table table{{"nodes", "10 syncs", "100 syncs", "1000 syncs"}};
+  for (const int nodes : {4, 16, 64, 128}) {
+    table.row().cell(static_cast<long long>(nodes));
+    for (const int syncs : {10, 100, 1000}) {
+      OnlineStats base, noisy;
+      for (int t = 0; t < trials; ++t) {
+        const auto seed = static_cast<std::uint64_t>(nodes * 131 + syncs + t);
+        base.add(run(nodes, syncs, false, seed));
+        noisy.add(run(nodes, syncs, true, seed));
+      }
+      table.cell((noisy.mean() / base.mean() - 1.0) * 100.0, 1);
+    }
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.to_aligned_text().c_str());
+  std::printf(
+      "Reading: amplification grows with both node count and sync rate; at\n"
+      "fine-grained synchronization and >=64 nodes the job effectively\n"
+      "inherits the worst node's noise at every step — exactly the\n"
+      "extreme-scale concern of Petrini et al. and Ferreira et al., now\n"
+      "driven by firmware instead of the OS.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Section III.B: characterization of the blackbox SMI driver — TSC-measured
+// SMM residency for the "short" (1-3 ms) and "long" (100-110 ms) settings,
+// plus the BIOSBITS 150 us violation check.
+#include <cstdio>
+
+#include "smilab/sim/system.h"
+#include "smilab/smm/smi_controller.h"
+#include "smilab/stats/histogram.h"
+
+using namespace smilab;
+
+namespace {
+
+void characterize(SmiKind kind) {
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::wyeast_e5520();
+  cfg.node_count = 1;
+  cfg.smi.kind = kind;
+  cfg.smi.interval_jiffies = 100;  // fast sampling: one SMI every 100 ms
+  cfg.seed = 7;
+  System sys{cfg};
+
+  // An idle-ish background task so the run has something to perturb.
+  std::vector<Action> prog;
+  prog.push_back(Compute{seconds(60)});
+  sys.spawn(TaskSpec::with_actions("victim", 0, std::move(prog)));
+  sys.run();
+
+  const auto& acct = sys.smm_accounting();
+  const auto& stats = acct.duration_stats();
+  std::printf("kind=%s  SMIs=%lld  residency mean=%.3f ms  min=%.3f ms  "
+              "max=%.3f ms  BIOSBITS(150us) violations=%lld\n",
+              to_string(kind), static_cast<long long>(acct.total_smi_count()),
+              stats.mean() * 1e3, stats.min() * 1e3, stats.max() * 1e3,
+              static_cast<long long>(acct.biosbits_violations()));
+  std::printf("%s\n", acct.duration_histogram_ms().render(48).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== SMI driver characterization (paper Section III.B) ===\n\n");
+  characterize(SmiKind::kShort);
+  characterize(SmiKind::kLong);
+  std::printf("Paper: short SMIs 1-3 ms, long SMIs 100-110 ms, both far over\n"
+              "the BIOSBITS 150 us guidance; every interval should violate.\n");
+  return 0;
+}

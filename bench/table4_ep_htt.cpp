@@ -1,0 +1,16 @@
+// Reproduces Table 4: effect of HTT on EP with 4 MPI ranks per node, under
+// no/short/long SMM intervals.
+//
+// Usage: table4_ep_htt [--trials=N] [--quick]
+#include "nas_table.h"
+
+int main(int argc, char** argv) {
+  using namespace smilab;
+  const auto args = benchtool::BenchArgs::parse(argc, argv);
+  NasRunOptions options;
+  options.trials = args.trials;
+  benchtool::print_htt_table(
+      "Table 4: Effect of HTT on EP with 4 MPI ranks per node",
+      NasBenchmark::kEP, options);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Example: run the real UnixBench-style microkernels on the host and
+// compare their measured rates to the workload-model constants used for
+// Figure 2. This is how the per-test rates in apps/unixbench/unixbench.h
+// were sanity-checked (they describe a 2.4 GHz Westmere, so a modern host
+// should come out faster by a roughly uniform factor).
+//
+//   ./build/examples/example_host_unixbench
+#include <cstdio>
+
+#include "smilab/apps/unixbench/kernels.h"
+#include "smilab/apps/unixbench/unixbench.h"
+
+using namespace smilab;
+
+int main() {
+  std::printf("Host microkernel rates vs the Figure-2 model constants\n\n");
+  std::printf("%-30s %14s %14s %8s\n", "test", "host ops/s", "model ops/s",
+              "ratio");
+
+  struct Row {
+    UbTest test;
+    KernelRun run;
+  };
+  const Row rows[] = {
+      {UbTest::kDhrystone, run_dhrystone_like(2'000'000)},
+      {UbTest::kWhetstone, run_whetstone_like(50'000)},
+      {UbTest::kPipeThroughput, run_pipe_throughput(200'000)},
+      {UbTest::kPipeContextSwitch, run_pipe_context_switch(20'000)},
+      {UbTest::kSyscallOverhead, run_syscall_overhead(2'000'000)},
+  };
+  for (const Row& row : rows) {
+    const UbTestSpec& spec =
+        ub_test_specs()[static_cast<std::size_t>(row.test)];
+    std::printf("%-30s %14.0f %14.0f %7.2fx  (checksum %llu)\n",
+                to_string(row.test), row.run.ops_per_second,
+                spec.base_ops_per_s,
+                row.run.ops_per_second / spec.base_ops_per_s,
+                static_cast<unsigned long long>(row.run.checksum));
+  }
+  std::printf(
+      "\nNote: the Whetstone unit here is one module-mix pass, not a WIPS;\n"
+      "compare ratios across tests rather than absolute rates. A uniform\n"
+      "ratio means the model's relative per-test weights are sound for\n"
+      "this host class.\n");
+  return 0;
+}

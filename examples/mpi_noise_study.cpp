@@ -1,0 +1,73 @@
+// Example: a self-contained MPI noise study using the public API.
+//
+// Builds a synthetic iterative MPI application (compute + allreduce per
+// iteration, like most solvers), runs it across 1-16 nodes under each SMI
+// regime, and prints how the noise amplifies with scale — the paper's
+// Section III story in ~80 lines of user code.
+//
+//   ./build/examples/example_mpi_noise_study
+#include <cstdio>
+
+#include "smilab/smilab.h"
+
+using namespace smilab;
+
+namespace {
+
+/// 50 iterations of 100 ms compute + an 8 KB allreduce, per rank.
+std::vector<RankProgram> make_solver(int ranks) {
+  auto programs = make_rank_programs(ranks);
+  TagAllocator tags;
+  for (int iter = 0; iter < 50; ++iter) {
+    for (auto& rp : programs) rp.compute(milliseconds(100));
+    allreduce(programs, 8 * 1024, tags);
+  }
+  return programs;
+}
+
+double run(int nodes, const SmiConfig& smi, std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::wyeast_e5520();
+  cfg.node_count = nodes;
+  cfg.net = NetworkParams::wyeast();
+  cfg.smi = smi;
+  cfg.seed = seed;
+  System sys{cfg};
+  const MpiJobResult result =
+      run_mpi_job(sys, make_solver(nodes), block_placement(nodes, 1),
+                  WorkloadProfile::dense_fp(), "solver");
+  return result.elapsed.seconds();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Synthetic MPI solver (50 x [100ms compute + allreduce]) under "
+              "SMI noise\n\n");
+  std::printf("%6s  %10s  %12s  %12s  %12s\n", "nodes", "no SMIs",
+              "short SMIs", "long SMIs", "long, synced");
+  const ExperimentRunner runner{4};
+  for (const int nodes : {1, 2, 4, 8, 16}) {
+    const OnlineStats base =
+        runner.run([&](std::uint64_t s) { return run(nodes, SmiConfig::none(), s); });
+    const OnlineStats shrt = runner.run(
+        [&](std::uint64_t s) { return run(nodes, SmiConfig::short_every_second(), s); });
+    const OnlineStats lng = runner.run(
+        [&](std::uint64_t s) { return run(nodes, SmiConfig::long_every_second(), s); });
+    SmiConfig synced = SmiConfig::long_every_second();
+    synced.synchronized_across_nodes = true;
+    const OnlineStats sync =
+        runner.run([&](std::uint64_t s) { return run(nodes, synced, s); });
+    std::printf("%6d  %9.2fs  %+10.2f%%  %+10.2f%%  %+10.2f%%\n", nodes,
+                base.mean(), (shrt.mean() / base.mean() - 1) * 100,
+                (lng.mean() / base.mean() - 1) * 100,
+                (sync.mean() / base.mean() - 1) * 100);
+  }
+  std::printf(
+      "\nReading: short SMIs are negligible at any scale; long SMIs start at\n"
+      "the ~10.5%% duty cycle on one node and amplify with node count because\n"
+      "each allreduce waits for whichever node froze most recently. Firmware-\n"
+      "synchronized SMIs (last column) remove the amplification — evidence\n"
+      "that phase independence, not residency itself, drives the scaling.\n");
+  return 0;
+}

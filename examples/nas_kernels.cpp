@@ -1,0 +1,79 @@
+// Example: the real NAS computations under the workload models.
+//
+// Runs the actual EP deviate kernel, the 3-D FFT (FT's compute), and a
+// production-size block-tridiagonal line solve (BT's compute) on the host,
+// verifying each and relating measured per-op costs back to the simulator's
+// calibrated per-class work.
+//
+//   ./build/examples/example_nas_kernels
+#include <chrono>
+#include <cstdio>
+
+#include "smilab/apps/nas/kernels/block_tridiag.h"
+#include "smilab/apps/nas/kernels/ep_kernel.h"
+#include "smilab/apps/nas/kernels/fft.h"
+#include "smilab/apps/nas/kernels/npb_random.h"
+#include "smilab/apps/nas/nas.h"
+
+using namespace smilab;
+
+namespace {
+
+double time_seconds(const auto& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  // --- EP -------------------------------------------------------------------
+  const std::int64_t pairs = 1 << 22;  // 1/64 of class A
+  EpResult ep;
+  const double ep_seconds = time_seconds([&] { ep = run_ep_kernel(pairs); });
+  const double ns_per_pair = ep_seconds / static_cast<double>(pairs) * 1e9;
+  std::printf("EP: %lld pairs in %.3fs (%.1f ns/pair)\n",
+              static_cast<long long>(pairs), ep_seconds, ns_per_pair);
+  std::printf("    acceptance %.4f (pi/4 = 0.7854), sx %.4f, sy %.4f\n",
+              static_cast<double>(ep.gaussian_pairs) / static_cast<double>(pairs),
+              ep.sx, ep.sy);
+  const double class_a_pairs =
+      static_cast<double>(nas_grid_points(NasBenchmark::kEP, NasClass::kA));
+  std::printf("    projected class A (2^28 pairs) on this host: %.1fs; the\n"
+              "    paper's 2.27 GHz E5520 measured %.2fs\n\n",
+              ns_per_pair * class_a_pairs / 1e9,
+              nas_serial_work_seconds(NasBenchmark::kEP, NasClass::kA));
+
+  // --- FT's 3-D FFT ------------------------------------------------------------
+  Grid3 grid{64, 64, 32};
+  grid.fill_random(NpbRandom::kDefaultSeed);
+  const Complex before = ft_checksum(grid);
+  double fft_seconds = 0.0;
+  Complex after{};
+  fft_seconds = time_seconds([&] {
+    fft3d(grid);
+    after = ft_checksum(grid);
+    fft3d(grid, /*inverse=*/true);
+  });
+  const Complex restored = ft_checksum(grid);
+  std::printf("FT: 64x64x32 forward+inverse 3-D FFT in %.3fs\n", fft_seconds);
+  std::printf("    checksum %.6f%+.6fi -> %.6f%+.6fi -> restored "
+              "%.6f%+.6fi (|err| %.2g)\n\n",
+              before.real(), before.imag(), after.real(), after.imag(),
+              restored.real(), restored.imag(), std::abs(restored - before));
+
+  // --- BT's block-tridiagonal line solve ----------------------------------------
+  const std::size_t cells = 162;  // class C grid edge
+  BlockTriSystem system = BlockTriSystem::random(cells, 2016);
+  std::vector<std::array<double, 5>> solution;
+  const double bt_seconds =
+      time_seconds([&] { solution = solve_block_tridiag(system); });
+  std::printf("BT: %zu-cell 5x5 block-tridiagonal line solve in %.6fs, "
+              "residual %.2e\n",
+              cells, bt_seconds, block_tridiag_residual(system, solution));
+  std::printf("    (BT class C performs ~3 x 162^2 such line solves per "
+              "iteration, 200 iterations)\n");
+  return 0;
+}

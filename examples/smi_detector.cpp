@@ -1,0 +1,116 @@
+// Example: detecting SMIs from inside the machine, like the tools the
+// paper cites latency-sensitive users running [21].
+//
+// Runs the hwlat-style TSC-gap detector and the FTQ characterization
+// against short and long SMI regimes, scoring each against the simulator's
+// ground truth — including the phase-locking pitfall where a detector
+// whose sampling period matches the SMI interval sees nothing at all.
+//
+//   ./build/examples/example_smi_detector
+#include <cstdio>
+
+#include "smilab/smilab.h"
+
+using namespace smilab;
+
+namespace {
+
+void detect(const char* label, const SmiConfig& smi, SimDuration window,
+            SimDuration period) {
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::poweredge_r410_e5620();
+  cfg.smi = smi;
+  cfg.seed = 99;
+  System sys{cfg};
+  HwlatConfig config;
+  config.duration = seconds(30);
+  config.window = window;
+  config.period = period;
+  const HwlatReport report = run_hwlat_detector(sys, config);
+  std::printf("  %-26s hits %3lld / %3lld in-window SMIs (recall %4.0f%%)  ",
+              label, static_cast<long long>(report.hits),
+              static_cast<long long>(report.true_smis_during_windows),
+              report.recall * 100.0);
+  if (report.hits > 0) {
+    std::printf("gap mean %.2f ms (true band: %s-%s), duration error %.1f us\n",
+                report.gap_us.mean() / 1e3,
+                smi.kind == SmiKind::kLong ? "100" : "1",
+                smi.kind == SmiKind::kLong ? "110" : "3",
+                report.mean_duration_error_us);
+  } else {
+    std::printf("nothing detected\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("hwlat-style SMI detection (TSC-gap), 30s runs\n\n");
+  std::printf("Continuous sampling:\n");
+  detect("long SMIs @ 1/s", SmiConfig::long_every_second(), seconds(1), seconds(1));
+  detect("short SMIs @ 1/s", SmiConfig::short_every_second(), seconds(1), seconds(1));
+
+  std::printf("\nWindowed sampling (300ms of each 700ms):\n");
+  detect("long SMIs @ 1/s", SmiConfig::long_every_second(), milliseconds(300),
+         milliseconds(700));
+
+  std::printf("\nWindowed sampling with period == SMI interval (the trap):\n");
+  detect("long SMIs @ 1/s", SmiConfig::long_every_second(), milliseconds(400),
+         seconds(1));
+  std::printf(
+      "  ^ a sleep that expires mid-SMM is serviced exactly at SMM exit, so\n"
+      "    the schedules phase-lock and every SMI hides in the sleep. Pick a\n"
+      "    sampling period incommensurate with any suspected SMI interval.\n");
+
+  std::printf("\nFTQ noise characterization (1 ms quanta, 30s):\n");
+  for (const auto kind : {SmiKind::kNone, SmiKind::kShort, SmiKind::kLong}) {
+    SmiConfig smi;
+    smi.kind = kind;
+    SystemConfig cfg;
+    cfg.machine = MachineSpec::poweredge_r410_e5620();
+    cfg.smi = smi;
+    cfg.seed = 7;
+    System sys{cfg};
+    FtqConfig config;
+    config.duration = seconds(30);
+    const FtqReport report = run_ftq(sys, config);
+    std::printf("  %-10s quanta %6lld  mean slip %8.1f us  max slip %9.1f us"
+                "  big slips %lld  noise share %.2f%%\n",
+                to_string(kind), static_cast<long long>(report.quanta),
+                report.slip_us.mean(), report.max_slip_us,
+                static_cast<long long>(report.big_slips),
+                report.noise_fraction(config.quantum) * 100.0);
+  }
+  std::printf(
+      "\nReading: SMIs appear as rare, enormous slips — a profile no OS-level\n"
+      "noise source produces, and the signature tool developers can key on.\n");
+
+  // Timekeeping skew: the jiffy clock loses every tick due during SMM,
+  // while the TSC keeps counting (IISWC'13's "time scaling discrepancies").
+  std::printf("\nTick-clock skew vs TSC over a 60s run (1000 Hz timer):\n");
+  for (const auto kind : {SmiKind::kShort, SmiKind::kLong}) {
+    SmiConfig smi;
+    smi.kind = kind;
+    SystemConfig cfg;
+    cfg.machine = MachineSpec::poweredge_r410_e5620();
+    cfg.smi = smi;
+    cfg.seed = 3;
+    System sys{cfg};
+    std::vector<Action> prog;
+    prog.push_back(Compute{seconds(60)});
+    sys.spawn(TaskSpec::with_actions("t", 0, std::move(prog)));
+    sys.run();
+    const auto skew = analyze_clock_skew(sys.smm_accounting(), 0,
+                                         sys.last_finish_time(), kJiffy);
+    std::printf("  %-6s SMIs: lost %lld of %lld ticks -> jiffy clock %.1f ms "
+                "behind (%.2f%% of wall)\n",
+                to_string(kind), static_cast<long long>(skew.lost_ticks),
+                static_cast<long long>(skew.expected_ticks),
+                skew.tick_clock_behind.seconds() * 1e3,
+                skew.skew_fraction * 100.0);
+  }
+  std::printf(
+      "Any timestamp pipeline mixing tick time with TSC time inherits this\n"
+      "drift — another way SMIs corrupt measurements silently.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Reproduce every paper table/figure plus the ablations and extensions,
+# collecting the outputs the repository documents.
+#
+#   scripts/reproduce_all.sh [results-dir]
+#
+# Takes ~10 minutes at the paper's 6 trials. Pass --quick through the env:
+#   SMILAB_BENCH_FLAGS="--quick" scripts/reproduce_all.sh
+set -eu
+
+RESULTS="${1:-results}"
+FLAGS="${SMILAB_BENCH_FLAGS:-}"
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p "$RESULTS"
+
+echo "== tests =="
+ctest --test-dir build 2>&1 | tee "$RESULTS/test_output.txt" | tail -3
+
+echo "== benches =="
+: > "$RESULTS/bench_output.txt"
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name=$(basename "$b")
+  echo "===== $name ====="
+  { echo "===== $name ====="; "$b" $FLAGS; } >> "$RESULTS/bench_output.txt" 2>&1
+done
+
+echo "== figure CSVs =="
+./build/bench/fig1_convolve $FLAGS --csv="$RESULTS/fig1" > /dev/null
+./build/bench/fig2_unixbench $FLAGS --csv="$RESULTS/fig2" > /dev/null
+
+echo "done; outputs in $RESULTS/"

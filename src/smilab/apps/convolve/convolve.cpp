@@ -1,0 +1,201 @@
+#include "smilab/apps/convolve/convolve.h"
+
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <thread>
+
+#include "smilab/time/rng.h"
+
+namespace smilab {
+
+Kernel::Kernel(int size)
+    : size_(size), weights_(static_cast<std::size_t>(size) * static_cast<std::size_t>(size), 0.0f) {
+  assert(size >= 1 && size % 2 == 1);
+}
+
+Kernel Kernel::gaussian(int size, double sigma) {
+  Kernel k{size};
+  if (sigma <= 0.0) sigma = static_cast<double>(size) / 6.0;  // common default
+  const int r = k.radius();
+  double sum = 0.0;
+  for (int j = 0; j < size; ++j) {
+    for (int i = 0; i < size; ++i) {
+      const double dx = i - r;
+      const double dy = j - r;
+      const double w = std::exp(-(dx * dx + dy * dy) / (2.0 * sigma * sigma));
+      k.at(i, j) = static_cast<float>(w);
+      sum += w;
+    }
+  }
+  for (int j = 0; j < size; ++j) {
+    for (int i = 0; i < size; ++i) {
+      k.at(i, j) = static_cast<float>(k.at(i, j) / sum);
+    }
+  }
+  return k;
+}
+
+Image make_test_image(int width, int height, std::uint64_t seed) {
+  Image img{width, height};
+  Rng rng{seed};
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      img.at(x, y) = static_cast<float>(rng.next_double());
+    }
+  }
+  return img;
+}
+
+void convolve_block(const Image& input, const Kernel& kernel, Image& output,
+                    int x0, int y0, int w, int h) {
+  const int r = kernel.radius();
+  const int iw = input.width();
+  const int ih = input.height();
+  for (int y = y0; y < y0 + h; ++y) {
+    for (int x = x0; x < x0 + w; ++x) {
+      float acc = 0.0f;
+      for (int dy = -r; dy <= r; ++dy) {
+        const int sy = y + dy;
+        if (sy < 0 || sy >= ih) continue;  // zero padding
+        for (int dx = -r; dx <= r; ++dx) {
+          const int sx = x + dx;
+          if (sx < 0 || sx >= iw) continue;
+          acc += input.at(sx, sy) * kernel.at(dx + r, dy + r);
+        }
+      }
+      output.at(x, y) = acc;
+    }
+  }
+}
+
+Image convolve_reference(const Image& input, const Kernel& kernel) {
+  Image out{input.width(), input.height()};
+  convolve_block(input, kernel, out, 0, 0, input.width(), input.height());
+  return out;
+}
+
+std::vector<Block> decompose_blocks(int width, int height, int block_w,
+                                    int block_h) {
+  assert(block_w >= 1 && block_h >= 1);
+  std::vector<Block> blocks;
+  for (int y = 0; y < height; y += block_h) {
+    for (int x = 0; x < width; x += block_w) {
+      blocks.push_back(Block{x, y, std::min(block_w, width - x),
+                             std::min(block_h, height - y)});
+    }
+  }
+  return blocks;
+}
+
+namespace {
+
+/// Factor a separable kernel K = col * row^T from its dominant column.
+/// Returns false if any entry deviates from the rank-1 reconstruction.
+bool factor_kernel(const Kernel& kernel, std::vector<float>& col,
+                   std::vector<float>& row, float tol) {
+  const int size = kernel.size();
+  // Find the column with the largest peak to divide by.
+  int ref_i = 0;
+  float peak = 0.0f;
+  for (int i = 0; i < size; ++i) {
+    for (int j = 0; j < size; ++j) {
+      if (std::abs(kernel.at(i, j)) > peak) {
+        peak = std::abs(kernel.at(i, j));
+        ref_i = i;
+      }
+    }
+  }
+  if (peak == 0.0f) return false;
+  col.resize(static_cast<std::size_t>(size));
+  row.resize(static_cast<std::size_t>(size));
+  for (int j = 0; j < size; ++j) col[static_cast<std::size_t>(j)] = kernel.at(ref_i, j);
+  // Normalize so that col[j0] * row[i] reproduces row j0.
+  int ref_j = 0;
+  for (int j = 0; j < size; ++j) {
+    if (std::abs(col[static_cast<std::size_t>(j)]) >
+        std::abs(col[static_cast<std::size_t>(ref_j)]))
+      ref_j = j;
+  }
+  const float pivot = col[static_cast<std::size_t>(ref_j)];
+  if (pivot == 0.0f) return false;
+  for (int i = 0; i < size; ++i) {
+    row[static_cast<std::size_t>(i)] = kernel.at(i, ref_j) / pivot;
+  }
+  for (int j = 0; j < size; ++j) {
+    for (int i = 0; i < size; ++i) {
+      const float reconstructed =
+          col[static_cast<std::size_t>(j)] * row[static_cast<std::size_t>(i)];
+      if (std::abs(reconstructed - kernel.at(i, j)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_separable(const Kernel& kernel, float tol) {
+  std::vector<float> col, row;
+  return factor_kernel(kernel, col, row, tol);
+}
+
+Image convolve_separable(const Image& input, const Kernel& kernel) {
+  std::vector<float> col, row;
+  const bool ok = factor_kernel(kernel, col, row, 1e-6f);
+  assert(ok && "kernel is not separable");
+  (void)ok;
+  const int r = kernel.radius();
+  const int w = input.width();
+  const int h = input.height();
+  // Horizontal pass with the row factor.
+  Image mid{w, h};
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int dx = -r; dx <= r; ++dx) {
+        const int sx = x + dx;
+        if (sx < 0 || sx >= w) continue;
+        acc += input.at(sx, y) * row[static_cast<std::size_t>(dx + r)];
+      }
+      mid.at(x, y) = acc;
+    }
+  }
+  // Vertical pass with the column factor.
+  Image out{w, h};
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int dy = -r; dy <= r; ++dy) {
+        const int sy = y + dy;
+        if (sy < 0 || sy >= h) continue;
+        acc += mid.at(x, sy) * col[static_cast<std::size_t>(dy + r)];
+      }
+      out.at(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+Image convolve_threaded(const Image& input, const Kernel& kernel, int block_w,
+                        int block_h, int threads) {
+  assert(threads >= 1);
+  Image out{input.width(), input.height()};
+  const std::vector<Block> blocks =
+      decompose_blocks(input.width(), input.height(), block_w, block_h);
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= blocks.size()) return;
+      const Block& b = blocks[i];
+      convolve_block(input, kernel, out, b.x0, b.y0, b.w, b.h);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  return out;
+}
+
+}  // namespace smilab

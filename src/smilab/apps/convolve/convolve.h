@@ -1,0 +1,107 @@
+// The paper's multithreaded application kernel: 2-D convolution (Section
+// IV.B). Given an NxN image P and an MxM kernel Q (M odd), R = P * Q with
+// zero padding at the borders. The parallel version splits R into blocks
+// and assigns each block to a thread; blocks share only read-only inputs,
+// so there is no locking.
+//
+// This header provides the *real* computation (used by tests and the
+// host-side verification example) plus block decomposition helpers shared
+// with the access-stream replay and the simulator workload model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace smilab {
+
+/// Row-major float image.
+class Image {
+ public:
+  Image(int width, int height) : width_(width), height_(height),
+        data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height), 0.0f) {}
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] float at(int x, int y) const {
+    return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+  }
+  float& at(int x, int y) {
+    return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] std::size_t pixel_count() const { return data_.size(); }
+
+ private:
+  int width_;
+  int height_;
+  std::vector<float> data_;
+};
+
+/// Square convolution kernel with odd side length.
+class Kernel {
+ public:
+  explicit Kernel(int size);
+
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] int radius() const { return size_ / 2; }
+  [[nodiscard]] float at(int i, int j) const {
+    return weights_[static_cast<std::size_t>(j) * static_cast<std::size_t>(size_) +
+                    static_cast<std::size_t>(i)];
+  }
+  float& at(int i, int j) {
+    return weights_[static_cast<std::size_t>(j) * static_cast<std::size_t>(size_) +
+                    static_cast<std::size_t>(i)];
+  }
+
+  /// Normalized Gaussian blur kernel (the paper simulates a Gaussian
+  /// filter over an image).
+  static Kernel gaussian(int size, double sigma = 0.0);
+
+ private:
+  int size_;
+  std::vector<float> weights_;
+};
+
+/// Deterministic pseudo-random test image.
+Image make_test_image(int width, int height, std::uint64_t seed);
+
+/// Single-threaded reference convolution (zero padding outside P).
+Image convolve_reference(const Image& input, const Kernel& kernel);
+
+/// Convolve only the block [x0, x0+w) x [y0, y0+h) of the output.
+void convolve_block(const Image& input, const Kernel& kernel, Image& output,
+                    int x0, int y0, int w, int h);
+
+/// Real multithreaded convolution: split the output into block_w x block_h
+/// tiles and process them with `threads` std::threads pulling from a shared
+/// atomic work index. Matches the reference result exactly.
+Image convolve_threaded(const Image& input, const Kernel& kernel, int block_w,
+                        int block_h, int threads);
+
+/// A tile of the output assigned to a worker.
+struct Block {
+  int x0 = 0;
+  int y0 = 0;
+  int w = 0;
+  int h = 0;
+};
+
+/// Decompose a width x height output into block_w x block_h tiles
+/// (right/bottom edge tiles may be smaller).
+std::vector<Block> decompose_blocks(int width, int height, int block_w,
+                                    int block_h);
+
+/// True when the kernel is (numerically) an outer product of a column and a
+/// row vector — Gaussian kernels always are.
+[[nodiscard]] bool is_separable(const Kernel& kernel, float tol = 1e-6f);
+
+/// Separable convolution: factor the kernel into row/column passes,
+/// reducing per-pixel work from O(M^2) to O(M). Only valid for separable
+/// kernels; matches convolve_reference away from rounding. This is the
+/// optimization an image pipeline would actually ship — and the reason the
+/// paper's CacheFriendly configuration (61x61 Gaussian) is compute-heavy
+/// only if implemented naively.
+Image convolve_separable(const Image& input, const Kernel& kernel);
+
+}  // namespace smilab

@@ -1,0 +1,299 @@
+#include "smilab/apps/nas/kernels/block_tridiag.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "smilab/time/rng.h"
+
+namespace smilab {
+
+Block5 Block5::identity() {
+  Block5 block;
+  for (int i = 0; i < 5; ++i) block.m[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 1.0;
+  return block;
+}
+
+Block5 Block5::operator*(const Block5& other) const {
+  Block5 out;
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t k = 0; k < 5; ++k) {
+      const double a = m[i][k];
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < 5; ++j) out.m[i][j] += a * other.m[k][j];
+    }
+  }
+  return out;
+}
+
+Block5 Block5::operator-(const Block5& other) const {
+  Block5 out;
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) out.m[i][j] = m[i][j] - other.m[i][j];
+  }
+  return out;
+}
+
+std::array<double, 5> Block5::apply(const std::array<double, 5>& v) const {
+  std::array<double, 5> out{};
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) out[i] += m[i][j] * v[j];
+  }
+  return out;
+}
+
+Block5 Block5::inverse() const {
+  // Gauss-Jordan with partial pivoting on [M | I].
+  std::array<std::array<double, 10>, 5> aug{};
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) aug[i][j] = m[i][j];
+    aug[i][5 + i] = 1.0;
+  }
+  for (std::size_t col = 0; col < 5; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < 5; ++row) {
+      if (std::fabs(aug[row][col]) > std::fabs(aug[pivot][col])) pivot = row;
+    }
+    assert(std::fabs(aug[pivot][col]) > 1e-12 && "singular 5x5 block");
+    std::swap(aug[col], aug[pivot]);
+    const double inv_p = 1.0 / aug[col][col];
+    for (std::size_t j = 0; j < 10; ++j) aug[col][j] *= inv_p;
+    for (std::size_t row = 0; row < 5; ++row) {
+      if (row == col) continue;
+      const double factor = aug[row][col];
+      if (factor == 0.0) continue;
+      for (std::size_t j = 0; j < 10; ++j) aug[row][j] -= factor * aug[col][j];
+    }
+  }
+  Block5 out;
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) out.m[i][j] = aug[i][5 + j];
+  }
+  return out;
+}
+
+BlockTriSystem BlockTriSystem::random(std::size_t n, std::uint64_t seed) {
+  assert(n >= 1);
+  Rng rng{seed};
+  BlockTriSystem system;
+  system.sub.resize(n);
+  system.diag.resize(n);
+  system.super.resize(n);
+  system.rhs.resize(n);
+  auto random_block = [&rng](double scale) {
+    Block5 block;
+    for (auto& row : block.m) {
+      for (auto& value : row) value = rng.uniform(-scale, scale);
+    }
+    return block;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) system.sub[i] = random_block(0.2);
+    if (i + 1 < n) system.super[i] = random_block(0.2);
+    system.diag[i] = random_block(0.3);
+    // Diagonal dominance: a strong identity component keeps every pivot
+    // block invertible, like BT's implicit operator.
+    for (std::size_t d = 0; d < 5; ++d) system.diag[i].m[d][d] += 4.0;
+    for (auto& value : system.rhs[i]) value = rng.uniform(-1.0, 1.0);
+  }
+  return system;
+}
+
+std::vector<std::array<double, 5>> solve_block_tridiag(BlockTriSystem system) {
+  const std::size_t n = system.cells();
+  assert(n >= 1);
+  // Forward elimination: D'_i = D_i - C_i D'^-1_{i-1} E_{i-1};
+  //                      r'_i = r_i - C_i D'^-1_{i-1} r'_{i-1}.
+  std::vector<Block5> diag_inv(n);
+  diag_inv[0] = system.diag[0].inverse();
+  for (std::size_t i = 1; i < n; ++i) {
+    const Block5 factor = system.sub[i] * diag_inv[i - 1];
+    system.diag[i] = system.diag[i] - factor * system.super[i - 1];
+    const auto adj = factor.apply(system.rhs[i - 1]);
+    for (std::size_t d = 0; d < 5; ++d) system.rhs[i][d] -= adj[d];
+    diag_inv[i] = system.diag[i].inverse();
+  }
+  // Back substitution: u_n = D'^-1 r'; u_i = D'^-1 (r'_i - E_i u_{i+1}).
+  std::vector<std::array<double, 5>> u(n);
+  u[n - 1] = diag_inv[n - 1].apply(system.rhs[n - 1]);
+  for (std::size_t i = n - 1; i-- > 0;) {
+    const auto carry = system.super[i].apply(u[i + 1]);
+    std::array<double, 5> adjusted = system.rhs[i];
+    for (std::size_t d = 0; d < 5; ++d) adjusted[d] -= carry[d];
+    u[i] = diag_inv[i].apply(adjusted);
+  }
+  return u;
+}
+
+namespace {
+
+// The model problem: A u = b on an n^3 grid of 5-vectors with
+//   A = D_c on the diagonal and -c*R on each of the six neighbour links,
+// where R is a fixed mixing matrix coupling the 5 components and
+// D_c = (1 + 6c)I + c*R keeps every line system strictly dominant.
+constexpr double kCoupling = 0.12;
+
+Block5 mixing_block() {
+  // A fixed rotation-flavoured mixer: symmetric, spectral radius <= 1.
+  Block5 r;
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      r.m[i][j] = i == j ? 0.6 : 0.1;
+    }
+  }
+  return r;
+}
+
+Block5 scaled(const Block5& block, double factor) {
+  Block5 out;
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) out.m[i][j] = block.m[i][j] * factor;
+  }
+  return out;
+}
+
+struct BtGrid {
+  int n;
+  std::vector<std::array<double, 5>> values;  // (z*n + y)*n + x
+
+  std::array<double, 5>& at(int x, int y, int z) {
+    return values[static_cast<std::size_t>((z * n + y) * n + x)];
+  }
+  [[nodiscard]] const std::array<double, 5>& at(int x, int y, int z) const {
+    return const_cast<BtGrid*>(this)->at(x, y, z);
+  }
+};
+
+void accumulate(std::array<double, 5>& into, const std::array<double, 5>& v,
+                double sign) {
+  for (std::size_t d = 0; d < 5; ++d) into[d] += sign * v[d];
+}
+
+}  // namespace
+
+BtReferenceResult bt_reference_run(int n, int iterations, std::uint64_t seed) {
+  assert(n >= 2);
+  const Block5 mix = mixing_block();
+  const Block5 neighbour = scaled(mix, -kCoupling);
+  Block5 diag = Block5::identity();
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      diag.m[i][j] += 6.0 * kCoupling * (i == j ? 1.0 : 0.0) +
+                      kCoupling * mix.m[i][j];
+    }
+  }
+
+  Rng rng{seed};
+  BtGrid b{n, std::vector<std::array<double, 5>>(
+                  static_cast<std::size_t>(n) * n * n)};
+  for (auto& cell : b.values) {
+    for (auto& v : cell) v = rng.uniform(-1.0, 1.0);
+  }
+  BtGrid u{n, std::vector<std::array<double, 5>>(
+                  static_cast<std::size_t>(n) * n * n)};
+
+  auto apply_A = [&](const BtGrid& field, int x, int y, int z) {
+    std::array<double, 5> out = diag.apply(field.at(x, y, z));
+    auto add_link = [&](int nx, int ny, int nz) {
+      if (nx < 0 || nx >= n || ny < 0 || ny >= n || nz < 0 || nz >= n) return;
+      accumulate(out, neighbour.apply(field.at(nx, ny, nz)), 1.0);
+    };
+    add_link(x - 1, y, z);
+    add_link(x + 1, y, z);
+    add_link(x, y - 1, z);
+    add_link(x, y + 1, z);
+    add_link(x, y, z - 1);
+    add_link(x, y, z + 1);
+    return out;
+  };
+  auto global_residual = [&] {
+    double worst = 0.0;
+    for (int z = 0; z < n; ++z) {
+      for (int y = 0; y < n; ++y) {
+        for (int x = 0; x < n; ++x) {
+          const auto lhs = apply_A(u, x, y, z);
+          for (std::size_t d = 0; d < 5; ++d) {
+            worst = std::max(worst, std::fabs(lhs[d] - b.at(x, y, z)[d]));
+          }
+        }
+      }
+    }
+    return worst;
+  };
+
+  // One ADI iteration: for each dimension, solve every grid line exactly
+  // with the block-tridiagonal kernel, folding the other two dimensions'
+  // coupling into the right-hand side at current values (line Gauss-Seidel).
+  auto sweep_dimension = [&](int dim) {
+    for (int a = 0; a < n; ++a) {
+      for (int c = 0; c < n; ++c) {
+        BlockTriSystem line;
+        line.sub.resize(static_cast<std::size_t>(n));
+        line.super.resize(static_cast<std::size_t>(n));
+        line.diag.assign(static_cast<std::size_t>(n), diag);
+        line.rhs.resize(static_cast<std::size_t>(n));
+        for (int i = 1; i < n; ++i) line.sub[static_cast<std::size_t>(i)] = neighbour;
+        for (int i = 0; i + 1 < n; ++i) line.super[static_cast<std::size_t>(i)] = neighbour;
+        auto coords = [&](int i) {
+          switch (dim) {
+            case 0: return std::array<int, 3>{i, a, c};
+            case 1: return std::array<int, 3>{a, i, c};
+            default: return std::array<int, 3>{a, c, i};
+          }
+        };
+        for (int i = 0; i < n; ++i) {
+          const auto [x, y, z] = coords(i);
+          std::array<double, 5> rhs = b.at(x, y, z);
+          auto fold = [&](int nx, int ny, int nz) {
+            if (nx < 0 || nx >= n || ny < 0 || ny >= n || nz < 0 || nz >= n)
+              return;
+            accumulate(rhs, neighbour.apply(u.at(nx, ny, nz)), -1.0);
+          };
+          // Off-line neighbours (the two dimensions not being solved).
+          if (dim != 0) { fold(x - 1, y, z); fold(x + 1, y, z); }
+          if (dim != 1) { fold(x, y - 1, z); fold(x, y + 1, z); }
+          if (dim != 2) { fold(x, y, z - 1); fold(x, y, z + 1); }
+          line.rhs[static_cast<std::size_t>(i)] = rhs;
+        }
+        const auto solved = solve_block_tridiag(std::move(line));
+        for (int i = 0; i < n; ++i) {
+          const auto [x, y, z] = coords(i);
+          u.at(x, y, z) = solved[static_cast<std::size_t>(i)];
+        }
+      }
+    }
+  };
+
+  BtReferenceResult result;
+  result.residuals.reserve(static_cast<std::size_t>(iterations));
+  for (int iter = 0; iter < iterations; ++iter) {
+    sweep_dimension(0);
+    sweep_dimension(1);
+    sweep_dimension(2);
+    result.residuals.push_back(global_residual());
+  }
+  return result;
+}
+
+double block_tridiag_residual(const BlockTriSystem& system,
+                              const std::vector<std::array<double, 5>>& u) {
+  const std::size_t n = system.cells();
+  assert(u.size() == n);
+  double max_residual = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::array<double, 5> lhs = system.diag[i].apply(u[i]);
+    if (i > 0) {
+      const auto below = system.sub[i].apply(u[i - 1]);
+      for (std::size_t d = 0; d < 5; ++d) lhs[d] += below[d];
+    }
+    if (i + 1 < n) {
+      const auto above = system.super[i].apply(u[i + 1]);
+      for (std::size_t d = 0; d < 5; ++d) lhs[d] += above[d];
+    }
+    for (std::size_t d = 0; d < 5; ++d) {
+      max_residual = std::max(max_residual, std::fabs(lhs[d] - system.rhs[i][d]));
+    }
+  }
+  return max_residual;
+}
+
+}  // namespace smilab

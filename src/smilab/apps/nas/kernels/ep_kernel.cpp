@@ -1,0 +1,48 @@
+#include "smilab/apps/nas/kernels/ep_kernel.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "smilab/apps/nas/kernels/npb_random.h"
+
+namespace smilab {
+
+EpResult run_ep_kernel(std::int64_t pairs, std::int64_t first_pair) {
+  assert(pairs >= 0 && first_pair >= 0);
+  EpResult result;
+  NpbRandom rng;
+  // Each pair consumes two draws; slices are contiguous in the stream.
+  rng.jump(2ull * static_cast<std::uint64_t>(first_pair));
+  for (std::int64_t k = 0; k < pairs; ++k) {
+    const double x = 2.0 * rng.next() - 1.0;
+    const double y = 2.0 * rng.next() - 1.0;
+    const double t = x * x + y * y;
+    if (t > 1.0) continue;  // outside the unit disk: rejected
+    const double factor = std::sqrt(-2.0 * std::log(t) / t);
+    const double gx = x * factor;
+    const double gy = y * factor;
+    result.sx += gx;
+    result.sy += gy;
+    result.gaussian_pairs += 1;
+    const auto annulus =
+        static_cast<std::size_t>(std::max(std::fabs(gx), std::fabs(gy)));
+    if (annulus < result.q.size()) result.q[annulus] += 1;
+  }
+  return result;
+}
+
+EpResult run_ep_partitioned(std::int64_t total_pairs, int ranks) {
+  assert(ranks >= 1);
+  EpResult total;
+  const std::int64_t per_rank = total_pairs / ranks;
+  std::int64_t start = 0;
+  for (int r = 0; r < ranks; ++r) {
+    const std::int64_t slice =
+        r == ranks - 1 ? total_pairs - start : per_rank;
+    total.merge(run_ep_kernel(slice, start));
+    start += slice;
+  }
+  return total;
+}
+
+}  // namespace smilab

@@ -1,0 +1,40 @@
+// The actual NAS EP (Embarrassingly Parallel) computation: generate pairs
+// of uniform deviates with the NPB LCG, accept those inside the unit disk,
+// transform them to Gaussian deviates (Marsaglia polar method), and tally
+// sums plus the count of deviates in each unit annulus.
+//
+// This is the real kernel whose runtime the workload model in nas.h
+// calibrates; having it executable makes the decomposition property (any
+// rank partition produces bit-identical global results) a testable fact
+// rather than an assumption.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace smilab {
+
+struct EpResult {
+  double sx = 0.0;
+  double sy = 0.0;
+  std::array<std::int64_t, 10> q{};  ///< annulus counts
+  std::int64_t gaussian_pairs = 0;
+
+  void merge(const EpResult& other) {
+    sx += other.sx;
+    sy += other.sy;
+    gaussian_pairs += other.gaussian_pairs;
+    for (std::size_t i = 0; i < q.size(); ++i) q[i] += other.q[i];
+  }
+};
+
+/// Process pairs [first_pair, first_pair + pairs) of the global EP stream,
+/// exactly as one MPI rank would: jump the generator to the slice, then
+/// run the rejection/transform loop.
+EpResult run_ep_kernel(std::int64_t pairs, std::int64_t first_pair = 0);
+
+/// Convenience: split `total_pairs` evenly across `ranks` slices and merge
+/// (what EP's final allreduces compute).
+EpResult run_ep_partitioned(std::int64_t total_pairs, int ranks);
+
+}  // namespace smilab

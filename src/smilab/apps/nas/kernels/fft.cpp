@@ -1,0 +1,160 @@
+#include "smilab/apps/nas/kernels/fft.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "smilab/apps/nas/kernels/npb_random.h"
+
+namespace smilab {
+
+namespace {
+
+[[maybe_unused]] bool power_of_two(std::size_t n) {
+  return n > 0 && (n & (n - 1)) == 0;
+}
+
+}  // namespace
+
+void fft(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  assert(power_of_two(n));
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen{std::cos(angle), std::sin(angle)};
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& value : data) value *= inv_n;
+  }
+}
+
+std::vector<Complex> naive_dft(std::span<const Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  const double sign = inverse ? 1.0 : -1.0;
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = sign * 2.0 * std::numbers::pi *
+                           static_cast<double>(k) * static_cast<double>(j) /
+                           static_cast<double>(n);
+      acc += data[j] * Complex{std::cos(angle), std::sin(angle)};
+    }
+    out[k] = inverse ? acc / static_cast<double>(n) : acc;
+  }
+  return out;
+}
+
+void Grid3::fill_random(std::uint64_t seed) {
+  NpbRandom rng{seed};
+  for (auto& value : data_) {
+    const double re = rng.next();
+    const double im = rng.next();
+    value = Complex{re, im};
+  }
+}
+
+void fft3d(Grid3& grid, bool inverse) {
+  const int nx = grid.nx();
+  const int ny = grid.ny();
+  const int nz = grid.nz();
+  // X lines are contiguous.
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      fft(std::span<Complex>{&grid.at(0, y, z), static_cast<std::size_t>(nx)},
+          inverse);
+    }
+  }
+  // Y and Z lines via gather/scatter through a scratch buffer (the local
+  // half of what the MPI version does with its transpose alltoall).
+  std::vector<Complex> line(static_cast<std::size_t>(std::max(ny, nz)));
+  for (int z = 0; z < nz; ++z) {
+    for (int x = 0; x < nx; ++x) {
+      for (int y = 0; y < ny; ++y) line[static_cast<std::size_t>(y)] = grid.at(x, y, z);
+      fft(std::span<Complex>{line.data(), static_cast<std::size_t>(ny)}, inverse);
+      for (int y = 0; y < ny; ++y) grid.at(x, y, z) = line[static_cast<std::size_t>(y)];
+    }
+  }
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      for (int z = 0; z < nz; ++z) line[static_cast<std::size_t>(z)] = grid.at(x, y, z);
+      fft(std::span<Complex>{line.data(), static_cast<std::size_t>(nz)}, inverse);
+      for (int z = 0; z < nz; ++z) grid.at(x, y, z) = line[static_cast<std::size_t>(z)];
+    }
+  }
+}
+
+void ft_evolve(Grid3& grid, double t, double alpha) {
+  const int nx = grid.nx();
+  const int ny = grid.ny();
+  const int nz = grid.nz();
+  auto folded = [](int k, int n) {
+    return k >= n / 2 ? k - n : k;  // wavenumber in [-n/2, n/2)
+  };
+  const double factor = -4.0 * alpha * std::numbers::pi * std::numbers::pi * t;
+  for (int z = 0; z < nz; ++z) {
+    const double kz = folded(z, nz);
+    for (int y = 0; y < ny; ++y) {
+      const double ky = folded(y, ny);
+      for (int x = 0; x < nx; ++x) {
+        const double kx = folded(x, nx);
+        const double k2 = kx * kx + ky * ky + kz * kz;
+        grid.at(x, y, z) *= std::exp(factor * k2);
+      }
+    }
+  }
+}
+
+FtReferenceResult ft_reference_run(int nx, int ny, int nz, int timesteps) {
+  Grid3 u{nx, ny, nz};
+  u.fill_random(NpbRandom::kDefaultSeed);
+  fft3d(u);  // to frequency space once; evolve applies per-step decay
+  FtReferenceResult result;
+  result.checksums.reserve(static_cast<std::size_t>(timesteps));
+  for (int step = 1; step <= timesteps; ++step) {
+    ft_evolve(u, 1.0);  // advance one time unit per step
+    Grid3 snapshot = u;
+    fft3d(snapshot, /*inverse=*/true);
+    result.checksums.push_back(ft_checksum(snapshot));
+  }
+  return result;
+}
+
+Complex ft_checksum(const Grid3& grid) {
+  // NPB FT checksum shape: 1024 strided samples with wrapping indices.
+  Complex sum{0.0, 0.0};
+  const int nx = grid.nx();
+  const int ny = grid.ny();
+  const int nz = grid.nz();
+  for (int j = 1; j <= 1024; ++j) {
+    const int x = j % nx;
+    const int y = (3 * j) % ny;
+    const int z = (5 * j) % nz;
+    sum += grid.at(x, y, z);
+  }
+  return sum / static_cast<double>(grid.size());
+}
+
+}  // namespace smilab

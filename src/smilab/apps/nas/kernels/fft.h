@@ -1,0 +1,85 @@
+// Radix-2 FFT and the 3-D transform at the heart of NAS FT.
+//
+// Iterative in-place Cooley-Tukey over power-of-two lengths, plus a simple
+// 3-D wrapper that transforms each dimension in turn (the step whose
+// inter-rank data movement is FT's all-to-all transpose). Verified against
+// the naive DFT, Parseval's identity, and round-tripping.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace smilab {
+
+using Complex = std::complex<double>;
+
+/// In-place FFT of a power-of-two-length signal. `inverse` applies the
+/// conjugate transform and the 1/n normalization, so fft(fft(x), inverse)
+/// returns x.
+void fft(std::span<Complex> data, bool inverse = false);
+
+/// O(n^2) reference DFT (tests and tiny sizes).
+[[nodiscard]] std::vector<Complex> naive_dft(std::span<const Complex> data,
+                                             bool inverse = false);
+
+/// Dense 3-D array of complex values, row-major over (z, y, x).
+class Grid3 {
+ public:
+  Grid3(int nx, int ny, int nz)
+      : nx_(nx), ny_(ny), nz_(nz),
+        data_(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+              static_cast<std::size_t>(nz)) {}
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int nz() const { return nz_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] Complex& at(int x, int y, int z) {
+    return data_[(static_cast<std::size_t>(z) * static_cast<std::size_t>(ny_) +
+                  static_cast<std::size_t>(y)) * static_cast<std::size_t>(nx_) +
+                 static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] const Complex& at(int x, int y, int z) const {
+    return const_cast<Grid3*>(this)->at(x, y, z);
+  }
+  [[nodiscard]] std::span<Complex> raw() { return data_; }
+  [[nodiscard]] std::span<const Complex> raw() const { return data_; }
+
+  /// Fill with NPB-style pseudo-random values (both components uniform).
+  void fill_random(std::uint64_t seed);
+
+ private:
+  int nx_;
+  int ny_;
+  int nz_;
+  std::vector<Complex> data_;
+};
+
+/// 3-D FFT, dimension by dimension. All dims must be powers of two.
+void fft3d(Grid3& grid, bool inverse = false);
+
+/// NPB FT-style complex checksum over strided samples of the grid.
+[[nodiscard]] Complex ft_checksum(const Grid3& grid);
+
+/// The FT benchmark's evolve step: multiply each frequency-domain element
+/// by exp(-4 alpha pi^2 |k~|^2 t), where k~ is the wavenumber folded into
+/// [-n/2, n/2) per dimension — the analytic solution of the 3-D heat
+/// equation advanced to time t.
+void ft_evolve(Grid3& grid, double t, double alpha = 1e-6);
+
+struct FtReferenceResult {
+  std::vector<Complex> checksums;  ///< one per timestep, like NPB prints
+};
+
+/// The full FT reference cycle on one rank: fill u0 with NPB randoms,
+/// forward 3-D FFT once, then for each timestep evolve in frequency space,
+/// inverse-transform a copy, and record its checksum. This is the
+/// computation whose distributed version (transpose = alltoall) the
+/// workload model in nas.h times.
+[[nodiscard]] FtReferenceResult ft_reference_run(int nx, int ny, int nz,
+                                                 int timesteps);
+
+}  // namespace smilab

@@ -1,0 +1,53 @@
+// The NPB pseudo-random number generator (randlc): a linear congruential
+// generator x_{k+1} = a * x_k mod 2^46 with a = 5^13, returning x / 2^46.
+// Its key property for parallel benchmarks is O(log n) jump-ahead, which is
+// how EP ranks claim disjoint streams without communication.
+#pragma once
+
+#include <cstdint>
+
+namespace smilab {
+
+class NpbRandom {
+ public:
+  static constexpr std::uint64_t kMultiplier = 1220703125ull;  // 5^13
+  static constexpr std::uint64_t kModMask = (1ull << 46) - 1;
+  static constexpr std::uint64_t kDefaultSeed = 271828183ull;  // NPB's "e"
+
+  explicit NpbRandom(std::uint64_t seed = kDefaultSeed) : x_(seed & kModMask) {}
+
+  /// Next value in (0, 1): x / 2^46 after advancing the state.
+  double next() {
+    x_ = mul_mod(kMultiplier, x_);
+    return static_cast<double>(x_) * 0x1.0p-46;
+  }
+
+  /// Advance the state by `draws` next() calls in O(log draws).
+  void jump(std::uint64_t draws) {
+    x_ = mul_mod(pow_mod(kMultiplier, draws), x_);
+  }
+
+  [[nodiscard]] std::uint64_t state() const { return x_; }
+
+  /// a^e mod 2^46.
+  static std::uint64_t pow_mod(std::uint64_t a, std::uint64_t e) {
+    std::uint64_t result = 1;
+    std::uint64_t base = a & kModMask;
+    while (e > 0) {
+      if (e & 1) result = mul_mod(result, base);
+      base = mul_mod(base, base);
+      e >>= 1;
+    }
+    return result;
+  }
+
+  static std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(a) * b) & kModMask);
+  }
+
+ private:
+  std::uint64_t x_;
+};
+
+}  // namespace smilab

@@ -1,0 +1,175 @@
+#include "smilab/apps/unixbench/kernels.h"
+
+#include <unistd.h>
+
+#include <array>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace smilab {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+KernelRun finish(std::int64_t ops, double start, std::uint64_t checksum) {
+  const double elapsed = now_seconds() - start;
+  KernelRun run;
+  run.ops_per_second = elapsed > 0 ? static_cast<double>(ops) / elapsed : 0.0;
+  run.checksum = checksum;
+  return run;
+}
+
+/// RAII pair of pipe file descriptors.
+class Pipe {
+ public:
+  Pipe() {
+    if (::pipe(fds_) != 0) throw std::runtime_error("pipe() failed");
+  }
+  ~Pipe() {
+    ::close(fds_[0]);
+    ::close(fds_[1]);
+  }
+  Pipe(const Pipe&) = delete;
+  Pipe& operator=(const Pipe&) = delete;
+
+  [[nodiscard]] int read_fd() const { return fds_[0]; }
+  [[nodiscard]] int write_fd() const { return fds_[1]; }
+
+ private:
+  int fds_[2] = {-1, -1};
+};
+
+}  // namespace
+
+KernelRun run_dhrystone_like(std::int64_t iterations) {
+  // Record assignment, string comparison, enum-ish control flow and
+  // integer arithmetic — the Dhrystone 2.1 ingredient list.
+  struct Record {
+    int discriminant;
+    int int_comp;
+    char string_comp[32];
+  };
+  Record glob{0, 0, "DHRYSTONE PROGRAM, SOME STRING"};
+  Record next{2, 5, "DHRYSTONE PROGRAM, 2'ND STRING"};
+  char buffer1[32] = "DHRYSTONE PROGRAM, 1'ST STRING";
+  char buffer2[32];
+  std::uint64_t checksum = 0;
+  const double start = now_seconds();
+  for (std::int64_t i = 0; i < iterations; ++i) {
+    // Proc_1-ish: record copy plus field arithmetic.
+    glob = next;
+    glob.int_comp = next.int_comp + static_cast<int>(i % 7);
+    glob.discriminant = glob.int_comp > 4 ? 1 : 0;
+    // Func_2-ish: string compare decides a branch.
+    std::memcpy(buffer2, buffer1, sizeof buffer2);
+    buffer2[7] = static_cast<char>('A' + (i % 3));
+    if (std::strcmp(buffer1, buffer2) < 0) {
+      glob.int_comp += 1;
+    }
+    // Proc_7/8-ish: integer/array manipulation.
+    int array[8] = {};
+    array[(i + glob.int_comp) & 7] = glob.int_comp;
+    checksum += static_cast<std::uint64_t>(array[i & 7] + glob.discriminant);
+  }
+  return finish(iterations, start, checksum);
+}
+
+KernelRun run_whetstone_like(std::int64_t iterations) {
+  // The classic module mix: array elements, conditional jumps,
+  // trigonometric and transcendental functions.
+  double e1[4] = {1.0, -1.0, -1.0, -1.0};
+  const double t = 0.499975;
+  const double t1 = 0.50025;
+  double x = 0.2;
+  double y = 0.3;
+  std::uint64_t checksum = 0;
+  const double start = now_seconds();
+  for (std::int64_t i = 0; i < iterations; ++i) {
+    // Module 1/2: simple array arithmetic.
+    for (int k = 0; k < 6; ++k) {
+      e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * t;
+      e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * t;
+      e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * t;
+      e1[3] = (-e1[0] + e1[1] + e1[2] + e1[3]) * t;
+    }
+    // Module 7: trig.
+    x = t * std::atan(2.0 * std::sin(x) * std::cos(x) /
+                      (std::cos(x + y) + std::cos(x - y) - 1.0));
+    y = t * std::atan(2.0 * std::sin(y) * std::cos(y) /
+                      (std::cos(x + y) + std::cos(x - y) - 1.0));
+    // Module 11: transcendental.
+    double z = 0.75;
+    for (int k = 0; k < 3; ++k) z = std::sqrt(std::exp(std::log(z) / t1));
+    checksum += static_cast<std::uint64_t>((z + x + y + e1[3]) * 1e6) & 0xFFFF;
+  }
+  return finish(iterations, start, checksum);
+}
+
+KernelRun run_pipe_throughput(std::int64_t iterations) {
+  Pipe pipe;
+  char buffer[512];
+  std::memset(buffer, 0x5A, sizeof buffer);
+  std::uint64_t checksum = 0;
+  const double start = now_seconds();
+  for (std::int64_t i = 0; i < iterations; ++i) {
+    buffer[0] = static_cast<char>(i & 0x7F);
+    if (::write(pipe.write_fd(), buffer, sizeof buffer) !=
+        static_cast<ssize_t>(sizeof buffer)) {
+      throw std::runtime_error("pipe write failed");
+    }
+    char in[512];
+    if (::read(pipe.read_fd(), in, sizeof in) !=
+        static_cast<ssize_t>(sizeof in)) {
+      throw std::runtime_error("pipe read failed");
+    }
+    checksum += static_cast<std::uint64_t>(in[0]);
+  }
+  return finish(iterations, start, checksum);
+}
+
+KernelRun run_pipe_context_switch(std::int64_t round_trips) {
+  Pipe there;  // main -> echo
+  Pipe back;   // echo -> main
+  std::thread echo([&] {
+    std::int64_t token = 0;
+    while (true) {
+      if (::read(there.read_fd(), &token, sizeof token) != sizeof token) return;
+      if (token < 0) return;  // shutdown
+      token += 1;
+      if (::write(back.write_fd(), &token, sizeof token) != sizeof token) return;
+    }
+  });
+  std::uint64_t checksum = 0;
+  const double start = now_seconds();
+  std::int64_t token = 0;
+  for (std::int64_t i = 0; i < round_trips; ++i) {
+    if (::write(there.write_fd(), &token, sizeof token) != sizeof token) break;
+    if (::read(back.read_fd(), &token, sizeof token) != sizeof token) break;
+    checksum += static_cast<std::uint64_t>(token & 0xFF);
+  }
+  const KernelRun run = finish(round_trips, start, checksum ^ static_cast<std::uint64_t>(token));
+  const std::int64_t stop = -1;
+  (void)!::write(there.write_fd(), &stop, sizeof stop);
+  echo.join();
+  return run;
+}
+
+KernelRun run_syscall_overhead(std::int64_t iterations) {
+  std::uint64_t checksum = 0;
+  const double start = now_seconds();
+  for (std::int64_t i = 0; i < iterations; ++i) {
+    checksum += static_cast<std::uint64_t>(::getpid());
+  }
+  return finish(iterations, start, checksum);
+}
+
+}  // namespace smilab

@@ -1,0 +1,43 @@
+// Host-executable microkernels mirroring the five UnixBench tests the
+// paper ran (Section IV.C). These are real computations/syscalls, used to
+// (a) verify the workload-model constants in unixbench.h against the
+// machine the library is built on, and (b) give tests something concrete
+// to check: each kernel returns a checksum alongside its rate, so the
+// work cannot be optimized away and correctness is assertable.
+//
+// They are faithful in spirit rather than line-by-line ports: the
+// Dhrystone-style kernel exercises record assignment, string comparison
+// and integer control flow; the Whetstone-style kernel runs the classic
+// module mix (array ops, trig, exp/log/sqrt); the pipe kernels use real
+// pipe(2) descriptors; the syscall kernel issues real trivial syscalls.
+#pragma once
+
+#include <cstdint>
+
+namespace smilab {
+
+struct KernelRun {
+  double ops_per_second = 0.0;
+  std::uint64_t checksum = 0;  ///< value-dependent digest of the work done
+};
+
+/// Dhrystone-flavoured integer/string/record loop. `iterations` whole
+/// passes; each pass is one "dhrystone" op.
+KernelRun run_dhrystone_like(std::int64_t iterations);
+
+/// Whetstone-flavoured floating-point module mix. One op = one pass over
+/// the module set (scaled to roughly a classic KWIPS unit of work).
+KernelRun run_whetstone_like(std::int64_t iterations);
+
+/// Pipe throughput: write+read `iterations` small buffers through a real
+/// pipe within one thread (UnixBench's single-process pipe test).
+KernelRun run_pipe_throughput(std::int64_t iterations);
+
+/// Pipe-based context switching: two threads pass an incrementing token
+/// back and forth through two pipes; one op = one round trip.
+KernelRun run_pipe_context_switch(std::int64_t round_trips);
+
+/// System call overhead: a tight loop of trivial syscalls (getpid-class).
+KernelRun run_syscall_overhead(std::int64_t iterations);
+
+}  // namespace smilab

@@ -1,0 +1,118 @@
+#include "smilab/cache/cache.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace smilab {
+
+SetAssocCache::SetAssocCache(CacheConfig config)
+    : config_(config), set_count_(config.sets()) {
+  assert(config.line_bytes > 0 && (config.line_bytes & (config.line_bytes - 1)) == 0);
+  assert(config.associativity > 0);
+  assert(set_count_ > 0);
+  ways_.resize(set_count_ * static_cast<std::size_t>(config.associativity));
+}
+
+bool SetAssocCache::access(std::uint64_t addr) {
+  ++accesses_;
+  ++clock_;
+  const std::uint64_t line = line_of(addr);
+  const std::size_t set = static_cast<std::size_t>(line % set_count_);
+  const std::uint64_t tag = line / set_count_;
+  Way* base = &ways_[set * static_cast<std::size_t>(config_.associativity)];
+
+  Way* victim = base;
+  for (int w = 0; w < config_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = clock_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;  // prefer an invalid way
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+  ++misses_;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = clock_;
+  return false;
+}
+
+bool SetAssocCache::contains(std::uint64_t addr) const {
+  const std::uint64_t line = line_of(addr);
+  const std::size_t set = static_cast<std::size_t>(line % set_count_);
+  const std::uint64_t tag = line / set_count_;
+  const Way* base = &ways_[set * static_cast<std::size_t>(config_.associativity)];
+  for (int w = 0; w < config_.associativity; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void SetAssocCache::flush() {
+  for (auto& way : ways_) way.valid = false;
+}
+
+std::string HierarchyStats::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "refs=%llu L1=%.2f%% L2=%.2f%% L3=%.2f%% mem=%.2f%% "
+                "(L1 miss rate %.2f%%)",
+                static_cast<unsigned long long>(accesses),
+                100.0 * static_cast<double>(l1_hits) / static_cast<double>(accesses ? accesses : 1),
+                100.0 * static_cast<double>(l2_hits) / static_cast<double>(accesses ? accesses : 1),
+                100.0 * static_cast<double>(l3_hits) / static_cast<double>(accesses ? accesses : 1),
+                100.0 * static_cast<double>(memory_accesses) / static_cast<double>(accesses ? accesses : 1),
+                100.0 * l1_miss_rate());
+  return buf;
+}
+
+CacheHierarchy::CacheHierarchy(CacheConfig l1, CacheConfig l2, CacheConfig l3)
+    : l1_(l1), l2_(l2), l3_(l3) {}
+
+CacheHierarchy CacheHierarchy::e5620() {
+  return CacheHierarchy{
+      CacheConfig{.size_bytes = 32 * 1024, .line_bytes = 64, .associativity = 8},
+      CacheConfig{.size_bytes = 256 * 1024, .line_bytes = 64, .associativity = 8},
+      CacheConfig{.size_bytes = 12 * 1024 * 1024, .line_bytes = 64, .associativity = 16}};
+}
+
+CacheLevel CacheHierarchy::access(std::uint64_t addr) {
+  ++stats_.accesses;
+  if (l1_.access(addr)) {
+    ++stats_.l1_hits;
+    return CacheLevel::kL1;
+  }
+  if (l2_.access(addr)) {
+    ++stats_.l2_hits;
+    return CacheLevel::kL2;
+  }
+  if (l3_.access(addr)) {
+    ++stats_.l3_hits;
+    return CacheLevel::kL3;
+  }
+  ++stats_.memory_accesses;
+  return CacheLevel::kMemory;
+}
+
+void CacheHierarchy::flush() {
+  l1_.flush();
+  l2_.flush();
+  l3_.flush();
+}
+
+double CacheHierarchy::average_latency_cycles(double l1_cy, double l2_cy,
+                                              double l3_cy, double mem_cy) const {
+  if (stats_.accesses == 0) return l1_cy;
+  const auto n = static_cast<double>(stats_.accesses);
+  return (static_cast<double>(stats_.l1_hits) * l1_cy +
+          static_cast<double>(stats_.l2_hits) * l2_cy +
+          static_cast<double>(stats_.l3_hits) * l3_cy +
+          static_cast<double>(stats_.memory_accesses) * mem_cy) /
+         n;
+}
+
+}  // namespace smilab

@@ -1,0 +1,290 @@
+#include "smilab/cli/commands.h"
+
+#include <fstream>
+
+#include "smilab/apps/convolve/workload.h"
+#include "smilab/apps/nas/nas.h"
+#include "smilab/apps/nas/runner.h"
+#include "smilab/apps/unixbench/unixbench.h"
+#include "smilab/cpu/energy.h"
+#include "smilab/noise/hwlat.h"
+#include "smilab/sim/system.h"
+#include "smilab/smm/rim.h"
+#include "smilab/trace/chrome_trace.h"
+
+namespace smilab {
+
+namespace {
+
+constexpr const char* kUsage = R"(smilab — SMI noise laboratory
+
+usage: smilab <command> [--flag=value ...]
+
+commands:
+  nas        --workload=ep|bt|ft --class=A|B|C [--nodes=N] [--ranks-per-node=1|4]
+             [--htt] [--smi=none|short|long] [--interval-ms=N] [--trials=N]
+             [--seed=N]
+             Run one NAS table cell (calibrated against the paper baseline)
+             under the chosen SMI regime.
+  convolve   [--case=cf|cu] [--cpus=1..8] [--smi=none|short|long]
+             [--gap-ms=N] [--seed=N]
+             The Figure-1 multithreaded convolution at one sweep point.
+  unixbench  [--cpus=1..8] [--smi=none|short|long] [--gap-ms=N] [--seed=N]
+             The Figure-2 five-test index at one sweep point.
+  detect     [--smi=short|long] [--gap-ms=N] [--duration-s=N]
+             [--window-ms=N] [--period-ms=N]
+             hwlat-style TSC-gap detection, scored against ground truth.
+  rim        [--scan-mb=X] [--interval-ms=N] [--total-mb=X] [--nodes=N]
+             A RIM (SMM integrity scanning) policy: residency, duty cycle,
+             detection latency, and measured application slowdown.
+  help       This text.
+
+common:
+  --trace=FILE   write a Chrome trace of the (last) run to FILE.
+)";
+
+SmiConfig smi_from(const Options& options, std::string* error) {
+  const std::string kind = options.get("smi", "long");
+  const auto gap = options.get_int("gap-ms", options.get_int("interval-ms", 1000, error), error);
+  if (kind == "none") return SmiConfig::none();
+  if (kind == "short") return SmiConfig::short_with_gap(gap);
+  if (kind == "long") return SmiConfig::long_with_gap(gap);
+  *error = "unknown --smi kind '" + kind + "' (none|short|long)";
+  return SmiConfig::none();
+}
+
+int fail(std::ostream& err, const std::string& message) {
+  err << "smilab: " << message << "\n";
+  return 2;
+}
+
+int check_leftovers(const Options& options, std::ostream& err) {
+  const auto extra = options.unconsumed();
+  if (extra.empty()) return 0;
+  std::string message = "unknown flag(s):";
+  for (const auto& key : extra) message += " --" + key;
+  return fail(err, message);
+}
+
+void maybe_write_trace(const Options& options, const System& sys,
+                       std::ostream& out, std::ostream& err) {
+  const std::string path = options.get("trace", "");
+  if (path.empty()) return;
+  std::ofstream file{path};
+  if (!file) {
+    err << "smilab: cannot open trace file '" << path << "'\n";
+    return;
+  }
+  file << to_chrome_trace(sys);
+  out << "chrome trace written to " << path << "\n";
+}
+
+int cmd_nas(const Options& options, std::ostream& out, std::ostream& err) {
+  std::string error;
+  const std::string workload = options.get("workload", "ep");
+  NasJobSpec spec;
+  if (workload == "ep") spec.bench = NasBenchmark::kEP;
+  else if (workload == "bt") spec.bench = NasBenchmark::kBT;
+  else if (workload == "ft") spec.bench = NasBenchmark::kFT;
+  else return fail(err, "unknown --workload '" + workload + "' (ep|bt|ft)");
+
+  const std::string cls = options.get("class", "A");
+  if (cls == "A") spec.cls = NasClass::kA;
+  else if (cls == "B") spec.cls = NasClass::kB;
+  else if (cls == "C") spec.cls = NasClass::kC;
+  else return fail(err, "unknown --class '" + cls + "' (A|B|C)");
+
+  spec.nodes = static_cast<int>(options.get_int("nodes", 4, &error));
+  spec.ranks_per_node =
+      static_cast<int>(options.get_int("ranks-per-node", 1, &error));
+  spec.htt = options.get_bool("htt", false);
+  const auto trials = static_cast<int>(options.get_int("trials", 3, &error));
+  const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 2016, &error));
+  const SmiConfig smi = smi_from(options, &error);
+  (void)options.get("trace", "");  // mark consumed
+  if (!error.empty()) return fail(err, error);
+  if (const int rc = check_leftovers(options, err)) return rc;
+  if (!nas_valid_rank_count(spec.bench, spec.ranks())) {
+    return fail(err, std::string(to_string(spec.bench)) +
+                         " does not support " + std::to_string(spec.ranks()) +
+                         " ranks (BT: square, FT: power of two)");
+  }
+
+  const NasKnob knob = calibrate_nas_knob(spec);
+  OnlineStats base, noisy;
+  for (int t = 0; t < trials; ++t) {
+    base.add(simulate_nas_once(spec, knob, SmiConfig::none(), seed + static_cast<std::uint64_t>(t), 0.003));
+    noisy.add(simulate_nas_once(spec, knob, smi, seed + static_cast<std::uint64_t>(t), 0.003));
+  }
+  out << "NAS " << to_string(spec.bench) << " class " << to_string(spec.cls)
+      << ", " << spec.nodes << " node(s) x " << spec.ranks_per_node
+      << " rank(s)/node" << (spec.htt ? ", HTT on" : "") << ", " << trials
+      << " trial(s)\n";
+  const auto paper = nas_paper_baseline(spec);
+  const double work = nas_work_units(spec.bench, spec.cls);
+  out << "  no SMIs:   " << base.mean() << " s";
+  if (paper) out << "  (paper baseline " << *paper << " s)";
+  out << ", " << work / base.mean() / 1e6 << " M" << nas_work_unit_name(spec.bench)
+      << "/s";
+  out << "\n  with SMIs: " << noisy.mean() << " s  ("
+      << (noisy.mean() / base.mean() - 1.0) * 100.0 << "% slowdown), "
+      << work / noisy.mean() / 1e6 << " M" << nas_work_unit_name(spec.bench)
+      << "/s\n";
+  return 0;
+}
+
+int cmd_convolve(const Options& options, std::ostream& out, std::ostream& err) {
+  std::string error;
+  const std::string which = options.get("case", "cu");
+  ConvolveWorkload workload;
+  if (which == "cf") workload = ConvolveWorkload::cache_friendly_workload();
+  else if (which == "cu") workload = ConvolveWorkload::cache_unfriendly_workload();
+  else return fail(err, "unknown --case '" + which + "' (cf|cu)");
+  const auto cpus = static_cast<int>(options.get_int("cpus", 8, &error));
+  const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 1, &error));
+  const SmiConfig smi = smi_from(options, &error);
+  (void)options.get("trace", "");
+  if (!error.empty()) return fail(err, error);
+  if (const int rc = check_leftovers(options, err)) return rc;
+  if (cpus < 1 || cpus > 8) return fail(err, "--cpus must be 1..8");
+
+  const auto base = run_convolve_sim(workload, cpus, SmiConfig::none(), seed);
+  const auto noisy = run_convolve_sim(workload, cpus, smi, seed);
+  out << "Convolve " << (which == "cf" ? "CacheFriendly" : "CacheUnfriendly")
+      << " (" << workload.cache.l1_miss_rate * 100.0 << "% L1 miss), "
+      << workload.threads << " threads on " << cpus << " logical CPU(s)\n";
+  out << "  no SMIs:   " << base.seconds << " s\n";
+  out << "  with SMIs: " << noisy.seconds << " s  ("
+      << (noisy.seconds / base.seconds - 1.0) * 100.0 << "% slowdown, "
+      << noisy.smi_hits << " SMM hits)\n";
+  return 0;
+}
+
+int cmd_unixbench(const Options& options, std::ostream& out, std::ostream& err) {
+  std::string error;
+  UnixBenchOptions ub;
+  ub.online_cpus = static_cast<int>(options.get_int("cpus", 8, &error));
+  ub.seed = static_cast<std::uint64_t>(options.get_int("seed", 1, &error));
+  const SmiConfig smi = smi_from(options, &error);
+  (void)options.get("trace", "");
+  if (!error.empty()) return fail(err, error);
+  if (const int rc = check_leftovers(options, err)) return rc;
+  if (ub.online_cpus < 1 || ub.online_cpus > 8) {
+    return fail(err, "--cpus must be 1..8");
+  }
+
+  const UnixBenchResult clean = run_unixbench(ub);
+  ub.smi = smi;
+  const UnixBenchResult noisy = run_unixbench(ub);
+  out << "UnixBench, " << ub.online_cpus << " logical CPU(s)\n";
+  for (int i = 0; i < kUbTestCount; ++i) {
+    out << "  " << to_string(static_cast<UbTest>(i)) << ": "
+        << clean.score[static_cast<std::size_t>(i)] << " -> "
+        << noisy.score[static_cast<std::size_t>(i)] << "\n";
+  }
+  out << "  total index: " << clean.index << " -> " << noisy.index << "  ("
+      << (noisy.index / clean.index - 1.0) * 100.0 << "%)\n";
+  return 0;
+}
+
+int cmd_detect(const Options& options, std::ostream& out, std::ostream& err) {
+  std::string error;
+  HwlatConfig config;
+  config.duration = seconds(options.get_int("duration-s", 30, &error));
+  config.window = milliseconds(options.get_int("window-ms", 500, &error));
+  config.period = milliseconds(options.get_int("period-ms", 1000, &error));
+  const SmiConfig smi = smi_from(options, &error);
+  (void)options.get("trace", "");
+  if (!error.empty()) return fail(err, error);
+  if (const int rc = check_leftovers(options, err)) return rc;
+
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::poweredge_r410_e5620();
+  cfg.smi = smi;
+  cfg.seed = 1;
+  System sys{cfg};
+  const HwlatReport report = run_hwlat_detector(sys, config);
+  out << "hwlat: " << report.hits << " detection(s) over "
+      << report.true_smis_during_windows << " in-window SMI(s)  (recall "
+      << report.recall * 100.0 << "%)\n";
+  if (report.hits > 0) {
+    out << "  gap mean " << report.gap_us.mean() / 1e3 << " ms, max "
+        << report.gap_us.max() / 1e3 << " ms, duration error "
+        << report.mean_duration_error_us << " us\n";
+  }
+  maybe_write_trace(options, sys, out, err);
+  return 0;
+}
+
+int cmd_rim(const Options& options, std::ostream& out, std::ostream& err) {
+  std::string error;
+  RimConfig rim;
+  rim.scanned_bytes = options.get_double("scan-mb", 16.0, &error) * 1e6;
+  rim.check_interval_jiffies = options.get_int("interval-ms", 1000, &error);
+  const double total_mb = options.get_double("total-mb", 256.0, &error);
+  const auto nodes = static_cast<int>(options.get_int("nodes", 1, &error));
+  (void)options.get("trace", "");
+  if (!error.empty()) return fail(err, error);
+  if (const int rc = check_leftovers(options, err)) return rc;
+
+  out << "RIM policy: " << rim.scanned_bytes / 1e6 << " MB per check, every "
+      << rim.check_interval_jiffies << " ms\n";
+  out << "  SMM residency:      " << rim.smm_duration().seconds() * 1e3 << " ms\n";
+  out << "  duty cycle:         " << rim.duty_cycle() * 100.0 << " %\n";
+  out << "  detection latency:  " << rim.detection_latency(total_mb * 1e6).seconds()
+      << " s to cover " << total_mb << " MB\n";
+
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::wyeast_e5520();
+  cfg.node_count = nodes;
+  cfg.smi = rim.to_smi_config();
+  cfg.seed = 5;
+  System sys{cfg};
+  for (int n = 0; n < nodes; ++n) {
+    std::vector<Action> prog;
+    prog.push_back(Compute{seconds(20)});
+    sys.spawn(TaskSpec::with_actions("app" + std::to_string(n), n, std::move(prog)));
+  }
+  sys.run();
+  const double wall = sys.last_finish_time().seconds();
+  out << "  measured slowdown:  " << (wall / 20.0 - 1.0) * 100.0
+      << " % on a 20 s compute task\n";
+  out << "  BIOSBITS(150us):    "
+      << sys.smm_accounting().biosbits_violations() << " violation(s)\n";
+  const EnergyReport energy = estimate_energy(sys, PowerModel{});
+  out << "  energy:             " << energy.joules << " J ("
+      << energy.average_watts << " W avg/node)\n";
+  return 0;
+}
+
+}  // namespace
+
+const char* cli_usage() { return kUsage; }
+
+int run_cli_command(const Options& options, std::ostream& out,
+                    std::ostream& err) {
+  const std::string& command = options.command();
+  if (command.empty() || command == "help") {
+    out << kUsage;
+    return command.empty() ? 2 : 0;
+  }
+  if (command == "nas") return cmd_nas(options, out, err);
+  if (command == "convolve") return cmd_convolve(options, out, err);
+  if (command == "unixbench") return cmd_unixbench(options, out, err);
+  if (command == "detect") return cmd_detect(options, out, err);
+  if (command == "rim") return cmd_rim(options, out, err);
+  return fail(err, "unknown command '" + command + "' (see 'smilab help')");
+}
+
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err) {
+  std::string error;
+  const auto options = Options::parse(argc, argv, &error);
+  if (!options) {
+    err << "smilab: " << error << "\n" << kUsage;
+    return 2;
+  }
+  return run_cli_command(*options, out, err);
+}
+
+}  // namespace smilab

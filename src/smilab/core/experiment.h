@@ -1,0 +1,48 @@
+// Generic multi-trial experiment helpers shared by benches and examples:
+// run a seeded measurement N times, accumulate statistics, and compare a
+// treatment against a baseline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "smilab/stats/online_stats.h"
+
+namespace smilab {
+
+/// Runs a seeded trial function several times with decorrelated seeds.
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(int trials, std::uint64_t base_seed = 2016)
+      : trials_(trials), base_seed_(base_seed) {}
+
+  [[nodiscard]] int trials() const { return trials_; }
+
+  /// `trial(seed)` returns one measurement (e.g. seconds).
+  [[nodiscard]] OnlineStats run(
+      const std::function<double(std::uint64_t)>& trial) const {
+    OnlineStats stats;
+    for (int i = 0; i < trials_; ++i) {
+      stats.add(trial(base_seed_ * 2654435761ull +
+                      static_cast<std::uint64_t>(i) * 1013904223ull));
+    }
+    return stats;
+  }
+
+ private:
+  int trials_;
+  std::uint64_t base_seed_;
+};
+
+/// Baseline-vs-treatment comparison in the paper's delta/% format.
+struct Comparison {
+  OnlineStats base;
+  OnlineStats treatment;
+
+  [[nodiscard]] double delta() const { return treatment.mean() - base.mean(); }
+  [[nodiscard]] double pct() const {
+    return (treatment.mean() / base.mean() - 1.0) * 100.0;
+  }
+};
+
+}  // namespace smilab

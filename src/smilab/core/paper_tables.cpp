@@ -1,0 +1,76 @@
+#include "smilab/core/paper_tables.h"
+
+#include <string>
+
+namespace smilab {
+
+Table build_nas_table(NasBenchmark bench, const std::vector<int>& node_rows,
+                      int ranks_per_node, const NasRunOptions& options) {
+  Table table{{"class", "nodes", "ranks", "SMM0", "SMM1", "d1", "%1", "SMM2",
+               "d2", "%2", "paper %1", "paper %2"}};
+  for (const NasClass cls : {NasClass::kA, NasClass::kB, NasClass::kC}) {
+    for (const int nodes : node_rows) {
+      NasJobSpec spec{bench, cls, nodes, ranks_per_node};
+      if (!nas_valid_rank_count(bench, spec.ranks())) continue;
+      table.row()
+          .cell(std::string{to_string(cls)})
+          .cell(static_cast<long long>(nodes))
+          .cell(static_cast<long long>(spec.ranks()));
+      if (!nas_paper_reports(spec)) {
+        for (int c = 0; c < 9; ++c) table.dash();
+        continue;
+      }
+      const NasCellResult cell = run_nas_cell(spec, options);
+      const double b = cell.smm0.mean();
+      const double s1 = cell.smm1.mean();
+      const double s2 = cell.smm2.mean();
+      table.cell(b).cell(s1).cell(s1 - b).cell((s1 / b - 1.0) * 100.0)
+          .cell(s2).cell(s2 - b).cell((s2 / b - 1.0) * 100.0);
+      if (const auto paper = nas_paper_cell(spec)) {
+        table.cell(paper->short_pct()).cell(paper->long_pct());
+      } else {
+        table.dash().dash();
+      }
+    }
+  }
+  return table;
+}
+
+Table build_htt_table(NasBenchmark bench, const NasRunOptions& options) {
+  Table table{{"class", "nodes", "ranks", "SMM0 ht0", "SMM0 ht1", "d0",
+               "SMM1 ht0", "SMM1 ht1", "d1", "SMM2 ht0", "SMM2 ht1", "d2",
+               "d2 %", "paper d2 %"}};
+  for (const NasClass cls : {NasClass::kA, NasClass::kB, NasClass::kC}) {
+    for (const int nodes : {1, 2, 4, 8, 16}) {
+      NasJobSpec off{bench, cls, nodes, 4, /*htt=*/false};
+      NasJobSpec on{bench, cls, nodes, 4, /*htt=*/true};
+      if (!nas_valid_rank_count(bench, off.ranks())) continue;
+      const NasCellResult r_off = run_nas_cell(off, options);
+      const NasCellResult r_on = run_nas_cell(on, options);
+      table.row()
+          .cell(std::string{to_string(cls)})
+          .cell(static_cast<long long>(nodes))
+          .cell(static_cast<long long>(off.ranks()))
+          .cell(r_off.smm0.mean())
+          .cell(r_on.smm0.mean())
+          .cell(r_on.smm0.mean() - r_off.smm0.mean())
+          .cell(r_off.smm1.mean())
+          .cell(r_on.smm1.mean())
+          .cell(r_on.smm1.mean() - r_off.smm1.mean())
+          .cell(r_off.smm2.mean())
+          .cell(r_on.smm2.mean())
+          .cell(r_on.smm2.mean() - r_off.smm2.mean())
+          .cell((r_on.smm2.mean() / r_off.smm2.mean() - 1.0) * 100.0);
+      const auto p_off = nas_paper_cell(off);
+      const auto p_on = nas_paper_cell(on);
+      if (p_off && p_on) {
+        table.cell((p_on->smm2 / p_off->smm2 - 1.0) * 100.0);
+      } else {
+        table.dash();
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace smilab

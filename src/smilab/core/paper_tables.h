@@ -1,0 +1,28 @@
+// Library-level generation of the paper's tables (1-5): the bench binaries
+// are thin mains over these, and the structure (headers, row set, the "-"
+// cells, paper-reference columns) is unit-tested here rather than by
+// scraping bench stdout.
+#pragma once
+
+#include <vector>
+
+#include "smilab/apps/nas/nas.h"
+#include "smilab/apps/nas/runner.h"
+#include "smilab/stats/table.h"
+
+namespace smilab {
+
+/// One rank-per-node half of Tables 1-3 for `bench`: columns
+/// class, nodes, ranks, SMM0, SMM1, d1, %1, SMM2, d2, %2, paper %1, paper %2.
+/// Unreported cells ("-" in the paper) render as dashes.
+[[nodiscard]] Table build_nas_table(NasBenchmark bench,
+                                    const std::vector<int>& node_rows,
+                                    int ranks_per_node,
+                                    const NasRunOptions& options);
+
+/// Tables 4-5: the HTT comparison (4 ranks per node, ht=0 vs ht=1) under
+/// SMM 0/1/2, with the paper's SMM2 HTT delta as the reference column.
+[[nodiscard]] Table build_htt_table(NasBenchmark bench,
+                                    const NasRunOptions& options);
+
+}  // namespace smilab

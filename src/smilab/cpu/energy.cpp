@@ -1,0 +1,24 @@
+#include "smilab/cpu/energy.h"
+
+#include "smilab/sim/system.h"
+
+namespace smilab {
+
+EnergyReport estimate_energy(const System& sys, const PowerModel& power) {
+  EnergyReport report;
+  report.wall_seconds = sys.last_finish_time().seconds();
+  report.busy_core_seconds = sys.total_true_cpu_time().seconds();
+  for (int n = 0; n < sys.cluster().node_count(); ++n) {
+    report.smm_node_seconds += sys.smm_accounting().residency(n).seconds();
+  }
+  const double nodes = sys.cluster().node_count();
+  report.joules = report.wall_seconds * nodes * power.node_idle_w +
+                  report.busy_core_seconds * power.core_busy_w +
+                  report.smm_node_seconds * power.smm_w;
+  if (report.wall_seconds > 0) {
+    report.average_watts = report.joules / (report.wall_seconds * nodes);
+  }
+  return report;
+}
+
+}  // namespace smilab

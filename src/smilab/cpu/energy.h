@@ -1,0 +1,39 @@
+// Node energy model.
+//
+// The predecessor study (Delgado & Karavanic, IISWC'13) found SMIs increase
+// energy usage: the machine keeps burning near-peak power inside SMM while
+// doing no application work, and the stretched runtime adds idle/overhead
+// energy on every other component. This model reconstructs run energy from
+// the simulator's exact time ledgers.
+#pragma once
+
+#include "smilab/time/sim_time.h"
+
+namespace smilab {
+
+class System;
+
+/// Per-node power states (watts). Defaults approximate a 2010 dual-socket
+/// Xeon server measured at the wall.
+struct PowerModel {
+  double node_idle_w = 120.0;  ///< powered on, all cores idle
+  double core_busy_w = 18.0;   ///< additional per busy core
+  double smm_w = 65.0;         ///< additional while the node sits in SMM
+                               ///< (all cores spinning in the handler)
+};
+
+struct EnergyReport {
+  double joules = 0.0;
+  double average_watts = 0.0;
+  double busy_core_seconds = 0.0;
+  double smm_node_seconds = 0.0;
+  double wall_seconds = 0.0;
+};
+
+/// Estimate the energy of a completed run:
+///   E = wall * nodes * idle + busy-core-seconds * core_busy + smm * smm_w.
+/// Call after System::run(); uses the task CPU-time and SMM residency
+/// ledgers.
+EnergyReport estimate_energy(const System& sys, const PowerModel& power);
+
+}  // namespace smilab

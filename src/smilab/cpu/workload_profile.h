@@ -1,0 +1,108 @@
+// Workload execution profiles: how a task's instruction mix interacts with
+// Hyper-Threading sibling sharing and with post-SMM cache refill.
+//
+// HTT model. Each physical core exposes two hardware threads that share
+// execution ports and the cache hierarchy. When both siblings are busy,
+// each runs at `htt_efficiency` of its solo rate:
+//   - 0.50  => combined throughput 1.0x: no SMT benefit. Dense FP codes
+//              already saturate the ports (Leng et al. [4]); two cache-
+//              hostile threads also defeat each other (Cieslewicz [6]).
+//   - 0.65  => combined 1.3x: typical gain when stalls leave issue gaps
+//              (I/O- or latency-bound mixes).
+// When the sibling is idle the task runs at 1.0.
+//
+// Post-SMM refill. SMM entry/exit flushes caches and TLBs, so the first
+// moments after resume run cold. We charge each task that was on-CPU during
+// the SMM interval `refill_work()` extra work, scaled up when its HTT
+// sibling is also refilling (both threads miss into the same caches).
+#pragma once
+
+#include <algorithm>
+
+#include "smilab/time/sim_time.h"
+#include "smilab/time/rng.h"
+
+namespace smilab {
+
+struct WorkloadProfile {
+  /// Per-sibling throughput fraction when both hardware threads of a core
+  /// are busy. In [0.5, 1.0]; 0.5 means SMT gives no aggregate speedup.
+  double htt_efficiency = 0.55;
+
+  /// Fraction of the node's `hot_set_bytes` this task actually keeps warm;
+  /// sizes the post-SMM refill penalty. In [0, ~4].
+  double hot_set_fraction = 1.0;
+
+  /// Extra refill multiplier when the HTT sibling is busy after SMM exit
+  /// (shared-cache competition during warm-up).
+  double refill_htt_multiplier = 1.6;
+
+  /// Coefficient of variation of the refill penalty; models the paper's
+  /// observed run-to-run variance at high SMI frequency, which grows with
+  /// the number of active logical threads.
+  double refill_jitter_cv = 0.35;
+
+  // --- Common mixes ---------------------------------------------------------
+
+  /// Dense floating-point compute (NAS EP/BT/FT inner loops, Whetstone).
+  static WorkloadProfile dense_fp() {
+    return WorkloadProfile{.htt_efficiency = 0.53,
+                           .hot_set_fraction = 1.0,
+                           .refill_htt_multiplier = 1.5,
+                           .refill_jitter_cv = 0.30};
+  }
+
+  /// Cache-resident integer/string work (Dhrystone, CacheFriendly convolve).
+  static WorkloadProfile cache_friendly() {
+    return WorkloadProfile{.htt_efficiency = 0.55,
+                           .hot_set_fraction = 1.2,
+                           .refill_htt_multiplier = 1.8,
+                           .refill_jitter_cv = 0.40};
+  }
+
+  /// Streaming, high-miss work (CacheUnfriendly convolve). Two thrashing
+  /// siblings do not help each other: efficiency ~0.52.
+  static WorkloadProfile cache_unfriendly() {
+    return WorkloadProfile{.htt_efficiency = 0.52,
+                           .hot_set_fraction = 0.3,  // little to re-warm
+                           .refill_htt_multiplier = 1.2,
+                           .refill_jitter_cv = 0.50};
+  }
+
+  /// Kernel-interaction heavy mixes (pipe, syscall tests): frequent stalls
+  /// leave gaps for the sibling, so SMT pays off.
+  static WorkloadProfile syscall_heavy() {
+    return WorkloadProfile{.htt_efficiency = 0.66,
+                           .hot_set_fraction = 0.6,
+                           .refill_htt_multiplier = 1.4,
+                           .refill_jitter_cv = 0.35};
+  }
+};
+
+/// Rate (fraction of nominal core speed) for a task given sibling state.
+[[nodiscard]] inline double execution_rate(const WorkloadProfile& profile,
+                                           bool sibling_busy) {
+  return sibling_busy ? profile.htt_efficiency : 1.0;
+}
+
+/// Deterministic refill work charged to a task after an SMM interval.
+/// `hot_set_bytes`/`refill_bw` come from the MachineSpec; jitter is drawn
+/// from the caller's RNG stream.
+[[nodiscard]] inline SimDuration refill_work(const WorkloadProfile& profile,
+                                             double hot_set_bytes,
+                                             double refill_bw,
+                                             bool sibling_busy, Rng& rng) {
+  double bytes = hot_set_bytes * profile.hot_set_fraction;
+  if (sibling_busy) bytes *= profile.refill_htt_multiplier;
+  double secs = bytes / refill_bw;
+  if (profile.refill_jitter_cv > 0) {
+    // Multiplicative jitter, clamped so the penalty stays positive; the
+    // right tail models the occasional pathological warm-up the paper sees
+    // as HTT variance.
+    const double jitter = rng.normal(1.0, profile.refill_jitter_cv);
+    secs *= std::clamp(jitter, 0.2, 3.0);
+  }
+  return seconds_d(secs);
+}
+
+}  // namespace smilab

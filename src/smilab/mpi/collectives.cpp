@@ -1,0 +1,277 @@
+#include "smilab/mpi/collectives.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace smilab {
+
+namespace {
+constexpr std::int64_t kControlBytes = 8;  // barrier token payload
+
+int rounds_for(int p) {
+  int rounds = 0;
+  for (int span = 1; span < p; span <<= 1) ++rounds;
+  return rounds;
+}
+}  // namespace
+
+void barrier(std::span<RankProgram> ranks, TagAllocator& tags) {
+  const int p = static_cast<int>(ranks.size());
+  if (p <= 1) return;
+  const int base = tags.allocate(rounds_for(p));
+  int round = 0;
+  for (int span = 1; span < p; span <<= 1, ++round) {
+    for (auto& rp : ranks) {
+      const int r = rp.rank();
+      const int to = (r + span) % p;
+      const int from = (r - span % p + p) % p;
+      rp.sendrecv(to, kControlBytes, base + round, from, base + round);
+    }
+  }
+}
+
+void broadcast(std::span<RankProgram> ranks, int root, std::int64_t bytes,
+               TagAllocator& tags) {
+  const int p = static_cast<int>(ranks.size());
+  assert(root >= 0 && root < p);
+  if (p <= 1) return;
+  const int tag = tags.allocate();
+  for (auto& rp : ranks) {
+    const int r = rp.rank();
+    const int rel = (r - root + p) % p;
+    // Receive phase: the lowest set bit of `rel` names the round in which
+    // this rank receives its copy.
+    int mask = 1;
+    while (mask < p) {
+      if (rel & mask) {
+        const int src = (r - mask + p) % p;
+        rp.recv(src, tag);
+        break;
+      }
+      mask <<= 1;
+    }
+    // Send phase: forward to increasingly distant children.
+    mask >>= 1;
+    while (mask > 0) {
+      if (rel + mask < p) {
+        const int dst = (r + mask) % p;
+        rp.send(dst, bytes, tag);
+      }
+      mask >>= 1;
+    }
+  }
+}
+
+void reduce(std::span<RankProgram> ranks, int root, std::int64_t bytes,
+            TagAllocator& tags) {
+  const int p = static_cast<int>(ranks.size());
+  assert(root >= 0 && root < p);
+  if (p <= 1) return;
+  const int tag = tags.allocate();
+  for (auto& rp : ranks) {
+    const int r = rp.rank();
+    const int rel = (r - root + p) % p;
+    int mask = 1;
+    while (mask < p) {
+      if ((rel & mask) == 0) {
+        const int src_rel = rel | mask;
+        if (src_rel < p) {
+          const int src = (src_rel + root) % p;
+          rp.recv(src, tag);
+        }
+      } else {
+        const int dst = ((rel & ~mask) + root) % p;
+        rp.send(dst, bytes, tag);
+        break;
+      }
+      mask <<= 1;
+    }
+  }
+}
+
+void allreduce(std::span<RankProgram> ranks, std::int64_t bytes,
+               TagAllocator& tags) {
+  const int p = static_cast<int>(ranks.size());
+  if (p <= 1) return;
+  if (!is_power_of_two(p)) {
+    // MPICH falls back to reduce+bcast for awkward sizes; good enough here
+    // (the paper's rank counts are all powers of two).
+    reduce(ranks, /*root=*/0, bytes, tags);
+    broadcast(ranks, /*root=*/0, bytes, tags);
+    return;
+  }
+  const int rounds = rounds_for(p);
+  const int base = tags.allocate(rounds);
+  int round = 0;
+  for (int span = 1; span < p; span <<= 1, ++round) {
+    for (auto& rp : ranks) {
+      const int partner = rp.rank() ^ span;
+      rp.sendrecv(partner, bytes, base + round, partner, base + round);
+    }
+  }
+}
+
+void allgather(std::span<RankProgram> ranks, std::int64_t bytes_per_rank,
+               TagAllocator& tags) {
+  const int p = static_cast<int>(ranks.size());
+  if (p <= 1) return;
+  const int base = tags.allocate(p - 1);
+  // Ring: in step s every rank passes the block it received in step s-1 to
+  // its right neighbour.
+  for (int s = 0; s < p - 1; ++s) {
+    for (auto& rp : ranks) {
+      const int r = rp.rank();
+      const int to = (r + 1) % p;
+      const int from = (r - 1 + p) % p;
+      rp.sendrecv(to, bytes_per_rank, base + s, from, base + s);
+    }
+  }
+}
+
+void alltoall(std::span<RankProgram> ranks, std::int64_t bytes_per_pair,
+              TagAllocator& tags) {
+  const int p = static_cast<int>(ranks.size());
+  if (p <= 1) return;
+  const int base = tags.allocate(p - 1);
+  if (is_power_of_two(p)) {
+    // Pairwise XOR exchange: step s pairs rank with rank^s; every step is a
+    // perfect matching, so one frozen node stalls every pair it joins.
+    for (int s = 1; s < p; ++s) {
+      for (auto& rp : ranks) {
+        const int partner = rp.rank() ^ s;
+        rp.sendrecv(partner, bytes_per_pair, base + s - 1, partner,
+                    base + s - 1);
+      }
+    }
+    return;
+  }
+  for (int s = 1; s < p; ++s) {
+    for (auto& rp : ranks) {
+      const int r = rp.rank();
+      const int to = (r + s) % p;
+      const int from = (r - s + p) % p;
+      rp.sendrecv(to, bytes_per_pair, base + s - 1, from, base + s - 1);
+    }
+  }
+}
+
+void gather(std::span<RankProgram> ranks, int root, std::int64_t bytes_per_rank,
+            TagAllocator& tags) {
+  const int p = static_cast<int>(ranks.size());
+  assert(root >= 0 && root < p);
+  if (p <= 1) return;
+  const int tag = tags.allocate();
+  for (auto& rp : ranks) {
+    const int r = rp.rank();
+    const int rel = (r - root + p) % p;
+    int mask = 1;
+    while (mask < p) {
+      if ((rel & mask) == 0) {
+        const int src_rel = rel | mask;
+        if (src_rel < p) rp.recv((src_rel + root) % p, tag);
+      } else {
+        // Forward the whole subtree accumulated so far to the parent.
+        const int subtree = std::min(mask, p - rel);
+        const int parent = ((rel & ~mask) + root) % p;
+        rp.send(parent, bytes_per_rank * subtree, tag);
+        break;
+      }
+      mask <<= 1;
+    }
+  }
+}
+
+void scatter(std::span<RankProgram> ranks, int root, std::int64_t bytes_per_rank,
+             TagAllocator& tags) {
+  const int p = static_cast<int>(ranks.size());
+  assert(root >= 0 && root < p);
+  if (p <= 1) return;
+  const int tag = tags.allocate();
+  for (auto& rp : ranks) {
+    const int r = rp.rank();
+    const int rel = (r - root + p) % p;
+    // Receive the subtree payload once (non-root ranks).
+    int mask = 1;
+    while (mask < p) {
+      if (rel & mask) {
+        const int src = (r - mask + p) % p;
+        rp.recv(src, tag);
+        break;
+      }
+      mask <<= 1;
+    }
+    // Split downward, farthest child first.
+    mask >>= 1;
+    while (mask > 0) {
+      if (rel + mask < p) {
+        const int subtree = std::min(mask, p - rel - mask);
+        rp.send((r + mask) % p, bytes_per_rank * subtree, tag);
+      }
+      mask >>= 1;
+    }
+  }
+}
+
+void reduce_scatter(std::span<RankProgram> ranks, std::int64_t bytes_per_rank,
+                    TagAllocator& tags) {
+  const int p = static_cast<int>(ranks.size());
+  if (p <= 1) return;
+  if (!is_power_of_two(p)) {
+    reduce(ranks, /*root=*/0, bytes_per_rank * p, tags);
+    scatter(ranks, /*root=*/0, bytes_per_rank, tags);
+    return;
+  }
+  // Recursive halving: each round exchanges the half of the vector the
+  // partner's side is responsible for; payload halves every round.
+  int rounds = 0;
+  for (int span = p / 2; span >= 1; span /= 2) ++rounds;
+  const int base = tags.allocate(rounds);
+  int round = 0;
+  for (int half = p / 2; half >= 1; half /= 2, ++round) {
+    const std::int64_t bytes = bytes_per_rank * half;
+    for (auto& rp : ranks) {
+      const int partner = rp.rank() ^ half;
+      rp.sendrecv(partner, bytes, base + round, partner, base + round);
+    }
+  }
+}
+
+void alltoall_nonblocking(std::span<RankProgram> ranks,
+                          std::int64_t bytes_per_pair, TagAllocator& tags) {
+  const int p = static_cast<int>(ranks.size());
+  if (p <= 1) return;
+  const int base = tags.allocate(p);
+  for (auto& rp : ranks) {
+    const int r = rp.rank();
+    std::vector<int> handles;
+    handles.reserve(static_cast<std::size_t>(2 * (p - 1)));
+    // Post every receive first (pre-posted matches avoid unexpected-queue
+    // copies in real MPI; here it exercises the posted-queue path).
+    for (int peer = 0; peer < p; ++peer) {
+      if (peer == r) continue;
+      const int handle = 2 * peer;
+      rp.irecv(peer, base + peer, handle);  // tag keyed by the sender
+      handles.push_back(handle);
+    }
+    for (int peer = 0; peer < p; ++peer) {
+      if (peer == r) continue;
+      const int handle = 2 * peer + 1;
+      rp.isend(peer, bytes_per_pair, base + r, handle);
+      handles.push_back(handle);
+    }
+    rp.waitall(std::move(handles));
+  }
+}
+
+void scan(std::span<RankProgram> ranks, std::int64_t bytes, TagAllocator& tags) {
+  const int p = static_cast<int>(ranks.size());
+  if (p <= 1) return;
+  const int tag = tags.allocate();
+  for (auto& rp : ranks) {
+    const int r = rp.rank();
+    if (r > 0) rp.recv(r - 1, tag);
+    if (r < p - 1) rp.send(r + 1, bytes, tag);
+  }
+}
+
+}  // namespace smilab

@@ -1,0 +1,44 @@
+#include "smilab/mpi/job.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace smilab {
+
+MpiJobResult run_mpi_job(System& sys, std::vector<RankProgram> programs,
+                         const std::vector<int>& placement,
+                         const WorkloadProfile& profile,
+                         const std::string& job_name) {
+  const int p = static_cast<int>(programs.size());
+  assert(p >= 1);
+  if (placement.size() != programs.size()) {
+    throw std::invalid_argument("placement size != rank count");
+  }
+
+  MpiJobResult result;
+  result.group = sys.create_group(p);
+  result.rank_tasks.reserve(static_cast<std::size_t>(p));
+  const SimTime start = sys.now();
+
+  for (int r = 0; r < p; ++r) {
+    TaskSpec spec;
+    spec.name = job_name + ".rank" + std::to_string(r);
+    spec.node = placement[static_cast<std::size_t>(r)];
+    spec.profile = profile;
+    spec.wait_policy = WaitPolicy::kSpin;  // MPI busy-polls by default
+    spec.actions = std::make_unique<VectorActions>(
+        programs[static_cast<std::size_t>(r)].take());
+    result.rank_tasks.push_back(sys.spawn_member(result.group, r, std::move(spec)));
+  }
+
+  sys.run();
+
+  result.elapsed = sys.group_finish_time(result.group) - start;
+  result.rank_stats.reserve(static_cast<std::size_t>(p));
+  for (const TaskId id : result.rank_tasks) {
+    result.rank_stats.push_back(sys.task_stats(id));
+  }
+  return result;
+}
+
+}  // namespace smilab

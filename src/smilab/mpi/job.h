@@ -1,0 +1,33 @@
+// MPI job launcher: spawn one task per rank onto the cluster and run to
+// completion, reporting per-rank stats and the job's wall time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "smilab/mpi/program.h"
+#include "smilab/sim/system.h"
+
+namespace smilab {
+
+struct MpiJobResult {
+  SimDuration elapsed;               ///< start -> last rank finish
+  GroupId group;
+  std::vector<TaskId> rank_tasks;
+  std::vector<TaskStats> rank_stats;
+
+  [[nodiscard]] SimDuration total_smm_stolen() const {
+    SimDuration total{};
+    for (const auto& s : rank_stats) total += s.smm_stolen_time;
+    return total;
+  }
+};
+
+/// Spawn `programs[r]` as rank r on node `placement[r]` and run the system
+/// until every task (including unrelated ones) finishes.
+MpiJobResult run_mpi_job(System& sys, std::vector<RankProgram> programs,
+                         const std::vector<int>& placement,
+                         const WorkloadProfile& profile,
+                         const std::string& job_name = "mpi");
+
+}  // namespace smilab

@@ -1,0 +1,66 @@
+#include "smilab/noise/ftq.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+namespace smilab {
+
+namespace {
+
+struct FtqState {
+  FtqConfig config;
+  System* sys = nullptr;
+  SimTime deadline;
+  SimTime last{-1};
+  FtqReport report;
+  std::vector<double> slips_us;
+};
+
+}  // namespace
+
+FtqReport run_ftq(System& sys, const FtqConfig& config) {
+  auto state = std::make_shared<FtqState>();
+  state->config = config;
+  state->sys = &sys;
+  state->deadline = sys.now() + config.duration;
+
+  auto generator = [state]() -> std::optional<Action> {
+    System& sys_ref = *state->sys;
+    if (state->last >= SimTime::zero()) {
+      const SimDuration actual = sys_ref.now() - state->last;
+      const double slip_us =
+          (actual - state->config.quantum).seconds() * 1e6;
+      state->report.quanta += 1;
+      state->report.slip_us.add(slip_us);
+      state->slips_us.push_back(slip_us);
+      state->report.max_slip_us = std::max(state->report.max_slip_us, slip_us);
+    }
+    if (sys_ref.now() >= state->deadline) return std::nullopt;
+    state->last = sys_ref.now();
+    return Action{Compute{state->config.quantum}};
+  };
+
+  TaskSpec spec;
+  spec.name = "ftq";
+  spec.node = config.node;
+  spec.pinned_cpu = config.pinned_cpu;
+  spec.profile.hot_set_fraction = 0.05;  // small resident kernel
+  spec.wait_policy = WaitPolicy::kBlock;
+  spec.actions = std::make_unique<GeneratorActions>(std::move(generator));
+  sys.spawn(std::move(spec));
+  sys.run();
+
+  FtqReport report = std::move(state->report);
+  if (!state->slips_us.empty()) {
+    std::vector<double> sorted = state->slips_us;
+    std::sort(sorted.begin(), sorted.end());
+    const double p50 = sorted[sorted.size() / 2];
+    const double cutoff = std::max(10.0 * std::max(p50, 1.0), 100.0);
+    for (const double s : sorted) report.big_slips += s > cutoff ? 1 : 0;
+  }
+  report.slips_us = std::move(state->slips_us);
+  return report;
+}
+
+}  // namespace smilab

@@ -1,0 +1,41 @@
+// Fixed Time Quantum (FTQ) noise characterization (Sottile & Minnich):
+// execute back-to-back fixed work quanta and record how long each actually
+// took; the slip distribution is the machine's noise profile. SMIs appear
+// as rare, large slips — the signature that distinguishes them from the
+// dense, small slips of OS noise.
+#pragma once
+
+#include <vector>
+
+#include "smilab/sim/system.h"
+#include "smilab/stats/histogram.h"
+#include "smilab/stats/online_stats.h"
+
+namespace smilab {
+
+struct FtqConfig {
+  SimDuration quantum = milliseconds(1);  ///< nominal work per sample
+  SimDuration duration = seconds(30);
+  int node = 0;
+  int pinned_cpu = -1;
+};
+
+struct FtqReport {
+  std::int64_t quanta = 0;
+  OnlineStats slip_us;          ///< (actual - nominal) per quantum, us
+  std::int64_t big_slips = 0;   ///< slips > 10x the p50 slip
+  double max_slip_us = 0.0;
+  std::vector<double> slips_us; ///< the full per-quantum slip timeline
+
+  /// Fraction of total time lost to slip (the noise share).
+  [[nodiscard]] double noise_fraction(SimDuration quantum) const {
+    const double nominal_us = quantum.seconds() * 1e6;
+    return slip_us.mean() / (nominal_us + slip_us.mean());
+  }
+};
+
+/// Run the FTQ benchmark on `sys` (alongside any existing tasks) and
+/// summarize the slip distribution.
+FtqReport run_ftq(System& sys, const FtqConfig& config);
+
+}  // namespace smilab

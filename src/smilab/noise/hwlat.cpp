@@ -1,0 +1,115 @@
+#include "smilab/noise/hwlat.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace smilab {
+
+namespace {
+
+struct DetectorState {
+  HwlatConfig config;
+  System* sys = nullptr;
+  SimTime deadline;
+  SimTime last_check{-1};
+  int quanta_left_in_window = 0;
+  HwlatReport report;
+  std::vector<std::pair<SimTime, SimTime>> windows;  // sampling intervals
+  SimTime window_start;
+};
+
+}  // namespace
+
+HwlatReport run_hwlat_detector(System& sys, const HwlatConfig& config) {
+  auto state = std::make_shared<DetectorState>();
+  state->config = config;
+  state->sys = &sys;
+  state->deadline = sys.now() + config.duration;
+
+  const int quanta_per_window =
+      std::max(1, static_cast<int>(config.window / config.quantum));
+  const SimDuration idle = config.period - config.window;
+
+  auto generator = [state, quanta_per_window, idle]() -> std::optional<Action> {
+    System& sys_ref = *state->sys;
+    if (state->quanta_left_in_window == 0) {
+      // Close the previous window, if any.
+      if (state->last_check >= SimTime::zero()) {
+        state->windows.emplace_back(state->window_start, sys_ref.now());
+      }
+      if (sys_ref.now() >= state->deadline) return std::nullopt;
+      state->quanta_left_in_window = quanta_per_window;
+      state->last_check = SimTime{-1};
+      if (idle > SimDuration::zero() && !state->windows.empty()) {
+        return Action{Sleep{idle}};
+      }
+    }
+    // Issue the compute; the *next* generator call observes the elapsed
+    // time, which is exactly how a spin loop sees TSC gaps.
+    state->quanta_left_in_window -= 1;
+    if (state->last_check < SimTime::zero()) {
+      state->window_start = sys_ref.now();  // first quantum after any sleep
+    }
+    if (state->last_check >= SimTime::zero()) {
+      const SimDuration elapsed = sys_ref.now() - state->last_check;
+      const SimDuration gap = elapsed - state->config.quantum;
+      state->report.samples += 1;
+      if (gap > state->config.threshold) {
+        state->report.hits += 1;
+        const double gap_us = gap.seconds() * 1e6;
+        state->report.gap_us.add(gap_us);
+        state->report.gaps_us.push_back(gap_us);
+      }
+    }
+    state->last_check = sys_ref.now();
+    return Action{Compute{state->config.quantum}};
+  };
+
+  TaskSpec spec;
+  spec.name = "hwlat-detector";
+  spec.node = config.node;
+  spec.pinned_cpu = config.pinned_cpu;
+  // A register-resident spin loop: nothing to re-warm after SMM, and it
+  // leaves issue slots for an HTT sibling.
+  spec.profile.htt_efficiency = 0.85;
+  spec.profile.hot_set_fraction = 0.0;
+  spec.wait_policy = WaitPolicy::kBlock;
+  spec.actions = std::make_unique<GeneratorActions>(std::move(generator));
+  sys.spawn(std::move(spec));
+  sys.run();
+
+  // Ground truth: SMIs on this node that overlap a sampling window.
+  HwlatReport report = std::move(state->report);
+  double duration_error_sum = 0.0;
+  std::int64_t matched = 0;
+  for (const SmmInterval& interval : sys.smm_accounting().intervals()) {
+    if (interval.node != config.node) continue;
+    const bool in_window = std::any_of(
+        state->windows.begin(), state->windows.end(), [&](const auto& w) {
+          return interval.enter < w.second && interval.exit > w.first;
+        });
+    if (!in_window) continue;
+    report.true_smis_during_windows += 1;
+    // Nearest detection by magnitude: good enough to estimate accuracy.
+    const double true_us = interval.duration().seconds() * 1e6;
+    double best = -1.0;
+    for (const double g : report.gaps_us) {
+      if (best < 0 || std::abs(g - true_us) < std::abs(best - true_us)) best = g;
+    }
+    if (best >= 0) {
+      duration_error_sum += std::abs(best - true_us);
+      ++matched;
+    }
+  }
+  if (report.true_smis_during_windows > 0) {
+    report.recall = static_cast<double>(report.hits) /
+                    static_cast<double>(report.true_smis_during_windows);
+  }
+  if (matched > 0) {
+    report.mean_duration_error_us = duration_error_sum / static_cast<double>(matched);
+  }
+  return report;
+}
+
+}  // namespace smilab

@@ -1,0 +1,53 @@
+// hwlat-style SMI detector (the tool latency-sensitive users run [21]).
+//
+// A detector thread busy-spins reading the TSC and flags any gap between
+// consecutive reads above a threshold: because the TSC keeps counting
+// through SMM while the CPU cannot execute, a long gap is the signature of
+// an SMI (or another preemption). The simulator version samples in fixed
+// quanta; anything that freezes the CPU for longer than the threshold is
+// caught. The report compares detections against the simulator's ground
+// truth, quantifying detector recall and duration accuracy — something a
+// real system can never do.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "smilab/sim/system.h"
+#include "smilab/stats/histogram.h"
+#include "smilab/stats/online_stats.h"
+
+namespace smilab {
+
+struct HwlatConfig {
+  /// Busy-sampling window per period (hwlat default: half the period).
+  SimDuration window = milliseconds(500);
+  SimDuration period = seconds(1);
+  /// TSC-read granularity of the spin loop.
+  SimDuration quantum = microseconds(100);
+  /// Report a hit when a gap exceeds this (hwlat default 10 us).
+  SimDuration threshold = microseconds(50);
+  /// Total detector runtime.
+  SimDuration duration = seconds(30);
+  int node = 0;
+  int pinned_cpu = -1;
+};
+
+struct HwlatReport {
+  std::int64_t samples = 0;      ///< TSC-read quanta executed
+  std::int64_t hits = 0;         ///< gaps above threshold
+  OnlineStats gap_us;            ///< detected gap lengths (microseconds)
+  std::vector<double> gaps_us;   ///< individual detections
+
+  // Ground-truth comparison (filled by run_hwlat_detector).
+  std::int64_t true_smis_during_windows = 0;  ///< SMIs overlapping sampling
+  double recall = 0.0;           ///< hits / true SMIs in-window
+  double mean_duration_error_us = 0.0;  ///< |detected - true| average
+};
+
+/// Spawn the detector into `sys`, run the system to completion of all
+/// tasks, and build the report. Other workload tasks may already be
+/// spawned; the detector coexists with them.
+HwlatReport run_hwlat_detector(System& sys, const HwlatConfig& config);
+
+}  // namespace smilab

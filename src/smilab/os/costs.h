@@ -1,0 +1,33 @@
+// OS interaction cost model: context switches, system calls, pipe
+// operations, and the scheduler quantum. These feed the UnixBench workload
+// models and the oversubscribed-thread scheduling in the Convolve study.
+#pragma once
+
+#include "smilab/time/sim_time.h"
+
+namespace smilab {
+
+struct OsCosts {
+  /// Direct cost of a context switch (state save/restore + cache residue).
+  SimDuration context_switch = microseconds(3);
+
+  /// Entry/exit cost of a trivial system call (getpid-class).
+  SimDuration syscall = nanoseconds(250);
+
+  /// CPU cost of writing or reading a small pipe buffer (one side).
+  SimDuration pipe_op = nanoseconds(900);
+
+  /// Round-robin timeslice when a CPU is oversubscribed. Approximates CFS
+  /// sched_latency on the paper's kernels.
+  SimDuration quantum = milliseconds(6);
+
+  /// Tickless kernel (CONFIG_NO_HZ): no periodic timer interrupt when a
+  /// CPU runs a single task. The multithreaded study ran tickless.
+  bool tickless = true;
+
+  /// Per-tick kernel overhead when not tickless (1000 Hz kernels).
+  SimDuration tick_cost = microseconds(2);
+  SimDuration tick_period = milliseconds(1);
+};
+
+}  // namespace smilab

@@ -1,0 +1,71 @@
+#include "smilab/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace smilab {
+
+EventId Engine::schedule_at(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  assert(fn);
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{t, seq});
+  fns_.emplace(seq, std::move(fn));
+  return EventId{seq};
+}
+
+EventId Engine::schedule_after(SimDuration d, std::function<void()> fn) {
+  assert(d >= SimDuration::zero() && "negative delay");
+  return schedule_at(now_ + d, std::move(fn));
+}
+
+void Engine::cancel(EventId id) {
+  if (!id.valid()) return;
+  fns_.erase(id.seq);  // heap entry becomes a tombstone, skipped on pop
+}
+
+bool Engine::pop_next() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    auto it = fns_.find(top.seq);
+    if (it == fns_.end()) {
+      heap_.pop();  // cancelled
+      continue;
+    }
+    assert(top.time >= now_);
+    now_ = top.time;
+    // Move the callback out before executing: the callback may schedule or
+    // cancel other events (rehashing fns_).
+    std::function<void()> fn = std::move(it->second);
+    fns_.erase(it);
+    heap_.pop();
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!stopped_ && pop_next()) {
+  }
+}
+
+bool Engine::run_until(SimTime t) {
+  stopped_ = false;
+  while (!stopped_ && !heap_.empty()) {
+    // Peek through tombstones without executing.
+    while (!heap_.empty() && !fns_.contains(heap_.top().seq)) heap_.pop();
+    if (heap_.empty()) break;
+    if (heap_.top().time > t) {
+      now_ = t;
+      return true;
+    }
+    pop_next();
+  }
+  if (now_ < t) now_ = t;
+  return !fns_.empty();
+}
+
+}  // namespace smilab

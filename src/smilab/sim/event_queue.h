@@ -1,0 +1,85 @@
+// Discrete-event engine: a time-ordered queue of callbacks with stable
+// (time, insertion-sequence) ordering so runs are deterministic, plus
+// cancellation via tombstones.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "smilab/time/sim_time.h"
+
+namespace smilab {
+
+/// Handle to a scheduled event; can be used to cancel it before it fires.
+struct EventId {
+  std::uint64_t seq = 0;
+  [[nodiscard]] bool valid() const { return seq != 0; }
+  bool operator==(const EventId&) const = default;
+};
+
+/// The simulation engine. Single-threaded by design: determinism beats
+/// parallel event execution for a noise study, where runs must be exactly
+/// reproducible from (config, seed).
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  EventId schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedule `fn` after a non-negative delay.
+  EventId schedule_after(SimDuration d, std::function<void()> fn);
+
+  /// Cancel a pending event. Cancelling an already-fired or invalid id is a
+  /// harmless no-op (common when a completion event races a preemption).
+  void cancel(EventId id);
+
+  /// Run until the queue is empty or `stop()` is called.
+  void run();
+
+  /// Run until simulated time reaches `t` (events at exactly `t` fire).
+  /// Returns true if the queue still has pending events.
+  bool run_until(SimTime t);
+
+  /// Execute exactly one event (the earliest pending). Returns false if no
+  /// events remain. Lets callers interleave termination checks with event
+  /// processing (System::run stops when all tasks finish even though
+  /// periodic sources like the SMI driver would keep the queue non-empty).
+  bool step() { return pop_next(); }
+
+  /// Request `run()` to return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::size_t pending_events() const { return fns_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    // priority_queue is a max-heap; invert for earliest-first, breaking
+    // ties by insertion order for determinism.
+    bool operator<(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  bool pop_next();  // executes one event; false if queue exhausted
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Entry> heap_;
+  std::unordered_map<std::uint64_t, std::function<void()>> fns_;
+};
+
+}  // namespace smilab

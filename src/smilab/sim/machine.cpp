@@ -1,0 +1,67 @@
+#include "smilab/sim/machine.h"
+
+namespace smilab {
+
+MachineSpec MachineSpec::wyeast_e5520() {
+  MachineSpec spec;
+  spec.model = "Intel Xeon E5520 @ 2.27GHz";
+  spec.sockets = 1;
+  spec.cores_per_socket = 4;
+  spec.threads_per_core = 2;
+  spec.ghz = 2.27;
+  spec.ram_gb = 12.0;
+  spec.cache_refill_bw = 8.0e9;
+  spec.hot_set_bytes = 1.5e6;
+  return spec;
+}
+
+MachineSpec MachineSpec::poweredge_r410_e5620() {
+  MachineSpec spec;
+  spec.model = "Intel Xeon E5620 @ 2.40GHz (Dell PowerEdge R410)";
+  spec.sockets = 1;
+  spec.cores_per_socket = 4;
+  spec.threads_per_core = 2;
+  spec.ghz = 2.40;
+  spec.ram_gb = 12.0;
+  spec.cache_refill_bw = 10.0e9;
+  spec.hot_set_bytes = 2.0e6;
+  return spec;
+}
+
+Node::Node(int id, const MachineSpec& spec) : id_(id), spec_(spec) {
+  const int cores = spec.cores();
+  cpus_.reserve(static_cast<std::size_t>(spec.logical_cpus()));
+  for (int t = 0; t < spec.threads_per_core; ++t) {
+    for (int c = 0; c < cores; ++c) {
+      LogicalCpu cpu;
+      cpu.node = id;
+      cpu.index = t * cores + c;
+      cpu.core = c;
+      cpu.sibling = spec.threads_per_core == 2 ? ((1 - t) * cores + c) : -1;
+      cpus_.push_back(cpu);
+    }
+  }
+}
+
+int Node::online_cpu_count() const {
+  int n = 0;
+  for (const auto& cpu : cpus_) n += cpu.online ? 1 : 0;
+  return n;
+}
+
+void Node::set_online(int cpu_index, bool online) {
+  cpus_.at(static_cast<std::size_t>(cpu_index)).online = online;
+}
+
+void Node::set_online_cpus(int n) {
+  assert(n >= 1 && n <= cpu_count());
+  for (int i = 0; i < cpu_count(); ++i) set_online(i, i < n);
+}
+
+Cluster::Cluster(int node_count, const MachineSpec& spec) : spec_(spec) {
+  assert(node_count >= 1);
+  nodes_.reserve(static_cast<std::size_t>(node_count));
+  for (int i = 0; i < node_count; ++i) nodes_.emplace_back(i, spec);
+}
+
+}  // namespace smilab

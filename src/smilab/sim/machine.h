@@ -1,0 +1,103 @@
+// Machine and cluster topology model.
+//
+// Mirrors the paper's two testbeds:
+//  - "Wyeast": 16-node cluster of Intel Xeon E5520 (Nehalem-EP, 4 cores,
+//    HTT, 2.27 GHz, 8 MB L3, 12 GB RAM), CentOS 5.10 / kernel 3.0.4.
+//  - Dell PowerEdge R410 with Intel Xeon E5620 (Westmere-EP, 4 cores, HTT,
+//    2.40 GHz, 12 MB L3, 12 GB RAM), Fedora / kernel 3.17.4, tickless.
+//
+// Logical CPU numbering follows the Linux convention the paper relies on:
+// CPUs [0, cores) are the first hardware thread of each physical core and
+// CPUs [cores, 2*cores) are their HTT siblings, so "offline CPUs 5-8" (1-
+// based in the paper) removes exactly the sibling threads.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "smilab/time/sim_time.h"
+
+namespace smilab {
+
+/// Static description of one node's hardware.
+struct MachineSpec {
+  std::string model = "generic-x86";
+  int sockets = 1;
+  int cores_per_socket = 4;
+  int threads_per_core = 2;  ///< 2 with HTT, 1 without
+  double ghz = 2.27;         ///< nominal (and TSC) frequency
+  double ram_gb = 12.0;
+  /// Effective rate at which one core re-fills cache lines after an SMM
+  /// interval flushed them (bytes/second). Drives the post-SMI warm-up
+  /// penalty.
+  double cache_refill_bw = 8.0e9;
+  /// Working-set bytes a core typically has live in cache; bounded by L2+
+  /// share of L3. Used to size the post-SMI refill penalty.
+  double hot_set_bytes = 1.5e6;
+
+  [[nodiscard]] int cores() const { return sockets * cores_per_socket; }
+  [[nodiscard]] int logical_cpus() const { return cores() * threads_per_core; }
+
+  /// The MPI cluster node type (Section III.A).
+  static MachineSpec wyeast_e5520();
+  /// The multithreaded-study node type (Section IV.A).
+  static MachineSpec poweredge_r410_e5620();
+};
+
+/// One logical CPU (a hardware thread).
+struct LogicalCpu {
+  int node = 0;
+  int index = 0;    ///< node-local CPU index
+  int core = 0;     ///< node-local physical core index
+  int sibling = -1; ///< node-local index of HTT sibling, or -1
+  bool online = true;
+};
+
+/// One cluster node: its CPUs plus bookkeeping the runtime needs.
+class Node {
+ public:
+  Node(int id, const MachineSpec& spec);
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] const MachineSpec& spec() const { return spec_; }
+  [[nodiscard]] int cpu_count() const { return static_cast<int>(cpus_.size()); }
+  [[nodiscard]] const LogicalCpu& cpu(int i) const { return cpus_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] int online_cpu_count() const;
+
+  /// sysfs-style hotplug: `echo 0 > /sys/devices/system/cpu/cpuN/online`.
+  /// The runtime forbids offlining a CPU with work on it; topology-level
+  /// calls here just flip the flag.
+  void set_online(int cpu_index, bool online);
+  [[nodiscard]] bool is_online(int cpu_index) const {
+    return cpus_.at(static_cast<std::size_t>(cpu_index)).online;
+  }
+
+  /// Keep only the first `n` logical CPUs online, mirroring the paper's
+  /// sweep over 1-8 logical processor configurations: CPUs 1..cores are
+  /// distinct physical cores, cores+1..2*cores add HTT siblings.
+  void set_online_cpus(int n);
+
+ private:
+  int id_;
+  MachineSpec spec_;
+  std::vector<LogicalCpu> cpus_;
+};
+
+/// A homogeneous cluster of nodes.
+class Cluster {
+ public:
+  Cluster(int node_count, const MachineSpec& spec);
+
+  [[nodiscard]] int node_count() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] Node& node(int i) { return nodes_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] const Node& node(int i) const { return nodes_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] const MachineSpec& spec() const { return spec_; }
+
+ private:
+  MachineSpec spec_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace smilab

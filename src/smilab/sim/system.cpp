@@ -1,0 +1,1303 @@
+#include "smilab/sim/system.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+#include "smilab/smm/smi_controller.h"
+
+namespace smilab {
+
+namespace {
+constexpr int kAnySource = -1;
+constexpr std::int64_t kAckBytes = 64;
+}  // namespace
+
+// --- Internal structures -----------------------------------------------------
+
+struct System::MessageRec {
+  GroupId group;
+  int src_rank = 0;
+  int dst_rank = 0;
+  int src_node = 0;
+  int dst_node = 0;
+  std::int64_t bytes = 0;
+  int tag = 0;
+  bool needs_ack = false;
+  std::uint64_t ack_key = 0;
+  TaskId sender;
+  SimDuration xmit{};  ///< per-stage wire service time (inter-node)
+  SimTime arrival;
+  bool arrived = false;
+  bool arrived_during_smm = false;
+  bool consumed = false;
+};
+
+/// One direction of a node's NIC, as a pausable FIFO server.
+struct System::NicServer {
+  std::deque<std::uint64_t> queue;   // message indices awaiting service
+  std::uint64_t active = 0;          // msg index + 1; 0 = idle
+  SimDuration remaining{};
+  SimTime since;
+  SimTime paused_at;
+  bool paused = false;
+  std::uint64_t epoch = 0;
+  EventId done_ev{};
+};
+
+struct System::TaskImpl {
+  TaskId id;
+  GroupId group;
+  int rank = 0;
+  std::string name;
+  int node = 0;
+  int cpu = -1;        ///< node-local CPU this task is sticky-placed on
+  bool pinned = false; ///< hard affinity: never migrated by idle stealing
+  WorkloadProfile profile;
+  WaitPolicy wait_policy = WaitPolicy::kSpin;
+  std::unique_ptr<ActionSource> source;
+  TaskStats stats;
+
+  enum class State {
+    kReady,       ///< runnable, waiting for its CPU
+    kRunning,     ///< current on its CPU (executing or spin-waiting)
+    kBlocked,     ///< off-CPU, waiting for a message/ack (kBlock policy)
+    kSleeping,    ///< off-CPU, waiting for a timer
+    kDone,
+  };
+  State state = State::kReady;
+  bool on_cpu = false;
+  bool queued = false;
+
+  // Current action interpreter state.
+  std::optional<Action> action;
+  int phase = 0;
+  bool sr_send_injected = false;   // SendRecv: send half injected
+  bool waiting_msg = false;
+  bool waiting_ack = false;
+  int wait_src = kAnySource;
+  int wait_tag = 0;
+  std::uint64_t pending_ack_key = 0;  // ack we are (or will be) waiting for
+  bool ack_arrived = false;
+  std::uint64_t active_msg = 0;    // 1-based index+1 into messages_, 0 = none
+
+  // Nonblocking communication state (Isend/Irecv/WaitAll).
+  struct NbHandle {
+    bool is_send = false;
+    bool complete = false;
+    bool data_arrived = false;    // recv: matched message landed
+    std::uint64_t msg_index1 = 0; // recv: matched message index + 1
+    int src = -1;                 // recv posting key
+    int tag = 0;
+  };
+  std::map<int, NbHandle> nb_handles;
+  std::map<std::uint64_t, int> ack_to_handle;  // rendezvous isend acks
+  bool waiting_all = false;                    // parked in WaitAll
+  int active_nb_handle = -1;                   // recv copy in progress
+
+  // Work execution state.
+  SimDuration work_left{};
+  SimDuration pending_overhead{};  // refill / context-switch charged at next work
+  SimTime run_since;
+  double rate = 0.0;
+  std::uint64_t epoch = 0;
+  EventId completion_ev{};
+
+  std::vector<std::uint64_t> mailbox;  // indices into messages_
+};
+
+struct System::CpuState {
+  std::deque<std::int32_t> runqueue;  // task indices
+  std::int32_t current = -1;
+  bool frozen = false;
+  EventId quantum_ev{};
+  std::int32_t last_task = -1;
+  int assigned = 0;  ///< sticky placements on this CPU (for balancing)
+};
+
+struct System::NodeState {
+  std::vector<CpuState> cpus;
+  NicServer egress;
+  NicServer ingress;
+  bool in_smm = false;
+  SimTime freeze_start;
+  SimTime last_smm_exit{-1};  ///< negative: never been in SMM
+  std::vector<std::int32_t> deferred_wakes;  // timer wakes that fired in SMM
+};
+
+// --- Construction -----------------------------------------------------------
+
+System::System(SystemConfig cfg)
+    : cfg_(cfg),
+      cluster_(cfg.node_count, cfg.machine),
+      net_(cfg.net),
+      smm_acct_(cfg.node_count),
+      master_rng_(cfg.seed),
+      refill_rng_(master_rng_.fork(stream_label("refill"))),
+      nic_rng_(master_rng_.fork(stream_label("nic"))) {
+  htt_refill_run_factor_ =
+      master_rng_.fork(stream_label("htt_luck")).uniform(0.5, 1.8);
+  node_speed_.resize(static_cast<std::size_t>(cfg.node_count), 1.0);
+  if (cfg_.node_speed_sigma > 0) {
+    Rng speed_rng = master_rng_.fork(stream_label("node_speed"));
+    for (auto& s : node_speed_) {
+      s = std::clamp(speed_rng.normal(1.0, cfg_.node_speed_sigma), 0.5, 1.5);
+    }
+  }
+  node_state_.reserve(static_cast<std::size_t>(cfg.node_count));
+  for (int n = 0; n < cfg.node_count; ++n) {
+    auto ns = std::make_unique<NodeState>();
+    ns->cpus.resize(static_cast<std::size_t>(cfg.machine.logical_cpus()));
+    node_state_.push_back(std::move(ns));
+  }
+  if (cfg_.smi.enabled()) {
+    smi_ = std::make_unique<SmiController>(*this, cfg_.smi);
+  }
+}
+
+System::~System() = default;
+
+void System::set_online_cpus(int n) {
+  assert(tasks_.empty() && "change CPU topology before spawning tasks");
+  for (int i = 0; i < cluster_.node_count(); ++i) {
+    cluster_.node(i).set_online_cpus(n);
+  }
+}
+
+System::TaskImpl& System::task(TaskId id) {
+  return *tasks_.at(static_cast<std::size_t>(id.value));
+}
+const System::TaskImpl& System::task(TaskId id) const {
+  return *tasks_.at(static_cast<std::size_t>(id.value));
+}
+System::CpuState& System::cpu_state(int node, int cpu) {
+  return node_state_.at(static_cast<std::size_t>(node))
+      ->cpus.at(static_cast<std::size_t>(cpu));
+}
+
+// --- Groups and spawning -------------------------------------------------------
+
+GroupId System::create_group(int size) {
+  assert(size >= 1);
+  groups_.emplace_back(static_cast<std::size_t>(size), TaskId{});
+  return GroupId{static_cast<std::int32_t>(groups_.size() - 1)};
+}
+
+TaskId System::spawn(TaskSpec spec) {
+  const GroupId g = create_group(1);
+  return spawn_member(g, 0, std::move(spec));
+}
+
+TaskId System::spawn_member(GroupId g, int rank, TaskSpec spec) {
+  assert(g.valid());
+  assert(spec.actions && "task needs an action source");
+  auto& members = groups_.at(static_cast<std::size_t>(g.value));
+  assert(rank >= 0 && rank < static_cast<int>(members.size()));
+  assert(!members[static_cast<std::size_t>(rank)].valid() && "rank already spawned");
+
+  auto t = std::make_unique<TaskImpl>();
+  t->id = TaskId{static_cast<std::int32_t>(tasks_.size())};
+  t->group = g;
+  t->rank = rank;
+  t->name = std::move(spec.name);
+  t->node = spec.node;
+  t->profile = spec.profile;
+  t->wait_policy = spec.wait_policy;
+  t->source = std::move(spec.actions);
+  t->stats.start_time = now();
+  t->pinned = spec.pinned_cpu >= 0;
+  t->cpu = spec.pinned_cpu >= 0 ? spec.pinned_cpu : place(spec);
+  assert(cluster_.node(t->node).is_online(t->cpu) && "placed on offline CPU");
+
+  members[static_cast<std::size_t>(rank)] = t->id;
+  cpu_state(t->node, t->cpu).assigned += 1;
+  ++unfinished_tasks_;
+
+  TaskImpl& ref = *t;
+  tasks_.push_back(std::move(t));
+  make_ready(ref);
+  return ref.id;
+}
+
+int System::place(const TaskSpec& spec) {
+  const Node& node = cluster_.node(spec.node);
+  auto& cpus = node_state_.at(static_cast<std::size_t>(spec.node))->cpus;
+  int best = -1;
+  // Linux-style preference: least-loaded CPU, idle physical cores before
+  // HTT siblings of busy cores, lowest index as the deterministic tie-break.
+  long best_key0 = 0, best_key1 = 0;
+  for (int i = 0; i < node.cpu_count(); ++i) {
+    if (!node.is_online(i)) continue;
+    const int sib = node.cpu(i).sibling;
+    const int sib_assigned =
+        (sib >= 0 && node.is_online(sib)) ? cpus[static_cast<std::size_t>(sib)].assigned : 0;
+    const long key0 = cpus[static_cast<std::size_t>(i)].assigned;
+    const long key1 = sib_assigned;
+    if (best < 0 || key0 < best_key0 || (key0 == best_key0 && key1 < best_key1)) {
+      best = i;
+      best_key0 = key0;
+      best_key1 = key1;
+    }
+  }
+  if (best < 0) throw std::runtime_error("no online CPU available on node");
+  return best;
+}
+
+// --- Scheduling ------------------------------------------------------------------
+
+void System::make_ready(TaskImpl& t) {
+  assert(!t.on_cpu);
+  if (t.queued) return;
+  t.state = TaskImpl::State::kReady;
+  t.queued = true;
+  auto& cs = cpu_state(t.node, t.cpu);
+  cs.runqueue.push_back(t.id.value);
+  if (cs.current < 0) {
+    dispatch(t.node, t.cpu);
+  } else {
+    arm_quantum(t.node, t.cpu);
+  }
+}
+
+void System::dispatch(int node, int cpu) {
+  auto& cs = cpu_state(node, cpu);
+  if (cs.frozen || cs.current >= 0) return;
+  if (cs.runqueue.empty()) steal_into(node, cpu);
+  if (cs.runqueue.empty()) return;
+  const std::int32_t idx = cs.runqueue.front();
+  cs.runqueue.pop_front();
+  TaskImpl& t = *tasks_[static_cast<std::size_t>(idx)];
+  assert(t.queued);
+  t.queued = false;
+  t.state = TaskImpl::State::kRunning;
+  t.on_cpu = true;
+  cs.current = idx;
+  if (cs.last_task >= 0 && cs.last_task != idx) {
+    t.pending_overhead += cfg_.os.context_switch;
+  }
+  cs.last_task = idx;
+  arm_quantum(node, cpu);
+  sibling_rate_changed(node, cpu);
+  begin_running(t);
+}
+
+void System::arm_quantum(int node, int cpu) {
+  auto& cs = cpu_state(node, cpu);
+  if (cs.quantum_ev.valid() || cs.frozen || cs.current < 0 || cs.runqueue.empty())
+    return;
+  cs.quantum_ev = engine_.schedule_after(
+      cfg_.os.quantum, [this, node, cpu] {
+        auto& s = cpu_state(node, cpu);
+        s.quantum_ev = EventId{};
+        if (s.frozen || s.current < 0 || s.runqueue.empty()) return;
+        preempt_current(node, cpu);
+      });
+}
+
+// CFS-style idle balancing: an idle CPU pulls a waiting task from the most
+// loaded runqueue of its node. Without this, uneven thread counts on HTT
+// configurations leave whole cores idle while a shared core grinds — real
+// kernels rebalance, and the paper's Convolve (a block work queue) depends
+// on it. Tasks with hard affinity (TaskSpec::pinned_cpu) are never moved.
+void System::steal_into(int node, int cpu) {
+  const Node& topo = cluster_.node(node);
+  auto& ns = *node_state_[static_cast<std::size_t>(node)];
+  int donor = -1;
+  std::size_t donor_depth = 0;
+  for (int i = 0; i < topo.cpu_count(); ++i) {
+    if (i == cpu || !topo.is_online(i)) continue;
+    std::size_t stealable = 0;
+    for (const std::int32_t idx :
+         ns.cpus[static_cast<std::size_t>(i)].runqueue) {
+      if (!tasks_[static_cast<std::size_t>(idx)]->pinned) ++stealable;
+    }
+    if (stealable > donor_depth) {
+      donor = i;
+      donor_depth = stealable;
+    }
+  }
+  if (donor < 0 || donor_depth == 0) return;
+  auto& donor_queue = ns.cpus[static_cast<std::size_t>(donor)].runqueue;
+  // Take the most recently queued unpinned task (coldest cache footprint).
+  for (auto it = donor_queue.rbegin(); it != donor_queue.rend(); ++it) {
+    TaskImpl& t = *tasks_[static_cast<std::size_t>(*it)];
+    if (t.pinned) continue;
+    assert(t.queued && t.cpu == donor);
+    const std::int32_t idx = *it;
+    donor_queue.erase(std::next(it).base());
+    t.cpu = cpu;
+    cpu_state(node, cpu).runqueue.push_back(idx);
+    return;
+  }
+}
+
+void System::preempt_current(int node, int cpu) {
+  auto& cs = cpu_state(node, cpu);
+  assert(cs.current >= 0);
+  TaskImpl& t = *tasks_[static_cast<std::size_t>(cs.current)];
+  stop_running(t, /*keep_on_cpu=*/false);
+  make_ready(t);
+  dispatch(node, cpu);
+}
+
+// --- Execution progress ----------------------------------------------------------
+
+bool System::sibling_busy(const TaskImpl& t) const {
+  const Node& node = cluster_.node(t.node);
+  const int sib = node.cpu(t.cpu).sibling;
+  if (sib < 0 || !node.is_online(sib)) return false;
+  const auto& scs = node_state_[static_cast<std::size_t>(t.node)]
+                        ->cpus[static_cast<std::size_t>(sib)];
+  if (scs.current < 0) return false;
+  const TaskImpl& other = *tasks_[static_cast<std::size_t>(scs.current)];
+  // A spin-waiting sibling (no work) uses PAUSE loops that release the
+  // shared execution ports; only real work contends.
+  return other.work_left > SimDuration::zero();
+}
+
+double System::current_rate(const TaskImpl& t) const {
+  double rate = node_speed_[static_cast<std::size_t>(t.node)] *
+                execution_rate(t.profile, sibling_busy(t));
+  if (!cfg_.os.tickless) {
+    rate *= 1.0 - cfg_.os.tick_cost / cfg_.os.tick_period;
+  }
+  return rate;
+}
+
+void System::settle(TaskImpl& t) {
+  if (!t.on_cpu) return;
+  const SimDuration elapsed = now() - t.run_since;
+  if (elapsed <= SimDuration::zero()) return;
+  t.stats.os_view_cpu_time += elapsed;
+  t.stats.true_cpu_time += elapsed;
+  if (t.work_left > SimDuration::zero() && t.rate > 0) {
+    const auto progress = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(elapsed.ns()) * t.rate));
+    t.work_left = SimDuration{std::max<std::int64_t>(0, t.work_left.ns() - progress)};
+  }
+  t.run_since = now();
+}
+
+void System::begin_running(TaskImpl& t) {
+  assert(t.on_cpu);
+  assert(!cpu_state(t.node, t.cpu).frozen);
+  t.run_since = now();
+  t.rate = current_rate(t);
+  if (t.work_left > SimDuration::zero()) {
+    reschedule_completion(t);
+  } else {
+    step_action(t);
+  }
+}
+
+void System::stop_running(TaskImpl& t, bool keep_on_cpu) {
+  settle(t);
+  ++t.epoch;
+  engine_.cancel(t.completion_ev);
+  t.completion_ev = EventId{};
+  if (!keep_on_cpu && t.on_cpu) {
+    auto& cs = cpu_state(t.node, t.cpu);
+    assert(cs.current == t.id.value);
+    cs.current = -1;
+    t.on_cpu = false;
+    if (cs.quantum_ev.valid()) {
+      engine_.cancel(cs.quantum_ev);
+      cs.quantum_ev = EventId{};
+    }
+    sibling_rate_changed(t.node, t.cpu);
+  }
+}
+
+void System::reschedule_completion(TaskImpl& t) {
+  assert(t.on_cpu && t.work_left > SimDuration::zero());
+  ++t.epoch;
+  engine_.cancel(t.completion_ev);
+  assert(t.rate > 0);
+  SimDuration d = scale(t.work_left, 1.0 / t.rate);
+  if (d <= SimDuration::zero()) d = SimDuration{1};
+  t.completion_ev = engine_.schedule_after(d, [this, id = t.id, ep = t.epoch] {
+    TaskImpl& task_ref = task(id);
+    if (task_ref.epoch != ep) return;
+    on_work_complete(task_ref);
+  });
+}
+
+void System::on_work_complete(TaskImpl& t) {
+  settle(t);
+  if (t.work_left > SimDuration{1}) {
+    // Integer rounding left a sliver; finish it.
+    reschedule_completion(t);
+    return;
+  }
+  t.work_left = SimDuration::zero();
+  ++t.epoch;
+  t.completion_ev = EventId{};
+  step_action(t);
+}
+
+void System::sibling_rate_changed(int node, int cpu) {
+  const int sib = cluster_.node(node).cpu(cpu).sibling;
+  if (sib < 0) return;
+  auto& scs = cpu_state(node, sib);
+  if (scs.current < 0 || scs.frozen) return;
+  TaskImpl& other = *tasks_[static_cast<std::size_t>(scs.current)];
+  if (!other.on_cpu) return;
+  settle(other);
+  const double new_rate = current_rate(other);
+  if (new_rate == other.rate) return;
+  other.rate = new_rate;
+  if (other.work_left > SimDuration::zero()) reschedule_completion(other);
+}
+
+// --- Action interpretation ---------------------------------------------------------
+
+void System::start_work(TaskImpl& t, SimDuration amount) {
+  assert(t.on_cpu);
+  amount += t.pending_overhead;
+  t.pending_overhead = SimDuration::zero();
+  if (amount <= SimDuration::zero()) amount = SimDuration{1};
+  t.work_left = amount;
+  t.run_since = now();
+  t.rate = current_rate(t);
+  sibling_rate_changed(t.node, t.cpu);  // we went from idle/spin to busy
+  reschedule_completion(t);
+}
+
+void System::start_next_action(TaskImpl& t) {
+  while (true) {
+    std::optional<Action> a = t.source->next();
+    if (!a) {
+      finish_task(t);
+      return;
+    }
+    if (auto* call = std::get_if<Call>(&*a)) {
+      call->fn();
+      continue;  // zero-time action; keep pulling
+    }
+    t.action = std::move(a);
+    t.phase = 0;
+    t.sr_send_injected = false;
+    t.waiting_msg = false;
+    t.waiting_ack = false;
+    t.ack_arrived = false;
+    t.pending_ack_key = 0;
+    t.active_msg = 0;
+    step_action(t);
+    return;
+  }
+}
+
+// The per-action state machine. Invoked whenever the task is on its CPU,
+// unfrozen, and needs driving: action entry, work completion, wait
+// satisfaction, post-SMM resume.
+void System::step_action(TaskImpl& t) {
+  assert(t.on_cpu);
+  if (!t.action) {
+    start_next_action(t);
+    return;
+  }
+  t.state = TaskImpl::State::kRunning;
+
+  if (auto* comp = std::get_if<Compute>(&*t.action)) {
+    if (t.phase == 0) {
+      t.phase = 1;
+      start_work(t, comp->work);
+      return;
+    }
+    t.action.reset();
+    start_next_action(t);
+    return;
+  }
+
+  if (auto* send = std::get_if<Send>(&*t.action)) {
+    switch (t.phase) {
+      case 0:  // pay the CPU-side injection cost
+        t.phase = 1;
+        start_work(t, net_.send_cpu_cost(send->bytes));
+        return;
+      case 1: {  // hand to the wire
+        const bool needs_ack = net_.is_rendezvous(send->bytes);
+        const std::uint64_t key = needs_ack ? next_ack_key_++ : 0;
+        inject_message(t, send->dst_rank, send->bytes, send->tag, needs_ack, key);
+        if (!needs_ack) {
+          t.action.reset();
+          start_next_action(t);
+          return;
+        }
+        t.pending_ack_key = key;
+        t.phase = 2;
+        [[fallthrough]];
+      }
+      case 2:  // rendezvous: wait for the receiver's completion ack
+        if (t.ack_arrived) {
+          t.action.reset();
+          start_next_action(t);
+          return;
+        }
+        t.waiting_ack = true;
+        if (t.wait_policy == WaitPolicy::kBlock) {
+          t.state = TaskImpl::State::kBlocked;
+          stop_running(t, /*keep_on_cpu=*/false);
+          dispatch(t.node, t.cpu);
+        }
+        return;
+      default:
+        assert(false);
+    }
+  }
+
+  if (auto* recv = std::get_if<Recv>(&*t.action)) {
+    switch (t.phase) {
+      case 0: {  // wait for / match the message
+        MessageRec* msg = nullptr;
+        if (try_match_recv(t, recv->src_rank, recv->tag, &msg)) {
+          t.phase = 1;
+          SimDuration cost = net_.recv_cpu_cost(msg->bytes);
+          if (msg->arrived_during_smm && node_htt_active(t.node)) {
+            cost = scale(cost, cfg_.post_smi_drain_factor);
+          }
+          start_work(t, cost);
+          return;
+        }
+        t.waiting_msg = true;
+        t.wait_src = recv->src_rank;
+        t.wait_tag = recv->tag;
+        if (t.wait_policy == WaitPolicy::kBlock) {
+          t.state = TaskImpl::State::kBlocked;
+          stop_running(t, /*keep_on_cpu=*/false);
+          dispatch(t.node, t.cpu);
+        }
+        return;
+      }
+      case 1: {  // copy complete
+        assert(t.active_msg != 0);
+        MessageRec& msg = *messages_[t.active_msg - 1];
+        t.active_msg = 0;
+        t.stats.messages_received += 1;
+        if (msg.needs_ack) deliver_ack(msg);
+        t.action.reset();
+        start_next_action(t);
+        return;
+      }
+      default:
+        assert(false);
+    }
+  }
+
+  if (auto* sr = std::get_if<SendRecv>(&*t.action)) {
+    switch (t.phase) {
+      case 0:  // send half: CPU injection cost
+        t.phase = 1;
+        start_work(t, net_.send_cpu_cost(sr->send_bytes));
+        return;
+      case 1: {  // inject send, then progress the receive half
+        if (!t.sr_send_injected) {
+          t.sr_send_injected = true;
+          const bool needs_ack = net_.is_rendezvous(sr->send_bytes);
+          const std::uint64_t key = needs_ack ? next_ack_key_++ : 0;
+          inject_message(t, sr->dst_rank, sr->send_bytes, sr->send_tag,
+                         needs_ack, key);
+          t.pending_ack_key = needs_ack ? key : 0;
+        }
+        MessageRec* msg = nullptr;
+        if (try_match_recv(t, sr->src_rank, sr->recv_tag, &msg)) {
+          t.phase = 2;
+          SimDuration cost = net_.recv_cpu_cost(msg->bytes);
+          if (msg->arrived_during_smm && node_htt_active(t.node)) {
+            cost = scale(cost, cfg_.post_smi_drain_factor);
+          }
+          start_work(t, cost);
+          return;
+        }
+        t.waiting_msg = true;
+        t.wait_src = sr->src_rank;
+        t.wait_tag = sr->recv_tag;
+        if (t.wait_policy == WaitPolicy::kBlock) {
+          t.state = TaskImpl::State::kBlocked;
+          stop_running(t, /*keep_on_cpu=*/false);
+          dispatch(t.node, t.cpu);
+        }
+        return;
+      }
+      case 2: {  // recv copy complete
+        assert(t.active_msg != 0);
+        MessageRec& msg = *messages_[t.active_msg - 1];
+        t.active_msg = 0;
+        t.stats.messages_received += 1;
+        if (msg.needs_ack) deliver_ack(msg);
+        t.phase = 3;
+        [[fallthrough]];
+      }
+      case 3:  // wait for our own send's ack, if rendezvous
+        if (t.pending_ack_key == 0 || t.ack_arrived) {
+          t.action.reset();
+          start_next_action(t);
+          return;
+        }
+        t.waiting_ack = true;
+        if (t.wait_policy == WaitPolicy::kBlock) {
+          t.state = TaskImpl::State::kBlocked;
+          stop_running(t, /*keep_on_cpu=*/false);
+          dispatch(t.node, t.cpu);
+        }
+        return;
+      default:
+        assert(false);
+    }
+  }
+
+  if (auto* isend = std::get_if<Isend>(&*t.action)) {
+    switch (t.phase) {
+      case 0:  // CPU-side injection cost, as for blocking Send
+        t.phase = 1;
+        start_work(t, net_.send_cpu_cost(isend->bytes));
+        return;
+      case 1: {
+        assert(!t.nb_handles.contains(isend->handle) &&
+               "Isend handle already in use");
+        TaskImpl::NbHandle handle;
+        handle.is_send = true;
+        const bool needs_ack = net_.is_rendezvous(isend->bytes);
+        const std::uint64_t key = needs_ack ? next_ack_key_++ : 0;
+        inject_message(t, isend->dst_rank, isend->bytes, isend->tag,
+                       needs_ack, key);
+        if (needs_ack) {
+          t.ack_to_handle.emplace(key, isend->handle);
+        } else {
+          handle.complete = true;  // eager: locally complete at injection
+        }
+        t.nb_handles.emplace(isend->handle, handle);
+        t.action.reset();
+        start_next_action(t);
+        return;
+      }
+      default:
+        assert(false);
+    }
+  }
+
+  if (auto* irecv = std::get_if<Irecv>(&*t.action)) {
+    assert(!t.nb_handles.contains(irecv->handle) &&
+           "Irecv handle already in use");
+    TaskImpl::NbHandle handle;
+    handle.is_send = false;
+    handle.src = irecv->src_rank;
+    handle.tag = irecv->tag;
+    // Match an already-arrived message immediately (late post).
+    MessageRec* msg = nullptr;
+    if (try_match_recv(t, irecv->src_rank, irecv->tag, &msg)) {
+      handle.data_arrived = true;
+      handle.msg_index1 = t.active_msg;
+      t.active_msg = 0;
+    }
+    t.nb_handles.emplace(irecv->handle, handle);
+    t.action.reset();
+    start_next_action(t);
+    return;
+  }
+
+  if (auto* wait = std::get_if<WaitAll>(&*t.action)) {
+    // Not parked while actively progressing: a wake that lands during a
+    // receive copy must not re-enter this state machine (see wake_waitall).
+    t.waiting_all = false;
+    if (t.phase == 1) {
+      // A receive's copy just finished: complete that handle.
+      auto it = t.nb_handles.find(t.active_nb_handle);
+      assert(it != t.nb_handles.end());
+      it->second.complete = true;
+      t.stats.messages_received += 1;
+      MessageRec& msg = *messages_[it->second.msg_index1 - 1];
+      if (msg.needs_ack) deliver_ack(msg);
+      t.active_nb_handle = -1;
+      t.phase = 0;
+    }
+    // Re-poll: charge the next arrived-but-uncopied receive, or finish.
+    bool all_complete = true;
+    for (const int h : wait->handles) {
+      auto it = t.nb_handles.find(h);
+      assert(it != t.nb_handles.end() && "WaitAll on unknown handle");
+      TaskImpl::NbHandle& handle = it->second;
+      if (handle.complete) continue;
+      if (!handle.is_send && handle.data_arrived) {
+        // Progress this receive now: CPU-side copy.
+        t.active_nb_handle = h;
+        t.phase = 1;
+        MessageRec& msg = *messages_[handle.msg_index1 - 1];
+        SimDuration cost = net_.recv_cpu_cost(msg.bytes);
+        if (msg.arrived_during_smm && node_htt_active(t.node)) {
+          cost = scale(cost, cfg_.post_smi_drain_factor);
+        }
+        start_work(t, cost);
+        return;
+      }
+      all_complete = false;
+    }
+    if (all_complete) {
+      for (const int h : wait->handles) t.nb_handles.erase(h);
+      t.waiting_all = false;
+      t.action.reset();
+      start_next_action(t);
+      return;
+    }
+    t.waiting_all = true;
+    if (t.wait_policy == WaitPolicy::kBlock) {
+      t.state = TaskImpl::State::kBlocked;
+      stop_running(t, /*keep_on_cpu=*/false);
+      dispatch(t.node, t.cpu);
+    }
+    return;
+  }
+
+  if (auto* sleep = std::get_if<Sleep>(&*t.action)) {
+    switch (t.phase) {
+      case 0: {
+        t.phase = 1;
+        t.state = TaskImpl::State::kSleeping;
+        stop_running(t, /*keep_on_cpu=*/false);
+        engine_.schedule_after(sleep->dur, [this, id = t.id] {
+          TaskImpl& task_ref = task(id);
+          if (task_ref.state != TaskImpl::State::kSleeping) return;
+          // Timer interrupts are deferred while the node is in SMM.
+          if (node_in_smm(task_ref.node)) {
+            node_state_[static_cast<std::size_t>(task_ref.node)]
+                ->deferred_wakes.push_back(task_ref.id.value);
+            return;
+          }
+          make_ready(task_ref);
+        });
+        dispatch(t.node, t.cpu);
+        return;
+      }
+      case 1:
+        t.action.reset();
+        start_next_action(t);
+        return;
+      default:
+        assert(false);
+    }
+  }
+
+  assert(false && "Call actions are consumed by start_next_action");
+}
+
+void System::finish_task(TaskImpl& t) {
+  assert(!t.stats.finished);
+  t.stats.finished = true;
+  t.stats.end_time = now();
+  t.state = TaskImpl::State::kDone;
+  stop_running(t, /*keep_on_cpu=*/false);
+  --unfinished_tasks_;
+  dispatch(t.node, t.cpu);
+}
+
+// --- Messaging -------------------------------------------------------------------
+
+void System::inject_message(TaskImpl& sender, int dst_rank, std::int64_t bytes,
+                            int tag, bool needs_ack, std::uint64_t ack_key) {
+  const auto& members = groups_.at(static_cast<std::size_t>(sender.group.value));
+  assert(dst_rank >= 0 && dst_rank < static_cast<int>(members.size()));
+  const TaskId dst_id = members[static_cast<std::size_t>(dst_rank)];
+  assert(dst_id.valid() && "destination rank not spawned");
+  TaskImpl& dst = task(dst_id);
+
+  auto msg = std::make_unique<MessageRec>();
+  msg->group = sender.group;
+  msg->src_rank = sender.rank;
+  msg->dst_rank = dst_rank;
+  msg->src_node = sender.node;
+  msg->dst_node = dst.node;
+  msg->bytes = bytes;
+  msg->tag = tag;
+  msg->needs_ack = needs_ack;
+  msg->ack_key = ack_key;
+  msg->sender = sender.id;
+  msg->xmit = net_.wire_xmit(bytes);
+  messages_.push_back(std::move(msg));
+  const std::uint64_t index = messages_.size() - 1;
+
+  sender.stats.messages_sent += 1;
+  sender.stats.bytes_sent += bytes;
+
+  if (sender.node == dst.node) {
+    // Shared-memory transport: the copy is CPU work already charged to the
+    // sender; the residual is a small transfer delay. Arrival during SMM
+    // just lands in the mailbox (DMA); the frozen receiver drains it later.
+    engine_.schedule_after(net_.intra_transfer(bytes),
+                           [this, index] { on_message_arrival(index); });
+    return;
+  }
+  inter_node_bytes_ += bytes;
+  nic_submit(sender.node, /*egress=*/true, index);
+}
+
+// --- NIC servers ---------------------------------------------------------------
+
+System::NicServer& System::nic(int node, bool egress) {
+  auto& ns = *node_state_.at(static_cast<std::size_t>(node));
+  return egress ? ns.egress : ns.ingress;
+}
+
+void System::nic_submit(int node, bool egress, std::uint64_t msg_index) {
+  nic(node, egress).queue.push_back(msg_index);
+  nic_try_serve(node, egress);
+}
+
+void System::nic_try_serve(int node, bool egress) {
+  NicServer& server = nic(node, egress);
+  if (server.paused || server.active != 0 || server.queue.empty()) return;
+  const std::uint64_t index = server.queue.front();
+  server.queue.pop_front();
+  server.active = index + 1;
+  server.remaining = messages_[index]->xmit;
+  server.since = now();
+  ++server.epoch;
+  server.done_ev = engine_.schedule_after(
+      server.remaining, [this, node, egress, ep = server.epoch] {
+        nic_service_done(node, egress, ep);
+      });
+}
+
+void System::nic_service_done(int node, bool egress, std::uint64_t epoch) {
+  NicServer& server = nic(node, egress);
+  if (server.epoch != epoch || server.paused || server.active == 0) return;
+  const std::uint64_t index = server.active - 1;
+  server.active = 0;
+  server.done_ev = EventId{};
+  if (egress) {
+    // Bits leave the source; now serialize into the destination NIC.
+    nic_submit(messages_[index]->dst_node, /*egress=*/false, index);
+  } else {
+    // Delivered at the destination after propagation.
+    engine_.schedule_after(net_.latency(),
+                           [this, index] { on_message_arrival(index); });
+  }
+  nic_try_serve(node, egress);
+}
+
+void System::nic_pause(int node, bool egress) {
+  NicServer& server = nic(node, egress);
+  assert(!server.paused);
+  server.paused = true;
+  server.paused_at = now();
+  if (server.active != 0) {
+    server.remaining -= now() - server.since;
+    if (server.remaining < SimDuration{1}) server.remaining = SimDuration{1};
+    ++server.epoch;
+    engine_.cancel(server.done_ev);
+    server.done_ev = EventId{};
+  }
+}
+
+void System::nic_resume(int node, bool egress) {
+  NicServer& server = nic(node, egress);
+  assert(server.paused);
+  server.paused = false;
+  if (server.active != 0) {
+    // TCP loss recovery after the stall: retransmission plus congestion-
+    // window rebuild, proportional to how long the host was frozen.
+    double recovery = net_.params().tcp_recovery_scale;
+    if (recovery > 0.0 && node_htt_active(node)) {
+      recovery *= cfg_.htt_nic_recovery_factor;
+    }
+    if (recovery > 0.0) {
+      const SimDuration stall = now() - server.paused_at;
+      server.remaining += nic_rng_.uniform_duration(
+          SimDuration::zero(),
+          std::max(SimDuration{1}, scale(stall, recovery)));
+    }
+    server.since = now();
+    ++server.epoch;
+    server.done_ev = engine_.schedule_after(
+        server.remaining, [this, node, egress, ep = server.epoch] {
+          nic_service_done(node, egress, ep);
+        });
+  } else {
+    nic_try_serve(node, egress);
+  }
+}
+
+void System::on_message_arrival(std::uint64_t msg_index) {
+  MessageRec& msg = *messages_[msg_index];
+  const auto& members = groups_.at(static_cast<std::size_t>(msg.group.value));
+  TaskImpl& dst = task(members[static_cast<std::size_t>(msg.dst_rank)]);
+  msg.arrived = true;
+  msg.arrival = now();
+  msg.arrived_during_smm = node_in_smm(dst.node);
+  dst.mailbox.push_back(msg_index);
+
+  // Posted nonblocking receives match first (MPI posted-queue semantics).
+  if (match_posted_irecv(dst, msg_index)) {
+    wake_waitall(dst);
+    return;
+  }
+
+  if (!dst.waiting_msg) return;
+  if (msg.tag != dst.wait_tag) return;
+  if (dst.wait_src != kAnySource && msg.src_rank != dst.wait_src) return;
+
+  if (dst.on_cpu) {
+    if (!cpu_state(dst.node, dst.cpu).frozen) {
+      step_action(dst);  // spin-waiter picks it up immediately
+    }
+    // else: the post-SMM resume re-polls.
+  } else if (dst.state == TaskImpl::State::kBlocked) {
+    make_ready(dst);
+  }
+  // else: queued (preempted while spinning); re-polled at dispatch.
+}
+
+bool System::try_match_recv(TaskImpl& t, int src_rank, int tag,
+                            MessageRec** out) {
+  for (const std::uint64_t idx : t.mailbox) {
+    MessageRec& msg = *messages_[idx];
+    if (msg.consumed || !msg.arrived) continue;
+    if (msg.tag != tag) continue;
+    if (src_rank != kAnySource && msg.src_rank != src_rank) continue;
+    msg.consumed = true;
+    t.waiting_msg = false;
+    t.active_msg = idx + 1;
+    *out = &msg;
+    // Compact lazily: drop consumed entries from the front.
+    while (!t.mailbox.empty() && messages_[t.mailbox.front()]->consumed) {
+      t.mailbox.erase(t.mailbox.begin());
+    }
+    return true;
+  }
+  return false;
+}
+
+bool System::match_posted_irecv(TaskImpl& t, std::uint64_t msg_index) {
+  MessageRec& msg = *messages_[msg_index];
+  for (auto& [handle_id, handle] : t.nb_handles) {
+    if (handle.is_send || handle.complete || handle.data_arrived) continue;
+    if (handle.tag != msg.tag) continue;
+    if (handle.src != kAnySource && handle.src != msg.src_rank) continue;
+    handle.data_arrived = true;
+    handle.msg_index1 = msg_index + 1;
+    msg.consumed = true;
+    return true;
+  }
+  return false;
+}
+
+void System::wake_waitall(TaskImpl& t) {
+  if (!t.waiting_all) return;
+  if (t.on_cpu) {
+    if (!cpu_state(t.node, t.cpu).frozen) step_action(t);
+    // else: the post-SMM resume re-polls.
+  } else if (t.state == TaskImpl::State::kBlocked) {
+    make_ready(t);
+  }
+  // else: queued; re-polled at dispatch.
+}
+
+void System::deliver_ack(const MessageRec& msg) {
+  // Control traffic: tiny, skips the queue servers (a real NIC prioritizes
+  // pure ACKs and their wire time is negligible). If the sender's node is
+  // frozen when it lands, the spinning sender picks it up at SMM exit.
+  const SimDuration wire = msg.src_node == msg.dst_node
+                               ? net_.intra_transfer(kAckBytes)
+                               : net_.latency() + net_.wire_xmit(kAckBytes);
+  engine_.schedule_after(wire, [this, key = msg.ack_key] { on_ack(key); });
+}
+
+void System::on_ack(std::uint64_t ack_key) {
+  // Linear scan over live tasks: ack traffic is rare (one per rendezvous
+  // message) and task counts are small.
+  for (auto& tp : tasks_) {
+    TaskImpl& t = *tp;
+    if (t.state == TaskImpl::State::kDone) continue;
+    // Nonblocking rendezvous send completion.
+    if (const auto it = t.ack_to_handle.find(ack_key);
+        it != t.ack_to_handle.end()) {
+      t.nb_handles.at(it->second).complete = true;
+      t.ack_to_handle.erase(it);
+      wake_waitall(t);
+      return;
+    }
+    if (t.pending_ack_key != ack_key) continue;
+    t.ack_arrived = true;
+    t.pending_ack_key = 0;
+    if (!t.waiting_ack) return;  // arrived before the task started waiting
+    t.waiting_ack = false;
+    if (t.on_cpu) {
+      if (!cpu_state(t.node, t.cpu).frozen) step_action(t);
+    } else if (t.state == TaskImpl::State::kBlocked) {
+      make_ready(t);
+    }
+    return;
+  }
+}
+
+// --- SMM ---------------------------------------------------------------------------
+
+bool System::node_in_smm(int node) const {
+  return node_state_.at(static_cast<std::size_t>(node))->in_smm;
+}
+
+bool System::node_htt_active(int node) const {
+  const Node& n = cluster_.node(node);
+  if (n.spec().threads_per_core < 2) return false;
+  for (int i = 0; i < n.cpu_count(); ++i) {
+    const auto& cpu = n.cpu(i);
+    if (cpu.online && cpu.sibling >= 0 && n.is_online(cpu.sibling)) return true;
+  }
+  return false;
+}
+
+void System::smm_enter(int node) {
+  auto& ns = *node_state_.at(static_cast<std::size_t>(node));
+  assert(!ns.in_smm && "nested SMM entry");
+  ns.in_smm = true;
+  ns.freeze_start = now();
+  // TCP stalls with the host: neither direction of the NIC makes progress.
+  nic_pause(node, /*egress=*/true);
+  nic_pause(node, /*egress=*/false);
+  const Node& topo = cluster_.node(node);
+  for (int i = 0; i < topo.cpu_count(); ++i) {
+    if (!topo.is_online(i)) continue;
+    auto& cs = ns.cpus[static_cast<std::size_t>(i)];
+    if (cs.frozen) continue;  // already stopped by a single-CPU preemption
+    cs.frozen = true;
+    if (cs.quantum_ev.valid()) {
+      engine_.cancel(cs.quantum_ev);
+      cs.quantum_ev = EventId{};
+    }
+    if (cs.current >= 0) {
+      TaskImpl& t = *tasks_[static_cast<std::size_t>(cs.current)];
+      settle(t);
+      ++t.epoch;  // invalidate any scheduled completion
+      engine_.cancel(t.completion_ev);
+      t.completion_ev = EventId{};
+    }
+  }
+}
+
+void System::smm_exit(int node, const SmmInterval& interval) {
+  auto& ns = *node_state_.at(static_cast<std::size_t>(node));
+  assert(ns.in_smm);
+  ns.in_smm = false;
+  smm_acct_.record(interval);
+  nic_resume(node, /*egress=*/true);
+  nic_resume(node, /*egress=*/false);
+
+  const SimDuration frozen_for = now() - ns.freeze_start;
+  // The state worth re-warming after SMM is bounded by what was rebuilt
+  // since the previous SMM interval: at high SMI rates caches never get
+  // fully hot, so the per-SMI warm-up shrinks with the gap. The quadratic
+  // damping reflects that a barely-warm cache both has less to lose and
+  // loses it more cheaply (the lines it still needs are the recent ones).
+  const double warm_fraction = [&] {
+    if (ns.last_smm_exit < SimTime::zero()) return 1.0;
+    const SimDuration warm = ns.freeze_start - ns.last_smm_exit;
+    const double f = warm / (warm + frozen_for);
+    return f * f;
+  }();
+  ns.last_smm_exit = now();
+  const SimDuration effective_residency = scale(frozen_for, warm_fraction);
+  const Node& topo = cluster_.node(node);
+  for (int i = 0; i < topo.cpu_count(); ++i) {
+    if (!topo.is_online(i)) continue;
+    auto& cs = ns.cpus[static_cast<std::size_t>(i)];
+    cs.frozen = false;
+    if (cs.current >= 0) {
+      TaskImpl& t = *tasks_[static_cast<std::size_t>(cs.current)];
+      // The OS never saw the freeze: it keeps charging the task.
+      t.stats.os_view_cpu_time += frozen_for;
+      t.stats.smm_stolen_time += frozen_for;
+      t.stats.smm_hits += 1;
+      apply_refill(t, refill_rng_, effective_residency);
+      begin_running(t);
+      // The freeze cancelled the preemption timer; restore timeslicing for
+      // oversubscribed CPUs (a spinning waiter must not starve its queue).
+      arm_quantum(node, i);
+    }
+  }
+  // Timer wake-ups that fired during the freeze are serviced now.
+  const std::vector<std::int32_t> wakes = std::move(ns.deferred_wakes);
+  ns.deferred_wakes.clear();
+  for (const std::int32_t idx : wakes) {
+    TaskImpl& t = *tasks_[static_cast<std::size_t>(idx)];
+    if (t.state == TaskImpl::State::kSleeping) make_ready(t);
+  }
+  for (int i = 0; i < topo.cpu_count(); ++i) {
+    if (topo.is_online(i)) dispatch(node, i);
+  }
+}
+
+void System::preempt_cpu(int node, int cpu) {
+  assert(!node_in_smm(node) && "use SMM entry for whole-node freezes");
+  auto& cs = cpu_state(node, cpu);
+  assert(!cs.frozen && "CPU already preempted");
+  cs.frozen = true;
+  if (cs.quantum_ev.valid()) {
+    engine_.cancel(cs.quantum_ev);
+    cs.quantum_ev = EventId{};
+  }
+  if (cs.current >= 0) {
+    TaskImpl& t = *tasks_[static_cast<std::size_t>(cs.current)];
+    settle(t);
+    ++t.epoch;
+    engine_.cancel(t.completion_ev);
+    t.completion_ev = EventId{};
+  }
+}
+
+void System::resume_cpu(int node, int cpu) {
+  if (node_in_smm(node)) return;  // SMM superseded; its exit restores the CPU
+  auto& cs = cpu_state(node, cpu);
+  if (!cs.frozen) return;  // already restored by an SMM exit
+  cs.frozen = false;
+  if (cs.current >= 0) {
+    // OS-level noise is visible to the kernel: unlike SMM it is NOT charged
+    // to the victim task's CPU time, so no os_view adjustment here.
+    begin_running(*tasks_[static_cast<std::size_t>(cs.current)]);
+    arm_quantum(node, cpu);  // the preemption timer was cancelled at freeze
+  }
+  dispatch(node, cpu);
+}
+
+void System::apply_refill(TaskImpl& t, Rng& rng, SimDuration frozen_for) {
+  if (cfg_.machine.hot_set_bytes <= 0) return;  // nothing to re-warm
+  // How much of the hot state the handler actually evicted: a millisecond
+  // handler touches almost nothing; a long scan flushes everything.
+  const double evicted =
+      std::min(1.0, frozen_for / cfg_.smm_full_flush_residency);
+  SimDuration refill = scale(
+      refill_work(t.profile, cfg_.machine.hot_set_bytes,
+                  cfg_.machine.cache_refill_bw, sibling_busy(t), rng),
+      evicted);
+  if (node_htt_active(t.node)) {
+    refill = scale(refill, cfg_.refill_htt_node_multiplier);
+    // Residency-proportional warm-up with twice the hardware contexts
+    // competing for the same caches (see SystemConfig::htt_refill_fraction),
+    // scaled by how much hot state this task actually keeps (a register-
+    // resident spin loop loses nothing; a streaming kernel loses little).
+    // The per-run factor models how (un)lucky this run's post-SMI thread
+    // placement is — the paper's HTT variance at high SMI rates.
+    if (cfg_.htt_refill_fraction > 0 && t.profile.hot_set_fraction > 0) {
+      const double hot = std::min(1.0, t.profile.hot_set_fraction);
+      const double jittered = cfg_.htt_refill_fraction * hot * evicted *
+                              htt_refill_run_factor_ * rng.uniform(0.7, 1.3);
+      refill += scale(frozen_for, jittered);
+    }
+  }
+  t.stats.refill_overhead += refill;
+  if (t.work_left > SimDuration::zero()) {
+    t.work_left += refill;
+  } else {
+    t.pending_overhead += refill;
+  }
+}
+
+// --- Running -----------------------------------------------------------------------
+
+void System::validate() const {
+  auto fail = [](const std::string& what) {
+    throw std::logic_error("System::validate: " + what);
+  };
+  // CPU <-> task cross-references.
+  for (int n = 0; n < cluster_.node_count(); ++n) {
+    const auto& ns = *node_state_[static_cast<std::size_t>(n)];
+    const Node& topo = cluster_.node(n);
+    for (int c = 0; c < topo.cpu_count(); ++c) {
+      const auto& cs = ns.cpus[static_cast<std::size_t>(c)];
+      if (cs.current >= 0) {
+        const TaskImpl& t = *tasks_[static_cast<std::size_t>(cs.current)];
+        if (!t.on_cpu || t.node != n || t.cpu != c) {
+          fail("cpu " + std::to_string(n) + "/" + std::to_string(c) +
+               " current task '" + t.name + "' does not point back");
+        }
+        if (!topo.is_online(c)) fail("offline CPU has a current task");
+      }
+      for (const std::int32_t idx : cs.runqueue) {
+        const TaskImpl& t = *tasks_[static_cast<std::size_t>(idx)];
+        if (!t.queued || t.on_cpu || t.node != n || t.cpu != c) {
+          fail("runqueue entry '" + t.name + "' state mismatch");
+        }
+      }
+      if (ns.in_smm && topo.is_online(c) && !cs.frozen) {
+        fail("node in SMM but CPU not frozen");
+      }
+    }
+  }
+  // Task-side invariants.
+  for (const auto& tp : tasks_) {
+    const TaskImpl& t = *tp;
+    if (t.stats.finished) {
+      if (t.on_cpu || t.queued || t.work_left > SimDuration::zero()) {
+        fail("finished task '" + t.name + "' retains execution state");
+      }
+      if (t.stats.os_view_cpu_time <
+          t.stats.true_cpu_time + t.stats.smm_stolen_time - SimDuration{1}) {
+        fail("ledger mismatch for '" + t.name + "'");
+      }
+    }
+    if (t.on_cpu && t.queued) fail("task '" + t.name + "' both on CPU and queued");
+    if (t.on_cpu) {
+      const auto& cs = node_state_[static_cast<std::size_t>(t.node)]
+                           ->cpus[static_cast<std::size_t>(t.cpu)];
+      if (cs.current != t.id.value) {
+        fail("task '" + t.name + "' thinks it is current but is not");
+      }
+    }
+  }
+}
+
+void System::run() {
+  while (unfinished_tasks_ > 0) {
+    if (!engine_.step()) {
+      std::string blocked;
+      for (const auto& tp : tasks_) {
+        if (!tp->stats.finished) blocked += " '" + tp->name + "'";
+      }
+      throw std::runtime_error(
+          "smilab::System::run: no pending events but tasks are unfinished "
+          "(communication deadlock?):" + blocked);
+    }
+    if (now() - SimTime::zero() > cfg_.max_sim_time) {
+      throw std::runtime_error("smilab::System::run: exceeded max_sim_time");
+    }
+  }
+}
+
+bool System::run_for(SimDuration d) { return engine_.run_until(now() + d); }
+
+bool System::all_finished() const { return unfinished_tasks_ == 0; }
+
+const TaskStats& System::task_stats(TaskId t) const { return task(t).stats; }
+
+const std::string& System::task_name(TaskId t) const { return task(t).name; }
+
+int System::task_node(TaskId t) const { return task(t).node; }
+
+SimDuration System::total_true_cpu_time() const {
+  SimDuration total{};
+  for (const auto& tp : tasks_) total += tp->stats.true_cpu_time;
+  return total;
+}
+
+SimTime System::group_finish_time(GroupId g) const {
+  const auto& members = groups_.at(static_cast<std::size_t>(g.value));
+  SimTime latest = SimTime::zero();
+  for (const TaskId id : members) {
+    assert(id.valid());
+    const TaskStats& stats = task(id).stats;
+    assert(stats.finished && "group member still running");
+    latest = std::max(latest, stats.end_time);
+  }
+  return latest;
+}
+
+SimTime System::last_finish_time() const {
+  SimTime latest = SimTime::zero();
+  for (const auto& tp : tasks_) {
+    if (tp->stats.finished) latest = std::max(latest, tp->stats.end_time);
+  }
+  return latest;
+}
+
+}  // namespace smilab

@@ -1,0 +1,273 @@
+// The simulation runtime: interprets task actions against the machine
+// model, the OS scheduler, the network, and the SMM injection engine.
+//
+// Execution semantics (the load-bearing rules):
+//  * A task is sticky-placed on one logical CPU at spawn (HPC-style); the
+//    placement policy fills distinct physical cores before HTT siblings,
+//    like the Linux scheduler's preference for idle cores.
+//  * Compute progresses at a rate set by HTT sibling occupancy
+//    (cpu/workload_profile.h) and pauses entirely while the node is in SMM.
+//  * An SMI freezes EVERY online logical CPU of the node for the sampled
+//    SMM duration: no compute, no message injection or drain, no timer
+//    wake-ups — only the wire keeps moving. This is the defining property
+//    of SMIs versus ordinary interrupts.
+//  * The OS-view clock keeps charging the interrupted task during SMM
+//    (TaskStats::os_view_cpu_time), reproducing the misattribution the
+//    paper calls out for performance tools.
+//  * After SMM exit each on-CPU task pays a cache-refill penalty, larger
+//    when HTT is active; messages that arrived during the freeze drain
+//    cheaper when spare sibling contexts exist (post-SMI backlog drain).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "smilab/net/network.h"
+#include "smilab/os/costs.h"
+#include "smilab/sim/event_queue.h"
+#include "smilab/sim/machine.h"
+#include "smilab/sim/task.h"
+#include "smilab/smm/accounting.h"
+#include "smilab/smm/smi_config.h"
+#include "smilab/time/rng.h"
+#include "smilab/time/tsc.h"
+
+namespace smilab {
+
+class SmiController;
+
+struct SystemConfig {
+  MachineSpec machine = MachineSpec::wyeast_e5520();
+  int node_count = 1;
+  NetworkParams net{};
+  OsCosts os{};
+  SmiConfig smi{};
+  std::uint64_t seed = 1;
+
+  /// Per-node multiplicative speed jitter (stddev), modelling run-to-run
+  /// system noise unrelated to SMIs (daemons, DVFS wiggle). 0 disables.
+  double node_speed_sigma = 0.0;
+
+  /// Post-SMM refill multiplier applied when the node has HTT siblings
+  /// online (more hardware contexts re-warming the same caches).
+  double refill_htt_node_multiplier = 1.35;
+
+  /// Receive-processing cost factor for messages that arrived while the
+  /// node was frozen, when HTT siblings are online: spare logical CPUs let
+  /// the network stack drain the post-SMI backlog in parallel with the
+  /// resumed ranks.
+  double post_smi_drain_factor = 0.55;
+
+  /// Extra CPU-side warm-up charged to each on-CPU task after an SMM
+  /// interval when HTT siblings are online, as a fraction of the residency
+  /// (jittered +/-40%). Twice as many hardware contexts re-populate the
+  /// same caches/TLBs and the OS resumes twice as many runqueues, so the
+  /// post-SMI recovery grows with the freeze length. This is what makes
+  /// long SMIs ~4% more expensive with HTT on (Tables 4-5) while short
+  /// SMIs stay invisible — the cost is proportional to residency. Being
+  /// CPU-side only, it does NOT stretch the NIC outage, so comm-dominated
+  /// jobs (FT at scale) can still come out ahead under HTT via the faster
+  /// recovery below.
+  double htt_refill_fraction = 0.38;
+
+  /// SMM residency multiplier when HTT siblings are online (SMI rendezvous
+  /// cost across twice the hardware threads). Kept at 1.0 by default — the
+  /// ablation benches explore it; the refill fraction above carries the
+  /// HTT effect in the calibrated model.
+  double smm_htt_residency_factor = 1.0;
+
+  /// TCP recovery scale multiplier when HTT siblings are online: softirq /
+  /// retransmission processing restarts on spare hardware threads instead
+  /// of competing with the resumed ranks, so comm-heavy jobs (FT) recover
+  /// faster — the mechanism behind Table 5's negative HTT deltas.
+  double htt_nic_recovery_factor = 0.35;
+
+  /// SMM residency at which the handler has effectively flushed all hot
+  /// state. Refill penalties scale with min(1, residency/this): a 1-3 ms
+  /// handler touches little (short SMIs stay invisible even at high rates,
+  /// as the paper reports); a 100+ ms integrity scan evicts everything.
+  SimDuration smm_full_flush_residency = milliseconds(30);
+
+  /// Hard ceiling on simulated time; exceeding it aborts the run with an
+  /// error (guards against accidental livelock under extreme SMI rates).
+  SimDuration max_sim_time = seconds(24 * 3600);
+};
+
+/// See file header. Single-threaded, deterministic given (config, seed).
+class System {
+ public:
+  explicit System(SystemConfig cfg);
+  ~System();
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] Cluster& cluster() { return cluster_; }
+  [[nodiscard]] const Cluster& cluster() const { return cluster_; }
+  [[nodiscard]] const SystemConfig& config() const { return cfg_; }
+  [[nodiscard]] SimTime now() const { return engine_.now(); }
+  [[nodiscard]] Tsc tsc() const { return Tsc{cfg_.machine.ghz}; }
+
+  /// Take `n` logical CPUs online on every node before spawning tasks
+  /// (sysfs-style sweep used by the multithreaded study).
+  void set_online_cpus(int n);
+
+  // --- Tasks and groups ------------------------------------------------------
+
+  /// Create a communication group (an MPI communicator / a pipe pair).
+  GroupId create_group(int size);
+
+  /// Spawn a standalone task (it gets a singleton group).
+  TaskId spawn(TaskSpec spec);
+
+  /// Spawn a task as rank `rank` of group `g`. Send/Recv ranks resolve
+  /// within the group.
+  TaskId spawn_member(GroupId g, int rank, TaskSpec spec);
+
+  // --- Running -----------------------------------------------------------------
+
+  /// Run until every spawned task has finished.
+  void run();
+
+  /// Run for at most `d` more simulated time. Returns true if events remain.
+  bool run_for(SimDuration d);
+
+  [[nodiscard]] bool all_finished() const;
+  [[nodiscard]] const TaskStats& task_stats(TaskId t) const;
+  [[nodiscard]] const std::string& task_name(TaskId t) const;
+  [[nodiscard]] int task_node(TaskId t) const;
+  /// Tasks spawned so far; ids are dense: TaskId{0} .. TaskId{count-1}.
+  [[nodiscard]] int task_count() const { return static_cast<int>(tasks_.size()); }
+  /// Sum of true (executing) CPU time over all tasks.
+  [[nodiscard]] SimDuration total_true_cpu_time() const;
+  /// Completion time of the last-finishing member of `g`; all members must
+  /// have finished.
+  [[nodiscard]] SimTime group_finish_time(GroupId g) const;
+  /// Completion time of the last-finishing task overall.
+  [[nodiscard]] SimTime last_finish_time() const;
+
+  // --- SMM ---------------------------------------------------------------------
+
+  [[nodiscard]] const SmmAccounting& smm_accounting() const { return smm_acct_; }
+  /// Non-null when cfg.smi.enabled(): the injection engine.
+  [[nodiscard]] SmiController* smi_controller() { return smi_.get(); }
+
+  /// Firmware-side hooks used by SmiController. All online CPUs of `node`
+  /// stop at smm_enter and resume at smm_exit.
+  void smm_enter(int node);
+  void smm_exit(int node, const SmmInterval& interval);
+  [[nodiscard]] bool node_in_smm(int node) const;
+  /// True when any physical core of the node has both hardware threads
+  /// online (drives the HTT-dependent SMM behaviours above).
+  [[nodiscard]] bool node_htt_active(int node) const;
+
+  // --- Generic single-CPU noise (noise/ injector) ----------------------------
+
+  /// Preempt one logical CPU (an OS-level noise event: daemon, IRQ storm,
+  /// kernel thread). Unlike SMM this stops neither the other CPUs nor the
+  /// NIC — the contrast the SMI-vs-OS-noise ablation measures. The CPU must
+  /// not already be frozen (by SMM or a previous preemption).
+  void preempt_cpu(int node, int cpu);
+  /// Undo preempt_cpu: no refill penalty, no SMM accounting.
+  void resume_cpu(int node, int cpu);
+
+  // --- Diagnostics ----------------------------------------------------------------
+
+  [[nodiscard]] const NetworkModel& network() const { return net_; }
+  /// Total bytes that crossed node boundaries.
+  [[nodiscard]] std::int64_t inter_node_bytes() const { return inter_node_bytes_; }
+  /// Derived per-run RNG stream (deterministic per label).
+  [[nodiscard]] Rng make_rng(std::string_view label) const {
+    return master_rng_.fork(stream_label(label));
+  }
+
+  /// Internal consistency checker (used by the fuzz harness and tests):
+  /// every CPU's `current` cross-references a task that believes it is on
+  /// that CPU; every queued task sits in exactly its own CPU's runqueue;
+  /// frozen flags agree with node SMM state (outside single-CPU
+  /// preemptions); finished tasks hold no execution state. Throws
+  /// std::logic_error with a description on the first violation.
+  void validate() const;
+
+ private:
+  struct TaskImpl;
+  struct CpuState;
+  struct NodeState;
+  struct MessageRec;
+
+  TaskImpl& task(TaskId id);
+  const TaskImpl& task(TaskId id) const;
+  CpuState& cpu_state(int node, int cpu);
+
+  // Placement and scheduling.
+  int place(const TaskSpec& spec);
+  void make_ready(TaskImpl& t);
+  void dispatch(int node, int cpu);
+  void steal_into(int node, int cpu);
+  void preempt_current(int node, int cpu);
+  void arm_quantum(int node, int cpu);
+
+  // Execution progress.
+  double current_rate(const TaskImpl& t) const;
+  void settle(TaskImpl& t);
+  void begin_running(TaskImpl& t);
+  void stop_running(TaskImpl& t, bool keep_on_cpu);
+  void reschedule_completion(TaskImpl& t);
+  void on_work_complete(TaskImpl& t);
+  void sibling_rate_changed(int node, int cpu);
+  [[nodiscard]] bool sibling_busy(const TaskImpl& t) const;
+
+  // Action interpretation.
+  void start_next_action(TaskImpl& t);
+  void step_action(TaskImpl& t);
+  void start_work(TaskImpl& t, SimDuration amount);
+  void finish_task(TaskImpl& t);
+
+  // Messaging.
+  void inject_message(TaskImpl& sender, int dst_rank, std::int64_t bytes,
+                      int tag, bool needs_ack, std::uint64_t ack_key);
+  void on_message_arrival(std::uint64_t msg_index);
+  bool try_match_recv(TaskImpl& t, int src_rank, int tag, MessageRec** out);
+  void deliver_ack(const MessageRec& msg);
+  void on_ack(std::uint64_t ack_key);
+  bool match_posted_irecv(TaskImpl& t, std::uint64_t msg_index);
+  void wake_waitall(TaskImpl& t);
+
+  // Event-driven NIC servers (pause while the node is in SMM: a frozen
+  // host neither transmits nor ACKs, so TCP stalls with the CPUs).
+  struct NicServer;
+  NicServer& nic(int node, bool egress);
+  void nic_submit(int node, bool egress, std::uint64_t msg_index);
+  void nic_try_serve(int node, bool egress);
+  void nic_service_done(int node, bool egress, std::uint64_t epoch);
+  void nic_pause(int node, bool egress);
+  void nic_resume(int node, bool egress);
+
+  // SMM helpers.
+  void apply_refill(TaskImpl& t, Rng& rng, SimDuration frozen_for);
+
+  SystemConfig cfg_;
+  Engine engine_;
+  Cluster cluster_;
+  NetworkModel net_;
+  SmmAccounting smm_acct_;
+  Rng master_rng_;
+  Rng refill_rng_;
+  Rng nic_rng_;
+  double htt_refill_run_factor_ = 1.0;  ///< per-run HTT warm-up luck
+  std::vector<double> node_speed_;  ///< per-node base speed multiplier
+
+  std::vector<std::unique_ptr<TaskImpl>> tasks_;
+  std::vector<std::vector<TaskId>> groups_;
+  std::vector<std::unique_ptr<NodeState>> node_state_;
+  std::vector<std::unique_ptr<MessageRec>> messages_;
+  std::uint64_t next_ack_key_ = 1;
+  std::int64_t inter_node_bytes_ = 0;
+  int unfinished_tasks_ = 0;
+
+  std::unique_ptr<SmiController> smi_;
+};
+
+}  // namespace smilab

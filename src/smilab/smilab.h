@@ -1,0 +1,78 @@
+// smilab — a discrete-event laboratory for studying System Management
+// Interrupt (SMI) noise on multithreaded, hyper-threaded, and MPI
+// applications.
+//
+// This umbrella header exposes the full public API:
+//
+//   Simulation substrate
+//     sim/event_queue.h   deterministic discrete-event engine
+//     sim/machine.h       node/core/HTT topology, sysfs-style hotplug
+//     sim/task.h          task + action model (trace-driven execution)
+//     sim/system.h        the runtime: scheduler, HTT sharing, SMM freezes,
+//                         NIC queue servers, accounting
+//     net/network.h       LogGP-flavoured network cost model
+//     cache/cache.h       set-associative cache hierarchy simulator
+//     cpu/workload_profile.h  HTT efficiency / refill profiles
+//
+//   SMM / SMI
+//     smm/smi_config.h    short/long SMI regimes, intervals in jiffies
+//     smm/smi_controller.h  the blackbox-driver equivalent
+//     smm/accounting.h    MSR_SMI_COUNT-style counters, BIOSBITS check
+//
+//   Simulated MPI ("simmpi")
+//     mpi/program.h       per-rank trace builder, placement helpers
+//     mpi/collectives.h   barrier/bcast/reduce/allreduce/allgather/alltoall
+//     mpi/job.h           job launcher
+//
+//   Workloads
+//     apps/nas/...        NAS EP/BT/FT models + paper-table calibration
+//     apps/convolve/...   real convolution kernel, cachegrind-style
+//                         measurement, Figure-1 workload
+//     apps/unixbench/...  five-test UnixBench index model
+//
+//   Noise tooling
+//     noise/hwlat.h       TSC-gap SMI detector with ground-truth scoring
+//     noise/ftq.h         fixed-time-quantum noise characterization
+//     noise/injector.h    single-CPU OS-noise injector + attribution
+//
+//   Support
+//     core/experiment.h   multi-trial runners
+//     stats/...           online stats, histograms, table/series output
+//     time/...            SimTime, jiffies, TSC, deterministic RNG
+#pragma once
+
+#include "smilab/apps/convolve/access_stream.h"
+#include "smilab/apps/convolve/convolve.h"
+#include "smilab/apps/convolve/workload.h"
+#include "smilab/apps/nas/nas.h"
+#include "smilab/apps/nas/runner.h"
+#include "smilab/apps/unixbench/unixbench.h"
+#include "smilab/cache/cache.h"
+#include "smilab/core/experiment.h"
+#include "smilab/cpu/energy.h"
+#include "smilab/cpu/workload_profile.h"
+#include "smilab/mpi/collectives.h"
+#include "smilab/mpi/job.h"
+#include "smilab/mpi/program.h"
+#include "smilab/net/network.h"
+#include "smilab/noise/ftq.h"
+#include "smilab/noise/hwlat.h"
+#include "smilab/noise/injector.h"
+#include "smilab/sim/event_queue.h"
+#include "smilab/sim/machine.h"
+#include "smilab/sim/system.h"
+#include "smilab/sim/task.h"
+#include "smilab/smm/accounting.h"
+#include "smilab/smm/clock_skew.h"
+#include "smilab/smm/rim.h"
+#include "smilab/smm/smi_config.h"
+#include "smilab/smm/smi_controller.h"
+#include "smilab/stats/ascii_chart.h"
+#include "smilab/stats/histogram.h"
+#include "smilab/stats/online_stats.h"
+#include "smilab/stats/table.h"
+#include "smilab/thread/work_queue.h"
+#include "smilab/time/rng.h"
+#include "smilab/time/sim_time.h"
+#include "smilab/time/tsc.h"
+#include "smilab/trace/chrome_trace.h"

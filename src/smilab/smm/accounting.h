@@ -1,0 +1,82 @@
+// SMM residency accounting: what the firmware knows, what the OS cannot see.
+//
+// Mirrors the observable counters on real hardware (MSR_SMI_COUNT, the
+// driver's TSC-based residency measurement) and adds the ground truth only
+// a simulator has, so the misattribution of SMM time by OS-level tools can
+// be quantified exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "smilab/stats/histogram.h"
+#include "smilab/stats/online_stats.h"
+#include "smilab/time/sim_time.h"
+
+namespace smilab {
+
+/// One completed SMM interval on a node.
+struct SmmInterval {
+  int node = 0;
+  SimTime enter;
+  SimTime exit;
+  [[nodiscard]] SimDuration duration() const { return exit - enter; }
+};
+
+/// Per-node and global SMM residency bookkeeping.
+class SmmAccounting {
+ public:
+  explicit SmmAccounting(int node_count)
+      : per_node_count_(static_cast<std::size_t>(node_count), 0),
+        per_node_residency_(static_cast<std::size_t>(node_count),
+                            SimDuration::zero()) {}
+
+  void record(const SmmInterval& interval) {
+    intervals_.push_back(interval);
+    per_node_count_[static_cast<std::size_t>(interval.node)] += 1;
+    per_node_residency_[static_cast<std::size_t>(interval.node)] +=
+        interval.duration();
+    duration_stats_.add(interval.duration().seconds());
+  }
+
+  /// MSR_SMI_COUNT equivalent for one node.
+  [[nodiscard]] std::int64_t smi_count(int node) const {
+    return per_node_count_.at(static_cast<std::size_t>(node));
+  }
+  [[nodiscard]] SimDuration residency(int node) const {
+    return per_node_residency_.at(static_cast<std::size_t>(node));
+  }
+  [[nodiscard]] std::int64_t total_smi_count() const {
+    return static_cast<std::int64_t>(intervals_.size());
+  }
+  [[nodiscard]] const std::vector<SmmInterval>& intervals() const {
+    return intervals_;
+  }
+  [[nodiscard]] const OnlineStats& duration_stats() const {
+    return duration_stats_;
+  }
+
+  /// BIOSBITS warns when any single SMM interval exceeds 150 us [15].
+  /// Returns the number of violating intervals.
+  [[nodiscard]] std::int64_t biosbits_violations(
+      SimDuration threshold = microseconds(150)) const {
+    std::int64_t n = 0;
+    for (const auto& iv : intervals_) n += iv.duration() > threshold ? 1 : 0;
+    return n;
+  }
+
+  /// Latency histogram in milliseconds (for the driver characterization).
+  [[nodiscard]] Histogram duration_histogram_ms(double hi_ms = 120.0) const {
+    Histogram h{0.0, hi_ms, 120};
+    for (const auto& iv : intervals_) h.add(iv.duration().seconds() * 1e3);
+    return h;
+  }
+
+ private:
+  std::vector<SmmInterval> intervals_;
+  std::vector<std::int64_t> per_node_count_;
+  std::vector<SimDuration> per_node_residency_;
+  OnlineStats duration_stats_;
+};
+
+}  // namespace smilab

@@ -1,0 +1,34 @@
+#include "smilab/smm/clock_skew.h"
+
+#include <algorithm>
+
+namespace smilab {
+
+ClockSkewReport analyze_clock_skew(const SmmAccounting& acct, int node,
+                                   SimTime wall, SimDuration tick_period) {
+  ClockSkewReport report;
+  const std::int64_t period = tick_period.ns();
+  if (period <= 0 || wall <= SimTime::zero()) return report;
+  report.expected_ticks = wall.ns() / period;
+
+  std::int64_t lost = 0;
+  for (const SmmInterval& interval : acct.intervals()) {
+    if (interval.node != node) continue;
+    if (interval.enter >= wall) continue;
+    const SimTime end = std::min(interval.exit, wall);
+    // Ticks due in (enter, end]: they could not fire. The first tick due
+    // after exit is serviced (the deferred wake-up), so it is not lost.
+    const std::int64_t first_due = interval.enter.ns() / period + 1;
+    const std::int64_t last_due = end.ns() / period;
+    if (last_due >= first_due) lost += last_due - first_due + 1;
+  }
+  report.lost_ticks = lost;
+  report.observed_ticks = report.expected_ticks - lost;
+  report.tick_clock_behind = SimDuration{lost * period};
+  report.skew_fraction =
+      static_cast<double>(report.tick_clock_behind.ns()) /
+      static_cast<double>(wall.ns());
+  return report;
+}
+
+}  // namespace smilab

@@ -1,0 +1,40 @@
+// Timekeeping skew under SMM: tick-counted kernel time vs the invariant
+// TSC.
+//
+// The predecessor study (Delgado & Karavanic, IISWC'13) reports "time
+// scaling discrepancies" under SMIs; the mechanism is that periodic-timer
+// interrupts cannot fire while the CPUs sit in SMM, so a jiffy/tick-based
+// clock silently loses every tick that should have fired inside an SMM
+// interval (on one-shot tickless kernels the deferred timer fires once,
+// losing the remainder). The TSC keeps counting. Any software that mixes
+// the two time bases — interval timers, process accounting, profilers
+// sampling on the tick — drifts by exactly the lost-tick time.
+//
+// This analyzer reconstructs both clocks for a finished run from the SMM
+// interval record.
+#pragma once
+
+#include <cstdint>
+
+#include "smilab/smm/accounting.h"
+#include "smilab/time/sim_time.h"
+
+namespace smilab {
+
+struct ClockSkewReport {
+  std::int64_t expected_ticks = 0;  ///< wall / tick period
+  std::int64_t observed_ticks = 0;  ///< ticks that actually fired
+  std::int64_t lost_ticks = 0;
+  SimDuration tick_clock_behind{};  ///< how far the jiffy clock lags the TSC
+  double skew_fraction = 0.0;       ///< lag / wall
+};
+
+/// Reconstruct the tick-clock lag over [0, wall] on `node`, for a periodic
+/// timer of `tick_period`. Each SMM interval swallows the ticks that were
+/// due while the node was frozen, except the one serviced at SMM exit
+/// (the deferred wake-up).
+[[nodiscard]] ClockSkewReport analyze_clock_skew(const SmmAccounting& acct,
+                                                 int node, SimTime wall,
+                                                 SimDuration tick_period);
+
+}  // namespace smilab

@@ -1,0 +1,71 @@
+// Runtime Integrity Measurement (RIM) workload model.
+//
+// The paper's motivation (Section I): security proposals — HyperSentry
+// [10], HyperCheck [16], SPECTRE [17] — repurpose SMM to periodically hash
+// hypervisor/kernel code from a vantage point malware cannot reach. The
+// SMM residency of such a check is set by how many bytes it measures and
+// how fast SMM code can hash them; that residency is exactly the "long
+// SMI" knob of this library. This header converts a RIM deployment into an
+// SmiConfig, so every experiment can be re-run under a concrete security
+// policy instead of a synthetic duration band.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "smilab/smm/smi_config.h"
+
+namespace smilab {
+
+struct RimConfig {
+  /// Bytes measured per check (hypervisor text + static data). SPECTRE
+  /// reports checking windows in the tens of MB.
+  double scanned_bytes = 16e6;
+
+  /// Hash throughput inside SMM (no caches warm, SMRAM access, often
+  /// single-threaded): well below normal memory bandwidth.
+  double scan_bandwidth = 1.5e9;
+
+  /// SMI rendezvous + context save/restore + attestation bookkeeping.
+  SimDuration fixed_overhead = microseconds(200);
+
+  /// One check every this many jiffies (1 jiffy = 1 ms).
+  std::int64_t check_interval_jiffies = 1000;
+
+  /// Residency jitter (fraction) across checks: +-5% by default.
+  double duration_jitter = 0.05;
+
+  /// SMM residency of one check.
+  [[nodiscard]] SimDuration smm_duration() const {
+    return fixed_overhead + seconds_d(scanned_bytes / scan_bandwidth);
+  }
+
+  /// Fraction of wall time the platform spends measuring.
+  [[nodiscard]] double duty_cycle() const {
+    const SimDuration d = smm_duration();
+    return d / (d + jiffies(check_interval_jiffies));
+  }
+
+  /// Time to cover `total_bytes` of hypervisor state at this policy — the
+  /// security-side metric a deployment trades against application slowdown
+  /// (scanning less per check detects tampering later).
+  [[nodiscard]] SimDuration detection_latency(double total_bytes) const {
+    const double checks = std::max(1.0, total_bytes / scanned_bytes);
+    return scale(jiffies(check_interval_jiffies) + smm_duration(),
+                 checks);
+  }
+
+  /// Express this policy as an SMI regime for the injection engine.
+  [[nodiscard]] SmiConfig to_smi_config() const {
+    SmiConfig smi;
+    smi.kind = SmiKind::kLong;  // band is overridden below
+    smi.interval_jiffies = check_interval_jiffies;
+    const SimDuration d = smm_duration();
+    const SimDuration half_band = scale(d, duration_jitter);
+    smi.long_min = std::max(SimDuration{1}, d - half_band);
+    smi.long_max = d + std::max(SimDuration{1}, half_band);
+    return smi;
+  }
+};
+
+}  // namespace smilab

@@ -1,0 +1,108 @@
+// SMI injection configuration, mirroring the paper's blackbox driver knobs.
+//
+// The driver produces two SMI kinds: "short" (1-3 ms total SMM residency)
+// and "long" (100-110 ms), firing one SMI every `interval` jiffies. On the
+// paper's systems 1 jiffy = 1 ms. The gap is measured from SMM *exit*: the
+// driver re-arms its timer after the handler returns, so at very short
+// intervals the machine alternates gap/SMM rather than disappearing
+// entirely — this is what bounds the Convolve blow-up at 50 ms gaps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "smilab/time/sim_time.h"
+
+namespace smilab {
+
+/// SMM interval kind, matching the paper's SMM column coding:
+/// 0 = none, 1 = short, 2 = long.
+enum class SmiKind { kNone = 0, kShort = 1, kLong = 2 };
+
+[[nodiscard]] constexpr const char* to_string(SmiKind kind) {
+  switch (kind) {
+    case SmiKind::kNone:
+      return "none";
+    case SmiKind::kShort:
+      return "short";
+    case SmiKind::kLong:
+      return "long";
+  }
+  return "?";
+}
+
+struct SmiConfig {
+  SmiKind kind = SmiKind::kNone;
+
+  /// Gap between SMM exit and the next SMI, in jiffies (1 jiffy = 1 ms).
+  std::int64_t interval_jiffies = 1000;
+
+  /// Duration bounds per kind; sampled uniformly per SMI like the real
+  /// driver's observed 1-3 ms / 100-110 ms TSC measurements.
+  SimDuration short_min = milliseconds(1);
+  SimDuration short_max = milliseconds(3);
+  SimDuration long_min = milliseconds(100);
+  SimDuration long_max = milliseconds(110);
+
+  /// If true, all nodes receive SMIs at the same instants (e.g. firmware
+  /// synchronized via a management controller). The paper's per-node
+  /// drivers are independent, so the default is false; the sync-vs-desync
+  /// ablation quantifies how much of the MPI amplification comes from
+  /// phase independence.
+  bool synchronized_across_nodes = false;
+
+  /// First SMI fires at a random phase within one interval unless >= 0.
+  SimDuration fixed_initial_phase = SimDuration{-1};
+
+  /// Re-arm policy. The paper's driver re-arms `interval` after SMM *exit*
+  /// (false, the default), which bounds the worst-case availability at
+  /// interval/(interval+duration). A timer-driven source that fires every
+  /// `interval` from SMM *entry* (true) starves the machine once the
+  /// interval drops below the SMM duration — the rearm-policy ablation
+  /// quantifies the difference.
+  bool rearm_from_entry = false;
+
+  [[nodiscard]] bool enabled() const { return kind != SmiKind::kNone; }
+  [[nodiscard]] SimDuration interval() const { return jiffies(interval_jiffies); }
+  [[nodiscard]] SimDuration mean_duration() const {
+    switch (kind) {
+      case SmiKind::kNone:
+        return SimDuration::zero();
+      case SmiKind::kShort:
+        return (short_min + short_max) / 2;
+      case SmiKind::kLong:
+        return (long_min + long_max) / 2;
+    }
+    return SimDuration::zero();
+  }
+
+  [[nodiscard]] static SmiConfig none() { return SmiConfig{}; }
+  /// The MPI study's settings: one SMI per second.
+  [[nodiscard]] static SmiConfig short_every_second() {
+    SmiConfig cfg;
+    cfg.kind = SmiKind::kShort;
+    cfg.interval_jiffies = 1000;
+    return cfg;
+  }
+  [[nodiscard]] static SmiConfig long_every_second() {
+    SmiConfig cfg;
+    cfg.kind = SmiKind::kLong;
+    cfg.interval_jiffies = 1000;
+    return cfg;
+  }
+  /// Multithreaded-study sweeps: long SMIs at a configurable gap.
+  [[nodiscard]] static SmiConfig long_with_gap(std::int64_t gap_jiffies) {
+    SmiConfig cfg;
+    cfg.kind = SmiKind::kLong;
+    cfg.interval_jiffies = gap_jiffies;
+    return cfg;
+  }
+  [[nodiscard]] static SmiConfig short_with_gap(std::int64_t gap_jiffies) {
+    SmiConfig cfg;
+    cfg.kind = SmiKind::kShort;
+    cfg.interval_jiffies = gap_jiffies;
+    return cfg;
+  }
+};
+
+}  // namespace smilab

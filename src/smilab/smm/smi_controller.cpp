@@ -1,0 +1,97 @@
+#include "smilab/smm/smi_controller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "smilab/sim/system.h"
+
+namespace smilab {
+
+SmiController::SmiController(System& sys, SmiConfig cfg)
+    : sys_(sys), cfg_(cfg), shared_rng_(sys.make_rng("smi.shared")) {
+  assert(cfg_.enabled());
+  assert(cfg_.interval_jiffies > 0);
+  const int nodes = sys_.cluster().node_count();
+  node_rng_.reserve(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    node_rng_.push_back(sys.make_rng("smi.node." + std::to_string(n)));
+  }
+
+  if (cfg_.synchronized_across_nodes) {
+    const SimDuration phase =
+        cfg_.fixed_initial_phase >= SimDuration::zero()
+            ? cfg_.fixed_initial_phase
+            : shared_rng_.uniform_duration(SimDuration::zero(), cfg_.interval());
+    arm_all(phase);
+  } else {
+    for (int n = 0; n < nodes; ++n) {
+      const SimDuration phase =
+          cfg_.fixed_initial_phase >= SimDuration::zero()
+              ? cfg_.fixed_initial_phase
+              : node_rng_[static_cast<std::size_t>(n)].uniform_duration(
+                    SimDuration::zero(), cfg_.interval());
+      arm_node(n, phase);
+    }
+  }
+}
+
+SimDuration SmiController::sample_duration(Rng& rng) const {
+  switch (cfg_.kind) {
+    case SmiKind::kShort:
+      return rng.uniform_duration(cfg_.short_min, cfg_.short_max);
+    case SmiKind::kLong:
+      return rng.uniform_duration(cfg_.long_min, cfg_.long_max);
+    case SmiKind::kNone:
+      break;
+  }
+  return SimDuration::zero();
+}
+
+void SmiController::arm_node(int node, SimDuration delay) {
+  sys_.engine().schedule_after(delay, [this, node] { fire_node(node); });
+}
+
+void SmiController::fire_node(int node) {
+  ++fired_;
+  const SimTime enter = sys_.now();
+  SimDuration residency =
+      sample_duration(node_rng_[static_cast<std::size_t>(node)]);
+  // The SMI rendezvous pulls every logical processor into SMM; with HTT
+  // siblings online there are twice as many contexts to gather and release,
+  // so residency stretches proportionally (see SystemConfig).
+  if (sys_.node_htt_active(node)) {
+    residency = scale(residency, sys_.config().smm_htt_residency_factor);
+  }
+  sys_.smm_enter(node);
+  sys_.engine().schedule_after(residency, [this, node, enter, residency] {
+    sys_.smm_exit(node, SmmInterval{node, enter, enter + residency});
+    SimDuration delay = cfg_.interval();
+    if (cfg_.rearm_from_entry) {
+      // Timer-driven firing: the next SMI was due `interval` after entry;
+      // if the handler overran that, fire again almost immediately.
+      delay = std::max(cfg_.interval() - residency, microseconds(100));
+    }
+    arm_node(node, delay);
+  });
+}
+
+void SmiController::arm_all(SimDuration delay) {
+  sys_.engine().schedule_after(delay, [this] { fire_all(); });
+}
+
+void SmiController::fire_all() {
+  const int nodes = sys_.cluster().node_count();
+  fired_ += nodes;
+  const SimTime enter = sys_.now();
+  const SimDuration residency = sample_duration(shared_rng_);
+  for (int n = 0; n < nodes; ++n) sys_.smm_enter(n);
+  sys_.engine().schedule_after(residency, [this, nodes, enter, residency] {
+    for (int n = 0; n < nodes; ++n) {
+      sys_.smm_exit(n, SmmInterval{n, enter, enter + residency});
+    }
+    arm_all(cfg_.interval());
+  });
+}
+
+}  // namespace smilab

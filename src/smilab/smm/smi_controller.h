@@ -1,0 +1,49 @@
+// SMI injection engine: the simulator-side equivalent of the paper's
+// "Blackbox SMI" kernel driver [7].
+//
+// Per node, an independent periodic process: fire an SMI, hold every online
+// logical CPU of the node in SMM for a sampled duration (uniform in the
+// configured short/long band), then re-arm `interval` jiffies after SMM
+// *exit*. Phases are independent across nodes unless
+// `synchronized_across_nodes` is set — the phase independence is what
+// produces the max-of-N amplification on synchronizing MPI codes.
+#pragma once
+
+#include <vector>
+
+#include "smilab/smm/smi_config.h"
+#include "smilab/time/rng.h"
+#include "smilab/time/sim_time.h"
+
+namespace smilab {
+
+class System;
+
+class SmiController {
+ public:
+  /// Construct and schedule the first SMIs. `sys` must outlive this.
+  SmiController(System& sys, SmiConfig cfg);
+
+  [[nodiscard]] const SmiConfig& config() const { return cfg_; }
+
+  /// Sampled SMM residency for the configured kind (exposed for tests and
+  /// the driver-characterization bench).
+  [[nodiscard]] SimDuration sample_duration(Rng& rng) const;
+
+  /// Number of SMIs fired so far, summed over nodes.
+  [[nodiscard]] std::int64_t fired() const { return fired_; }
+
+ private:
+  void arm_node(int node, SimDuration delay);
+  void fire_node(int node);
+  void arm_all(SimDuration delay);
+  void fire_all();
+
+  System& sys_;
+  SmiConfig cfg_;
+  std::vector<Rng> node_rng_;
+  Rng shared_rng_;
+  std::int64_t fired_ = 0;
+};
+
+}  // namespace smilab

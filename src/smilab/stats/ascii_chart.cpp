@@ -1,0 +1,101 @@
+#include "smilab/stats/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+namespace smilab {
+
+namespace {
+
+char symbol_for(std::size_t index) {
+  constexpr const char* kSymbols = "12345678abcdefgh";
+  return kSymbols[index % 16];
+}
+
+}  // namespace
+
+std::string render_ascii_chart(const Series& data, const ChartOptions& options) {
+  const std::size_t points = data.point_count();
+  const std::size_t series_count = data.series_count();
+  if (points < 2 || series_count == 0) return "(not enough data to chart)\n";
+
+  double x_min = data.x(0);
+  double x_max = data.x(0);
+  double y_min = options.y_from_zero ? 0.0 : std::numeric_limits<double>::max();
+  double y_max = std::numeric_limits<double>::lowest();
+  for (std::size_t i = 0; i < points; ++i) {
+    x_min = std::min(x_min, data.x(i));
+    x_max = std::max(x_max, data.x(i));
+    for (std::size_t s = 0; s < series_count; ++s) {
+      y_min = std::min(y_min, data.y(s, i));
+      y_max = std::max(y_max, data.y(s, i));
+    }
+  }
+  if (x_max <= x_min || y_max <= y_min) return "(degenerate data range)\n";
+
+  const int width = std::max(16, options.width);
+  const int height = std::max(6, options.height);
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+
+  auto col_of = [&](double x) {
+    return static_cast<int>((x - x_min) / (x_max - x_min) * (width - 1) + 0.5);
+  };
+  auto row_of = [&](double y) {
+    const double t = (y - y_min) / (y_max - y_min);
+    return (height - 1) -
+           static_cast<int>(t * (height - 1) + 0.5);  // row 0 = top
+  };
+
+  // Draw each series with per-column linear interpolation between samples.
+  for (std::size_t s = 0; s < series_count; ++s) {
+    const char symbol = symbol_for(s);
+    for (std::size_t i = 0; i + 1 < points; ++i) {
+      const int c0 = col_of(data.x(i));
+      const int c1 = col_of(data.x(i + 1));
+      const double y0 = data.y(s, i);
+      const double y1 = data.y(s, i + 1);
+      for (int c = c0; c <= c1; ++c) {
+        const double t = c1 == c0 ? 0.0 : static_cast<double>(c - c0) / (c1 - c0);
+        const int r = std::clamp(row_of(y0 + (y1 - y0) * t), 0, height - 1);
+        grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = symbol;
+      }
+    }
+  }
+
+  std::string out;
+  char label[64];
+  for (int r = 0; r < height; ++r) {
+    const double y =
+        y_max - (y_max - y_min) * static_cast<double>(r) / (height - 1);
+    if (r % 3 == 0 || r == height - 1) {
+      std::snprintf(label, sizeof label, "%9.4g |", y);
+    } else {
+      std::snprintf(label, sizeof label, "%9s |", "");
+    }
+    out += label;
+    out += grid[static_cast<std::size_t>(r)];
+    out += '\n';
+  }
+  out += "          +";
+  out.append(static_cast<std::size_t>(options.width), '-');
+  out += '\n';
+  std::snprintf(label, sizeof label, "%9s  %-10.4g", "", x_min);
+  out += label;
+  std::snprintf(label, sizeof label, "%*.4g\n", options.width - 12, x_max);
+  out += label;
+  if (!options.y_label.empty()) out += "  y: " + options.y_label + "\n";
+  out += "  legend:";
+  for (std::size_t s = 0; s < series_count; ++s) {
+    out += ' ';
+    out += symbol_for(s);
+    out += '=' + data.series_name(s);
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace smilab

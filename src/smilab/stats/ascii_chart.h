@@ -1,0 +1,26 @@
+// ASCII line-chart rendering for figure benches: regenerating a paper
+// *figure* should produce something that reads like one in a terminal, not
+// just a column dump.
+#pragma once
+
+#include <string>
+
+#include "smilab/stats/table.h"
+
+namespace smilab {
+
+struct ChartOptions {
+  int width = 72;    ///< plot-area columns
+  int height = 18;   ///< plot-area rows
+  bool y_from_zero = true;
+  std::string y_label;
+};
+
+/// Render every series of `data` into one chart. Series i>=1 is drawn with
+/// the last character of its name if unique, else '1'..'9a'..; a legend
+/// line maps symbols to series names. Points between samples are linearly
+/// interpolated along x columns.
+[[nodiscard]] std::string render_ascii_chart(const Series& data,
+                                             const ChartOptions& options = {});
+
+}  // namespace smilab

@@ -1,0 +1,83 @@
+#include "smilab/stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace smilab {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), bucket_width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  assert(hi > lo);
+  assert(buckets > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / bucket_width_);
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + bucket_width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const {
+  return lo_ + bucket_width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::percentile(double p) const {
+  assert(p >= 0.0 && p <= 100.0);
+  if (total_ == 0) return lo_;
+  const double target = p / 100.0 * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (cum >= target && underflow_ > 0) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bucket_lo(i) + frac * bucket_width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t first = 0;
+  std::size_t last = counts_.size();
+  while (first < last && counts_[first] == 0) ++first;
+  while (last > first && counts_[last - 1] == 0) --last;
+  std::uint64_t peak = 1;
+  for (std::size_t i = first; i < last; ++i) peak = std::max(peak, counts_[i]);
+
+  std::string out;
+  char line[160];
+  for (std::size_t i = first; i < last; ++i) {
+    const auto bars =
+        static_cast<std::size_t>(static_cast<double>(counts_[i]) /
+                                 static_cast<double>(peak) * static_cast<double>(width));
+    std::snprintf(line, sizeof line, "[%10.4g, %10.4g) %8llu |", bucket_lo(i),
+                  bucket_hi(i), static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bars, '#');
+    out += '\n';
+  }
+  if (underflow_ > 0)
+    out += "underflow: " + std::to_string(underflow_) + "\n";
+  if (overflow_ > 0)
+    out += "overflow: " + std::to_string(overflow_) + "\n";
+  return out;
+}
+
+}  // namespace smilab

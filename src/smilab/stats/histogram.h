@@ -1,0 +1,45 @@
+// Fixed-bucket histogram with percentile queries, used by the SMI latency
+// characterization and the hwlat-style detector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smilab {
+
+/// Linear-bucket histogram over [lo, hi); values outside the range land in
+/// underflow/overflow counters so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+  [[nodiscard]] double bucket_hi(std::size_t i) const;
+
+  /// Approximate percentile (linear interpolation inside the bucket).
+  /// `p` in [0, 100]. Returns lo/hi bounds for empty histograms.
+  [[nodiscard]] double percentile(double p) const;
+
+  /// ASCII rendering for reports; omits empty leading/trailing buckets.
+  [[nodiscard]] std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<std::uint64_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace smilab

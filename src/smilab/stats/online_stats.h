@@ -1,0 +1,42 @@
+// Streaming summary statistics (Welford) and confidence intervals.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace smilab {
+
+/// Numerically stable streaming mean/variance/min/max accumulator.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const;
+
+  /// Half-width of an approximate 95% confidence interval on the mean
+  /// (normal approximation — fine for the trial counts used here).
+  [[nodiscard]] double ci95_half_width() const;
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace smilab

@@ -1,0 +1,154 @@
+#include "smilab/stats/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace smilab {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  assert(!headers_.empty());
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::cell(std::string text) {
+  assert(!rows_.empty());
+  assert(rows_.back().size() < headers_.size());
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return cell(std::string{buf});
+}
+
+Table& Table::cell(long long value) {
+  return cell(std::to_string(value));
+}
+
+Table& Table::dash() { return cell("-"); }
+
+const std::string& Table::at(std::size_t row, std::size_t col) const {
+  return rows_.at(row).at(col);
+}
+
+namespace {
+
+std::vector<std::size_t> column_widths(const std::vector<std::string>& headers,
+                                       const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  return widths;
+}
+
+void append_padded(std::string& out, const std::string& text, std::size_t width) {
+  // Right-align: these tables are numeric.
+  if (text.size() < width) out.append(width - text.size(), ' ');
+  out += text;
+}
+
+}  // namespace
+
+std::string Table::to_aligned_text() const {
+  const auto widths = column_widths(headers_, rows_);
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out += "  ";
+    append_padded(out, headers_[c], widths[c]);
+  }
+  out += '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out += "  ";
+    out.append(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c) out += "  ";
+      append_padded(out, c < row.size() ? row[c] : std::string{}, widths[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Table::to_markdown() const {
+  std::string out = "|";
+  for (const auto& h : headers_) out += " " + h + " |";
+  out += "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) out += "---|";
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      out += " " + (c < row.size() ? row[c] : std::string{}) + " |";
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Table::to_csv() const {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& cells, std::size_t n) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (c) out += ',';
+      if (c < cells.size()) out += cells[c];
+    }
+    out += '\n';
+  };
+  append_row(headers_, headers_.size());
+  for (const auto& row : rows_) append_row(row, headers_.size());
+  return out;
+}
+
+Series::Series(std::string x_label, std::vector<std::string> series_names)
+    : x_label_(std::move(x_label)), names_(std::move(series_names)),
+      ys_(names_.size()) {}
+
+void Series::add_point(double x, const std::vector<double>& ys) {
+  assert(ys.size() == names_.size());
+  xs_.push_back(x);
+  for (std::size_t s = 0; s < ys.size(); ++s) ys_[s].push_back(ys[s]);
+}
+
+std::string Series::to_aligned_text(int precision) const {
+  Table t{[this] {
+    std::vector<std::string> headers{x_label_};
+    headers.insert(headers.end(), names_.begin(), names_.end());
+    return headers;
+  }()};
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    t.row().cell(xs_[i], 0);
+    for (std::size_t s = 0; s < names_.size(); ++s) t.cell(ys_[s][i], precision);
+  }
+  return t.to_aligned_text();
+}
+
+std::string Series::to_csv(int precision) const {
+  std::string out = x_label_;
+  for (const auto& n : names_) out += "," + n;
+  out += '\n';
+  char buf[64];
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, xs_[i]);
+    out += buf;
+    for (std::size_t s = 0; s < names_.size(); ++s) {
+      std::snprintf(buf, sizeof buf, ",%.*g", precision, ys_[s][i]);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace smilab

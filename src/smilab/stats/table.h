@@ -1,0 +1,68 @@
+// Tabular report construction: the bench binaries print the paper's tables
+// as aligned text / markdown / CSV from these.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace smilab {
+
+/// A simple row/column table with formatting helpers. Cells are strings;
+/// numeric helpers format with fixed precision like the paper's tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent `cell` calls fill it left to right.
+  Table& row();
+  Table& cell(std::string text);
+  Table& cell(double value, int precision = 2);
+  Table& cell(long long value);
+
+  /// A cell rendered as "-" (the paper uses this for configurations that
+  /// do not fit in node memory).
+  Table& dash();
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const { return headers_.size(); }
+  [[nodiscard]] const std::string& at(std::size_t row, std::size_t col) const;
+
+  [[nodiscard]] std::string to_aligned_text() const;
+  [[nodiscard]] std::string to_markdown() const;
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// An (x, y-per-series) dataset for regenerating the paper's figures as
+/// aligned columns / CSV. Each series is one line on the figure.
+class Series {
+ public:
+  Series(std::string x_label, std::vector<std::string> series_names);
+
+  void add_point(double x, const std::vector<double>& ys);
+
+  [[nodiscard]] std::size_t point_count() const { return xs_.size(); }
+  [[nodiscard]] double x(std::size_t i) const { return xs_[i]; }
+  [[nodiscard]] double y(std::size_t series, std::size_t i) const {
+    return ys_[series][i];
+  }
+  [[nodiscard]] std::size_t series_count() const { return names_.size(); }
+  [[nodiscard]] const std::string& series_name(std::size_t i) const {
+    return names_[i];
+  }
+
+  [[nodiscard]] std::string to_aligned_text(int precision = 3) const;
+  [[nodiscard]] std::string to_csv(int precision = 6) const;
+
+ private:
+  std::string x_label_;
+  std::vector<std::string> names_;
+  std::vector<double> xs_;
+  std::vector<std::vector<double>> ys_;  // [series][point]
+};
+
+}  // namespace smilab

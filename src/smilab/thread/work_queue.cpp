@@ -1,0 +1,57 @@
+#include "smilab/thread/work_queue.h"
+
+#include <cassert>
+#include <memory>
+
+namespace smilab {
+
+namespace {
+
+/// Shared pull-queue state: workers take the next index atomically (in
+/// simulation terms: at action-fetch time, which is serialized by the
+/// engine, so a plain counter is exact).
+struct QueueState {
+  std::vector<SimDuration> items;
+  std::size_t next = 0;
+};
+
+}  // namespace
+
+WorkQueueResult run_work_queue(System& sys, WorkQueueSpec spec) {
+  assert(spec.workers >= 1);
+  auto queue = std::make_shared<QueueState>();
+  queue->items = std::move(spec.items);
+
+  WorkQueueResult result;
+  result.items_per_worker.assign(static_cast<std::size_t>(spec.workers), 0);
+  auto counts = std::make_shared<std::vector<int>>(
+      static_cast<std::size_t>(spec.workers), 0);
+
+  for (int w = 0; w < spec.workers; ++w) {
+    TaskSpec task;
+    task.name = spec.name + "." + std::to_string(w);
+    task.node = spec.node;
+    task.profile = spec.profile;
+    task.wait_policy = WaitPolicy::kBlock;
+    task.actions = std::make_unique<GeneratorActions>(
+        [queue, counts, w]() -> std::optional<Action> {
+          if (queue->next >= queue->items.size()) return std::nullopt;
+          const SimDuration work = queue->items[queue->next++];
+          (*counts)[static_cast<std::size_t>(w)] += 1;
+          return Action{Compute{work}};
+        });
+    result.workers.push_back(sys.spawn(std::move(task)));
+  }
+  sys.run();
+  result.finished = sys.last_finish_time();
+  result.items_per_worker = *counts;
+  return result;
+}
+
+std::vector<SimDuration> even_items(SimDuration total, int items) {
+  assert(items >= 1);
+  return std::vector<SimDuration>(static_cast<std::size_t>(items),
+                                  total / items);
+}
+
+}  // namespace smilab

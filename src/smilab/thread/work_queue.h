@@ -1,0 +1,46 @@
+// Simulated threading substrate: a work-queue / thread-pool facade over
+// System, matching how the paper's Convolve actually runs ("splitting R up
+// into blocks and spawning a thread for each", bounded to 24 scheduled
+// simultaneously) and how most multithreaded kernels are structured.
+//
+// `run_work_queue` spawns `workers` tasks that pull work items (compute
+// durations, optionally tagged with a profile) from a shared queue until it
+// drains — so load balances dynamically even when items are uneven or a
+// worker is slowed by an SMI or an HTT sibling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "smilab/cpu/workload_profile.h"
+#include "smilab/sim/system.h"
+
+namespace smilab {
+
+struct WorkQueueSpec {
+  std::string name = "worker";
+  int node = 0;
+  int workers = 1;
+  WorkloadProfile profile;
+  /// One entry per work item: compute duration at nominal speed.
+  std::vector<SimDuration> items;
+};
+
+struct WorkQueueResult {
+  SimTime finished;               ///< last worker's completion
+  std::vector<TaskId> workers;
+  std::vector<int> items_per_worker;
+
+  [[nodiscard]] SimDuration elapsed(SimTime start = SimTime::zero()) const {
+    return finished - start;
+  }
+};
+
+/// Spawn the pool into `sys` and run the system to completion of all tasks.
+WorkQueueResult run_work_queue(System& sys, WorkQueueSpec spec);
+
+/// Convenience: split `total` work into `items` equal chunks.
+[[nodiscard]] std::vector<SimDuration> even_items(SimDuration total, int items);
+
+}  // namespace smilab

@@ -1,0 +1,88 @@
+#include "smilab/time/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace smilab {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  origin_seed_ = seed;
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 high bits -> [0,1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+SimDuration Rng::uniform_duration(SimDuration lo, SimDuration hi) {
+  assert(lo <= hi);
+  if (lo == hi) return lo;
+  return SimDuration{uniform_int(lo.ns(), hi.ns() - 1)};
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0);
+  double u = next_double();
+  if (u <= 0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = next_double();
+  if (u1 <= 0) u1 = 0x1.0p-53;
+  const double u2 = next_double();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+Rng Rng::fork(std::uint64_t salt) const {
+  std::uint64_t sm = origin_seed_ ^ (salt * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+  return Rng{splitmix64(sm)};
+}
+
+}  // namespace smilab

@@ -1,0 +1,26 @@
+#include "smilab/time/sim_time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace smilab {
+
+std::string to_string(SimDuration d) {
+  const std::int64_t ns = d.ns();
+  const std::int64_t mag = std::abs(ns);
+  char buf[64];
+  if (mag >= 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(ns) * 1e-9);
+  } else if (mag >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(ns) * 1e-6);
+  } else if (mag >= 1'000) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(ns) * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+std::string to_string(SimTime t) { return to_string(t - SimTime::zero()); }
+
+}  // namespace smilab

@@ -1,0 +1,137 @@
+// Simulated time primitives.
+//
+// All simulator time is kept in integer nanoseconds (`SimTime`). Integer
+// ticks keep event ordering exact and runs bit-reproducible across
+// platforms; helpers convert to/from seconds and the paper's units
+// (jiffies, TSC cycles).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace smilab {
+
+/// A point in simulated time, in nanoseconds since simulation start.
+///
+/// Strong type: cannot be silently mixed with raw integers or durations in
+/// other units. Arithmetic with `SimDuration` is provided below.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(ns_) * 1e-9;
+  }
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// A span of simulated time, in nanoseconds. May be negative in
+/// intermediate arithmetic but scheduling negative delays is an error.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  constexpr explicit SimDuration(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(ns_) * 1e-9;
+  }
+
+  [[nodiscard]] static constexpr SimDuration zero() { return SimDuration{0}; }
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+  constexpr SimDuration& operator+=(SimDuration other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  constexpr SimDuration& operator-=(SimDuration other) {
+    ns_ -= other.ns_;
+    return *this;
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+// --- Construction helpers -------------------------------------------------
+
+[[nodiscard]] constexpr SimDuration nanoseconds(std::int64_t n) {
+  return SimDuration{n};
+}
+[[nodiscard]] constexpr SimDuration microseconds(std::int64_t us) {
+  return SimDuration{us * 1'000};
+}
+[[nodiscard]] constexpr SimDuration milliseconds(std::int64_t ms) {
+  return SimDuration{ms * 1'000'000};
+}
+[[nodiscard]] constexpr SimDuration seconds_d(double s) {
+  return SimDuration{static_cast<std::int64_t>(s * 1e9)};
+}
+[[nodiscard]] constexpr SimDuration seconds(std::int64_t s) {
+  return SimDuration{s * 1'000'000'000};
+}
+
+/// One scheduler jiffy. The paper's systems have CONFIG_HZ=1000, i.e.
+/// 1 jiffy == 1 ms; the SMI driver's interval knob is expressed in jiffies.
+inline constexpr SimDuration kJiffy = milliseconds(1);
+
+[[nodiscard]] constexpr SimDuration jiffies(std::int64_t n) {
+  return SimDuration{n * kJiffy.ns()};
+}
+
+// --- Arithmetic -------------------------------------------------------------
+
+constexpr SimTime operator+(SimTime t, SimDuration d) {
+  return SimTime{t.ns() + d.ns()};
+}
+constexpr SimTime operator-(SimTime t, SimDuration d) {
+  return SimTime{t.ns() - d.ns()};
+}
+constexpr SimDuration operator-(SimTime a, SimTime b) {
+  return SimDuration{a.ns() - b.ns()};
+}
+constexpr SimDuration operator+(SimDuration a, SimDuration b) {
+  return SimDuration{a.ns() + b.ns()};
+}
+constexpr SimDuration operator-(SimDuration a, SimDuration b) {
+  return SimDuration{a.ns() - b.ns()};
+}
+constexpr SimDuration operator*(SimDuration d, std::int64_t k) {
+  return SimDuration{d.ns() * k};
+}
+constexpr SimDuration operator*(std::int64_t k, SimDuration d) {
+  return d * k;
+}
+constexpr SimDuration operator/(SimDuration d, std::int64_t k) {
+  return SimDuration{d.ns() / k};
+}
+/// Ratio of two durations as a double (e.g. duty cycles).
+constexpr double operator/(SimDuration a, SimDuration b) {
+  return static_cast<double>(a.ns()) / static_cast<double>(b.ns());
+}
+
+/// Scale a duration by a real factor, rounding to the nearest nanosecond.
+[[nodiscard]] constexpr SimDuration scale(SimDuration d, double factor) {
+  const double scaled = static_cast<double>(d.ns()) * factor;
+  return SimDuration{static_cast<std::int64_t>(scaled + (scaled >= 0 ? 0.5 : -0.5))};
+}
+
+/// Human-readable rendering, e.g. "1.500ms", "2.000s".
+[[nodiscard]] std::string to_string(SimDuration d);
+[[nodiscard]] std::string to_string(SimTime t);
+
+}  // namespace smilab

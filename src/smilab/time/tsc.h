@@ -1,0 +1,37 @@
+// Simulated time-stamp counter.
+//
+// The paper's blackbox SMI driver measures SMM residency with RDTSC; the
+// hwlat-style detector in `noise/` does the same. The TSC keeps counting
+// through SMM (it is not stopped by the interrupt), which is exactly what
+// makes TSC-gap detection of SMIs possible.
+#pragma once
+
+#include <cstdint>
+
+#include "smilab/time/sim_time.h"
+
+namespace smilab {
+
+/// Converts simulated wall time to TSC cycle counts at a fixed invariant
+/// frequency (constant_tsc, as on the paper's Nehalem/Westmere parts).
+class Tsc {
+ public:
+  /// @param ghz Nominal TSC frequency in GHz (e.g. 2.27 for the E5520).
+  constexpr explicit Tsc(double ghz) : hz_(ghz * 1e9) {}
+
+  [[nodiscard]] constexpr std::uint64_t read(SimTime now) const {
+    return static_cast<std::uint64_t>(static_cast<double>(now.ns()) * 1e-9 * hz_);
+  }
+
+  /// Convert a cycle delta back to a duration.
+  [[nodiscard]] constexpr SimDuration to_duration(std::uint64_t cycles) const {
+    return SimDuration{static_cast<std::int64_t>(static_cast<double>(cycles) / hz_ * 1e9)};
+  }
+
+  [[nodiscard]] constexpr double hz() const { return hz_; }
+
+ private:
+  double hz_;
+};
+
+}  // namespace smilab

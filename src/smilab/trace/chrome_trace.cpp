@@ -1,0 +1,60 @@
+#include "smilab/trace/chrome_trace.h"
+
+#include <cstdio>
+
+#include "smilab/sim/system.h"
+
+namespace smilab {
+
+namespace {
+
+void append_event(std::string& out, bool& first, const std::string& name,
+                  const char* category, int pid, int tid, double ts_us,
+                  double dur_us) {
+  char buf[384];
+  std::snprintf(buf, sizeof buf,
+                "%s\n  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                "\"pid\": %d, \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}",
+                first ? "" : ",", name.c_str(), category, pid, tid, ts_us,
+                dur_us);
+  first = false;
+  out += buf;
+}
+
+std::string sanitized(std::string name) {
+  for (char& c : name) {
+    if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20) c = '_';
+  }
+  return name;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const System& sys) {
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+
+  // Task lifetimes, grouped by node (pid = node, tid = task id + 1).
+  for (int i = 0; i < sys.task_count(); ++i) {
+    const TaskId id{i};
+    const TaskStats& stats = sys.task_stats(id);
+    if (!stats.finished) continue;
+    const double start_us = static_cast<double>(stats.start_time.ns()) / 1e3;
+    const double dur_us =
+        static_cast<double>((stats.end_time - stats.start_time).ns()) / 1e3;
+    append_event(out, first, sanitized(sys.task_name(id)), "task",
+                 sys.task_node(id), i + 1, start_us, dur_us);
+  }
+
+  // SMM intervals (tid 0 on each node's row).
+  for (const SmmInterval& interval : sys.smm_accounting().intervals()) {
+    append_event(out, first, "SMM", "smm", interval.node, 0,
+                 static_cast<double>(interval.enter.ns()) / 1e3,
+                 static_cast<double>(interval.duration().ns()) / 1e3);
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace smilab

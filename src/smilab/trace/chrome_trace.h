@@ -1,0 +1,18 @@
+// Chrome-tracing (about://tracing, Perfetto) export of a completed run:
+// one row per task (lifetime slice) and one row per node's SMM activity.
+// Gives a visual timeline of exactly how SMIs interleave with application
+// work — the view the paper's authors could only infer indirectly.
+#pragma once
+
+#include <string>
+
+namespace smilab {
+
+class System;
+
+/// Build a Chrome trace-event JSON document ("traceEvents" array format)
+/// from a finished run. Durations are emitted in microseconds per the
+/// format's convention.
+[[nodiscard]] std::string to_chrome_trace(const System& sys);
+
+}  // namespace smilab

@@ -1,0 +1,159 @@
+// Tests for the set-associative cache model and the Convolve access-stream
+// measurement that stands in for the paper's cachegrind step.
+#include <gtest/gtest.h>
+
+#include "smilab/apps/convolve/access_stream.h"
+#include "smilab/cache/cache.h"
+
+namespace smilab {
+namespace {
+
+TEST(SetAssocCacheTest, ColdMissThenHit) {
+  SetAssocCache cache{CacheConfig{.size_bytes = 1024, .line_bytes = 64, .associativity = 2}};
+  EXPECT_FALSE(cache.access(0x100));
+  EXPECT_TRUE(cache.access(0x100));
+  EXPECT_TRUE(cache.access(0x13F));  // same 64B line as 0x100
+  EXPECT_EQ(cache.accesses(), 3u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(SetAssocCacheTest, SameLineSharesEntry) {
+  SetAssocCache cache{CacheConfig{.size_bytes = 1024, .line_bytes = 64, .associativity = 2}};
+  EXPECT_FALSE(cache.access(0x200));
+  for (int off = 1; off < 64; ++off) EXPECT_TRUE(cache.access(0x200 + static_cast<std::uint64_t>(off)));
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(SetAssocCacheTest, LruEvictsOldest) {
+  // 2-way, 64B lines, 256B cache -> 2 sets. Addresses 0, 256, 512 map to
+  // set 0. Access 0, 256 (fills both ways), touch 0, then 512 evicts 256.
+  SetAssocCache cache{CacheConfig{.size_bytes = 256, .line_bytes = 64, .associativity = 2}};
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_FALSE(cache.access(256));
+  EXPECT_TRUE(cache.access(0));     // 0 is now MRU
+  EXPECT_FALSE(cache.access(512));  // evicts 256
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_FALSE(cache.access(256));  // was evicted
+}
+
+TEST(SetAssocCacheTest, ConflictMissesWithLowAssociativity) {
+  // Direct-mapped: two lines mapping to the same set thrash.
+  SetAssocCache cache{CacheConfig{.size_bytes = 512, .line_bytes = 64, .associativity = 1}};
+  const std::uint64_t a = 0;
+  const std::uint64_t b = 512;  // same set (8 sets, stride 512 = 8*64)
+  for (int i = 0; i < 10; ++i) {
+    cache.access(a);
+    cache.access(b);
+  }
+  EXPECT_EQ(cache.misses(), 20u);
+}
+
+TEST(SetAssocCacheTest, FlushDropsEverything) {
+  SetAssocCache cache{CacheConfig{}};
+  cache.access(0x40);
+  cache.access(0x80);
+  EXPECT_TRUE(cache.contains(0x40));
+  cache.flush();
+  EXPECT_FALSE(cache.contains(0x40));
+  EXPECT_FALSE(cache.access(0x40));
+}
+
+TEST(SetAssocCacheTest, CapacityMissesOnBigWorkingSet) {
+  // Stream 4x the cache size: second pass must still miss everywhere.
+  SetAssocCache cache{CacheConfig{.size_bytes = 32 * 1024, .line_bytes = 64, .associativity = 8}};
+  const std::uint64_t span = 128 * 1024;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t a = 0; a < span; a += 64) cache.access(a);
+  }
+  EXPECT_GT(cache.miss_rate(), 0.99);
+}
+
+TEST(SetAssocCacheTest, ContainsDoesNotPerturbLruOrStats) {
+  SetAssocCache cache{CacheConfig{.size_bytes = 256, .line_bytes = 64, .associativity = 2}};
+  cache.access(0);
+  cache.access(256);
+  const auto accesses = cache.accesses();
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_EQ(cache.accesses(), accesses);
+  // contains(0) must not refresh LRU: 0 is still LRU, so 512 evicts 0.
+  cache.access(512);
+  EXPECT_FALSE(cache.contains(0));
+}
+
+TEST(CacheHierarchyTest, MissWalksDownAndInstalls) {
+  CacheHierarchy h = CacheHierarchy::e5620();
+  EXPECT_EQ(h.access(0x1000), CacheLevel::kMemory);
+  EXPECT_EQ(h.access(0x1000), CacheLevel::kL1);
+  EXPECT_EQ(h.stats().accesses, 2u);
+  EXPECT_EQ(h.stats().memory_accesses, 1u);
+  EXPECT_EQ(h.stats().l1_hits, 1u);
+}
+
+TEST(CacheHierarchyTest, L2HitAfterL1Eviction) {
+  // Stream enough lines to spill L1 (32KB) but stay inside L2 (256KB),
+  // then re-touch the first line: should hit in L2.
+  CacheHierarchy h = CacheHierarchy::e5620();
+  for (std::uint64_t a = 0; a < 128 * 1024; a += 64) h.access(a);
+  h.reset_stats();
+  EXPECT_EQ(h.access(0), CacheLevel::kL2);
+}
+
+TEST(CacheHierarchyTest, FlushForcesMemoryAccess) {
+  CacheHierarchy h = CacheHierarchy::e5620();
+  h.access(0x2000);
+  h.flush();
+  h.reset_stats();
+  EXPECT_EQ(h.access(0x2000), CacheLevel::kMemory);
+}
+
+TEST(CacheHierarchyTest, AverageLatencyWeightsLevels) {
+  CacheHierarchy h = CacheHierarchy::e5620();
+  h.access(0x40);  // memory
+  h.access(0x40);  // L1
+  // avg of {180, 1} = 90.5
+  EXPECT_NEAR(h.average_latency_cycles(1, 10, 40, 180), 90.5, 1e-9);
+}
+
+TEST(ConvolveCacheMeasurementTest, CacheFriendlyIsLowMiss) {
+  const CacheMeasurement m = measure_convolve_cache(
+      ConvolveConfig::cache_friendly(), CacheHierarchy::e5620(), 5'000'000);
+  EXPECT_LT(m.l1_miss_rate, 0.05);
+  EXPECT_GT(m.stats.accesses, 4'000'000u);
+}
+
+TEST(ConvolveCacheMeasurementTest, CacheUnfriendlyIsHighMiss) {
+  const CacheMeasurement m = measure_convolve_cache(
+      ConvolveConfig::cache_unfriendly(), CacheHierarchy::e5620(), 5'000'000);
+  EXPECT_GT(m.l1_miss_rate, 0.40);
+}
+
+TEST(ConvolveCacheMeasurementTest, ContrastMatchesPaperSelection) {
+  // The paper's pair: ~1% vs ~70% misses. We require a >=15x contrast and
+  // correspondingly separated per-reference latency.
+  const CacheMeasurement cf = measure_convolve_cache(
+      ConvolveConfig::cache_friendly(), CacheHierarchy::e5620(), 2'000'000);
+  const CacheMeasurement cu = measure_convolve_cache(
+      ConvolveConfig::cache_unfriendly(), CacheHierarchy::e5620(), 2'000'000);
+  EXPECT_GT(cu.l1_miss_rate / cf.l1_miss_rate, 15.0);
+  EXPECT_GT(cu.avg_latency_cycles, 3.0 * cf.avg_latency_cycles);
+}
+
+TEST(ConvolveCacheMeasurementTest, RefCountsMatchFormula) {
+  ConvolveConfig cfg = ConvolveConfig::cache_friendly();
+  EXPECT_EQ(cfg.refs_per_output_pixel(), 2 * 61 * 61 + 1);
+  cfg = ConvolveConfig::cache_unfriendly();
+  EXPECT_EQ(cfg.refs_per_output_pixel(), 19);
+  EXPECT_EQ(cfg.output_pixels(), 16'000'000);
+}
+
+TEST(ConvolveCacheMeasurementTest, DeterministicReplay) {
+  const CacheMeasurement a = measure_convolve_cache(
+      ConvolveConfig::cache_unfriendly(), CacheHierarchy::e5620(), 1'000'000);
+  const CacheMeasurement b = measure_convolve_cache(
+      ConvolveConfig::cache_unfriendly(), CacheHierarchy::e5620(), 1'000'000);
+  EXPECT_EQ(a.stats.l1_hits, b.stats.l1_hits);
+  EXPECT_EQ(a.stats.memory_accesses, b.stats.memory_accesses);
+}
+
+}  // namespace
+}  // namespace smilab

@@ -1,0 +1,111 @@
+// Tests for the clock-skew analyzer (IISWC'13 "time scaling
+// discrepancies") and the ASCII chart renderer used by the figure benches.
+#include <gtest/gtest.h>
+
+#include "smilab/sim/system.h"
+#include "smilab/smm/clock_skew.h"
+#include "smilab/stats/ascii_chart.h"
+
+namespace smilab {
+namespace {
+
+TEST(ClockSkewTest, NoSmmMeansNoSkew) {
+  SmmAccounting acct{1};
+  const auto report = analyze_clock_skew(acct, 0, SimTime::zero() + seconds(10),
+                                         milliseconds(1));
+  EXPECT_EQ(report.expected_ticks, 10'000);
+  EXPECT_EQ(report.lost_ticks, 0);
+  EXPECT_EQ(report.skew_fraction, 0.0);
+}
+
+TEST(ClockSkewTest, LongIntervalSwallowsItsTicks) {
+  SmmAccounting acct{1};
+  // SMM [1000.5ms, 1105.5ms): ticks due at 1001..1105 ms are lost (105),
+  // the 1106ms tick fires normally.
+  acct.record(SmmInterval{0, SimTime::zero() + microseconds(1'000'500),
+                          SimTime::zero() + microseconds(1'105'500)});
+  const auto report = analyze_clock_skew(acct, 0, SimTime::zero() + seconds(10),
+                                         milliseconds(1));
+  EXPECT_EQ(report.lost_ticks, 105);
+  EXPECT_EQ(report.tick_clock_behind, milliseconds(105));
+  EXPECT_NEAR(report.skew_fraction, 0.0105, 1e-4);
+}
+
+TEST(ClockSkewTest, ShortIntervalsLoseFewTicks) {
+  SmmAccounting acct{1};
+  for (int i = 0; i < 10; ++i) {
+    const SimTime enter = SimTime::zero() + seconds(i) + microseconds(300);
+    acct.record(SmmInterval{0, enter, enter + milliseconds(2)});
+  }
+  const auto report = analyze_clock_skew(acct, 0, SimTime::zero() + seconds(10),
+                                         milliseconds(1));
+  EXPECT_LE(report.lost_ticks, 20);
+  EXPECT_GE(report.lost_ticks, 10);
+}
+
+TEST(ClockSkewTest, OtherNodesIntervalsIgnored) {
+  SmmAccounting acct{2};
+  acct.record(SmmInterval{1, SimTime::zero() + seconds(1),
+                          SimTime::zero() + seconds(1) + milliseconds(105)});
+  const auto report = analyze_clock_skew(acct, 0, SimTime::zero() + seconds(5),
+                                         milliseconds(1));
+  EXPECT_EQ(report.lost_ticks, 0);
+}
+
+TEST(ClockSkewTest, EndToEndSkewTracksDutyCycle) {
+  // A real run: the jiffy clock on a long-SMI node falls behind by about
+  // the SMM residency share of wall time.
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::wyeast_e5520();
+  cfg.smi = SmiConfig::long_every_second();
+  cfg.seed = 11;
+  System sys{cfg};
+  std::vector<Action> prog;
+  prog.push_back(Compute{seconds(30)});
+  sys.spawn(TaskSpec::with_actions("t", 0, std::move(prog)));
+  sys.run();
+  const auto report = analyze_clock_skew(sys.smm_accounting(), 0,
+                                         sys.last_finish_time(),
+                                         milliseconds(1));
+  EXPECT_NEAR(report.skew_fraction, 0.095, 0.015);  // ~duty cycle
+  EXPECT_GT(report.tick_clock_behind, seconds(2));
+}
+
+TEST(AsciiChartTest, RendersSymbolsAndLegend) {
+  Series series{"x", {"alpha", "beta"}};
+  for (int i = 0; i <= 10; ++i) {
+    series.add_point(i, {static_cast<double>(i), 10.0 - i});
+  }
+  const std::string chart = render_ascii_chart(series);
+  EXPECT_NE(chart.find('1'), std::string::npos);
+  EXPECT_NE(chart.find('2'), std::string::npos);
+  EXPECT_NE(chart.find("legend: 1=alpha 2=beta"), std::string::npos);
+  // Axis labels include the extremes.
+  EXPECT_NE(chart.find("10"), std::string::npos);
+}
+
+TEST(AsciiChartTest, MonotoneSeriesSlopesAcrossRows) {
+  Series series{"x", {"up"}};
+  for (int i = 0; i <= 20; ++i) series.add_point(i, {static_cast<double>(i)});
+  ChartOptions options;
+  options.height = 10;
+  options.width = 40;
+  const std::string chart = render_ascii_chart(series, options);
+  // The first plotted row (top) must contain the symbol near the right
+  // edge and the bottom row near the left edge.
+  const auto first_line_end = chart.find('\n');
+  const std::string top = chart.substr(0, first_line_end);
+  EXPECT_GT(top.rfind('1'), top.size() / 2);
+}
+
+TEST(AsciiChartTest, DegenerateInputsHandled) {
+  Series empty{"x", {"a"}};
+  EXPECT_NE(render_ascii_chart(empty).find("not enough data"), std::string::npos);
+  Series flat{"x", {"a"}};
+  flat.add_point(1, {5});
+  flat.add_point(1, {5});
+  EXPECT_NE(render_ascii_chart(flat).find("degenerate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smilab

@@ -1,0 +1,153 @@
+// Tests for the real Convolve kernel: correctness of the reference,
+// blocked, and threaded implementations, plus Gaussian kernel properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "smilab/apps/convolve/convolve.h"
+
+namespace smilab {
+namespace {
+
+bool images_equal(const Image& a, const Image& b, float tol = 1e-5f) {
+  if (a.width() != b.width() || a.height() != b.height()) return false;
+  for (int y = 0; y < a.height(); ++y) {
+    for (int x = 0; x < a.width(); ++x) {
+      if (std::abs(a.at(x, y) - b.at(x, y)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+TEST(KernelTest, GaussianIsNormalized) {
+  for (const int size : {3, 5, 61}) {
+    const Kernel k = Kernel::gaussian(size);
+    double sum = 0;
+    for (int j = 0; j < size; ++j) {
+      for (int i = 0; i < size; ++i) sum += k.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5) << "size " << size;
+  }
+}
+
+TEST(KernelTest, GaussianIsSymmetricAndPeaked) {
+  const Kernel k = Kernel::gaussian(5);
+  const int c = k.radius();
+  for (int j = 0; j < 5; ++j) {
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_FLOAT_EQ(k.at(i, j), k.at(4 - i, j));
+      EXPECT_FLOAT_EQ(k.at(i, j), k.at(i, 4 - j));
+      EXPECT_LE(k.at(i, j), k.at(c, c));
+    }
+  }
+}
+
+TEST(ConvolveTest, IdentityKernelCopiesImage) {
+  Kernel identity{3};
+  identity.at(1, 1) = 1.0f;
+  const Image img = make_test_image(17, 13, 1);
+  const Image out = convolve_reference(img, identity);
+  EXPECT_TRUE(images_equal(img, out));
+}
+
+TEST(ConvolveTest, ConstantImageStaysConstantInside) {
+  // Away from borders, a normalized kernel over a constant image returns
+  // the constant.
+  Image img{32, 32};
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x) img.at(x, y) = 2.5f;
+  const Image out = convolve_reference(img, Kernel::gaussian(5));
+  for (int y = 2; y < 30; ++y) {
+    for (int x = 2; x < 30; ++x) {
+      EXPECT_NEAR(out.at(x, y), 2.5f, 1e-4f);
+    }
+  }
+}
+
+TEST(ConvolveTest, BordersAttenuatedByZeroPadding) {
+  Image img{16, 16};
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x) img.at(x, y) = 1.0f;
+  const Image out = convolve_reference(img, Kernel::gaussian(5));
+  EXPECT_LT(out.at(0, 0), out.at(8, 8));
+}
+
+TEST(ConvolveTest, BlockDecompositionCoversExactly) {
+  const auto blocks = decompose_blocks(100, 60, 32, 32);
+  std::vector<int> cover(100 * 60, 0);
+  for (const Block& b : blocks) {
+    for (int y = b.y0; y < b.y0 + b.h; ++y) {
+      for (int x = b.x0; x < b.x0 + b.w; ++x) {
+        cover[static_cast<std::size_t>(y * 100 + x)] += 1;
+      }
+    }
+  }
+  for (const int c : cover) EXPECT_EQ(c, 1);
+  EXPECT_EQ(blocks.size(), 4u * 2u);
+}
+
+TEST(ConvolveTest, BlockedMatchesReference) {
+  const Image img = make_test_image(50, 40, 7);
+  const Kernel k = Kernel::gaussian(7);
+  const Image ref = convolve_reference(img, k);
+  Image blocked{50, 40};
+  for (const Block& b : decompose_blocks(50, 40, 16, 8)) {
+    convolve_block(img, k, blocked, b.x0, b.y0, b.w, b.h);
+  }
+  EXPECT_TRUE(images_equal(ref, blocked));
+}
+
+class ConvolveThreadCounts : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Threads, ConvolveThreadCounts,
+                         ::testing::Values(1, 2, 4, 8, 24));
+
+TEST_P(ConvolveThreadCounts, ThreadedMatchesReference) {
+  // The paper's parallelization: no data dependencies between blocks, so
+  // any thread count must give identical output.
+  const Image img = make_test_image(64, 48, 11);
+  const Kernel k = Kernel::gaussian(5);
+  const Image ref = convolve_reference(img, k);
+  const Image par = convolve_threaded(img, k, 8, 8, GetParam());
+  EXPECT_TRUE(images_equal(ref, par));
+}
+
+TEST(ConvolveSeparableTest, GaussianIsSeparable) {
+  EXPECT_TRUE(is_separable(Kernel::gaussian(3)));
+  EXPECT_TRUE(is_separable(Kernel::gaussian(61)));
+}
+
+TEST(ConvolveSeparableTest, NonSeparableKernelDetected) {
+  Kernel cross{3};
+  cross.at(1, 0) = 1.0f;
+  cross.at(0, 1) = 1.0f;
+  cross.at(2, 1) = 1.0f;
+  cross.at(1, 2) = 1.0f;  // plus-shape: rank 2
+  EXPECT_FALSE(is_separable(cross));
+}
+
+TEST(ConvolveSeparableTest, MatchesReferenceOnGaussian) {
+  const Image img = make_test_image(48, 36, 21);
+  for (const int size : {3, 7, 13}) {
+    const Kernel k = Kernel::gaussian(size);
+    const Image ref = convolve_reference(img, k);
+    const Image sep = convolve_separable(img, k);
+    for (int y = 0; y < img.height(); ++y) {
+      for (int x = 0; x < img.width(); ++x) {
+        EXPECT_NEAR(sep.at(x, y), ref.at(x, y), 2e-4f)
+            << "kernel " << size << " at " << x << "," << y;
+      }
+    }
+  }
+}
+
+TEST(ConvolveTest, TestImageIsDeterministic) {
+  const Image a = make_test_image(20, 20, 3);
+  const Image b = make_test_image(20, 20, 3);
+  EXPECT_TRUE(images_equal(a, b, 0.0f));
+  const Image c = make_test_image(20, 20, 4);
+  EXPECT_FALSE(images_equal(a, c, 1e-9f));
+}
+
+}  // namespace
+}  // namespace smilab

@@ -1,0 +1,88 @@
+// Tests for the Convolve simulator workload (Figure 1 machinery).
+#include <gtest/gtest.h>
+
+#include "smilab/apps/convolve/workload.h"
+
+namespace smilab {
+namespace {
+
+TEST(ConvolveWorkloadTest, MeasuredCacheBehaviourContrasts) {
+  const auto cf = ConvolveWorkload::cache_friendly_workload();
+  const auto cu = ConvolveWorkload::cache_unfriendly_workload();
+  EXPECT_LT(cf.cache.l1_miss_rate, 0.05);
+  EXPECT_GT(cu.cache.l1_miss_rate, 0.40);
+  EXPECT_GT(cu.cache.avg_latency_cycles, cf.cache.avg_latency_cycles * 10);
+  EXPECT_EQ(cf.threads, 24);
+  EXPECT_EQ(cu.threads, 24);
+}
+
+TEST(ConvolveWorkloadTest, TotalWorkIsTensOfSeconds) {
+  const auto cf = ConvolveWorkload::cache_friendly_workload();
+  const auto cu = ConvolveWorkload::cache_unfriendly_workload();
+  EXPECT_GT(cf.total_work_seconds(2.4), 8.0);
+  EXPECT_LT(cf.total_work_seconds(2.4), 80.0);
+  EXPECT_GT(cu.total_work_seconds(2.4), 8.0);
+  EXPECT_LT(cu.total_work_seconds(2.4), 80.0);
+}
+
+TEST(ConvolveWorkloadTest, BaselineScalesWithPhysicalCores) {
+  const auto workload = ConvolveWorkload::cache_unfriendly_workload();
+  const double one = run_convolve_sim(workload, 1, SmiConfig::none(), 1).seconds;
+  const double four = run_convolve_sim(workload, 4, SmiConfig::none(), 1).seconds;
+  EXPECT_NEAR(one / four, 4.0, 0.2);
+}
+
+TEST(ConvolveWorkloadTest, HttAddsLittleForCacheHostileThreads) {
+  // The paper: CU "did not benefit greatly from HTT" — 4 vs 8 logical CPUs
+  // nearly identical.
+  const auto workload = ConvolveWorkload::cache_unfriendly_workload();
+  const double four = run_convolve_sim(workload, 4, SmiConfig::none(), 1).seconds;
+  const double eight = run_convolve_sim(workload, 8, SmiConfig::none(), 1).seconds;
+  EXPECT_NEAR(eight, four, four * 0.1);
+}
+
+TEST(ConvolveWorkloadTest, SmiKneeAround600ms) {
+  // Figure 1: minimal impact for gaps >= ~600 ms, dramatic below.
+  const auto workload = ConvolveWorkload::cache_friendly_workload();
+  const double base = run_convolve_sim(workload, 4, SmiConfig::none(), 2).seconds;
+  const double at_600 =
+      run_convolve_sim(workload, 4, SmiConfig::long_with_gap(600), 2).seconds;
+  const double at_50 =
+      run_convolve_sim(workload, 4, SmiConfig::long_with_gap(50), 2).seconds;
+  EXPECT_LT(at_600 / base, 1.30);   // moderate at the knee
+  EXPECT_GT(at_50 / base, 2.5);     // blow-up at 50 ms gaps
+  EXPECT_LT(at_50 / base, 4.0);     // bounded by gap/(gap+duration) math
+}
+
+TEST(ConvolveWorkloadTest, GapFromExitBoundsTheBlowup) {
+  // Because the driver re-arms after SMM exit, availability at gap g is
+  // g/(g+dur): at 50 ms that is ~32%, so slowdown ~3.1x, never a livelock.
+  const auto workload = ConvolveWorkload::cache_unfriendly_workload();
+  const double base = run_convolve_sim(workload, 1, SmiConfig::none(), 3).seconds;
+  const double noisy =
+      run_convolve_sim(workload, 1, SmiConfig::long_with_gap(50), 3).seconds;
+  EXPECT_NEAR(noisy / base, 1.0 / (50.0 / 155.0), 0.35);
+}
+
+TEST(ConvolveWorkloadTest, SmmStolenTimeAccountedAcrossThreads) {
+  const auto workload = ConvolveWorkload::cache_unfriendly_workload();
+  const auto result =
+      run_convolve_sim(workload, 4, SmiConfig::long_with_gap(500), 7);
+  EXPECT_GT(result.smi_hits, 0);
+  EXPECT_GT(result.smm_stolen_seconds, 0.0);
+}
+
+TEST(ConvolveWorkloadTest, DeterministicPerSeed) {
+  const auto workload = ConvolveWorkload::cache_friendly_workload();
+  const double a =
+      run_convolve_sim(workload, 6, SmiConfig::long_with_gap(200), 9).seconds;
+  const double b =
+      run_convolve_sim(workload, 6, SmiConfig::long_with_gap(200), 9).seconds;
+  EXPECT_DOUBLE_EQ(a, b);
+  const double c =
+      run_convolve_sim(workload, 6, SmiConfig::long_with_gap(200), 10).seconds;
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace smilab

@@ -1,0 +1,155 @@
+// Unit tests for the discrete-event engine: ordering, determinism,
+// cancellation, stepping, and run_until semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "smilab/sim/event_queue.h"
+
+namespace smilab {
+namespace {
+
+TEST(EngineTest, ExecutesInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(SimTime{30}, [&] { order.push_back(3); });
+  eng.schedule_at(SimTime{10}, [&] { order.push_back(1); });
+  eng.schedule_at(SimTime{20}, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), SimTime{30});
+}
+
+TEST(EngineTest, TiesBreakByInsertionOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eng.schedule_at(SimTime{100}, [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EngineTest, ScheduleAfterUsesCurrentTime) {
+  Engine eng;
+  SimTime seen = SimTime::zero();
+  eng.schedule_after(milliseconds(5), [&] {
+    eng.schedule_after(milliseconds(5), [&] { seen = eng.now(); });
+  });
+  eng.run();
+  EXPECT_EQ(seen, SimTime::zero() + milliseconds(10));
+}
+
+TEST(EngineTest, CancelPreventsExecution) {
+  Engine eng;
+  bool fired = false;
+  const EventId id = eng.schedule_at(SimTime{10}, [&] { fired = true; });
+  eng.cancel(id);
+  eng.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(eng.pending_events(), 0u);
+}
+
+TEST(EngineTest, CancelInvalidIdIsNoOp) {
+  Engine eng;
+  eng.cancel(EventId{});
+  eng.cancel(EventId{12345});
+  SUCCEED();
+}
+
+TEST(EngineTest, CancelFromWithinEarlierEvent) {
+  Engine eng;
+  bool fired = false;
+  const EventId id = eng.schedule_at(SimTime{20}, [&] { fired = true; });
+  eng.schedule_at(SimTime{10}, [&] { eng.cancel(id); });
+  eng.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EngineTest, EventsCanScheduleEvents) {
+  Engine eng;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) eng.schedule_after(SimDuration{1}, chain);
+  };
+  eng.schedule_at(SimTime{0}, chain);
+  eng.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(eng.now(), SimTime{99});
+}
+
+TEST(EngineTest, StepExecutesExactlyOne) {
+  Engine eng;
+  int count = 0;
+  for (int i = 0; i < 5; ++i) {
+    eng.schedule_at(SimTime{i}, [&] { ++count; });
+  }
+  EXPECT_TRUE(eng.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(eng.step());
+  EXPECT_EQ(count, 2);
+  eng.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_FALSE(eng.step());
+}
+
+TEST(EngineTest, RunUntilStopsAtBoundary) {
+  Engine eng;
+  std::vector<int> fired;
+  eng.schedule_at(SimTime{10}, [&] { fired.push_back(10); });
+  eng.schedule_at(SimTime{20}, [&] { fired.push_back(20); });
+  eng.schedule_at(SimTime{30}, [&] { fired.push_back(30); });
+  const bool pending = eng.run_until(SimTime{20});
+  EXPECT_TRUE(pending);
+  EXPECT_EQ(fired, (std::vector<int>{10, 20}));
+  EXPECT_EQ(eng.now(), SimTime{20});
+  eng.run();
+  EXPECT_EQ(fired, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(EngineTest, RunUntilAdvancesClockWhenIdle) {
+  Engine eng;
+  EXPECT_FALSE(eng.run_until(SimTime{1000}));
+  EXPECT_EQ(eng.now(), SimTime{1000});
+}
+
+TEST(EngineTest, StopHaltsRun) {
+  Engine eng;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    eng.schedule_at(SimTime{i}, [&] {
+      if (++count == 3) eng.stop();
+    });
+  }
+  eng.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(eng.pending_events(), 7u);
+}
+
+TEST(EngineTest, ExecutedEventCountTracks) {
+  Engine eng;
+  for (int i = 0; i < 7; ++i) eng.schedule_at(SimTime{i}, [] {});
+  eng.run();
+  EXPECT_EQ(eng.executed_events(), 7u);
+}
+
+TEST(EngineTest, ManyEventsStressOrdering) {
+  Engine eng;
+  SimTime last = SimTime::zero();
+  bool monotonic = true;
+  // Insert in a scrambled deterministic order.
+  for (int i = 0; i < 10'000; ++i) {
+    const auto t = SimTime{(i * 7919) % 10'000};
+    eng.schedule_at(t, [&, t] {
+      if (eng.now() < last) monotonic = false;
+      last = eng.now();
+      EXPECT_EQ(eng.now(), t);
+    });
+  }
+  eng.run();
+  EXPECT_TRUE(monotonic);
+  EXPECT_EQ(eng.executed_events(), 10'000u);
+}
+
+}  // namespace
+}  // namespace smilab

@@ -1,0 +1,145 @@
+// Tests for the extension modules: the RIM security-check model, the
+// energy estimator, and the Chrome-trace exporter.
+#include <gtest/gtest.h>
+
+#include "smilab/cpu/energy.h"
+#include "smilab/sim/system.h"
+#include "smilab/smm/rim.h"
+#include "smilab/trace/chrome_trace.h"
+
+namespace smilab {
+namespace {
+
+TEST(RimTest, DurationScalesWithScanSize) {
+  RimConfig small;
+  small.scanned_bytes = 1e6;
+  RimConfig big;
+  big.scanned_bytes = 64e6;
+  EXPECT_LT(small.smm_duration(), big.smm_duration());
+  // 64 MB at 1.5 GB/s ~= 42.7 ms plus overhead.
+  EXPECT_NEAR(big.smm_duration().seconds(), 64e6 / 1.5e9 + 200e-6, 1e-4);
+}
+
+TEST(RimTest, DutyCycleAndDetectionLatencyTradeOff) {
+  RimConfig rim;
+  rim.scanned_bytes = 16e6;
+  rim.check_interval_jiffies = 1000;
+  const double duty_fast = rim.duty_cycle();
+  rim.check_interval_jiffies = 4000;
+  const double duty_slow = rim.duty_cycle();
+  EXPECT_GT(duty_fast, duty_slow);
+  // Covering 256 MB of state takes 16 checks: latency grows with interval.
+  rim.check_interval_jiffies = 1000;
+  const SimDuration fast = rim.detection_latency(256e6);
+  rim.check_interval_jiffies = 4000;
+  const SimDuration slow = rim.detection_latency(256e6);
+  EXPECT_LT(fast, slow);
+  EXPECT_NEAR(fast.seconds(), 16.0 * (1.0 + rim.smm_duration().seconds()), 0.2);
+}
+
+TEST(RimTest, ToSmiConfigPreservesResidency) {
+  RimConfig rim;
+  rim.scanned_bytes = 32e6;
+  const SmiConfig smi = rim.to_smi_config();
+  EXPECT_TRUE(smi.enabled());
+  EXPECT_EQ(smi.interval_jiffies, rim.check_interval_jiffies);
+  EXPECT_LE(smi.long_min, rim.smm_duration());
+  EXPECT_GE(smi.long_max, rim.smm_duration());
+}
+
+TEST(RimTest, DrivesTheInjectionEngine) {
+  RimConfig rim;
+  rim.scanned_bytes = 48e6;  // ~32ms checks
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::wyeast_e5520();
+  cfg.smi = rim.to_smi_config();
+  cfg.seed = 3;
+  System sys{cfg};
+  std::vector<Action> prog;
+  prog.push_back(Compute{seconds(10)});
+  const TaskId id = sys.spawn(TaskSpec::with_actions("app", 0, std::move(prog)));
+  sys.run();
+  const double wall =
+      (sys.task_stats(id).end_time - sys.task_stats(id).start_time).seconds();
+  // ~32ms per second: ~3.2% slowdown plus refill.
+  EXPECT_NEAR(wall / 10.0 - 1.0, rim.duty_cycle() / (1 - rim.duty_cycle()), 0.015);
+  for (const auto& interval : sys.smm_accounting().intervals()) {
+    EXPECT_NEAR(interval.duration().seconds(), rim.smm_duration().seconds(),
+                rim.smm_duration().seconds() * 0.06);
+  }
+}
+
+TEST(EnergyTest, SmisIncreaseRunEnergy) {
+  auto energy_for = [](SmiConfig smi) {
+    SystemConfig cfg;
+    cfg.machine = MachineSpec::wyeast_e5520();
+    cfg.smi = smi;
+    cfg.seed = 9;
+    System sys{cfg};
+    std::vector<Action> prog;
+    prog.push_back(Compute{seconds(20)});
+    sys.spawn(TaskSpec::with_actions("app", 0, std::move(prog)));
+    sys.run();
+    return estimate_energy(sys, PowerModel{});
+  };
+  const EnergyReport clean = energy_for(SmiConfig::none());
+  const EnergyReport noisy = energy_for(SmiConfig::long_every_second());
+  // Same useful work (plus the post-SMM warm-up, which is real CPU work),
+  // longer wall, plus SMM power: more joules (IISWC'13).
+  EXPECT_GT(noisy.joules, clean.joules * 1.05);
+  EXPECT_GE(noisy.busy_core_seconds, clean.busy_core_seconds);
+  EXPECT_LT(noisy.busy_core_seconds, clean.busy_core_seconds * 1.15);
+  EXPECT_GT(noisy.smm_node_seconds, 1.5);
+  EXPECT_EQ(clean.smm_node_seconds, 0.0);
+}
+
+TEST(EnergyTest, IdleDominatedBaseline) {
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::wyeast_e5520();
+  cfg.seed = 2;
+  System sys{cfg};
+  std::vector<Action> prog;
+  prog.push_back(Compute{seconds(10)});
+  sys.spawn(TaskSpec::with_actions("app", 0, std::move(prog)));
+  sys.run();
+  const EnergyReport report = estimate_energy(sys, PowerModel{});
+  EXPECT_NEAR(report.wall_seconds, 10.0, 1e-6);
+  EXPECT_NEAR(report.busy_core_seconds, 10.0, 1e-6);
+  EXPECT_NEAR(report.joules, 10.0 * 120.0 + 10.0 * 18.0, 1.0);
+  EXPECT_NEAR(report.average_watts, 138.0, 0.5);
+}
+
+TEST(ChromeTraceTest, EmitsTasksAndSmmSlices) {
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::wyeast_e5520();
+  cfg.smi = SmiConfig::long_every_second();
+  cfg.seed = 4;
+  System sys{cfg};
+  std::vector<Action> prog;
+  prog.push_back(Compute{seconds(3)});
+  sys.spawn(TaskSpec::with_actions("solver rank \"0\"", 0, std::move(prog)));
+  sys.run();
+  const std::string json = to_chrome_trace(sys);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("solver rank _0_"), std::string::npos);  // sanitized
+  EXPECT_NE(json.find("\"SMM\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  // Counts: 1 task + >=2 SMM slices.
+  std::size_t events = 0;
+  for (std::size_t pos = json.find("\"name\""); pos != std::string::npos;
+       pos = json.find("\"name\"", pos + 1)) {
+    ++events;
+  }
+  EXPECT_GE(events, 3u);
+}
+
+TEST(ChromeTraceTest, EmptySystemIsValidJson) {
+  SystemConfig cfg;
+  System sys{cfg};
+  const std::string json = to_chrome_trace(sys);
+  EXPECT_EQ(json.find("{\"traceEvents\": ["), 0u);
+  EXPECT_NE(json.find("]}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smilab

@@ -1,0 +1,186 @@
+// Property-style invariant tests, parameterized over SMI regimes and
+// machine shapes. These pin down the conservation laws the rest of the
+// library builds on:
+//   (1) single dedicated task: wall == true_cpu + smm_stolen (time is
+//       neither created nor lost by the freeze machinery),
+//   (2) the OS view always equals true + stolen for on-CPU time,
+//   (3) throughput is monotone in SMI gap,
+//   (4) runs are bit-deterministic per (config, seed).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "smilab/mpi/collectives.h"
+#include "smilab/mpi/job.h"
+#include "smilab/sim/system.h"
+
+namespace smilab {
+namespace {
+
+using KindGap = std::tuple<SmiKind, int>;  // kind, gap jiffies
+
+class SmiRegimeSweep : public ::testing::TestWithParam<KindGap> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, SmiRegimeSweep,
+    ::testing::Values(KindGap{SmiKind::kNone, 0}, KindGap{SmiKind::kShort, 100},
+                      KindGap{SmiKind::kShort, 1000}, KindGap{SmiKind::kLong, 200},
+                      KindGap{SmiKind::kLong, 600}, KindGap{SmiKind::kLong, 1000},
+                      KindGap{SmiKind::kLong, 1600}));
+
+SmiConfig make_smi(const KindGap& kg) {
+  SmiConfig smi;
+  smi.kind = std::get<0>(kg);
+  if (smi.enabled()) smi.interval_jiffies = std::get<1>(kg);
+  return smi;
+}
+
+TEST_P(SmiRegimeSweep, SingleTaskTimeConservation) {
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::poweredge_r410_e5620();
+  cfg.machine.hot_set_bytes = 0;  // exclude warm-up work from the ledger
+  cfg.smi = make_smi(GetParam());
+  cfg.seed = 8;
+  System sys{cfg};
+  std::vector<Action> prog;
+  prog.push_back(Compute{seconds(12)});
+  const TaskId id = sys.spawn(TaskSpec::with_actions("t", 0, std::move(prog)));
+  sys.run();
+  const TaskStats& stats = sys.task_stats(id);
+  const SimDuration wall = stats.end_time - stats.start_time;
+  EXPECT_EQ(wall.ns(), (stats.true_cpu_time + stats.smm_stolen_time).ns());
+  EXPECT_EQ(stats.os_view_cpu_time.ns(),
+            (stats.true_cpu_time + stats.smm_stolen_time).ns());
+  EXPECT_EQ(stats.true_cpu_time, seconds(12));
+}
+
+TEST_P(SmiRegimeSweep, StolenTimeMatchesNodeResidencyOverlap) {
+  // A task that spans the whole run must absorb every SMM interval of its
+  // node in full.
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::wyeast_e5520();
+  cfg.machine.hot_set_bytes = 0;
+  cfg.smi = make_smi(GetParam());
+  cfg.seed = 15;
+  System sys{cfg};
+  std::vector<Action> prog;
+  prog.push_back(Compute{seconds(10)});
+  const TaskId id = sys.spawn(TaskSpec::with_actions("t", 0, std::move(prog)));
+  sys.run();
+  const TaskStats& stats = sys.task_stats(id);
+  SimDuration overlapped{};
+  for (const auto& interval : sys.smm_accounting().intervals()) {
+    if (interval.exit <= stats.end_time) overlapped += interval.duration();
+  }
+  EXPECT_EQ(stats.smm_stolen_time.ns(), overlapped.ns());
+  EXPECT_EQ(stats.smm_hits,
+            static_cast<std::int64_t>(
+                std::count_if(sys.smm_accounting().intervals().begin(),
+                              sys.smm_accounting().intervals().end(),
+                              [&](const SmmInterval& interval) {
+                                return interval.exit <= stats.end_time;
+                              })));
+}
+
+TEST_P(SmiRegimeSweep, DeterministicAcrossRuns) {
+  auto run_once = [&] {
+    SystemConfig cfg;
+    cfg.machine = MachineSpec::wyeast_e5520();
+    cfg.node_count = 4;
+    cfg.net = NetworkParams::wyeast();
+    cfg.smi = make_smi(GetParam());
+    cfg.seed = 77;
+    cfg.node_speed_sigma = 0.004;
+    System sys{cfg};
+    auto programs = make_rank_programs(4);
+    TagAllocator tags;
+    for (int i = 0; i < 5; ++i) {
+      for (auto& rp : programs) rp.compute(milliseconds(200));
+      alltoall(programs, 1 << 17, tags);
+    }
+    return run_mpi_job(sys, std::move(programs), block_placement(4, 1),
+                       WorkloadProfile::dense_fp())
+        .elapsed.ns();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SmiMonotonicityTest, ThroughputMonotoneInGap) {
+  auto wall_at_gap = [](int gap) {
+    SystemConfig cfg;
+    cfg.machine = MachineSpec::poweredge_r410_e5620();
+    cfg.smi = SmiConfig::long_with_gap(gap);
+    cfg.smi.fixed_initial_phase = milliseconds(1);
+    cfg.seed = 5;
+    System sys{cfg};
+    std::vector<Action> prog;
+    prog.push_back(Compute{seconds(20)});
+    const TaskId id = sys.spawn(TaskSpec::with_actions("t", 0, std::move(prog)));
+    sys.run();
+    return (sys.task_stats(id).end_time - sys.task_stats(id).start_time).seconds();
+  };
+  double prev = 1e30;
+  for (const int gap : {50, 100, 200, 400, 800, 1600}) {
+    const double wall = wall_at_gap(gap);
+    EXPECT_LT(wall, prev * 1.02) << "gap " << gap;  // allow duration jitter
+    prev = wall;
+  }
+}
+
+TEST(SmiMonotonicityTest, LongWorseThanShortWorseThanNone) {
+  auto wall_with = [](SmiKind kind) {
+    SystemConfig cfg;
+    cfg.machine = MachineSpec::wyeast_e5520();
+    cfg.smi.kind = kind;
+    cfg.seed = 6;
+    System sys{cfg};
+    std::vector<Action> prog;
+    prog.push_back(Compute{seconds(15)});
+    const TaskId id = sys.spawn(TaskSpec::with_actions("t", 0, std::move(prog)));
+    sys.run();
+    return (sys.task_stats(id).end_time - sys.task_stats(id).start_time).seconds();
+  };
+  const double none = wall_with(SmiKind::kNone);
+  const double shrt = wall_with(SmiKind::kShort);
+  const double lng = wall_with(SmiKind::kLong);
+  EXPECT_LT(none, shrt);
+  EXPECT_LT(shrt, lng);
+}
+
+class NodeCountSweep : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Nodes, NodeCountSweep, ::testing::Values(2, 4, 8, 16));
+
+TEST_P(NodeCountSweep, CollectiveChainNeverFasterThanDutyCycleFloor) {
+  // Whatever the topology, a synchronizing job under long SMIs @1/s cannot
+  // beat the single-node duty-cycle floor, and must terminate (no deadlock,
+  // no starvation) within a sane bound.
+  const int nodes = GetParam();
+  auto build = [&] {
+    auto programs = make_rank_programs(nodes);
+    TagAllocator tags;
+    for (int i = 0; i < 10; ++i) {
+      for (auto& rp : programs) rp.compute(milliseconds(100));
+      barrier(programs, tags);
+    }
+    return programs;
+  };
+  auto run_with = [&](SmiConfig smi) {
+    SystemConfig cfg;
+    cfg.machine = MachineSpec::wyeast_e5520();
+    cfg.node_count = nodes;
+    cfg.net = NetworkParams::wyeast();
+    cfg.smi = smi;
+    cfg.seed = static_cast<std::uint64_t>(nodes);
+    System sys{cfg};
+    return run_mpi_job(sys, build(), block_placement(nodes, 1),
+                       WorkloadProfile::dense_fp())
+        .elapsed.seconds();
+  };
+  const double base = run_with(SmiConfig::none());
+  const double noisy = run_with(SmiConfig::long_every_second());
+  EXPECT_GT(noisy / base, 1.08);
+  EXPECT_LT(noisy / base, 3.0);
+}
+
+}  // namespace
+}  // namespace smilab

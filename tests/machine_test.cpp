@@ -1,0 +1,107 @@
+// Unit tests for the machine/cluster topology model and sysfs-style CPU
+// hotplug, including the paper's specific testbed shapes.
+#include <gtest/gtest.h>
+
+#include "smilab/sim/machine.h"
+
+namespace smilab {
+namespace {
+
+TEST(MachineSpecTest, PaperTestbedsShape) {
+  const MachineSpec wyeast = MachineSpec::wyeast_e5520();
+  EXPECT_EQ(wyeast.cores(), 4);
+  EXPECT_EQ(wyeast.logical_cpus(), 8);
+  EXPECT_DOUBLE_EQ(wyeast.ghz, 2.27);
+  EXPECT_DOUBLE_EQ(wyeast.ram_gb, 12.0);
+
+  const MachineSpec r410 = MachineSpec::poweredge_r410_e5620();
+  EXPECT_EQ(r410.cores(), 4);
+  EXPECT_EQ(r410.logical_cpus(), 8);
+  EXPECT_DOUBLE_EQ(r410.ghz, 2.40);
+}
+
+TEST(MachineSpecTest, NoHttVariant) {
+  MachineSpec spec = MachineSpec::wyeast_e5520();
+  spec.threads_per_core = 1;
+  EXPECT_EQ(spec.logical_cpus(), 4);
+}
+
+TEST(NodeTest, CpuNumberingCoresFirstThenSiblings) {
+  // Matches the paper's sysfs sweep: CPUs 0-3 are distinct physical cores,
+  // CPUs 4-7 are their HTT siblings.
+  const Node node{0, MachineSpec::poweredge_r410_e5620()};
+  EXPECT_EQ(node.cpu_count(), 8);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(node.cpu(i).core, i);
+    EXPECT_EQ(node.cpu(i).sibling, i + 4);
+    EXPECT_EQ(node.cpu(i + 4).core, i);
+    EXPECT_EQ(node.cpu(i + 4).sibling, i);
+  }
+}
+
+TEST(NodeTest, SingleThreadCoresHaveNoSiblings) {
+  MachineSpec spec = MachineSpec::wyeast_e5520();
+  spec.threads_per_core = 1;
+  const Node node{0, spec};
+  for (int i = 0; i < node.cpu_count(); ++i) {
+    EXPECT_EQ(node.cpu(i).sibling, -1);
+  }
+}
+
+TEST(NodeTest, HotplugFlagsAndCounts) {
+  Node node{0, MachineSpec::poweredge_r410_e5620()};
+  EXPECT_EQ(node.online_cpu_count(), 8);
+  node.set_online(7, false);
+  node.set_online(3, false);
+  EXPECT_EQ(node.online_cpu_count(), 6);
+  EXPECT_FALSE(node.is_online(7));
+  EXPECT_TRUE(node.is_online(0));
+  node.set_online(7, true);
+  EXPECT_EQ(node.online_cpu_count(), 7);
+}
+
+TEST(NodeTest, SetOnlineCpusMatchesPaperSweep) {
+  Node node{0, MachineSpec::poweredge_r410_e5620()};
+  // "1-4 logical processor cores with all HTT siblings offlined":
+  node.set_online_cpus(3);
+  EXPECT_EQ(node.online_cpu_count(), 3);
+  EXPECT_TRUE(node.is_online(0));
+  EXPECT_TRUE(node.is_online(2));
+  EXPECT_FALSE(node.is_online(3));
+  EXPECT_FALSE(node.is_online(4));  // no sibling online
+  // "then selectively onlined the HTT siblings to test 5-8":
+  node.set_online_cpus(6);
+  EXPECT_TRUE(node.is_online(4));  // sibling of core 0
+  EXPECT_TRUE(node.is_online(5));  // sibling of core 1
+  EXPECT_FALSE(node.is_online(6));
+}
+
+TEST(NodeTest, OnlineSiblingPairsCountAfterSweep) {
+  Node node{0, MachineSpec::poweredge_r410_e5620()};
+  node.set_online_cpus(5);
+  // Exactly one core (core 0) has both hardware threads online.
+  int pairs = 0;
+  for (int c = 0; c < 4; ++c) {
+    if (node.is_online(c) && node.is_online(c + 4)) ++pairs;
+  }
+  EXPECT_EQ(pairs, 1);
+}
+
+TEST(ClusterTest, BuildsHomogeneousNodes) {
+  const Cluster cluster{16, MachineSpec::wyeast_e5520()};
+  EXPECT_EQ(cluster.node_count(), 16);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(cluster.node(i).id(), i);
+    EXPECT_EQ(cluster.node(i).cpu_count(), 8);
+  }
+}
+
+TEST(ClusterTest, NodesHotplugIndependently) {
+  Cluster cluster{2, MachineSpec::wyeast_e5520()};
+  cluster.node(0).set_online_cpus(4);
+  EXPECT_EQ(cluster.node(0).online_cpu_count(), 4);
+  EXPECT_EQ(cluster.node(1).online_cpu_count(), 8);
+}
+
+}  // namespace
+}  // namespace smilab

@@ -1,0 +1,133 @@
+// Tests for rank placement helpers, the MPI job launcher, and the
+// experiment runner utilities.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "smilab/core/experiment.h"
+#include "smilab/mpi/job.h"
+
+namespace smilab {
+namespace {
+
+TEST(PlacementTest, BlockPlacementFillsNodes) {
+  const auto placement = block_placement(8, 4);
+  EXPECT_EQ(placement, (std::vector<int>{0, 0, 0, 0, 1, 1, 1, 1}));
+  EXPECT_EQ(node_count_for(8, 4), 2);
+  EXPECT_EQ(node_count_for(1, 4), 1);
+  EXPECT_EQ(node_count_for(5, 4), 2);
+}
+
+TEST(PlacementTest, OneRankPerNode) {
+  const auto placement = block_placement(4, 1);
+  EXPECT_EQ(placement, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(RankProgramTest, BuilderAccumulatesActions) {
+  RankProgram rp{1, 4};
+  rp.compute(milliseconds(5));
+  rp.compute(SimDuration::zero());  // zero work is elided
+  rp.send(0, 128, 7);
+  rp.recv(2, 8);
+  rp.sendrecv(3, 64, 9, 3, 9);
+  rp.sleep(milliseconds(1));
+  EXPECT_EQ(rp.size(), 5u);
+  const auto actions = RankProgram{rp}.take();
+  EXPECT_TRUE(std::holds_alternative<Compute>(actions[0]));
+  EXPECT_TRUE(std::holds_alternative<Send>(actions[1]));
+  EXPECT_TRUE(std::holds_alternative<Recv>(actions[2]));
+  EXPECT_TRUE(std::holds_alternative<SendRecv>(actions[3]));
+  EXPECT_TRUE(std::holds_alternative<Sleep>(actions[4]));
+}
+
+TEST(TagAllocatorTest, WindowsDoNotOverlap) {
+  TagAllocator tags;
+  const int a = tags.allocate(4);
+  const int b = tags.allocate(2);
+  const int c = tags.allocate();
+  EXPECT_GE(b, a + 4);
+  EXPECT_GE(c, b + 2);
+}
+
+TEST(MpiJobTest, RunsAndReportsPerRankStats) {
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::wyeast_e5520();
+  cfg.node_count = 2;
+  cfg.net = NetworkParams::wyeast();
+  cfg.seed = 12;
+  System sys{cfg};
+  auto programs = make_rank_programs(2);
+  programs[0].compute(milliseconds(100));
+  programs[0].send(1, 4096, 1);
+  programs[1].recv(0, 1);
+  programs[1].compute(milliseconds(50));
+  const MpiJobResult result = run_mpi_job(sys, std::move(programs),
+                                          block_placement(2, 1),
+                                          WorkloadProfile::dense_fp(), "job");
+  EXPECT_EQ(result.rank_stats.size(), 2u);
+  EXPECT_GT(result.elapsed, milliseconds(150));
+  EXPECT_EQ(result.rank_stats[0].messages_sent, 1);
+  EXPECT_EQ(result.rank_stats[1].messages_received, 1);
+  EXPECT_EQ(result.rank_stats[0].bytes_sent, 4096);
+  EXPECT_EQ(sys.task_name(result.rank_tasks[0]), "job.rank0");
+}
+
+TEST(MpiJobTest, RejectsMismatchedPlacement) {
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::wyeast_e5520();
+  System sys{cfg};
+  auto programs = make_rank_programs(2);
+  EXPECT_THROW(run_mpi_job(sys, std::move(programs), {0},
+                           WorkloadProfile::dense_fp()),
+               std::invalid_argument);
+}
+
+TEST(MpiJobTest, TotalSmmStolenAggregates) {
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::wyeast_e5520();
+  cfg.node_count = 2;
+  cfg.net = NetworkParams::wyeast();
+  cfg.smi = SmiConfig::long_every_second();
+  cfg.seed = 13;
+  System sys{cfg};
+  auto programs = make_rank_programs(2);
+  for (auto& rp : programs) rp.compute(seconds(5));
+  const MpiJobResult result = run_mpi_job(sys, std::move(programs),
+                                          block_placement(2, 1),
+                                          WorkloadProfile::dense_fp());
+  EXPECT_GT(result.total_smm_stolen(), milliseconds(500));
+}
+
+TEST(ExperimentRunnerTest, RunsRequestedTrials) {
+  const ExperimentRunner runner{5, 42};
+  int calls = 0;
+  const OnlineStats stats = runner.run([&](std::uint64_t seed) {
+    ++calls;
+    return static_cast<double>(seed % 97);
+  });
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(stats.count(), 5u);
+}
+
+TEST(ExperimentRunnerTest, SeedsAreDistinct) {
+  const ExperimentRunner runner{8, 1};
+  std::vector<std::uint64_t> seeds;
+  const OnlineStats stats = runner.run([&](std::uint64_t seed) {
+    seeds.push_back(seed);
+    return 0.0;
+  });
+  EXPECT_EQ(stats.count(), 8u);
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST(ComparisonTest, DeltaAndPct) {
+  Comparison cmp;
+  cmp.base.add(10.0);
+  cmp.treatment.add(11.5);
+  EXPECT_NEAR(cmp.delta(), 1.5, 1e-12);
+  EXPECT_NEAR(cmp.pct(), 15.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace smilab

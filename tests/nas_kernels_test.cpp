@@ -1,0 +1,353 @@
+// Tests for the real NAS compute kernels: the NPB LCG (jump-ahead
+// correctness), the EP Gaussian-deviate kernel (decomposition invariance +
+// statistics), the FFT (vs naive DFT, Parseval, round trips), and the
+// block-tridiagonal solver (residual vs dense expectations).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "smilab/apps/nas/kernels/block_tridiag.h"
+#include "smilab/apps/nas/kernels/ep_kernel.h"
+#include "smilab/apps/nas/kernels/fft.h"
+#include "smilab/apps/nas/kernels/npb_random.h"
+
+namespace smilab {
+namespace {
+
+TEST(NpbRandomTest, ValuesInUnitInterval) {
+  NpbRandom rng;
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.next();
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(NpbRandomTest, JumpMatchesSequentialDraws) {
+  for (const std::uint64_t k : {1ull, 2ull, 17ull, 1000ull, 123456ull}) {
+    NpbRandom sequential;
+    for (std::uint64_t i = 0; i < k; ++i) sequential.next();
+    NpbRandom jumped;
+    jumped.jump(k);
+    EXPECT_EQ(sequential.state(), jumped.state()) << "k=" << k;
+  }
+}
+
+TEST(NpbRandomTest, JumpZeroIsIdentity) {
+  NpbRandom a;
+  NpbRandom b;
+  b.jump(0);
+  EXPECT_EQ(a.state(), b.state());
+}
+
+TEST(NpbRandomTest, MeanIsNearHalf) {
+  NpbRandom rng;
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.next();
+  EXPECT_NEAR(sum / n, 0.5, 0.003);
+}
+
+TEST(EpKernelTest, DecompositionInvariance) {
+  // The defining EP property: any rank partition of the pair stream tallies
+  // exactly the same deviates (integer counts are bit-identical; the float
+  // sums differ only by summation order, as in real NPB's allreduce).
+  const std::int64_t pairs = 1 << 18;
+  const EpResult whole = run_ep_kernel(pairs);
+  for (const int ranks : {2, 3, 4, 16}) {
+    const EpResult split = run_ep_partitioned(pairs, ranks);
+    EXPECT_NEAR(split.sx, whole.sx, 1e-8) << ranks << " ranks";
+    EXPECT_NEAR(split.sy, whole.sy, 1e-8);
+    EXPECT_EQ(split.gaussian_pairs, whole.gaussian_pairs);
+    EXPECT_EQ(split.q, whole.q);
+  }
+}
+
+TEST(EpKernelTest, AcceptanceRateIsPiOverFour) {
+  const std::int64_t pairs = 1 << 20;
+  const EpResult result = run_ep_kernel(pairs);
+  const double acceptance =
+      static_cast<double>(result.gaussian_pairs) / static_cast<double>(pairs);
+  EXPECT_NEAR(acceptance, std::numbers::pi / 4.0, 0.002);
+}
+
+TEST(EpKernelTest, GaussianAnnulusCountsDecay) {
+  // |max(|X|,|Y|)| of a standard Gaussian pair: nearly all mass in the
+  // first few annuli, strictly decreasing after the first.
+  const EpResult result = run_ep_kernel(1 << 20);
+  std::int64_t tallied = 0;
+  for (const auto count : result.q) tallied += count;
+  EXPECT_EQ(tallied, result.gaussian_pairs);
+  EXPECT_GT(result.q[0], result.q[2]);
+  for (std::size_t i = 1; i + 1 < result.q.size(); ++i) {
+    EXPECT_GE(result.q[i], result.q[i + 1]) << "annulus " << i;
+  }
+  EXPECT_EQ(result.q[9], 0);  // ~6 sigma: unreachable at this sample size
+}
+
+TEST(EpKernelTest, AnnulusCountsMatchAnalyticProbabilities) {
+  // For a standard Gaussian pair, P(annulus l) = F(l+1)^2 - F(l)^2 with
+  // F(x) = erf(x / sqrt(2)) — the Marsaglia transform must reproduce the
+  // analytic distribution within sampling error.
+  const std::int64_t pairs = 1 << 21;
+  const EpResult result = run_ep_kernel(pairs);
+  const double n = static_cast<double>(result.gaussian_pairs);
+  auto cdf_abs = [](double x) { return std::erf(x / std::sqrt(2.0)); };
+  for (int l = 0; l < 4; ++l) {
+    const double p = cdf_abs(l + 1.0) * cdf_abs(l + 1.0) -
+                     cdf_abs(static_cast<double>(l)) * cdf_abs(static_cast<double>(l));
+    const double observed =
+        static_cast<double>(result.q[static_cast<std::size_t>(l)]) / n;
+    // 6-sigma band on a binomial proportion.
+    const double sigma = std::sqrt(p * (1 - p) / n);
+    EXPECT_NEAR(observed, p, 6.0 * sigma + 1e-6) << "annulus " << l;
+  }
+}
+
+TEST(FftTest, LinearityHolds) {
+  NpbRandom rng{13};
+  std::vector<Complex> a(64), b(64);
+  for (auto& v : a) v = Complex{rng.next() - 0.5, rng.next() - 0.5};
+  for (auto& v : b) v = Complex{rng.next() - 0.5, rng.next() - 0.5};
+  const Complex alpha{2.0, -1.5};
+  std::vector<Complex> combo(64);
+  for (std::size_t i = 0; i < 64; ++i) combo[i] = alpha * a[i] + b[i];
+  std::vector<Complex> fa = a, fb = b, fc = combo;
+  fft(fa);
+  fft(fb);
+  fft(fc);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const Complex expected = alpha * fa[i] + fb[i];
+    EXPECT_NEAR(std::abs(fc[i] - expected), 0.0, 1e-9);
+  }
+}
+
+TEST(EpKernelTest, SumsAreNearZeroMean) {
+  const EpResult result = run_ep_kernel(1 << 20);
+  const double n = static_cast<double>(result.gaussian_pairs);
+  // Mean of N(0,1) samples: |mean| < 5/sqrt(n) with huge probability.
+  EXPECT_LT(std::fabs(result.sx / n), 5.0 / std::sqrt(n));
+  EXPECT_LT(std::fabs(result.sy / n), 5.0 / std::sqrt(n));
+}
+
+TEST(FftTest, MatchesNaiveDftForward) {
+  NpbRandom rng{7};
+  std::vector<Complex> data(32);
+  for (auto& value : data) value = Complex{rng.next() - 0.5, rng.next() - 0.5};
+  std::vector<Complex> fast = data;
+  fft(fast);
+  const std::vector<Complex> slow = naive_dft(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(fast[i].real(), slow[i].real(), 1e-9) << i;
+    EXPECT_NEAR(fast[i].imag(), slow[i].imag(), 1e-9) << i;
+  }
+}
+
+TEST(FftTest, InverseRoundTrips) {
+  NpbRandom rng{9};
+  std::vector<Complex> data(256);
+  for (auto& value : data) value = Complex{rng.next(), rng.next()};
+  std::vector<Complex> transformed = data;
+  fft(transformed);
+  fft(transformed, /*inverse=*/true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(transformed[i].real(), data[i].real(), 1e-10);
+    EXPECT_NEAR(transformed[i].imag(), data[i].imag(), 1e-10);
+  }
+}
+
+TEST(FftTest, ParsevalHolds) {
+  NpbRandom rng{11};
+  std::vector<Complex> data(128);
+  for (auto& value : data) value = Complex{rng.next() - 0.5, rng.next() - 0.5};
+  double time_energy = 0.0;
+  for (const auto& value : data) time_energy += std::norm(value);
+  std::vector<Complex> freq = data;
+  fft(freq);
+  double freq_energy = 0.0;
+  for (const auto& value : freq) freq_energy += std::norm(value);
+  EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(data.size()), 1e-6);
+}
+
+TEST(FftTest, DeltaTransformsToConstant) {
+  std::vector<Complex> data(64, Complex{0.0, 0.0});
+  data[0] = Complex{1.0, 0.0};
+  fft(data);
+  for (const auto& value : data) {
+    EXPECT_NEAR(value.real(), 1.0, 1e-12);
+    EXPECT_NEAR(value.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  const std::size_t tone = 5;
+  std::vector<Complex> data(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double angle = 2.0 * std::numbers::pi * static_cast<double>(tone) *
+                         static_cast<double>(j) / static_cast<double>(n);
+    data[j] = Complex{std::cos(angle), std::sin(angle)};
+  }
+  fft(data);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double magnitude = std::abs(data[k]);
+    if (k == tone) {
+      EXPECT_NEAR(magnitude, static_cast<double>(n), 1e-9);
+    } else {
+      EXPECT_NEAR(magnitude, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft3dTest, RoundTripsAndChecksumStable) {
+  Grid3 grid{16, 8, 8};
+  grid.fill_random(NpbRandom::kDefaultSeed);
+  const Complex before = ft_checksum(grid);
+  Grid3 copy = grid;
+  fft3d(copy);
+  const Complex transformed = ft_checksum(copy);
+  EXPECT_GT(std::abs(transformed - before), 1e-9);  // it did something
+  fft3d(copy, /*inverse=*/true);
+  for (int z = 0; z < grid.nz(); ++z) {
+    for (int y = 0; y < grid.ny(); ++y) {
+      for (int x = 0; x < grid.nx(); ++x) {
+        EXPECT_NEAR(copy.at(x, y, z).real(), grid.at(x, y, z).real(), 1e-9);
+        EXPECT_NEAR(copy.at(x, y, z).imag(), grid.at(x, y, z).imag(), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Fft3dTest, SeparabilityMatchesPerAxisDft) {
+  // A 3-D delta transforms to the all-ones grid.
+  Grid3 grid{8, 4, 4};
+  grid.at(0, 0, 0) = Complex{1.0, 0.0};
+  fft3d(grid);
+  for (int z = 0; z < grid.nz(); ++z) {
+    for (int y = 0; y < grid.ny(); ++y) {
+      for (int x = 0; x < grid.nx(); ++x) {
+        EXPECT_NEAR(grid.at(x, y, z).real(), 1.0, 1e-10);
+        EXPECT_NEAR(grid.at(x, y, z).imag(), 0.0, 1e-10);
+      }
+    }
+  }
+}
+
+TEST(FtEvolveTest, DecaysHighFrequenciesFaster) {
+  Grid3 grid{16, 16, 16};
+  grid.at(1, 0, 0) = Complex{1.0, 0.0};  // low wavenumber
+  grid.at(7, 0, 0) = Complex{1.0, 0.0};  // high wavenumber
+  ft_evolve(grid, 1.0, 1e-3);
+  EXPECT_GT(std::abs(grid.at(1, 0, 0)), std::abs(grid.at(7, 0, 0)));
+  EXPECT_LT(std::abs(grid.at(1, 0, 0)), 1.0);  // everything decays
+}
+
+TEST(FtEvolveTest, DcComponentIsInvariant) {
+  Grid3 grid{8, 8, 8};
+  grid.at(0, 0, 0) = Complex{2.5, -1.0};
+  ft_evolve(grid, 10.0, 1e-2);
+  EXPECT_NEAR(grid.at(0, 0, 0).real(), 2.5, 1e-12);
+  EXPECT_NEAR(grid.at(0, 0, 0).imag(), -1.0, 1e-12);
+}
+
+TEST(FtEvolveTest, TwoStepsEqualOneDoubleStep) {
+  Grid3 a{8, 8, 4};
+  a.fill_random(5);
+  Grid3 b = a;
+  ft_evolve(a, 1.0, 1e-4);
+  ft_evolve(a, 1.0, 1e-4);
+  ft_evolve(b, 2.0, 1e-4);
+  for (int z = 0; z < a.nz(); ++z) {
+    for (int y = 0; y < a.ny(); ++y) {
+      for (int x = 0; x < a.nx(); ++x) {
+        EXPECT_NEAR(std::abs(a.at(x, y, z) - b.at(x, y, z)), 0.0, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(FtReferenceTest, ChecksumsEvolveAndAreDeterministic) {
+  const FtReferenceResult a = ft_reference_run(16, 16, 8, 4);
+  const FtReferenceResult b = ft_reference_run(16, 16, 8, 4);
+  ASSERT_EQ(a.checksums.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.checksums[i], b.checksums[i]);
+  }
+  // The field diffuses: successive checksums differ, and the solution's
+  // energy decreases monotonically toward the mean.
+  EXPECT_NE(a.checksums[0], a.checksums[3]);
+}
+
+TEST(Block5Test, InverseTimesSelfIsIdentity) {
+  const BlockTriSystem system = BlockTriSystem::random(1, 3);
+  const Block5 inv = system.diag[0].inverse();
+  const Block5 product = system.diag[0] * inv;
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(product.m[i][j], i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Block5Test, IdentityApplyIsNoop) {
+  const Block5 eye = Block5::identity();
+  const std::array<double, 5> v{1, -2, 3, -4, 5};
+  EXPECT_EQ(eye.apply(v), v);
+}
+
+TEST(BlockTridiagTest, SolvesSingleCell) {
+  BlockTriSystem system = BlockTriSystem::random(1, 17);
+  const auto u = solve_block_tridiag(system);
+  EXPECT_LT(block_tridiag_residual(system, u), 1e-10);
+}
+
+class BlockTridiagSizes : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Sizes, BlockTridiagSizes,
+                         ::testing::Values(2, 3, 8, 64, 162));
+
+TEST_P(BlockTridiagSizes, ResidualIsTiny) {
+  // 162 is BT class C's grid edge: one full line solve at production size.
+  BlockTriSystem system =
+      BlockTriSystem::random(static_cast<std::size_t>(GetParam()), 23);
+  const auto u = solve_block_tridiag(system);
+  EXPECT_LT(block_tridiag_residual(system, u), 1e-9);
+}
+
+TEST(BtReferenceTest, AdiSweepsConvergeGeometrically) {
+  const BtReferenceResult run = bt_reference_run(8, 6, 2016);
+  ASSERT_EQ(run.residuals.size(), 6u);
+  for (std::size_t i = 1; i < run.residuals.size(); ++i) {
+    EXPECT_LT(run.residuals[i], run.residuals[i - 1] * 0.7)
+        << "iteration " << i;
+  }
+  EXPECT_LT(run.residuals.back(), run.residuals.front() * 1e-3);
+}
+
+TEST(BtReferenceTest, DeterministicPerSeed) {
+  const BtReferenceResult a = bt_reference_run(6, 3, 7);
+  const BtReferenceResult b = bt_reference_run(6, 3, 7);
+  EXPECT_EQ(a.residuals, b.residuals);
+  const BtReferenceResult c = bt_reference_run(6, 3, 8);
+  EXPECT_NE(a.residuals[0], c.residuals[0]);
+}
+
+TEST(BlockTridiagTest, IdentitySystemReturnsRhs) {
+  BlockTriSystem system;
+  system.sub.resize(4);
+  system.super.resize(4);
+  system.diag.assign(4, Block5::identity());
+  system.rhs = {{{1, 2, 3, 4, 5}},
+                {{-1, 0, 1, 0, -1}},
+                {{0.5, 0.25, 0, -0.25, -0.5}},
+                {{9, 8, 7, 6, 5}}};
+  const auto u = solve_block_tridiag(system);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t d = 0; d < 5; ++d) {
+      EXPECT_NEAR(u[i][d], system.rhs[i][d], 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smilab

@@ -1,0 +1,154 @@
+// Unit and integration tests for the network model: cost helpers, NIC
+// queue serialization, and the SMM coupling (NIC pauses, TCP recovery).
+#include <gtest/gtest.h>
+
+#include "smilab/net/network.h"
+#include "smilab/sim/system.h"
+
+namespace smilab {
+namespace {
+
+TEST(NetworkModelTest, WireXmitScalesWithBytes) {
+  NetworkParams params;
+  params.bandwidth_bytes_per_s = 100e6;
+  params.per_message_wire_overhead = microseconds(10);
+  const NetworkModel net{params};
+  EXPECT_NEAR(net.wire_xmit(0).seconds(), 10e-6, 1e-12);
+  EXPECT_NEAR(net.wire_xmit(1'000'000).seconds(), 10e-6 + 0.01, 1e-9);
+}
+
+TEST(NetworkModelTest, CpuCostsIncludeOverheadAndCopy) {
+  const NetworkModel net{NetworkParams{}};
+  const auto& p = net.params();
+  EXPECT_EQ(net.send_cpu_cost(0), p.send_overhead);
+  EXPECT_GT(net.send_cpu_cost(1 << 20), p.send_overhead);
+  EXPECT_GT(net.recv_cpu_cost(1 << 20), net.recv_cpu_cost(1 << 10));
+}
+
+TEST(NetworkModelTest, RendezvousThreshold) {
+  const NetworkModel net{NetworkParams{}};
+  EXPECT_FALSE(net.is_rendezvous(64 * 1024));
+  EXPECT_TRUE(net.is_rendezvous(64 * 1024 + 1));
+}
+
+TEST(NetworkModelTest, IntraNodeIsFasterThanWire) {
+  const NetworkModel net{NetworkParams::wyeast()};
+  const std::int64_t bytes = 1 << 20;
+  EXPECT_LT(net.intra_transfer(bytes).ns(), net.wire_xmit(bytes).ns());
+}
+
+// --- NIC behaviour through the System ---------------------------------------
+
+SystemConfig two_node_config() {
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::wyeast_e5520();
+  cfg.node_count = 2;
+  cfg.net = NetworkParams::wyeast();
+  cfg.net.tcp_recovery_scale = 0.0;  // isolate pure serialization
+  cfg.seed = 4;
+  return cfg;
+}
+
+double one_transfer_seconds(std::int64_t bytes, int senders) {
+  System sys{two_node_config()};
+  const GroupId g = sys.create_group(2 * senders);
+  for (int s = 0; s < senders; ++s) {
+    std::vector<Action> send_prog;
+    send_prog.push_back(Send{senders + s, bytes, s});
+    sys.spawn_member(g, s, TaskSpec::with_actions("s", 0, std::move(send_prog)));
+    std::vector<Action> recv_prog;
+    recv_prog.push_back(Recv{s, s});
+    sys.spawn_member(g, senders + s,
+                     TaskSpec::with_actions("r", 1, std::move(recv_prog)));
+  }
+  sys.run();
+  return sys.last_finish_time().seconds();
+}
+
+TEST(NicTest, ConcurrentFlowsSerializeOnTheNic) {
+  // 4 concurrent 1MB transfers across the same node pair: the egress NIC
+  // serializes all four (4x one stage) and the last message still pays its
+  // ingress stage, so ~(4+1)/2 of a single transfer's two-stage time —
+  // well above "they all complete together" (1x) and below fully serial
+  // end-to-end (4x).
+  const double one = one_transfer_seconds(1 << 20, 1);
+  const double four = one_transfer_seconds(1 << 20, 4);
+  EXPECT_GT(four, one * 2.2);
+  EXPECT_LT(four, one * 3.0);
+}
+
+TEST(NicTest, InterNodeBytesCounted) {
+  System sys{two_node_config()};
+  const GroupId g = sys.create_group(2);
+  std::vector<Action> send_prog;
+  send_prog.push_back(Send{1, 12345, 1});
+  sys.spawn_member(g, 0, TaskSpec::with_actions("s", 0, std::move(send_prog)));
+  std::vector<Action> recv_prog;
+  recv_prog.push_back(Recv{0, 1});
+  sys.spawn_member(g, 1, TaskSpec::with_actions("r", 1, std::move(recv_prog)));
+  sys.run();
+  EXPECT_EQ(sys.inter_node_bytes(), 12345);
+}
+
+TEST(NicTest, IntraNodeTrafficSkipsTheNic) {
+  System sys{two_node_config()};
+  const GroupId g = sys.create_group(2);
+  std::vector<Action> send_prog;
+  send_prog.push_back(Send{1, 1 << 16, 1});
+  sys.spawn_member(g, 0, TaskSpec::with_actions("s", 0, std::move(send_prog)));
+  std::vector<Action> recv_prog;
+  recv_prog.push_back(Recv{0, 1});
+  sys.spawn_member(g, 1, TaskSpec::with_actions("r", 0, std::move(recv_prog)));
+  sys.run();
+  EXPECT_EQ(sys.inter_node_bytes(), 0);
+}
+
+TEST(NicTest, TransferStallsWhileReceiverInSmm) {
+  // A big transfer injected right before the receiver's node enters a long
+  // SMM interval: its ingress pauses, so completion slips by ~the residency.
+  auto run_with = [](SmiKind kind) {
+    SystemConfig cfg = two_node_config();
+    cfg.smi.kind = kind;
+    cfg.smi.interval_jiffies = 10'000;           // one SMI in-run
+    cfg.smi.fixed_initial_phase = milliseconds(5);  // hits node 1 early
+    cfg.machine.hot_set_bytes = 0;
+    System sys{cfg};
+    const GroupId g = sys.create_group(2);
+    std::vector<Action> send_prog;
+    send_prog.push_back(Send{1, 4 << 20, 1});  // ~100ms of wire time
+    sys.spawn_member(g, 0, TaskSpec::with_actions("s", 0, std::move(send_prog)));
+    std::vector<Action> recv_prog;
+    recv_prog.push_back(Recv{0, 1});
+    sys.spawn_member(g, 1, TaskSpec::with_actions("r", 1, std::move(recv_prog)));
+    sys.run();
+    return sys.last_finish_time().seconds();
+  };
+  const double clean = run_with(SmiKind::kNone);
+  const double frozen = run_with(SmiKind::kLong);
+  EXPECT_GT(frozen, clean + 0.080);  // at least most of one 100-110ms freeze
+  EXPECT_LT(frozen, clean + 0.35);
+}
+
+TEST(NicTest, TcpRecoveryAddsOutageAfterSmm) {
+  auto run_with = [](double recovery_scale) {
+    SystemConfig cfg = two_node_config();
+    cfg.net.tcp_recovery_scale = recovery_scale;
+    cfg.smi = SmiConfig::long_every_second();
+    cfg.smi.fixed_initial_phase = milliseconds(10);
+    cfg.machine.hot_set_bytes = 0;
+    System sys{cfg};
+    const GroupId g = sys.create_group(2);
+    std::vector<Action> send_prog;
+    for (int i = 0; i < 20; ++i) send_prog.push_back(Send{1, 4 << 20, i});
+    sys.spawn_member(g, 0, TaskSpec::with_actions("s", 0, std::move(send_prog)));
+    std::vector<Action> recv_prog;
+    for (int i = 0; i < 20; ++i) recv_prog.push_back(Recv{0, i});
+    sys.spawn_member(g, 1, TaskSpec::with_actions("r", 1, std::move(recv_prog)));
+    sys.run();
+    return sys.last_finish_time().seconds();
+  };
+  EXPECT_GT(run_with(1.5), run_with(0.0) * 1.02);
+}
+
+}  // namespace
+}  // namespace smilab

@@ -1,0 +1,65 @@
+// Structural tests for the library-level paper-table generation: headers,
+// row sets, the "-" cells, and the qualitative content of the cells (the
+// quantitative shape tests live in nas_test.cpp).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "smilab/core/paper_tables.h"
+
+namespace smilab {
+namespace {
+
+NasRunOptions quick_options() {
+  NasRunOptions options;
+  options.trials = 2;
+  return options;
+}
+
+TEST(PaperTablesTest, Table2ShapeAndContent) {
+  const Table table =
+      build_nas_table(NasBenchmark::kEP, {1, 2}, 1, quick_options());
+  EXPECT_EQ(table.column_count(), 12u);
+  EXPECT_EQ(table.row_count(), 6u);  // 3 classes x 2 node rows
+  // Row 0: class A, 1 node, 1 rank; SMM0 ~ paper baseline 23.12.
+  EXPECT_EQ(table.at(0, 0), "A");
+  EXPECT_EQ(table.at(0, 1), "1");
+  EXPECT_EQ(table.at(0, 2), "1");
+  EXPECT_NEAR(std::atof(table.at(0, 3).c_str()), 23.12, 0.4);
+  // The paper reference columns carry the published deltas.
+  EXPECT_NEAR(std::atof(table.at(0, 11).c_str()), 10.99, 0.01);
+}
+
+TEST(PaperTablesTest, Table1SkipsNonSquareRankCounts) {
+  // BT with 1 rank/node over node rows {1,2,4}: nodes=2 is not a square
+  // rank count, so only 2 rows per class appear.
+  const Table table =
+      build_nas_table(NasBenchmark::kBT, {1, 2, 4}, 1, quick_options());
+  EXPECT_EQ(table.row_count(), 6u);  // {1,4} x 3 classes
+  EXPECT_EQ(table.at(1, 1), "4");
+}
+
+TEST(PaperTablesTest, Table3DashCellsMirrored) {
+  const Table table =
+      build_nas_table(NasBenchmark::kFT, {1, 2}, 1, quick_options());
+  // Class C rows (indices 4, 5) are the paper's "-" cells.
+  EXPECT_EQ(table.at(4, 0), "C");
+  for (std::size_t col = 3; col < 12; ++col) {
+    EXPECT_EQ(table.at(4, col), "-") << "col " << col;
+    EXPECT_EQ(table.at(5, col), "-") << "col " << col;
+  }
+  // Class A rows are populated.
+  EXPECT_NE(table.at(0, 3), "-");
+}
+
+TEST(PaperTablesTest, HttTableShape) {
+  const Table table = build_htt_table(NasBenchmark::kEP, quick_options());
+  EXPECT_EQ(table.column_count(), 14u);
+  EXPECT_EQ(table.row_count(), 15u);  // 3 classes x 5 node rows
+  // Paper reference column present for EP (Table 4 covers it).
+  EXPECT_NE(table.at(0, 13), "-");
+  EXPECT_NEAR(std::atof(table.at(0, 13).c_str()), 4.79, 0.02);
+}
+
+}  // namespace
+}  // namespace smilab

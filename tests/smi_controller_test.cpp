@@ -1,0 +1,178 @@
+// Tests for the SMI injection engine: interval/duration contracts, re-arm
+// policies, phase behaviour, HTT residency knob, and accounting.
+#include <gtest/gtest.h>
+
+#include "smilab/sim/system.h"
+#include "smilab/smm/smi_controller.h"
+
+namespace smilab {
+namespace {
+
+SystemConfig config_with(SmiConfig smi, int nodes = 1) {
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::wyeast_e5520();
+  cfg.node_count = nodes;
+  cfg.smi = smi;
+  cfg.machine.hot_set_bytes = 0;
+  cfg.seed = 21;
+  return cfg;
+}
+
+void run_busy(System& sys, SimDuration work, int node = 0) {
+  std::vector<Action> prog;
+  prog.push_back(Compute{work});
+  sys.spawn(TaskSpec::with_actions("busy", node, std::move(prog)));
+  sys.run();
+}
+
+TEST(SmiConfigTest, PresetsMatchPaper) {
+  const SmiConfig shrt = SmiConfig::short_every_second();
+  EXPECT_EQ(shrt.kind, SmiKind::kShort);
+  EXPECT_EQ(shrt.interval_jiffies, 1000);
+  EXPECT_EQ(shrt.interval(), seconds(1));
+  EXPECT_EQ(shrt.mean_duration(), milliseconds(2));
+
+  const SmiConfig lng = SmiConfig::long_every_second();
+  EXPECT_EQ(lng.mean_duration(), milliseconds(105));
+  EXPECT_TRUE(lng.enabled());
+  EXPECT_FALSE(SmiConfig::none().enabled());
+  EXPECT_EQ(SmiConfig::long_with_gap(50).interval(), milliseconds(50));
+}
+
+TEST(SmiControllerTest, DurationsStayInBand) {
+  System sys{config_with(SmiConfig::long_every_second())};
+  run_busy(sys, seconds(30));
+  const auto& acct = sys.smm_accounting();
+  ASSERT_GT(acct.total_smi_count(), 20);
+  for (const auto& interval : acct.intervals()) {
+    EXPECT_GE(interval.duration(), milliseconds(100));
+    EXPECT_LT(interval.duration(), milliseconds(110));
+  }
+}
+
+TEST(SmiControllerTest, GapMeasuredFromExit) {
+  System sys{config_with(SmiConfig::long_every_second())};
+  run_busy(sys, seconds(20));
+  const auto& intervals = sys.smm_accounting().intervals();
+  ASSERT_GE(intervals.size(), 3u);
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    const SimDuration gap = intervals[i].enter - intervals[i - 1].exit;
+    EXPECT_EQ(gap, seconds(1)) << "at interval " << i;
+  }
+}
+
+TEST(SmiControllerTest, RearmFromEntryKeepsNominalPeriodWhenPossible) {
+  SmiConfig smi = SmiConfig::short_with_gap(100);  // 1-3ms every 100ms
+  smi.rearm_from_entry = true;
+  System sys{config_with(smi)};
+  run_busy(sys, seconds(5));
+  const auto& intervals = sys.smm_accounting().intervals();
+  ASSERT_GE(intervals.size(), 10u);
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    const SimDuration period = intervals[i].enter - intervals[i - 1].enter;
+    EXPECT_EQ(period, milliseconds(100)) << "at interval " << i;
+  }
+}
+
+TEST(SmiControllerTest, RearmFromEntryStarvesBelowDuration) {
+  // Long SMIs (>=100ms) at a 50ms from-entry period: near-zero availability.
+  SmiConfig smi = SmiConfig::long_with_gap(50);
+  smi.rearm_from_entry = true;
+  System sys{config_with(smi)};
+  std::vector<Action> prog;
+  prog.push_back(Compute{milliseconds(50)});
+  const TaskId id = sys.spawn(TaskSpec::with_actions("t", 0, std::move(prog)));
+  sys.run();
+  const double wall =
+      (sys.task_stats(id).end_time - sys.task_stats(id).start_time).seconds();
+  EXPECT_GT(wall, 5.0);  // 50ms of work takes >100x longer
+}
+
+TEST(SmiControllerTest, FixedPhaseIsExact) {
+  SmiConfig smi = SmiConfig::long_every_second();
+  smi.fixed_initial_phase = milliseconds(250);
+  System sys{config_with(smi)};
+  run_busy(sys, seconds(3));
+  const auto& intervals = sys.smm_accounting().intervals();
+  ASSERT_FALSE(intervals.empty());
+  EXPECT_EQ(intervals[0].enter, SimTime::zero() + milliseconds(250));
+}
+
+TEST(SmiControllerTest, IndependentPhasesAcrossNodes) {
+  System sys{config_with(SmiConfig::long_every_second(), 4)};
+  for (int n = 0; n < 4; ++n) {
+    std::vector<Action> prog;
+    prog.push_back(Compute{seconds(3)});
+    sys.spawn(TaskSpec::with_actions("t", n, std::move(prog)));
+  }
+  sys.run();
+  // First SMI per node: all distinct with overwhelming probability.
+  std::vector<SimTime> firsts(4, SimTime::max());
+  for (const auto& interval : sys.smm_accounting().intervals()) {
+    auto& first = firsts[static_cast<std::size_t>(interval.node)];
+    first = std::min(first, interval.enter);
+  }
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      EXPECT_NE(firsts[static_cast<std::size_t>(a)],
+                firsts[static_cast<std::size_t>(b)]);
+    }
+  }
+}
+
+TEST(SmiControllerTest, HttResidencyFactorStretchesIntervals) {
+  SystemConfig cfg = config_with(SmiConfig::long_every_second());
+  cfg.smm_htt_residency_factor = 1.5;
+  System sys{cfg};  // all 8 logical CPUs online -> HTT active
+  run_busy(sys, seconds(10));
+  for (const auto& interval : sys.smm_accounting().intervals()) {
+    EXPECT_GE(interval.duration(), milliseconds(150));
+    EXPECT_LT(interval.duration(), milliseconds(165));
+  }
+}
+
+TEST(SmiControllerTest, ResidencyFactorInertWithoutSiblings) {
+  SystemConfig cfg = config_with(SmiConfig::long_every_second());
+  cfg.smm_htt_residency_factor = 1.5;
+  System sys{cfg};
+  sys.set_online_cpus(4);  // no sibling pairs online
+  run_busy(sys, seconds(10));
+  for (const auto& interval : sys.smm_accounting().intervals()) {
+    EXPECT_LT(interval.duration(), milliseconds(110));
+  }
+}
+
+TEST(SmiControllerTest, FiredCounterMatchesAccounting) {
+  System sys{config_with(SmiConfig::short_every_second(), 3)};
+  for (int n = 0; n < 3; ++n) {
+    std::vector<Action> prog;
+    prog.push_back(Compute{seconds(5)});
+    sys.spawn(TaskSpec::with_actions("t", n, std::move(prog)));
+  }
+  sys.run();
+  ASSERT_NE(sys.smi_controller(), nullptr);
+  // Fired >= recorded: the last SMI on each node may still be in flight.
+  EXPECT_GE(sys.smi_controller()->fired(),
+            sys.smm_accounting().total_smi_count());
+  EXPECT_LE(sys.smi_controller()->fired() -
+                sys.smm_accounting().total_smi_count(),
+            3);
+}
+
+TEST(SmmAccountingTest, PerNodeCountersAndBiosbits) {
+  SmmAccounting acct{2};
+  acct.record(SmmInterval{0, SimTime{0}, SimTime{0} + microseconds(100)});
+  acct.record(SmmInterval{0, SimTime::zero() + seconds(1),
+                          SimTime::zero() + seconds(1) + milliseconds(2)});
+  acct.record(SmmInterval{1, SimTime::zero() + seconds(2),
+                          SimTime::zero() + seconds(2) + milliseconds(105)});
+  EXPECT_EQ(acct.smi_count(0), 2);
+  EXPECT_EQ(acct.smi_count(1), 1);
+  EXPECT_EQ(acct.total_smi_count(), 3);
+  EXPECT_EQ(acct.residency(0), microseconds(100) + milliseconds(2));
+  // 100us interval is within the BIOSBITS guidance; the other two violate.
+  EXPECT_EQ(acct.biosbits_violations(), 2);
+}
+
+}  // namespace
+}  // namespace smilab

@@ -1,0 +1,178 @@
+// Unit tests for the statistics utilities: OnlineStats (Welford + merge),
+// Histogram (bucketing, percentiles), Table and Series rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "smilab/stats/histogram.h"
+#include "smilab/stats/online_stats.h"
+#include "smilab/stats/table.h"
+#include "smilab/time/rng.h"
+
+namespace smilab {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.sem(), 0.0);
+}
+
+TEST(OnlineStatsTest, SingleValue) {
+  OnlineStats stats;
+  stats.add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, KnownMoments) {
+  OnlineStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(OnlineStatsTest, NumericallyStableForLargeOffsets) {
+  OnlineStats stats;
+  const double offset = 1e12;
+  for (int i = 0; i < 1000; ++i) stats.add(offset + (i % 2 ? 1.0 : -1.0));
+  EXPECT_NEAR(stats.mean(), offset, 1e-3);
+  EXPECT_NEAR(stats.variance(), 1.001, 0.01);
+}
+
+TEST(OnlineStatsTest, MergeMatchesCombinedStream) {
+  Rng rng{5};
+  OnlineStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    all.add(v);
+    (i < 400 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmptySides) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  OnlineStats a_copy = a;
+  a.merge(b);  // empty other
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a_copy);  // empty this
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(OnlineStatsTest, Ci95ShrinksWithSamples) {
+  Rng rng{9};
+  OnlineStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(rng.normal(0, 1));
+  for (int i = 0; i < 1000; ++i) large.add(rng.normal(0, 1));
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(HistogramTest, BucketsAndBounds) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-1.0);
+  h.add(10.0);  // hi is exclusive -> overflow
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(3), 4.0);
+}
+
+TEST(HistogramTest, PercentileInterpolates) {
+  Histogram h{0.0, 100.0, 100};
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.percentile(50), 50.0, 1.0);
+  EXPECT_NEAR(h.percentile(90), 90.0, 1.0);
+  EXPECT_NEAR(h.percentile(99), 99.0, 1.5);
+}
+
+TEST(HistogramTest, PercentileOfEmpty) {
+  Histogram h{0.0, 1.0, 4};
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(HistogramTest, RenderSkipsEmptyEdges) {
+  Histogram h{0.0, 100.0, 100};
+  h.add(50.0);
+  const std::string out = h.render();
+  EXPECT_NE(out.find("50"), std::string::npos);
+  // Only one bucket line.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+}
+
+TEST(TableTest, CellFormatsAndAccessors) {
+  Table t{{"a", "b", "c"}};
+  t.row().cell("x").cell(3.14159, 2).cell(static_cast<long long>(42));
+  t.row().dash().cell(1.0, 0).cell("z");
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.column_count(), 3u);
+  EXPECT_EQ(t.at(0, 0), "x");
+  EXPECT_EQ(t.at(0, 1), "3.14");
+  EXPECT_EQ(t.at(0, 2), "42");
+  EXPECT_EQ(t.at(1, 0), "-");
+}
+
+TEST(TableTest, AlignedTextHasHeaderAndRule) {
+  Table t{{"name", "value"}};
+  t.row().cell("alpha").cell(1.5, 1);
+  const std::string text = t.to_aligned_text();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("1.5"), std::string::npos);
+}
+
+TEST(TableTest, MarkdownAndCsvWellFormed) {
+  Table t{{"x", "y"}};
+  t.row().cell("a").cell("b");
+  const std::string md = t.to_markdown();
+  EXPECT_EQ(md.find("| x | y |"), 0u);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv, "x,y\na,b\n");
+}
+
+TEST(SeriesTest, StoresPointsPerSeries) {
+  Series s{"x", {"one", "two"}};
+  s.add_point(1.0, {10.0, 20.0});
+  s.add_point(2.0, {11.0, 21.0});
+  EXPECT_EQ(s.point_count(), 2u);
+  EXPECT_EQ(s.series_count(), 2u);
+  EXPECT_DOUBLE_EQ(s.x(1), 2.0);
+  EXPECT_DOUBLE_EQ(s.y(0, 1), 11.0);
+  EXPECT_DOUBLE_EQ(s.y(1, 0), 20.0);
+  EXPECT_EQ(s.series_name(1), "two");
+}
+
+TEST(SeriesTest, CsvRoundTripValues) {
+  Series s{"gap", {"a"}};
+  s.add_point(50.0, {1.25});
+  const std::string csv = s.to_csv();
+  EXPECT_EQ(csv, "gap,a\n50,1.25\n");
+}
+
+}  // namespace
+}  // namespace smilab

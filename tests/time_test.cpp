@@ -1,0 +1,205 @@
+// Unit tests for the time primitives: SimTime/SimDuration arithmetic,
+// jiffy conversion, TSC behaviour, and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "smilab/time/rng.h"
+#include "smilab/time/sim_time.h"
+#include "smilab/time/tsc.h"
+
+namespace smilab {
+namespace {
+
+TEST(SimTimeTest, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}.ns(), 0);
+  EXPECT_EQ(SimTime::zero(), SimTime{});
+}
+
+TEST(SimTimeTest, ArithmeticRoundTrips) {
+  const SimTime t = SimTime::zero() + milliseconds(5);
+  EXPECT_EQ(t.ns(), 5'000'000);
+  EXPECT_EQ((t - SimTime::zero()).ns(), 5'000'000);
+  EXPECT_EQ((t - milliseconds(2)).ns(), 3'000'000);
+}
+
+TEST(SimTimeTest, ComparisonIsTotalOrder) {
+  const SimTime a{10};
+  const SimTime b{20};
+  EXPECT_LT(a, b);
+  EXPECT_LE(a, a);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, SimTime{10});
+}
+
+TEST(SimDurationTest, UnitConstructors) {
+  EXPECT_EQ(nanoseconds(7).ns(), 7);
+  EXPECT_EQ(microseconds(7).ns(), 7'000);
+  EXPECT_EQ(milliseconds(7).ns(), 7'000'000);
+  EXPECT_EQ(seconds(7).ns(), 7'000'000'000);
+  EXPECT_EQ(seconds_d(0.5).ns(), 500'000'000);
+}
+
+TEST(SimDurationTest, JiffyIsOneMillisecond) {
+  // The paper's systems: 1 jiffy == 1 ms (CONFIG_HZ=1000).
+  EXPECT_EQ(kJiffy.ns(), 1'000'000);
+  EXPECT_EQ(jiffies(1000).ns(), seconds(1).ns());
+}
+
+TEST(SimDurationTest, SecondsConversion) {
+  EXPECT_DOUBLE_EQ(milliseconds(1500).seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(SimDuration{-500'000'000}.seconds(), -0.5);
+}
+
+TEST(SimDurationTest, ScalarOps) {
+  EXPECT_EQ((milliseconds(3) * 4).ns(), milliseconds(12).ns());
+  EXPECT_EQ((4 * milliseconds(3)).ns(), milliseconds(12).ns());
+  EXPECT_EQ((milliseconds(12) / 4).ns(), milliseconds(3).ns());
+  EXPECT_DOUBLE_EQ(milliseconds(105) / seconds(1), 0.105);
+}
+
+TEST(SimDurationTest, ScaleRoundsToNearest) {
+  EXPECT_EQ(scale(nanoseconds(10), 0.55).ns(), 6);  // 5.5 -> 6
+  EXPECT_EQ(scale(nanoseconds(10), 0.54).ns(), 5);  // 5.4 -> 5
+  EXPECT_EQ(scale(milliseconds(100), 1.0).ns(), milliseconds(100).ns());
+  EXPECT_EQ(scale(nanoseconds(-10), 0.55).ns(), -6);
+}
+
+TEST(SimDurationTest, ToStringPicksUnits) {
+  EXPECT_EQ(to_string(seconds(2)), "2.000s");
+  EXPECT_EQ(to_string(milliseconds(105)), "105.000ms");
+  EXPECT_EQ(to_string(microseconds(150)), "150.000us");
+  EXPECT_EQ(to_string(nanoseconds(42)), "42ns");
+}
+
+TEST(TscTest, CountsAtConfiguredFrequency) {
+  const Tsc tsc{2.27};  // E5520
+  EXPECT_EQ(tsc.read(SimTime::zero()), 0u);
+  const auto one_second = tsc.read(SimTime::zero() + seconds(1));
+  EXPECT_NEAR(static_cast<double>(one_second), 2.27e9, 1.0);
+}
+
+TEST(TscTest, KeepsCountingMonotonically) {
+  const Tsc tsc{2.40};
+  std::uint64_t prev = 0;
+  for (int ms = 1; ms <= 1000; ms += 50) {
+    const auto v = tsc.read(SimTime::zero() + milliseconds(ms));
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(TscTest, CycleToDurationRoundTrip) {
+  const Tsc tsc{2.27};
+  const auto cycles = tsc.read(SimTime::zero() + milliseconds(105));
+  EXPECT_NEAR(tsc.to_duration(cycles).seconds(), 0.105, 1e-9);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntStaysInBounds) {
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng{11};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformDurationInBand) {
+  // The long-SMI band from the paper: 100-110 ms.
+  Rng rng{13};
+  for (int i = 0; i < 1000; ++i) {
+    const auto d = rng.uniform_duration(milliseconds(100), milliseconds(110));
+    EXPECT_GE(d, milliseconds(100));
+    EXPECT_LT(d, milliseconds(110));
+  }
+}
+
+TEST(RngTest, UniformDurationDegenerateBand) {
+  Rng rng{13};
+  EXPECT_EQ(rng.uniform_duration(milliseconds(5), milliseconds(5)),
+            milliseconds(5));
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng rng{17};
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyCorrect) {
+  Rng rng{19};
+  double sum = 0, sum2 = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentOfConsumption) {
+  // Forking must depend only on (origin seed, salt), not on how much the
+  // parent stream has been consumed — this is what keeps adding an RNG
+  // consumer from perturbing every other stream.
+  Rng parent1{99};
+  Rng parent2{99};
+  parent2.next_u64();
+  parent2.next_u64();
+  Rng childA = parent1.fork(123);
+  Rng childB = parent2.fork(123);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(childA.next_u64(), childB.next_u64());
+}
+
+TEST(RngTest, ForkWithDifferentSaltsDiffer) {
+  Rng parent{99};
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngTest, StreamLabelStableHash) {
+  EXPECT_EQ(stream_label("smi.node.0"), stream_label("smi.node.0"));
+  EXPECT_NE(stream_label("smi.node.0"), stream_label("smi.node.1"));
+}
+
+}  // namespace
+}  // namespace smilab

@@ -1,0 +1,63 @@
+// Tests for the host-executable UnixBench microkernels: checksums are
+// value-dependent (the work really happened), rates are positive, and the
+// round-trip token accounting is exact.
+#include <gtest/gtest.h>
+
+#include "smilab/apps/unixbench/kernels.h"
+
+namespace smilab {
+namespace {
+
+TEST(DhrystoneKernelTest, ChecksumIsDeterministicAndScales) {
+  const KernelRun a = run_dhrystone_like(10'000);
+  const KernelRun b = run_dhrystone_like(10'000);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_GT(a.ops_per_second, 0.0);
+  const KernelRun half = run_dhrystone_like(5'000);
+  EXPECT_NE(half.checksum, a.checksum);
+}
+
+TEST(WhetstoneKernelTest, RunsAndChecksums) {
+  const KernelRun a = run_whetstone_like(2'000);
+  const KernelRun b = run_whetstone_like(2'000);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_GT(a.ops_per_second, 0.0);
+}
+
+TEST(PipeThroughputKernelTest, MovesRealBytes) {
+  const KernelRun run = run_pipe_throughput(2'000);
+  EXPECT_GT(run.ops_per_second, 0.0);
+  // checksum = sum of the low 7 bits of the iteration counter.
+  std::uint64_t expected = 0;
+  for (std::int64_t i = 0; i < 2'000; ++i) expected += static_cast<std::uint64_t>(i & 0x7F);
+  EXPECT_EQ(run.checksum, expected);
+}
+
+TEST(PipeContextSwitchKernelTest, TokenCountsRoundTrips) {
+  const std::int64_t trips = 1'000;
+  const KernelRun run = run_pipe_context_switch(trips);
+  EXPECT_GT(run.ops_per_second, 0.0);
+  // The token increments once per round trip; the final xor embeds it.
+  EXPECT_NE(run.checksum, 0u);
+}
+
+TEST(SyscallKernelTest, IssuesRealSyscalls) {
+  const KernelRun run = run_syscall_overhead(50'000);
+  EXPECT_GT(run.ops_per_second, 1'000.0);  // any machine does >1k getpid/s
+  EXPECT_GT(run.checksum, 0u);             // pid is never 0
+}
+
+TEST(KernelRatesTest, RelativeOrderingMatchesModelAssumptions) {
+  // The workload model assumes syscall-class ops are much faster than pipe
+  // round trips, and dhrystones much faster than whetstone passes. Verify
+  // the orderings hold on the host this library is built on.
+  const double dhry = run_dhrystone_like(200'000).ops_per_second;
+  const double whet = run_whetstone_like(5'000).ops_per_second;
+  const double sys = run_syscall_overhead(200'000).ops_per_second;
+  const double ctx = run_pipe_context_switch(2'000).ops_per_second;
+  EXPECT_GT(dhry, whet * 3);
+  EXPECT_GT(sys, ctx * 3);
+}
+
+}  // namespace
+}  // namespace smilab

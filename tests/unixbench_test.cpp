@@ -1,0 +1,96 @@
+// Tests for the UnixBench workload model (Figure 2 machinery).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "smilab/apps/unixbench/unixbench.h"
+
+namespace smilab {
+namespace {
+
+UnixBenchOptions quick_options(int cpus) {
+  UnixBenchOptions options;
+  options.online_cpus = cpus;
+  options.per_test_duration = seconds(5);
+  options.seed = 3;
+  return options;
+}
+
+TEST(UnixBenchTest, SpecsAreComplete) {
+  const auto& specs = ub_test_specs();
+  ASSERT_EQ(specs.size(), static_cast<std::size_t>(kUbTestCount));
+  for (int i = 0; i < kUbTestCount; ++i) {
+    EXPECT_EQ(static_cast<int>(specs[static_cast<std::size_t>(i)].test), i);
+    EXPECT_GT(specs[static_cast<std::size_t>(i)].base_ops_per_s, 0);
+    EXPECT_GT(specs[static_cast<std::size_t>(i)].baseline_ops_per_s, 0);
+  }
+}
+
+TEST(UnixBenchTest, SingleCpuRatesMatchNominal) {
+  const UnixBenchResult result = run_unixbench(quick_options(1));
+  for (int i = 0; i < kUbTestCount; ++i) {
+    const auto& spec = ub_test_specs()[static_cast<std::size_t>(i)];
+    EXPECT_NEAR(result.ops_per_s[static_cast<std::size_t>(i)],
+                spec.base_ops_per_s, spec.base_ops_per_s * 0.01)
+        << to_string(spec.test);
+  }
+  EXPECT_GT(result.index, 100.0);
+}
+
+TEST(UnixBenchTest, IndexIsGeometricMean) {
+  const UnixBenchResult result = run_unixbench(quick_options(1));
+  double log_sum = 0;
+  for (const double score : result.score) log_sum += std::log(score);
+  EXPECT_NEAR(result.index, std::exp(log_sum / kUbTestCount), 1e-6);
+}
+
+TEST(UnixBenchTest, ScalesWithPhysicalCores) {
+  const double one = run_unixbench(quick_options(1)).index;
+  const double four = run_unixbench(quick_options(4)).index;
+  EXPECT_NEAR(four / one, 4.0, 0.1);
+}
+
+TEST(UnixBenchTest, HttGivesPartialGain) {
+  // 8 logical CPUs on 4 cores: more than 4 cores' throughput, much less
+  // than 8 (the paper: "the benchmark shows performance gains from HTT").
+  const double four = run_unixbench(quick_options(4)).index;
+  const double eight = run_unixbench(quick_options(8)).index;
+  EXPECT_GT(eight, four * 1.05);
+  EXPECT_LT(eight, four * 1.6);
+}
+
+TEST(UnixBenchTest, LongSmisDegradeTheIndex) {
+  UnixBenchOptions base = quick_options(4);
+  UnixBenchOptions noisy = base;
+  noisy.smi = SmiConfig::long_with_gap(600);
+  const double clean = run_unixbench(base).index;
+  const double degraded = run_unixbench(noisy).index;
+  // ~105/705 = 15% duty cycle at a 600 ms gap.
+  EXPECT_LT(degraded, clean * 0.92);
+  EXPECT_GT(degraded, clean * 0.75);
+}
+
+TEST(UnixBenchTest, ImpactGrowsAsGapShrinks) {
+  const double clean = run_unixbench(quick_options(4)).index;
+  double prev = clean;
+  for (const int gap : {1600, 600, 100}) {
+    UnixBenchOptions options = quick_options(4);
+    options.smi = SmiConfig::long_with_gap(gap);
+    const double index = run_unixbench(options).index;
+    EXPECT_LT(index, prev * 1.005) << "gap " << gap;
+    prev = index;
+  }
+  EXPECT_LT(prev, clean * 0.6);  // 100 ms gap: about half the machine gone
+}
+
+TEST(UnixBenchTest, ShortSmisBarelyMatter) {
+  UnixBenchOptions base = quick_options(4);
+  UnixBenchOptions noisy = base;
+  noisy.smi = SmiConfig::short_with_gap(600);
+  const double clean = run_unixbench(base).index;
+  const double with_short = run_unixbench(noisy).index;
+  EXPECT_GT(with_short, clean * 0.985);
+}
+
+}  // namespace
+}  // namespace smilab

@@ -1,0 +1,109 @@
+// Tests for the work-queue thread substrate: dynamic load balancing across
+// workers, HTT interaction, SMI stretching, and determinism.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "smilab/thread/work_queue.h"
+
+namespace smilab {
+namespace {
+
+SystemConfig base() {
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::poweredge_r410_e5620();
+  cfg.seed = 13;
+  return cfg;
+}
+
+TEST(WorkQueueTest, EvenItemsSplitExactly) {
+  const auto items = even_items(seconds(1), 8);
+  ASSERT_EQ(items.size(), 8u);
+  SimDuration total{};
+  for (const auto& item : items) total += item;
+  EXPECT_EQ(total, seconds(1));
+}
+
+TEST(WorkQueueTest, AllItemsProcessedExactlyOnce) {
+  System sys{base()};
+  WorkQueueSpec spec;
+  spec.workers = 4;
+  spec.items = even_items(milliseconds(400), 40);
+  const WorkQueueResult result = run_work_queue(sys, std::move(spec));
+  const int total = std::accumulate(result.items_per_worker.begin(),
+                                    result.items_per_worker.end(), 0);
+  EXPECT_EQ(total, 40);
+  for (const int n : result.items_per_worker) EXPECT_EQ(n, 10);  // 4 cores
+}
+
+TEST(WorkQueueTest, MakespanScalesWithWorkers) {
+  auto makespan = [](int workers) {
+    System sys{base()};
+    WorkQueueSpec spec;
+    spec.workers = workers;
+    spec.items = even_items(seconds(4), 64);
+    return run_work_queue(sys, std::move(spec)).finished.seconds();
+  };
+  EXPECT_NEAR(makespan(1), 4.0, 1e-6);
+  EXPECT_NEAR(makespan(4), 1.0, 0.01);
+}
+
+TEST(WorkQueueTest, UnevenItemsBalanceDynamically) {
+  // One huge item plus many small ones: static partitioning would give a
+  // makespan near the big item's duration plus its share of small items;
+  // the pull queue keeps the other workers busy on the smalls.
+  System sys{base()};
+  WorkQueueSpec spec;
+  spec.workers = 4;
+  spec.items.push_back(milliseconds(400));
+  for (int i = 0; i < 120; ++i) spec.items.push_back(milliseconds(10));
+  const WorkQueueResult result = run_work_queue(sys, std::move(spec));
+  EXPECT_NEAR(result.finished.seconds(), 0.410, 0.02);
+  // Worker 0 took the big item; the others split the smalls.
+  EXPECT_GE(*std::max_element(result.items_per_worker.begin(),
+                              result.items_per_worker.end()),
+            35);
+}
+
+TEST(WorkQueueTest, MoreWorkersThanCpusTimeshare) {
+  System sys{base()};
+  sys.set_online_cpus(2);
+  WorkQueueSpec spec;
+  spec.workers = 8;
+  spec.items = even_items(seconds(2), 64);
+  const WorkQueueResult result = run_work_queue(sys, std::move(spec));
+  EXPECT_NEAR(result.finished.seconds(), 1.0, 0.05);  // 2s over 2 CPUs
+}
+
+TEST(WorkQueueTest, LongSmisStretchTheMakespan) {
+  auto makespan = [](SmiConfig smi) {
+    SystemConfig cfg = base();
+    cfg.smi = smi;
+    cfg.machine.hot_set_bytes = 0;
+    System sys{cfg};
+    sys.set_online_cpus(4);
+    WorkQueueSpec spec;
+    spec.workers = 4;
+    spec.items = even_items(seconds(8), 128);
+    return run_work_queue(sys, std::move(spec)).finished.seconds();
+  };
+  const double clean = makespan(SmiConfig::none());
+  const double noisy = makespan(SmiConfig::long_every_second());
+  EXPECT_NEAR(noisy / clean, 1.105, 0.03);  // the duty cycle, no sync losses
+}
+
+TEST(WorkQueueTest, DeterministicPerSeed) {
+  auto once = [] {
+    SystemConfig cfg = base();
+    cfg.smi = SmiConfig::long_with_gap(300);
+    System sys{cfg};
+    WorkQueueSpec spec;
+    spec.workers = 6;
+    spec.items = even_items(seconds(3), 48);
+    return run_work_queue(sys, std::move(spec)).finished.ns();
+  };
+  EXPECT_EQ(once(), once());
+}
+
+}  // namespace
+}  // namespace smilab

@@ -1,0 +1,14 @@
+// The smilab command-line tool. All logic lives in smilab/cli so it can be
+// unit-tested; this file is just the process entry point.
+//
+//   smilab help
+//   smilab nas --workload=ft --class=A --nodes=8 --smi=long
+//   smilab convolve --case=cu --cpus=8 --gap-ms=50
+//   smilab detect --smi=long --gap-ms=1000 --trace=run.json
+#include <iostream>
+
+#include "smilab/cli/commands.h"
+
+int main(int argc, char** argv) {
+  return smilab::run_cli(argc, argv, std::cout, std::cerr);
+}
