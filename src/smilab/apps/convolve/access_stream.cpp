@@ -124,7 +124,13 @@ CacheMeasurement measure_convolve_cache(const ConvolveConfig& config,
       // where successive outputs a worker grabs share no cached window.
       std::vector<std::int64_t> order(static_cast<std::size_t>(pixels));
       std::iota(order.begin(), order.end(), std::int64_t{0});
-      Rng rng{0xBADCACE ^ static_cast<std::uint64_t>(b.x0 * 73856093 + b.y0)};
+      // 32-bit modular spatial hash, sign-extended; int arithmetic here
+      // overflows for large tiles.
+      const std::uint32_t tile_hash =
+          static_cast<std::uint32_t>(b.x0) * 73856093u +
+          static_cast<std::uint32_t>(b.y0);
+      Rng rng{0xBADCACE ^ static_cast<std::uint64_t>(
+                              static_cast<std::int32_t>(tile_hash))};
       for (std::size_t i = order.size(); i > 1; --i) {
         const auto j = static_cast<std::size_t>(
             rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));

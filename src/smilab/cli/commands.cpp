@@ -7,6 +7,9 @@
 #include "smilab/apps/nas/runner.h"
 #include "smilab/apps/unixbench/unixbench.h"
 #include "smilab/cpu/energy.h"
+#include "smilab/fault/fault_injector.h"
+#include "smilab/mpi/job.h"
+#include "smilab/mpi/program.h"
 #include "smilab/noise/hwlat.h"
 #include "smilab/sim/system.h"
 #include "smilab/smm/rim.h"
@@ -37,10 +40,24 @@ commands:
   rim        [--scan-mb=X] [--interval-ms=N] [--total-mb=X] [--nodes=N]
              A RIM (SMM integrity scanning) policy: residency, duty cycle,
              detection latency, and measured application slowdown.
+  faults     [--nodes=N] [--iters=N] [--bytes=N] [--smi=none|short|long]
+             [--gap-ms=N] [--seed=N] [--hang-timeout-s=N]
+             [--freeze=node:at_ms:dur_ms] [--crash=node:at_ms]
+             [--link-down=node:at_ms:dur_ms] [--slow=node:at_ms:dur_ms:scale]
+             [--drop=P] [--dup=P]
+             Ring halo-exchange job under an injected fault plan: transport
+             drops/retransmissions, node freezes, fail-stop crashes. Each
+             fault flag takes a comma-separated list of specs (e.g.
+             --freeze=0:100:200,1:400:100). Prints the per-rank
+             hang/deadlock diagnosis (and exits 3) if the faults stall the
+             job.
   help       This text.
 
 common:
   --trace=FILE   write a Chrome trace of the (last) run to FILE.
+
+exit codes: 0 success, 2 usage error, 3 the simulation itself faulted
+(deadlock / hang / max_sim_time / invalid configuration).
 )";
 
 SmiConfig smi_from(const Options& options, std::string* error) {
@@ -257,6 +274,173 @@ int cmd_rim(const Options& options, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// Parse "a:b:c"-style numeric fault specs. Returns false (with *error set)
+/// on malformed input.
+bool parse_fields(const std::string& spec, const char* flag,
+                  std::vector<double>* out, std::size_t expected,
+                  std::string* error) {
+  out->clear();
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t colon = spec.find(':', pos);
+    const std::string field =
+        spec.substr(pos, colon == std::string::npos ? colon : colon - pos);
+    try {
+      std::size_t used = 0;
+      out->push_back(std::stod(field, &used));
+      if (used != field.size()) throw std::invalid_argument(field);
+    } catch (const std::exception&) {
+      *error = std::string("--") + flag + ": bad number '" + field + "' in '" +
+               spec + "'";
+      return false;
+    }
+    if (colon == std::string::npos) break;
+    pos = colon + 1;
+  }
+  if (out->size() != expected) {
+    *error = std::string("--") + flag + ": expected " +
+             std::to_string(expected) + " ':'-separated fields, got " +
+             std::to_string(out->size()) + " in '" + spec + "'";
+    return false;
+  }
+  return true;
+}
+
+/// Parse a comma-separated list of "a:b:c" specs, calling `add` per spec.
+/// The Options map is last-wins for repeated flags, so the list form is the
+/// only way to express several faults of one kind in a single command.
+template <typename Add>
+bool parse_spec_list(const std::string& list, const char* flag,
+                     std::size_t expected, std::string* error, Add add) {
+  std::vector<double> f;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string spec =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!parse_fields(spec, flag, &f, expected, error)) return false;
+    add(f);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return true;
+}
+
+int cmd_faults(const Options& options, std::ostream& out, std::ostream& err) {
+  std::string error;
+  const auto nodes = static_cast<int>(options.get_int("nodes", 4, &error));
+  const auto iters = static_cast<int>(options.get_int("iters", 200, &error));
+  const auto bytes = options.get_int("bytes", 32 * 1024, &error);
+  const auto seed =
+      static_cast<std::uint64_t>(options.get_int("seed", 1, &error));
+  const double hang_timeout_s =
+      options.get_double("hang-timeout-s", 10.0, &error);
+  const std::string smi_kind = options.get("smi", "none");
+  const auto gap =
+      options.get_int("gap-ms", options.get_int("interval-ms", 1000, &error),
+                      &error);
+
+  FaultPlan plan;
+  if (const std::string s = options.get("freeze", ""); !s.empty()) {
+    if (!parse_spec_list(s, "freeze", 3, &error,
+                         [&](const std::vector<double>& f) {
+                           plan.freeze(static_cast<int>(f[0]),
+                                       SimTime::zero() + seconds_d(f[1] / 1e3),
+                                       seconds_d(f[2] / 1e3));
+                         }))
+      return fail(err, error);
+  }
+  if (const std::string s = options.get("crash", ""); !s.empty()) {
+    if (!parse_spec_list(s, "crash", 2, &error,
+                         [&](const std::vector<double>& f) {
+                           plan.crash(static_cast<int>(f[0]),
+                                      SimTime::zero() + seconds_d(f[1] / 1e3));
+                         }))
+      return fail(err, error);
+  }
+  if (const std::string s = options.get("link-down", ""); !s.empty()) {
+    if (!parse_spec_list(s, "link-down", 3, &error,
+                         [&](const std::vector<double>& f) {
+                           plan.link_down(static_cast<int>(f[0]),
+                                          SimTime::zero() + seconds_d(f[1] / 1e3),
+                                          seconds_d(f[2] / 1e3));
+                         }))
+      return fail(err, error);
+  }
+  if (const std::string s = options.get("slow", ""); !s.empty()) {
+    if (!parse_spec_list(s, "slow", 4, &error,
+                         [&](const std::vector<double>& f) {
+                           plan.slow(static_cast<int>(f[0]),
+                                     SimTime::zero() + seconds_d(f[1] / 1e3),
+                                     seconds_d(f[2] / 1e3), f[3]);
+                         }))
+      return fail(err, error);
+  }
+  plan.drop(options.get_double("drop", 0.0, &error));
+  plan.duplicate(options.get_double("dup", 0.0, &error));
+  (void)options.get("trace", "");
+  if (!error.empty()) return fail(err, error);
+  if (const int rc = check_leftovers(options, err)) return rc;
+  if (nodes < 2) return fail(err, "--nodes must be >= 2 (ring exchange)");
+  if (iters < 1) return fail(err, "--iters must be >= 1");
+
+  SystemConfig cfg;
+  cfg.node_count = nodes;
+  cfg.seed = seed;
+  cfg.hang_timeout = seconds_d(hang_timeout_s);
+  if (smi_kind == "short") cfg.smi = SmiConfig::short_with_gap(gap);
+  else if (smi_kind == "long") cfg.smi = SmiConfig::long_with_gap(gap);
+  else if (smi_kind != "none") {
+    return fail(err, "unknown --smi kind '" + smi_kind + "' (none|short|long)");
+  }
+  System sys{cfg};
+  const FaultInjector injector{sys, plan};
+
+  // Ring halo exchange: compute, then swap with both neighbours, per
+  // iteration — every rank depends on every other within a few steps, so
+  // any injected fault propagates job-wide.
+  auto programs = make_rank_programs(nodes);
+  TagAllocator tags;
+  for (int it = 0; it < iters; ++it) {
+    const int tag = tags.allocate(2);
+    for (auto& prog : programs) {
+      const int r = prog.rank();
+      const int next = (r + 1) % nodes;
+      const int prev = (r + nodes - 1) % nodes;
+      prog.compute(microseconds(500));
+      prog.sendrecv(next, bytes, tag, prev, tag);
+      prog.sendrecv(prev, bytes, tag + 1, next, tag + 1);
+    }
+  }
+  std::vector<int> placement(static_cast<std::size_t>(nodes));
+  for (int r = 0; r < nodes; ++r) placement[static_cast<std::size_t>(r)] = r;
+
+  const MpiJobRunResult result = try_run_mpi_job(
+      sys, std::move(programs), placement, WorkloadProfile{}, "ring");
+
+  out << "ring exchange: " << nodes << " rank(s), " << iters
+      << " iteration(s), " << bytes << " B per hop\n";
+  out << "  transport: " << sys.messages_dropped() << " dropped, "
+      << sys.retransmissions() << " retransmission(s), "
+      << sys.messages_duplicated() << " duplicate(s), "
+      << sys.transport_failures() << " failure(s)\n";
+  for (const FaultRecord& rec : sys.fault_log()) {
+    out << "  fault: " << to_string(rec.kind) << " node " << rec.node
+        << " at " << rec.start.seconds() << " s";
+    if (rec.end >= rec.start && rec.kind != FaultRecord::Kind::kCrash) {
+      out << " for " << (rec.end - rec.start).seconds() << " s";
+    }
+    out << "\n";
+  }
+  maybe_write_trace(options, sys, out, err);
+  if (!result.ok()) {
+    err << result.run.to_string() << "\n";
+    return 3;
+  }
+  out << "  completed in " << result.job.elapsed.seconds() << " s\n";
+  return 0;
+}
+
 }  // namespace
 
 const char* cli_usage() { return kUsage; }
@@ -273,6 +457,7 @@ int run_cli_command(const Options& options, std::ostream& out,
   if (command == "unixbench") return cmd_unixbench(options, out, err);
   if (command == "detect") return cmd_detect(options, out, err);
   if (command == "rim") return cmd_rim(options, out, err);
+  if (command == "faults") return cmd_faults(options, out, err);
   return fail(err, "unknown command '" + command + "' (see 'smilab help')");
 }
 
@@ -284,7 +469,18 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     err << "smilab: " << error << "\n" << kUsage;
     return 2;
   }
-  return run_cli_command(*options, out, err);
+  // Degrade gracefully: a faulting simulation prints its diagnosis and
+  // maps to exit code 3, distinct from usage errors (2).
+  try {
+    return run_cli_command(*options, out, err);
+  } catch (const SimulationError& e) {
+    err << "smilab: simulation fault (" << to_string(e.status()) << ")\n"
+        << e.what() << "\n";
+    return 3;
+  } catch (const std::exception& e) {
+    err << "smilab: error: " << e.what() << "\n";
+    return 1;
+  }
 }
 
 }  // namespace smilab

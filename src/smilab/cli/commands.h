@@ -9,7 +9,11 @@
 //   unixbench  the Figure-2 index at one (cpus, gap) point
 //   detect     hwlat-style SMI detection scored against ground truth
 //   rim        a RIM security policy's slowdown / detection-latency trade
+//   faults     a ring-exchange MPI job under an injected fault plan
 //   help       usage
+//
+// Exit codes: 0 success, 2 usage error, 3 simulation fault (run_cli maps
+// SimulationError to 3 and prints the diagnosis to the error stream).
 #pragma once
 
 #include <ostream>

@@ -1,0 +1,44 @@
+// Turns a FaultPlan into simulator events.
+//
+// The injector is a pure client of System's public fault hooks: it schedules
+// freeze/crash/link/slow transitions on the engine at construction time and
+// (only when the plan carries link noise) installs itself as the transport's
+// LinkFaultModel. Its RNG is an independent stream forked from the system
+// master seed under the label "fault/link", so enabling fault injection never
+// perturbs the draws seen by the SMI controller, the workload jitter, or any
+// other consumer — and an *empty* plan schedules nothing and installs
+// nothing, making the run bit-identical to one with no injector at all.
+#pragma once
+
+#include "smilab/fault/fault_plan.h"
+#include "smilab/sim/system.h"
+#include "smilab/time/rng.h"
+
+namespace smilab {
+
+class FaultInjector final : public LinkFaultModel {
+ public:
+  /// Validates `plan` against `sys` (node ranges, interval sanity,
+  /// probability ranges; throws SimulationError with RunStatus::kConfigError
+  /// on violations) and schedules every fault transition. Must be
+  /// constructed before System::run()/try_run() and outlive the run.
+  FaultInjector(System& sys, FaultPlan plan);
+  ~FaultInjector() override;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  // LinkFaultModel: one decision per inter-node delivery attempt.
+  bool should_drop(int src_node, int dst_node) override;
+  bool should_duplicate(int src_node, int dst_node) override;
+
+ private:
+  System& sys_;
+  FaultPlan plan_;
+  Rng rng_;
+  bool registered_ = false;
+};
+
+}  // namespace smilab

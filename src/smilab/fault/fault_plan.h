@@ -1,0 +1,116 @@
+// Deterministic fault plans.
+//
+// A FaultPlan is a declarative schedule of everything that can go wrong in
+// a cluster *besides* SMIs: transient whole-node freezes (a hung hypervisor,
+// a thermal throttle event), fail-stop node crashes, NIC link faults
+// (message drop, duplication, link-down intervals) and slow-node
+// degradation. The plan is pure data — the FaultInjector turns it into
+// simulator events — so experiments can serialize, sweep and reproduce
+// fault scenarios exactly: the same (seed, plan) pair always yields the
+// same run, and an empty plan is guaranteed to reproduce the baseline run
+// bit-for-bit (the injector installs nothing at all).
+#pragma once
+
+#include <vector>
+
+#include "smilab/time/sim_time.h"
+
+namespace smilab {
+
+/// Transient whole-node stall: every online CPU and both NIC directions
+/// stop for `duration`, like an SMM freeze but independent of the SMI
+/// controller and without its firmware-specific accounting (no OS-view
+/// misattribution, no cache-refill model — a hang, not a handler).
+struct NodeFreeze {
+  int node = 0;
+  SimTime at;
+  SimDuration duration;
+};
+
+/// Fail-stop crash: at `at` the node's tasks are killed (marked failed),
+/// its NICs go silent forever, and queued or future traffic to the node is
+/// discarded. Survivors that depend on the dead ranks become diagnosable
+/// through System::try_run().
+struct NodeCrash {
+  int node = 0;
+  SimTime at;
+};
+
+/// Both NIC directions of `node` stop serving for `duration`; in-flight
+/// transfers resume afterwards and pay the usual stall-proportional TCP
+/// recovery cost (NetworkParams::tcp_recovery_scale).
+struct LinkDown {
+  int node = 0;
+  SimTime at;
+  SimDuration duration;
+};
+
+/// Multiplicative compute-rate degradation of every CPU on `node` over
+/// [at, at+duration): rate_scale 0.5 halves execution speed (thermal
+/// throttling, a co-scheduled daemon, memory-bandwidth contention).
+struct SlowNode {
+  int node = 0;
+  SimTime at;
+  SimDuration duration;
+  double rate_scale = 1.0;
+};
+
+/// Per-delivery-attempt link noise, applied to inter-node messages as they
+/// leave the source NIC. Drops are retried by the transport's retransmission
+/// state machine (timeout + exponential backoff + retry cap, see
+/// NetworkParams); duplicates burn ingress wire time at the destination and
+/// are then suppressed by transport-level dedup, so MPI matching semantics
+/// stay exact.
+struct LinkNoise {
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+};
+
+/// The full fault schedule for one run. Build fluently:
+///
+///   FaultPlan plan;
+///   plan.freeze(0, milliseconds(500), milliseconds(105))
+///       .crash(3, seconds(2))
+///       .drop(0.01);
+struct FaultPlan {
+  std::vector<NodeFreeze> freezes;
+  std::vector<NodeCrash> crashes;
+  std::vector<LinkDown> link_downs;
+  std::vector<SlowNode> slow_nodes;
+  LinkNoise link_noise;
+
+  FaultPlan& freeze(int node, SimTime at, SimDuration duration) {
+    freezes.push_back({node, at, duration});
+    return *this;
+  }
+  FaultPlan& crash(int node, SimTime at) {
+    crashes.push_back({node, at});
+    return *this;
+  }
+  FaultPlan& link_down(int node, SimTime at, SimDuration duration) {
+    link_downs.push_back({node, at, duration});
+    return *this;
+  }
+  FaultPlan& slow(int node, SimTime at, SimDuration duration, double scale) {
+    slow_nodes.push_back({node, at, duration, scale});
+    return *this;
+  }
+  FaultPlan& drop(double prob) {
+    link_noise.drop_prob = prob;
+    return *this;
+  }
+  FaultPlan& duplicate(double prob) {
+    link_noise.dup_prob = prob;
+    return *this;
+  }
+
+  /// True when the plan perturbs nothing; the injector then guarantees a
+  /// bit-identical run versus no injector at all.
+  [[nodiscard]] bool empty() const {
+    return freezes.empty() && crashes.empty() && link_downs.empty() &&
+           slow_nodes.empty() && link_noise.drop_prob <= 0.0 &&
+           link_noise.dup_prob <= 0.0;
+  }
+};
+
+}  // namespace smilab

@@ -5,10 +5,13 @@
 
 namespace smilab {
 
-MpiJobResult run_mpi_job(System& sys, std::vector<RankProgram> programs,
-                         const std::vector<int>& placement,
-                         const WorkloadProfile& profile,
-                         const std::string& job_name) {
+namespace {
+
+/// Shared spawn path: create the group and one spin-waiting task per rank.
+MpiJobResult spawn_mpi_job(System& sys, std::vector<RankProgram>& programs,
+                           const std::vector<int>& placement,
+                           const WorkloadProfile& profile,
+                           const std::string& job_name) {
   const int p = static_cast<int>(programs.size());
   assert(p >= 1);
   if (placement.size() != programs.size()) {
@@ -18,8 +21,6 @@ MpiJobResult run_mpi_job(System& sys, std::vector<RankProgram> programs,
   MpiJobResult result;
   result.group = sys.create_group(p);
   result.rank_tasks.reserve(static_cast<std::size_t>(p));
-  const SimTime start = sys.now();
-
   for (int r = 0; r < p; ++r) {
     TaskSpec spec;
     spec.name = job_name + ".rank" + std::to_string(r);
@@ -28,17 +29,57 @@ MpiJobResult run_mpi_job(System& sys, std::vector<RankProgram> programs,
     spec.wait_policy = WaitPolicy::kSpin;  // MPI busy-polls by default
     spec.actions = std::make_unique<VectorActions>(
         programs[static_cast<std::size_t>(r)].take());
-    result.rank_tasks.push_back(sys.spawn_member(result.group, r, std::move(spec)));
+    result.rank_tasks.push_back(
+        sys.spawn_member(result.group, r, std::move(spec)));
   }
+  return result;
+}
+
+void collect_rank_stats(const System& sys, MpiJobResult& result) {
+  result.rank_stats.clear();
+  result.rank_stats.reserve(result.rank_tasks.size());
+  for (const TaskId id : result.rank_tasks) {
+    result.rank_stats.push_back(sys.task_stats(id));
+  }
+}
+
+}  // namespace
+
+MpiJobResult run_mpi_job(System& sys, std::vector<RankProgram> programs,
+                         const std::vector<int>& placement,
+                         const WorkloadProfile& profile,
+                         const std::string& job_name) {
+  const SimTime start = sys.now();
+  MpiJobResult result =
+      spawn_mpi_job(sys, programs, placement, profile, job_name);
 
   sys.run();
 
   result.elapsed = sys.group_finish_time(result.group) - start;
-  result.rank_stats.reserve(static_cast<std::size_t>(p));
-  for (const TaskId id : result.rank_tasks) {
-    result.rank_stats.push_back(sys.task_stats(id));
-  }
+  collect_rank_stats(sys, result);
   return result;
+}
+
+MpiJobRunResult try_run_mpi_job(System& sys, std::vector<RankProgram> programs,
+                                const std::vector<int>& placement,
+                                const WorkloadProfile& profile,
+                                const std::string& job_name) {
+  const SimTime start = sys.now();
+  MpiJobRunResult out;
+  out.job = spawn_mpi_job(sys, programs, placement, profile, job_name);
+
+  out.run = sys.try_run();
+
+  collect_rank_stats(sys, out.job);
+  // group_finish_time requires every member to have finished; a stuck run
+  // or a crash-killed rank reports the diagnosis time instead.
+  bool clean = out.run.ok();
+  for (const TaskStats& s : out.job.rank_stats) {
+    if (!s.finished) clean = false;
+  }
+  out.job.elapsed = clean ? sys.group_finish_time(out.job.group) - start
+                          : sys.now() - start;
+  return out;
 }
 
 }  // namespace smilab

@@ -30,4 +30,23 @@ MpiJobResult run_mpi_job(System& sys, std::vector<RankProgram> programs,
                          const WorkloadProfile& profile,
                          const std::string& job_name = "mpi");
 
+/// Outcome of try_run_mpi_job. When `run.ok()` the job-level fields are
+/// fully populated; otherwise `run.diagnosis` explains what every stuck
+/// rank was blocked on, `job.rank_stats` still carries per-rank accounting
+/// up to the stall (elapsed covers start -> diagnosis time).
+struct MpiJobRunResult {
+  RunResult run;
+  MpiJobResult job;
+
+  [[nodiscard]] bool ok() const { return run.ok(); }
+};
+
+/// Non-throwing variant of run_mpi_job for fault-injection experiments: a
+/// deadlocked, hung or timed-out run returns the structured diagnosis
+/// instead of propagating SimulationError.
+MpiJobRunResult try_run_mpi_job(System& sys, std::vector<RankProgram> programs,
+                                const std::vector<int>& placement,
+                                const WorkloadProfile& profile,
+                                const std::string& job_name = "mpi");
+
 }  // namespace smilab

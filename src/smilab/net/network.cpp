@@ -21,6 +21,13 @@ NetworkParams NetworkParams::wyeast() {
   // as much again in retransmission and congestion-window rebuild on busy
   // flows; millisecond blips are absorbed by the socket buffers.
   p.tcp_recovery_scale = 1.0;
+  // Linux-flavoured retransmission behaviour on the GigE fabric: 200 ms
+  // minimum RTO, doubling per loss, ~15 retries before the connection is
+  // declared dead (net.ipv4.tcp_retries2 territory, truncated — backoff
+  // past 10 doublings already exceeds any experiment horizon).
+  p.retrans_timeout = milliseconds(200);
+  p.retrans_backoff = 2.0;
+  p.max_retries = 10;
   return p;
 }
 

@@ -50,6 +50,17 @@ struct NetworkParams {
   /// nothing noticeable. Zero disables the effect.
   double tcp_recovery_scale = 0.0;
 
+  // Retransmission state machine (the generalization of the one-shot
+  // recovery outage above). Fires only when a LinkFaultModel drops a
+  // delivery attempt: the lost attempt is retried retrans_timeout after the
+  // drop, doubling (retrans_backoff) per consecutive loss, RFC 6298-style.
+  // After max_retries consecutive losses the transport declares the message
+  // undeliverable (a dead link) and abandons it; the blocked receiver then
+  // shows up in the run diagnosis.
+  SimDuration retrans_timeout = milliseconds(200);  ///< initial RTO
+  double retrans_backoff = 2.0;                     ///< RTO growth per loss
+  int max_retries = 10;                             ///< attempts before giving up
+
   /// The Wyeast cluster interconnect fitted to the paper's SMM-0 columns
   /// (see apps/nas/calibration notes in DESIGN.md).
   static NetworkParams wyeast();

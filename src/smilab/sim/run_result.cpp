@@ -1,0 +1,72 @@
+#include "smilab/sim/run_result.h"
+
+#include <cstdio>
+
+namespace smilab {
+
+const char* to_string(RunStatus status) {
+  switch (status) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kDeadlock: return "deadlock";
+    case RunStatus::kHang: return "hang";
+    case RunStatus::kMaxSimTime: return "max_sim_time exceeded";
+    case RunStatus::kConfigError: return "configuration error";
+  }
+  return "?";
+}
+
+const char* to_string(BlockedOp op) {
+  switch (op) {
+    case BlockedOp::kNone: return "running";
+    case BlockedOp::kRecv: return "Recv";
+    case BlockedOp::kAckWait: return "Send(rendezvous ack)";
+    case BlockedOp::kWaitAll: return "WaitAll";
+    case BlockedOp::kSleep: return "Sleep";
+  }
+  return "?";
+}
+
+std::string RunDiagnosis::to_string(RunStatus status) const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "%s at t=%.6fs: %zu unfinished task(s)",
+                smilab::to_string(status), sim_now.seconds(), ranks.size());
+  std::string out = buf;
+  if (failed_tasks > 0) {
+    out += ", " + std::to_string(failed_tasks) + " task(s) killed by crashes";
+  }
+  if (in_flight_messages > 0) {
+    out += ", " + std::to_string(in_flight_messages) + " message(s) in flight";
+  }
+  if (!cycle.empty()) {
+    out += "\n  wait-for cycle:";
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      out += (i == 0 ? " task " : " -> task ") + std::to_string(cycle[i].value);
+    }
+  }
+  for (const RankDiagnosis& r : ranks) {
+    out += "\n  '" + r.name + "' (task " + std::to_string(r.task.value) +
+           ", rank " + std::to_string(r.rank) + ", node " +
+           std::to_string(r.node) + "): ";
+    if (r.op == BlockedOp::kNone) {
+      out += "running";
+    } else {
+      out += "blocked in " + std::string(smilab::to_string(r.op));
+      if (r.op == BlockedOp::kRecv || r.op == BlockedOp::kAckWait) {
+        out += "(peer=" +
+               (r.peer_rank < 0 ? std::string("any")
+                                : std::to_string(r.peer_rank));
+        if (r.tag >= 0) out += ", tag=" + std::to_string(r.tag);
+        out += ")";
+      }
+      if (r.peer_failed) out += " [peer task failed]";
+    }
+    out += "; unexpected=" + std::to_string(r.unexpected_depth) +
+           " posted=" + std::to_string(r.posted_recvs);
+    if (r.incomplete_handles > 0) {
+      out += " open_handles=" + std::to_string(r.incomplete_handles);
+    }
+  }
+  return out;
+}
+
+}  // namespace smilab

@@ -1,0 +1,97 @@
+// Structured run outcomes and failure diagnostics.
+//
+// Historically a stuck run surfaced as a bare std::runtime_error with a
+// name dump, which is useless for a tool that must degrade gracefully: the
+// CLI and the benches need to know *why* the run stopped (deadlock? hang?
+// sim-time ceiling?) and *what every rank was doing* at that moment. This
+// header defines the non-throwing result type returned by System::try_run()
+// and the per-rank diagnosis it carries; System::run() wraps the same data
+// in a SimulationError for callers that prefer exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "smilab/sim/task.h"
+#include "smilab/time/sim_time.h"
+
+namespace smilab {
+
+/// Why a run stopped.
+enum class RunStatus {
+  kOk,           ///< every task finished (crashed-node tasks count as failed)
+  kDeadlock,     ///< stuck forever: wait-for cycle or no wake-up possible
+  kHang,         ///< no task progressed for hang_timeout; no cycle proven
+  kMaxSimTime,   ///< simulated time exceeded SystemConfig::max_sim_time
+  kConfigError,  ///< invalid setup (e.g. spawning with no online CPUs);
+                 ///< only ever carried by SimulationError, never try_run()
+};
+
+[[nodiscard]] const char* to_string(RunStatus status);
+
+/// What a stuck (or merely unfinished) task was blocked on.
+enum class BlockedOp {
+  kNone,     ///< not blocked (computing or runnable) — max_sim_time reports
+  kRecv,     ///< waiting for a (src, tag) message match
+  kAckWait,  ///< rendezvous send waiting for the receiver's completion ack
+  kWaitAll,  ///< parked in WaitAll with incomplete handles
+  kSleep,    ///< waiting for a timer
+};
+
+[[nodiscard]] const char* to_string(BlockedOp op);
+
+/// One unfinished task's state at diagnosis time.
+struct RankDiagnosis {
+  TaskId task;
+  std::string name;
+  int node = 0;
+  int rank = 0;               ///< rank within its group
+  BlockedOp op = BlockedOp::kNone;
+  int peer_rank = -1;         ///< blocked-on rank, or -1 (any-source / n.a.)
+  int tag = -1;               ///< blocked-on tag, or -1
+  bool peer_failed = false;   ///< the blocked-on peer died (node crash)
+  std::size_t unexpected_depth = 0;  ///< arrived-but-unmatched messages
+  std::size_t posted_recvs = 0;      ///< outstanding Irecv postings
+  std::size_t incomplete_handles = 0;  ///< WaitAll handles still open
+};
+
+/// Full post-mortem of a run that did not complete.
+struct RunDiagnosis {
+  SimTime sim_now;                  ///< simulated time at diagnosis
+  std::vector<RankDiagnosis> ranks; ///< every unfinished, non-failed task
+  /// Wait-for cycle (task ids, first repeated at the end), empty if none.
+  std::vector<TaskId> cycle;
+  std::int64_t failed_tasks = 0;    ///< tasks killed by node crashes
+  std::int64_t in_flight_messages = 0;
+
+  /// Human-readable multi-line report.
+  [[nodiscard]] std::string to_string(RunStatus status) const;
+};
+
+/// Outcome of System::try_run(): status plus, on failure, the diagnosis.
+struct RunResult {
+  RunStatus status = RunStatus::kOk;
+  RunDiagnosis diagnosis;
+
+  [[nodiscard]] bool ok() const { return status == RunStatus::kOk; }
+  [[nodiscard]] std::string to_string() const {
+    return diagnosis.to_string(status);
+  }
+};
+
+/// Structured simulation failure. Thrown by the throwing entry points
+/// (System::run, task placement); carries the machine-readable status so
+/// the CLI can map it to an exit code without parsing the message.
+class SimulationError : public std::runtime_error {
+ public:
+  SimulationError(RunStatus status, std::string message)
+      : std::runtime_error(std::move(message)), status_(status) {}
+
+  [[nodiscard]] RunStatus status() const { return status_; }
+
+ private:
+  RunStatus status_;
+};
+
+}  // namespace smilab

@@ -34,18 +34,25 @@ struct System::MessageRec {
   bool arrived = false;
   bool arrived_during_smm = false;
   bool consumed = false;
+  int attempts = 0;     ///< egress service attempts consumed (fault drops)
+  bool ghost = false;   ///< injected duplicate; discarded at transport dedup
+  bool failed = false;  ///< abandoned by the transport (dead link / crash)
 };
 
-/// One direction of a node's NIC, as a pausable FIFO server.
+/// One direction of a node's NIC, as a pausable FIFO server. Pauses are
+/// refcounted so overlapping causes (SMM freeze, fault freeze, link-down,
+/// crash) compose; the server resumes when the last cause clears.
 struct System::NicServer {
   std::deque<std::uint64_t> queue;   // message indices awaiting service
   std::uint64_t active = 0;          // msg index + 1; 0 = idle
   SimDuration remaining{};
   SimTime since;
-  SimTime paused_at;
-  bool paused = false;
+  SimTime paused_at;                 // start of the outermost pause
+  int pause_depth = 0;
   std::uint64_t epoch = 0;
   EventId done_ev{};
+
+  [[nodiscard]] bool paused() const { return pause_depth > 0; }
 };
 
 struct System::TaskImpl {
@@ -92,6 +99,7 @@ struct System::TaskImpl {
     std::uint64_t msg_index1 = 0; // recv: matched message index + 1
     int src = -1;                 // recv posting key
     int tag = 0;
+    int peer = -1;                // counterpart rank (diagnosis wait-for edge)
   };
   std::map<int, NbHandle> nb_handles;
   std::map<std::uint64_t, int> ack_to_handle;  // rendezvous isend acks
@@ -123,9 +131,11 @@ struct System::NodeState {
   NicServer egress;
   NicServer ingress;
   bool in_smm = false;
+  bool fault_frozen = false;  ///< transient whole-node fault stall active
+  bool crashed = false;       ///< fail-stop: permanently dead
   SimTime freeze_start;
   SimTime last_smm_exit{-1};  ///< negative: never been in SMM
-  std::vector<std::int32_t> deferred_wakes;  // timer wakes that fired in SMM
+  std::vector<std::int32_t> deferred_wakes;  // timer wakes that fired frozen
 };
 
 // --- Construction -----------------------------------------------------------
@@ -147,6 +157,7 @@ System::System(SystemConfig cfg)
       s = std::clamp(speed_rng.normal(1.0, cfg_.node_speed_sigma), 0.5, 1.5);
     }
   }
+  fault_rate_.resize(static_cast<std::size_t>(cfg.node_count), 1.0);
   node_state_.reserve(static_cast<std::size_t>(cfg.node_count));
   for (int n = 0; n < cfg.node_count; ++n) {
     auto ns = std::make_unique<NodeState>();
@@ -242,7 +253,23 @@ int System::place(const TaskSpec& spec) {
       best_key1 = key1;
     }
   }
-  if (best < 0) throw std::runtime_error("no online CPU available on node");
+  if (best < 0) {
+    // Structured config error: name the node and its online-CPU mask so a
+    // bad hotplug sweep is diagnosable from the message alone.
+    std::uint64_t mask = 0;
+    for (int i = 0; i < node.cpu_count() && i < 64; ++i) {
+      if (node.is_online(i)) mask |= 1ull << i;
+    }
+    char hex[32];
+    std::snprintf(hex, sizeof hex, "0x%llx",
+                  static_cast<unsigned long long>(mask));
+    throw SimulationError(
+        RunStatus::kConfigError,
+        "no online CPU available on node " + std::to_string(node.id()) +
+            " (" + std::to_string(node.online_cpu_count()) + " of " +
+            std::to_string(node.cpu_count()) + " CPUs online, mask " + hex +
+            ")");
+  }
   return best;
 }
 
@@ -360,6 +387,7 @@ bool System::sibling_busy(const TaskImpl& t) const {
 
 double System::current_rate(const TaskImpl& t) const {
   double rate = node_speed_[static_cast<std::size_t>(t.node)] *
+                fault_rate_[static_cast<std::size_t>(t.node)] *
                 execution_rate(t.profile, sibling_busy(t));
   if (!cfg_.os.tickless) {
     rate *= 1.0 - cfg_.os.tick_cost / cfg_.os.tick_period;
@@ -467,6 +495,7 @@ void System::start_work(TaskImpl& t, SimDuration amount) {
 }
 
 void System::start_next_action(TaskImpl& t) {
+  note_progress();  // an action retired: the hang watchdog re-arms
   while (true) {
     std::optional<Action> a = t.source->next();
     if (!a) {
@@ -660,6 +689,7 @@ void System::step_action(TaskImpl& t) {
                "Isend handle already in use");
         TaskImpl::NbHandle handle;
         handle.is_send = true;
+        handle.peer = isend->dst_rank;
         const bool needs_ack = net_.is_rendezvous(isend->bytes);
         const std::uint64_t key = needs_ack ? next_ack_key_++ : 0;
         inject_message(t, isend->dst_rank, isend->bytes, isend->tag,
@@ -685,6 +715,7 @@ void System::step_action(TaskImpl& t) {
     TaskImpl::NbHandle handle;
     handle.is_send = false;
     handle.src = irecv->src_rank;
+    handle.peer = irecv->src_rank;
     handle.tag = irecv->tag;
     // Match an already-arrived message immediately (late post).
     MessageRec* msg = nullptr;
@@ -760,8 +791,9 @@ void System::step_action(TaskImpl& t) {
         engine_.schedule_after(sleep->dur, [this, id = t.id] {
           TaskImpl& task_ref = task(id);
           if (task_ref.state != TaskImpl::State::kSleeping) return;
-          // Timer interrupts are deferred while the node is in SMM.
-          if (node_in_smm(task_ref.node)) {
+          // Timer interrupts are deferred while the node is frozen (SMM or
+          // an injected fault stall).
+          if (node_in_smm(task_ref.node) || node_fault_frozen(task_ref.node)) {
             node_state_[static_cast<std::size_t>(task_ref.node)]
                 ->deferred_wakes.push_back(task_ref.id.value);
             return;
@@ -820,6 +852,7 @@ void System::inject_message(TaskImpl& sender, int dst_rank, std::int64_t bytes,
 
   sender.stats.messages_sent += 1;
   sender.stats.bytes_sent += bytes;
+  ++in_flight_messages_;
 
   if (sender.node == dst.node) {
     // Shared-memory transport: the copy is CPU work already charged to the
@@ -847,7 +880,7 @@ void System::nic_submit(int node, bool egress, std::uint64_t msg_index) {
 
 void System::nic_try_serve(int node, bool egress) {
   NicServer& server = nic(node, egress);
-  if (server.paused || server.active != 0 || server.queue.empty()) return;
+  if (server.paused() || server.active != 0 || server.queue.empty()) return;
   const std::uint64_t index = server.queue.front();
   server.queue.pop_front();
   server.active = index + 1;
@@ -862,13 +895,12 @@ void System::nic_try_serve(int node, bool egress) {
 
 void System::nic_service_done(int node, bool egress, std::uint64_t epoch) {
   NicServer& server = nic(node, egress);
-  if (server.epoch != epoch || server.paused || server.active == 0) return;
+  if (server.epoch != epoch || server.paused() || server.active == 0) return;
   const std::uint64_t index = server.active - 1;
   server.active = 0;
   server.done_ev = EventId{};
   if (egress) {
-    // Bits leave the source; now serialize into the destination NIC.
-    nic_submit(messages_[index]->dst_node, /*egress=*/false, index);
+    handoff_to_ingress(index);
   } else {
     // Delivered at the destination after propagation.
     engine_.schedule_after(net_.latency(),
@@ -877,10 +909,75 @@ void System::nic_service_done(int node, bool egress, std::uint64_t epoch) {
   nic_try_serve(node, egress);
 }
 
+// Bits left the source NIC: apply the link fault model, then serialize into
+// the destination NIC. A dropped attempt re-enters the source egress queue
+// after the retransmission timeout; a duplicated one additionally burns
+// ingress service time at the destination before transport dedup eats it.
+void System::handoff_to_ingress(std::uint64_t msg_index) {
+  MessageRec& msg = *messages_[msg_index];
+  ++msg.attempts;
+  if (node_crashed(msg.dst_node)) {
+    // The destination died while the bits were on the wire: undeliverable.
+    fail_message(msg_index);
+    return;
+  }
+  if (link_fault_ != nullptr && !msg.ghost &&
+      link_fault_->should_drop(msg.src_node, msg.dst_node)) {
+    ++messages_dropped_;
+    if (msg.attempts > net_.params().max_retries) {
+      ++transport_failures_;  // dead link: the transport gives up
+      fail_message(msg_index);
+      return;
+    }
+    retransmit_later(msg_index);
+    return;
+  }
+  nic_submit(msg.dst_node, /*egress=*/false, msg_index);
+  if (link_fault_ != nullptr && !msg.ghost &&
+      link_fault_->should_duplicate(msg.src_node, msg.dst_node)) {
+    ++messages_duplicated_;
+    auto dup = std::make_unique<MessageRec>();
+    dup->src_node = msg.src_node;
+    dup->dst_node = msg.dst_node;
+    dup->bytes = msg.bytes;
+    dup->xmit = msg.xmit;
+    dup->ghost = true;
+    messages_.push_back(std::move(dup));
+    const std::uint64_t dup_index = messages_.size() - 1;
+    ++in_flight_messages_;
+    nic_submit(messages_[dup_index]->dst_node, /*egress=*/false, dup_index);
+  }
+}
+
+void System::retransmit_later(std::uint64_t msg_index) {
+  MessageRec& msg = *messages_[msg_index];
+  ++retransmissions_;
+  // RFC 6298-style exponential backoff from the base RTO.
+  SimDuration rto = net_.params().retrans_timeout;
+  for (int i = 1; i < msg.attempts; ++i) {
+    rto = scale(rto, net_.params().retrans_backoff);
+  }
+  engine_.schedule_after(rto, [this, msg_index] {
+    MessageRec& m = *messages_[msg_index];
+    if (m.failed) return;
+    if (node_crashed(m.src_node) || node_crashed(m.dst_node)) {
+      fail_message(msg_index);
+      return;
+    }
+    nic_submit(m.src_node, /*egress=*/true, msg_index);
+  });
+}
+
+void System::fail_message(std::uint64_t msg_index) {
+  MessageRec& msg = *messages_[msg_index];
+  if (msg.failed || msg.arrived) return;
+  msg.failed = true;
+  --in_flight_messages_;
+}
+
 void System::nic_pause(int node, bool egress) {
   NicServer& server = nic(node, egress);
-  assert(!server.paused);
-  server.paused = true;
+  if (++server.pause_depth > 1) return;  // already stopped by another cause
   server.paused_at = now();
   if (server.active != 0) {
     server.remaining -= now() - server.since;
@@ -893,8 +990,8 @@ void System::nic_pause(int node, bool egress) {
 
 void System::nic_resume(int node, bool egress) {
   NicServer& server = nic(node, egress);
-  assert(server.paused);
-  server.paused = false;
+  assert(server.paused());
+  if (--server.pause_depth > 0) return;  // another cause still holds it
   if (server.active != 0) {
     // TCP loss recovery after the stall: retransmission plus congestion-
     // window rebuild, proportional to how long the host was frozen.
@@ -921,6 +1018,9 @@ void System::nic_resume(int node, bool egress) {
 
 void System::on_message_arrival(std::uint64_t msg_index) {
   MessageRec& msg = *messages_[msg_index];
+  --in_flight_messages_;
+  note_progress();
+  if (msg.ghost) return;  // transport dedup swallows injected duplicates
   const auto& members = groups_.at(static_cast<std::size_t>(msg.group.value));
   TaskImpl& dst = task(members[static_cast<std::size_t>(msg.dst_rank)]);
   msg.arrived = true;
@@ -1005,6 +1105,7 @@ void System::deliver_ack(const MessageRec& msg) {
 }
 
 void System::on_ack(std::uint64_t ack_key) {
+  note_progress();
   // Linear scan over live tasks: ack traffic is rare (one per rendezvous
   // message) and task counts are small.
   for (auto& tp : tasks_) {
@@ -1083,6 +1184,14 @@ void System::smm_exit(int node, const SmmInterval& interval) {
   smm_acct_.record(interval);
   nic_resume(node, /*egress=*/true);
   nic_resume(node, /*egress=*/false);
+  if (ns.fault_frozen || ns.crashed) {
+    // An injected fault stall outlasts the SMI (or the node died inside
+    // it): keep the CPUs down — fault_freeze_exit resumes them. The hung
+    // node gets no refill or OS-view charge for this interval; nothing on
+    // it observed the handler return.
+    ns.last_smm_exit = now();
+    return;
+  }
 
   const SimDuration frozen_for = now() - ns.freeze_start;
   // The state worth re-warming after SMM is bounded by what was rebuilt
@@ -1193,6 +1302,207 @@ void System::apply_refill(TaskImpl& t, Rng& rng, SimDuration frozen_for) {
   }
 }
 
+// --- Fault injection hooks ---------------------------------------------------------
+
+const char* to_string(FaultRecord::Kind kind) {
+  switch (kind) {
+    case FaultRecord::Kind::kFreeze: return "FREEZE";
+    case FaultRecord::Kind::kCrash: return "CRASH";
+    case FaultRecord::Kind::kLinkDown: return "LINKDOWN";
+    case FaultRecord::Kind::kSlowNode: return "SLOW";
+  }
+  return "?";
+}
+
+void System::close_fault_record(FaultRecord::Kind kind, int node) {
+  for (auto it = fault_log_.rbegin(); it != fault_log_.rend(); ++it) {
+    if (it->kind == kind && it->node == node && it->end < SimTime::zero()) {
+      it->end = now();
+      return;
+    }
+  }
+  assert(false && "closing a fault interval that was never opened");
+}
+
+bool System::node_fault_frozen(int node) const {
+  return node_state_.at(static_cast<std::size_t>(node))->fault_frozen;
+}
+
+bool System::node_crashed(int node) const {
+  return node_state_.at(static_cast<std::size_t>(node))->crashed;
+}
+
+void System::fault_freeze_enter(int node) {
+  auto& ns = *node_state_.at(static_cast<std::size_t>(node));
+  if (ns.crashed) return;
+  assert(!ns.fault_frozen && "nested fault freeze");
+  ns.fault_frozen = true;
+  fault_log_.push_back({FaultRecord::Kind::kFreeze, node, now(), SimTime{-1}});
+  nic_pause(node, /*egress=*/true);
+  nic_pause(node, /*egress=*/false);
+  if (ns.in_smm) return;  // CPUs already down; the freeze merely outlasts SMM
+  const Node& topo = cluster_.node(node);
+  for (int i = 0; i < topo.cpu_count(); ++i) {
+    if (!topo.is_online(i)) continue;
+    auto& cs = ns.cpus[static_cast<std::size_t>(i)];
+    if (cs.frozen) continue;  // already stopped by a single-CPU preemption
+    cs.frozen = true;
+    if (cs.quantum_ev.valid()) {
+      engine_.cancel(cs.quantum_ev);
+      cs.quantum_ev = EventId{};
+    }
+    if (cs.current >= 0) {
+      TaskImpl& t = *tasks_[static_cast<std::size_t>(cs.current)];
+      settle(t);
+      ++t.epoch;
+      engine_.cancel(t.completion_ev);
+      t.completion_ev = EventId{};
+    }
+  }
+}
+
+void System::fault_freeze_exit(int node) {
+  auto& ns = *node_state_.at(static_cast<std::size_t>(node));
+  if (ns.crashed) return;  // the crash superseded the stall
+  assert(ns.fault_frozen);
+  ns.fault_frozen = false;
+  close_fault_record(FaultRecord::Kind::kFreeze, node);
+  nic_resume(node, /*egress=*/true);
+  nic_resume(node, /*egress=*/false);
+  if (ns.in_smm) return;  // SMM still holds the node; its exit resumes CPUs
+  // Unlike smm_exit there is no refill penalty and no OS-view charge: a
+  // hang stops the kernel's clocks along with everything else.
+  const Node& topo = cluster_.node(node);
+  for (int i = 0; i < topo.cpu_count(); ++i) {
+    if (!topo.is_online(i)) continue;
+    auto& cs = ns.cpus[static_cast<std::size_t>(i)];
+    cs.frozen = false;
+    if (cs.current >= 0) {
+      begin_running(*tasks_[static_cast<std::size_t>(cs.current)]);
+      arm_quantum(node, i);
+    }
+  }
+  const std::vector<std::int32_t> wakes = std::move(ns.deferred_wakes);
+  ns.deferred_wakes.clear();
+  for (const std::int32_t idx : wakes) {
+    TaskImpl& t = *tasks_[static_cast<std::size_t>(idx)];
+    if (t.state == TaskImpl::State::kSleeping) make_ready(t);
+  }
+  for (int i = 0; i < topo.cpu_count(); ++i) {
+    if (topo.is_online(i)) dispatch(node, i);
+  }
+}
+
+void System::kill_task(TaskImpl& t) {
+  assert(!t.stats.finished && !t.stats.failed);
+  auto& cs = cpu_state(t.node, t.cpu);
+  if (t.on_cpu) {
+    if (!cs.frozen) settle(t);  // frozen tasks were settled at freeze time
+    assert(cs.current == t.id.value);
+    cs.current = -1;
+    t.on_cpu = false;
+    if (cs.quantum_ev.valid()) {
+      engine_.cancel(cs.quantum_ev);
+      cs.quantum_ev = EventId{};
+    }
+  }
+  if (t.queued) {
+    auto& q = cs.runqueue;
+    q.erase(std::remove(q.begin(), q.end(), t.id.value), q.end());
+    t.queued = false;
+  }
+  ++t.epoch;
+  engine_.cancel(t.completion_ev);
+  t.completion_ev = EventId{};
+  t.state = TaskImpl::State::kDone;
+  t.stats.failed = true;
+  t.stats.end_time = now();
+  t.work_left = SimDuration::zero();
+  t.pending_overhead = SimDuration::zero();
+  t.action.reset();
+  t.waiting_msg = t.waiting_ack = t.waiting_all = false;
+  t.nb_handles.clear();
+  t.ack_to_handle.clear();
+  t.mailbox.clear();
+  --unfinished_tasks_;
+  ++failed_tasks_;
+  note_progress();
+}
+
+void System::crash_node(int node) {
+  auto& ns = *node_state_.at(static_cast<std::size_t>(node));
+  if (ns.crashed) return;
+  ns.crashed = true;
+  if (ns.fault_frozen) {
+    ns.fault_frozen = false;
+    close_fault_record(FaultRecord::Kind::kFreeze, node);
+  }
+  fault_log_.push_back({FaultRecord::Kind::kCrash, node, now(), now()});
+  // The NICs go silent forever; traffic parked at them is undeliverable.
+  nic_pause(node, /*egress=*/true);
+  nic_pause(node, /*egress=*/false);
+  for (NicServer* server : {&ns.egress, &ns.ingress}) {
+    if (server->active != 0) {
+      fail_message(server->active - 1);
+      server->active = 0;
+      ++server->epoch;
+      engine_.cancel(server->done_ev);
+      server->done_ev = EventId{};
+    }
+    for (const std::uint64_t idx : server->queue) fail_message(idx);
+    server->queue.clear();
+  }
+  // Fail-stop: every task placed here dies where it stands.
+  for (const auto& tp : tasks_) {
+    TaskImpl& t = *tp;
+    if (t.node != node || t.stats.finished || t.stats.failed) continue;
+    kill_task(t);
+  }
+  ns.deferred_wakes.clear();
+}
+
+void System::set_node_fault_rate(int node, double scale) {
+  assert(scale > 0.0 && "a zero rate is a freeze, not a slow node");
+  double& slot = fault_rate_.at(static_cast<std::size_t>(node));
+  if (slot == scale) return;
+  if (slot == 1.0) {
+    fault_log_.push_back(
+        {FaultRecord::Kind::kSlowNode, node, now(), SimTime{-1}});
+  } else if (scale == 1.0) {
+    close_fault_record(FaultRecord::Kind::kSlowNode, node);
+  }
+  slot = scale;
+  if (node_state_[static_cast<std::size_t>(node)]->crashed) return;
+  // Re-pace everything currently executing on the node.
+  const Node& topo = cluster_.node(node);
+  for (int i = 0; i < topo.cpu_count(); ++i) {
+    if (!topo.is_online(i)) continue;
+    auto& cs = cpu_state(node, i);
+    if (cs.frozen || cs.current < 0) continue;
+    TaskImpl& t = *tasks_[static_cast<std::size_t>(cs.current)];
+    if (!t.on_cpu) continue;
+    settle(t);
+    const double new_rate = current_rate(t);
+    if (new_rate == t.rate) continue;
+    t.rate = new_rate;
+    if (t.work_left > SimDuration::zero()) reschedule_completion(t);
+  }
+}
+
+void System::set_link_down(int node, bool down) {
+  if (node_state_.at(static_cast<std::size_t>(node))->crashed) return;
+  if (down) {
+    fault_log_.push_back(
+        {FaultRecord::Kind::kLinkDown, node, now(), SimTime{-1}});
+    nic_pause(node, /*egress=*/true);
+    nic_pause(node, /*egress=*/false);
+  } else {
+    close_fault_record(FaultRecord::Kind::kLinkDown, node);
+    nic_resume(node, /*egress=*/true);
+    nic_resume(node, /*egress=*/false);
+  }
+}
+
 // --- Running -----------------------------------------------------------------------
 
 void System::validate() const {
@@ -1247,20 +1557,167 @@ void System::validate() const {
   }
 }
 
-void System::run() {
+bool System::all_unfinished_comm_waiting() const {
+  for (const auto& tp : tasks_) {
+    const TaskImpl& t = *tp;
+    if (t.stats.finished || t.stats.failed) continue;
+    if (!(t.waiting_msg || t.waiting_ack || t.waiting_all)) return false;
+  }
+  return true;
+}
+
+RunResult System::diagnose(RunStatus status) const {
+  RunResult result;
+  RunDiagnosis& d = result.diagnosis;
+  d.sim_now = now();
+  d.failed_tasks = failed_tasks_;
+  d.in_flight_messages = in_flight_messages_;
+
+  auto peer_of = [&](const TaskImpl& t, int rank) -> const TaskImpl* {
+    if (rank < 0 || !t.group.valid()) return nullptr;
+    const auto& members = groups_[static_cast<std::size_t>(t.group.value)];
+    if (static_cast<std::size_t>(rank) >= members.size()) return nullptr;
+    const TaskId id = members[static_cast<std::size_t>(rank)];
+    return id.valid() ? &task(id) : nullptr;
+  };
+
+  // Wait-for graph over task indices: an edge u -> v means u cannot make
+  // progress until v acts (sends the awaited message, consumes the
+  // rendezvous payload, or completes a handle's transfer).
+  std::vector<std::vector<std::int32_t>> edges(tasks_.size());
+  auto add_edge = [&](const TaskImpl& from, const TaskImpl* to) {
+    if (to != nullptr && !to->stats.finished && !to->stats.failed) {
+      edges[static_cast<std::size_t>(from.id.value)].push_back(to->id.value);
+    }
+  };
+
+  for (const auto& tp : tasks_) {
+    const TaskImpl& t = *tp;
+    if (t.stats.finished || t.stats.failed) continue;
+    RankDiagnosis r;
+    r.task = t.id;
+    r.name = t.name;
+    r.node = t.node;
+    r.rank = t.rank;
+    for (const std::uint64_t idx : t.mailbox) {
+      const MessageRec& m = *messages_[idx];
+      if (m.arrived && !m.consumed && !m.ghost) ++r.unexpected_depth;
+    }
+    for (const auto& [handle_id, handle] : t.nb_handles) {
+      if (handle.complete) continue;
+      ++r.incomplete_handles;
+      if (!handle.is_send) ++r.posted_recvs;
+    }
+    if (t.waiting_msg) {
+      r.op = BlockedOp::kRecv;
+      r.peer_rank = t.wait_src;
+      r.tag = t.wait_tag;
+      if (t.wait_src == kAnySource) {
+        // Any of the group could unblock us; conservatively depend on all.
+        if (t.group.valid()) {
+          for (const TaskId id :
+               groups_[static_cast<std::size_t>(t.group.value)]) {
+            if (id.valid() && !(id == t.id)) add_edge(t, &task(id));
+          }
+        }
+      } else {
+        const TaskImpl* p = peer_of(t, t.wait_src);
+        r.peer_failed = p != nullptr && p->stats.failed;
+        add_edge(t, p);
+      }
+    } else if (t.waiting_ack) {
+      r.op = BlockedOp::kAckWait;
+      // The ack comes from whoever consumes our rendezvous payload: find
+      // the in-flight message carrying our pending key.
+      for (const auto& mp : messages_) {
+        if (t.pending_ack_key == 0 || mp->ack_key != t.pending_ack_key) {
+          continue;
+        }
+        r.peer_rank = mp->dst_rank;
+        r.tag = mp->tag;
+        const TaskImpl* p = peer_of(t, mp->dst_rank);
+        r.peer_failed = p != nullptr && p->stats.failed;
+        add_edge(t, p);
+        break;
+      }
+    } else if (t.waiting_all) {
+      r.op = BlockedOp::kWaitAll;
+      for (const auto& [handle_id, handle] : t.nb_handles) {
+        if (handle.complete) continue;
+        if (r.peer_rank < 0) r.peer_rank = handle.peer;
+        const TaskImpl* p = peer_of(t, handle.peer);
+        if (r.peer_rank == handle.peer) {
+          r.peer_failed = p != nullptr && p->stats.failed;
+        }
+        add_edge(t, p);
+      }
+    } else if (t.state == TaskImpl::State::kSleeping) {
+      r.op = BlockedOp::kSleep;
+    }
+    d.ranks.push_back(std::move(r));
+  }
+
+  // Cycle detection (DFS, three colours). A cycle proves deadlock; report
+  // it as task ids with the entry repeated at the end.
+  std::vector<int> color(tasks_.size(), 0);
+  std::vector<std::int32_t> path;
+  const std::function<bool(std::int32_t)> dfs = [&](std::int32_t u) -> bool {
+    color[static_cast<std::size_t>(u)] = 1;
+    path.push_back(u);
+    for (const std::int32_t v : edges[static_cast<std::size_t>(u)]) {
+      if (color[static_cast<std::size_t>(v)] == 1) {
+        auto it = std::find(path.begin(), path.end(), v);
+        for (; it != path.end(); ++it) d.cycle.push_back(TaskId{*it});
+        d.cycle.push_back(TaskId{v});
+        return true;
+      }
+      if (color[static_cast<std::size_t>(v)] == 0 && dfs(v)) return true;
+    }
+    color[static_cast<std::size_t>(u)] = 2;
+    path.pop_back();
+    return false;
+  };
+  for (const auto& tp : tasks_) {
+    const TaskImpl& t = *tp;
+    if (t.stats.finished || t.stats.failed) continue;
+    if (color[static_cast<std::size_t>(t.id.value)] == 0 && dfs(t.id.value)) {
+      break;
+    }
+  }
+  if (status == RunStatus::kHang && !d.cycle.empty()) {
+    status = RunStatus::kDeadlock;  // the watchdog fired on a provable cycle
+  }
+  result.status = status;
+  return result;
+}
+
+RunResult System::try_run() {
   while (unfinished_tasks_ > 0) {
     if (!engine_.step()) {
-      std::string blocked;
-      for (const auto& tp : tasks_) {
-        if (!tp->stats.finished) blocked += " '" + tp->name + "'";
-      }
-      throw std::runtime_error(
-          "smilab::System::run: no pending events but tasks are unfinished "
-          "(communication deadlock?):" + blocked);
+      // No pending events but tasks remain: nothing can ever wake them.
+      return diagnose(RunStatus::kDeadlock);
     }
     if (now() - SimTime::zero() > cfg_.max_sim_time) {
-      throw std::runtime_error("smilab::System::run: exceeded max_sim_time");
+      return diagnose(RunStatus::kMaxSimTime);
     }
+    if (cfg_.hang_timeout > SimDuration::zero() &&
+        now() - last_progress_ > cfg_.hang_timeout &&
+        in_flight_messages_ == 0 && all_unfinished_comm_waiting()) {
+      // Nothing on the wire, every survivor parked in communication, and
+      // no action has retired for hang_timeout of simulated time: stuck.
+      // (Spin-waiters keep generating quantum events, so the event queue
+      // alone cannot distinguish this from forward progress.)
+      return diagnose(RunStatus::kHang);
+    }
+  }
+  return RunResult{};
+}
+
+void System::run() {
+  const RunResult result = try_run();
+  if (!result.ok()) {
+    throw SimulationError(result.status,
+                          "smilab::System::run: " + result.to_string());
   }
 }
 

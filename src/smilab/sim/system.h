@@ -28,6 +28,7 @@
 #include "smilab/os/costs.h"
 #include "smilab/sim/event_queue.h"
 #include "smilab/sim/machine.h"
+#include "smilab/sim/run_result.h"
 #include "smilab/sim/task.h"
 #include "smilab/smm/accounting.h"
 #include "smilab/smm/smi_config.h"
@@ -93,7 +94,42 @@ struct SystemConfig {
   /// Hard ceiling on simulated time; exceeding it aborts the run with an
   /// error (guards against accidental livelock under extreme SMI rates).
   SimDuration max_sim_time = seconds(24 * 3600);
+
+  /// Hang watchdog: if no task makes progress for this much simulated time
+  /// while every unfinished task is blocked on communication and nothing is
+  /// in flight, the run is diagnosed as stuck instead of grinding on to
+  /// max_sim_time (periodic sources like the SMI driver otherwise keep the
+  /// event queue alive forever). Zero disables the watchdog.
+  SimDuration hang_timeout = seconds(10);
 };
+
+/// Transport-level fault decisions, consulted once per inter-node delivery
+/// attempt as a message finishes egress service. Implemented by
+/// FaultInjector (fault/fault_injector.h); when none is installed the
+/// transport is perfectly reliable, exactly as before.
+class LinkFaultModel {
+ public:
+  virtual ~LinkFaultModel() = default;
+  /// True: this attempt is lost; the transport schedules a retransmission
+  /// (timeout + exponential backoff, up to NetworkParams::max_retries).
+  virtual bool should_drop(int src_node, int dst_node) = 0;
+  /// True: deliver a duplicate copy that burns ingress wire time at the
+  /// destination before transport dedup discards it.
+  virtual bool should_duplicate(int src_node, int dst_node) = 0;
+};
+
+/// One injected-fault interval, recorded for traces and reports. `end` is
+/// SimTime{-1} while the fault is still active (or forever, for crashes
+/// record end == start).
+struct FaultRecord {
+  enum class Kind { kFreeze, kCrash, kLinkDown, kSlowNode };
+  Kind kind;
+  int node = 0;
+  SimTime start;
+  SimTime end{-1};
+};
+
+[[nodiscard]] const char* to_string(FaultRecord::Kind kind);
 
 /// See file header. Single-threaded, deterministic given (config, seed).
 class System {
@@ -128,8 +164,17 @@ class System {
 
   // --- Running -----------------------------------------------------------------
 
-  /// Run until every spawned task has finished.
+  /// Run until every spawned task has finished (tasks killed by node
+  /// crashes count as resolved). Throws SimulationError carrying the
+  /// formatted diagnosis if the run deadlocks, hangs, or exceeds
+  /// max_sim_time.
   void run();
+
+  /// Non-throwing run: like run(), but a stuck run returns a structured
+  /// RunResult (status + per-rank blocked-operation diagnosis + wait-for
+  /// cycle if one exists) instead of throwing. The CLI and benches use this
+  /// for graceful degradation.
+  [[nodiscard]] RunResult try_run();
 
   /// Run for at most `d` more simulated time. Returns true if events remain.
   bool run_for(SimDuration d);
@@ -172,6 +217,48 @@ class System {
   void preempt_cpu(int node, int cpu);
   /// Undo preempt_cpu: no refill penalty, no SMM accounting.
   void resume_cpu(int node, int cpu);
+
+  // --- Fault hooks (driven by fault/FaultInjector) ---------------------------
+
+  /// Transient whole-node stall begin/end: every online CPU and both NIC
+  /// directions stop, like SMM but independent of the SMI controller and
+  /// without its accounting (no OS-view charge, no refill model). Freezes
+  /// compose with SMM: whichever mechanism releases the node last resumes
+  /// it. No-ops on a crashed node.
+  void fault_freeze_enter(int node);
+  void fault_freeze_exit(int node);
+  [[nodiscard]] bool node_fault_frozen(int node) const;
+
+  /// Fail-stop crash: kills every task on the node (TaskStats::failed),
+  /// silences its NICs forever, and discards traffic queued for it. Blocked
+  /// peers become diagnosable through try_run().
+  void crash_node(int node);
+  [[nodiscard]] bool node_crashed(int node) const;
+
+  /// Multiplicative compute-rate degradation for every CPU of `node`
+  /// (1.0 = nominal). Running tasks re-settle and re-pace immediately.
+  void set_node_fault_rate(int node, double scale);
+
+  /// Take both NIC directions of `node` down / back up (refcounted with SMM
+  /// pauses). Resuming pays the usual TCP loss-recovery cost.
+  void set_link_down(int node, bool down);
+
+  /// Install / clear the per-delivery fault model. `model` must outlive the
+  /// run. Null restores the perfectly reliable transport.
+  void set_link_fault_model(LinkFaultModel* model) { link_fault_ = model; }
+
+  /// Injected-fault intervals, in injection order (for traces and reports).
+  [[nodiscard]] const std::vector<FaultRecord>& fault_log() const {
+    return fault_log_;
+  }
+
+  // --- Transport counters ----------------------------------------------------
+
+  [[nodiscard]] std::int64_t messages_dropped() const { return messages_dropped_; }
+  [[nodiscard]] std::int64_t messages_duplicated() const { return messages_duplicated_; }
+  [[nodiscard]] std::int64_t retransmissions() const { return retransmissions_; }
+  /// Messages abandoned after max_retries or because their destination died.
+  [[nodiscard]] std::int64_t transport_failures() const { return transport_failures_; }
 
   // --- Diagnostics ----------------------------------------------------------------
 
@@ -248,6 +335,16 @@ class System {
   // SMM helpers.
   void apply_refill(TaskImpl& t, Rng& rng, SimDuration frozen_for);
 
+  // Fault and diagnosis helpers.
+  void kill_task(TaskImpl& t);
+  void fail_message(std::uint64_t msg_index);
+  void handoff_to_ingress(std::uint64_t msg_index);
+  void retransmit_later(std::uint64_t msg_index);
+  void close_fault_record(FaultRecord::Kind kind, int node);
+  [[nodiscard]] bool all_unfinished_comm_waiting() const;
+  [[nodiscard]] RunResult diagnose(RunStatus status) const;
+  void note_progress() { last_progress_ = now(); }
+
   SystemConfig cfg_;
   Engine engine_;
   Cluster cluster_;
@@ -266,6 +363,18 @@ class System {
   std::uint64_t next_ack_key_ = 1;
   std::int64_t inter_node_bytes_ = 0;
   int unfinished_tasks_ = 0;
+
+  // Fault and watchdog state.
+  LinkFaultModel* link_fault_ = nullptr;
+  std::vector<double> fault_rate_;  ///< per-node fault rate degradation
+  std::vector<FaultRecord> fault_log_;
+  std::int64_t messages_dropped_ = 0;
+  std::int64_t messages_duplicated_ = 0;
+  std::int64_t retransmissions_ = 0;
+  std::int64_t transport_failures_ = 0;
+  std::int64_t failed_tasks_ = 0;
+  std::int64_t in_flight_messages_ = 0;
+  SimTime last_progress_ = SimTime::zero();
 
   std::unique_ptr<SmiController> smi_;
 };

@@ -192,6 +192,9 @@ struct TaskStats {
   std::int64_t messages_received = 0;
   std::int64_t bytes_sent = 0;
   bool finished = false;
+  /// Killed by a fail-stop node crash (fault injection); mutually exclusive
+  /// with `finished`. end_time records the crash instant.
+  bool failed = false;
 };
 
 }  // namespace smilab

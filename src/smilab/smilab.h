@@ -30,6 +30,12 @@
 //                         measurement, Figure-1 workload
 //     apps/unixbench/...  five-test UnixBench index model
 //
+//   Fault injection
+//     fault/fault_plan.h      declarative freeze/crash/link/slow schedules
+//     fault/fault_injector.h  plan -> simulator events + link noise
+//     sim/run_result.h        structured run outcomes + hang/deadlock
+//                             diagnosis (System::try_run)
+//
 //   Noise tooling
 //     noise/hwlat.h       TSC-gap SMI detector with ground-truth scoring
 //     noise/ftq.h         fixed-time-quantum noise characterization
@@ -50,6 +56,8 @@
 #include "smilab/cache/cache.h"
 #include "smilab/core/experiment.h"
 #include "smilab/cpu/energy.h"
+#include "smilab/fault/fault_injector.h"
+#include "smilab/fault/fault_plan.h"
 #include "smilab/cpu/workload_profile.h"
 #include "smilab/mpi/collectives.h"
 #include "smilab/mpi/job.h"

@@ -53,6 +53,13 @@ void SmiController::arm_node(int node, SimDuration delay) {
 }
 
 void SmiController::fire_node(int node) {
+  if (sys_.node_crashed(node)) return;  // dead silicon: stop firing
+  if (sys_.node_fault_frozen(node)) {
+    // The injected stall absorbs the SMI (nothing on the node can observe
+    // it); keep the periodic source armed for after the fault clears.
+    arm_node(node, cfg_.interval());
+    return;
+  }
   ++fired_;
   const SimTime enter = sys_.now();
   SimDuration residency =
@@ -82,16 +89,26 @@ void SmiController::arm_all(SimDuration delay) {
 
 void SmiController::fire_all() {
   const int nodes = sys_.cluster().node_count();
-  fired_ += nodes;
   const SimTime enter = sys_.now();
   const SimDuration residency = sample_duration(shared_rng_);
-  for (int n = 0; n < nodes; ++n) sys_.smm_enter(n);
-  sys_.engine().schedule_after(residency, [this, nodes, enter, residency] {
-    for (int n = 0; n < nodes; ++n) {
-      sys_.smm_exit(n, SmmInterval{n, enter, enter + residency});
-    }
-    arm_all(cfg_.interval());
-  });
+  // Crashed or fault-frozen nodes sit this broadcast out; remember exactly
+  // which nodes entered so the exit pass releases the same set even if
+  // fault state changes during the residency.
+  std::vector<bool> entered(static_cast<std::size_t>(nodes), false);
+  for (int n = 0; n < nodes; ++n) {
+    if (sys_.node_crashed(n) || sys_.node_fault_frozen(n)) continue;
+    entered[static_cast<std::size_t>(n)] = true;
+    ++fired_;
+    sys_.smm_enter(n);
+  }
+  sys_.engine().schedule_after(
+      residency, [this, nodes, enter, residency, entered] {
+        for (int n = 0; n < nodes; ++n) {
+          if (!entered[static_cast<std::size_t>(n)]) continue;
+          sys_.smm_exit(n, SmmInterval{n, enter, enter + residency});
+        }
+        arm_all(cfg_.interval());
+      });
 }
 
 }  // namespace smilab

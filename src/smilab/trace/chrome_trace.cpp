@@ -35,14 +35,18 @@ std::string to_chrome_trace(const System& sys) {
   bool first = true;
 
   // Task lifetimes, grouped by node (pid = node, tid = task id + 1).
+  // Crash-killed tasks render too, flagged by category, ending at the
+  // crash instant; tasks still running at trace time are omitted.
   for (int i = 0; i < sys.task_count(); ++i) {
     const TaskId id{i};
     const TaskStats& stats = sys.task_stats(id);
-    if (!stats.finished) continue;
+    if (!stats.finished && !stats.failed) continue;
     const double start_us = static_cast<double>(stats.start_time.ns()) / 1e3;
     const double dur_us =
         static_cast<double>((stats.end_time - stats.start_time).ns()) / 1e3;
-    append_event(out, first, sanitized(sys.task_name(id)), "task",
+    std::string name = sanitized(sys.task_name(id));
+    if (stats.failed) name += " [killed]";
+    append_event(out, first, name, stats.failed ? "task_failed" : "task",
                  sys.task_node(id), i + 1, start_us, dur_us);
   }
 
@@ -51,6 +55,15 @@ std::string to_chrome_trace(const System& sys) {
     append_event(out, first, "SMM", "smm", interval.node, 0,
                  static_cast<double>(interval.enter.ns()) / 1e3,
                  static_cast<double>(interval.duration().ns()) / 1e3);
+  }
+
+  // Injected-fault intervals share the nodes' tid-0 noise row. Still-open
+  // intervals close at the current simulated time for rendering.
+  for (const FaultRecord& rec : sys.fault_log()) {
+    const SimTime end = rec.end >= SimTime::zero() ? rec.end : sys.now();
+    append_event(out, first, to_string(rec.kind), "fault", rec.node, 0,
+                 static_cast<double>(rec.start.ns()) / 1e3,
+                 static_cast<double>((end - rec.start).ns()) / 1e3);
   }
 
   out += "\n]}\n";

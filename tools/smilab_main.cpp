@@ -5,10 +5,27 @@
 //   smilab nas --workload=ft --class=A --nodes=8 --smi=long
 //   smilab convolve --case=cu --cpus=8 --gap-ms=50
 //   smilab detect --smi=long --gap-ms=1000 --trace=run.json
+//   smilab faults --nodes=4 --drop=0.05 --crash=2:500
+//
+// Exit codes: 0 success, 2 usage error, 3 simulation fault. run_cli already
+// maps SimulationError to 3; the handlers here are a backstop so nothing
+// escapes as std::terminate.
+#include <exception>
 #include <iostream>
 
 #include "smilab/cli/commands.h"
+#include "smilab/sim/run_result.h"
 
 int main(int argc, char** argv) {
-  return smilab::run_cli(argc, argv, std::cout, std::cerr);
+  try {
+    return smilab::run_cli(argc, argv, std::cout, std::cerr);
+  } catch (const smilab::SimulationError& e) {
+    std::cerr << "smilab: simulation fault ("
+              << smilab::to_string(e.status()) << ")\n"
+              << e.what() << "\n";
+    return 3;
+  } catch (const std::exception& e) {
+    std::cerr << "smilab: fatal: " << e.what() << "\n";
+    return 1;
+  }
 }
