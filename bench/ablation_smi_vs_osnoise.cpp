@@ -73,13 +73,19 @@ double ft_run(bool smi, bool os_noise, std::uint64_t seed) {
 }
 
 void report(const char* label, double(*run)(bool, bool, std::uint64_t),
-            int trials) {
+            int trials, const ExperimentSweep& sweep) {
+  // (variant, trial) cells are independent sims: fan them across the sweep
+  // pool and fold back in serial order (byte-identical at any job count).
+  const std::vector<double> runs = sweep.map<double>(3 * trials, [&](int i) {
+    const int variant = i % 3;
+    const auto seed = static_cast<std::uint64_t>(33 + (i / 3) * 101);
+    return run(variant == 1, variant == 2, seed);
+  });
   OnlineStats base, smi, osn;
   for (int t = 0; t < trials; ++t) {
-    const auto seed = static_cast<std::uint64_t>(33 + t * 101);
-    base.add(run(false, false, seed));
-    smi.add(run(true, false, seed));
-    osn.add(run(false, true, seed));
+    base.add(runs[static_cast<std::size_t>(t * 3)]);
+    smi.add(runs[static_cast<std::size_t>(t * 3 + 1)]);
+    osn.add(runs[static_cast<std::size_t>(t * 3 + 2)]);
   }
   std::printf("%-28s base %8.2fs | SMI noise +%6.2f%% | single-CPU OS noise "
               "+%6.2f%% | SMI/OS impact ratio %.1fx\n",
@@ -94,10 +100,12 @@ void report(const char* label, double(*run)(bool, bool, std::uint64_t),
 int main(int argc, char** argv) {
   const auto args = smilab::benchtool::BenchArgs::parse(argc, argv);
   const int trials = args.quick ? 2 : 4;
+  const ExperimentSweep sweep{args.jobs};
   std::printf("=== Ablation: SMI vs OS noise at identical duty cycle "
-              "(105 ms every 1 s, %d trials) ===\n\n", trials);
-  report("Convolve CU, 24 thr, 4 CPU", convolve_run, trials);
-  report("NAS FT A, 8 nodes", ft_run, trials);
+              "(105 ms every 1 s, %d trials, %d jobs) ===\n\n", trials,
+              sweep.jobs());
+  report("Convolve CU, 24 thr, 4 CPU", convolve_run, trials, sweep);
+  report("NAS FT A, 8 nodes", ft_run, trials, sweep);
   std::printf(
       "\nExpected: single-CPU noise of the same duty cycle is largely\n"
       "absorbed (idle balancing migrates work; the NIC keeps moving),\n"

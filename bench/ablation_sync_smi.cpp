@@ -8,24 +8,35 @@
 #include <cstdio>
 
 #include "nas_table.h"
+#include "smilab/core/sweep.h"
 
 using namespace smilab;
 
 namespace {
 
-void run_case(NasBenchmark bench, NasClass cls, int nodes, int rpn, int trials) {
+void run_case(NasBenchmark bench, NasClass cls, int nodes, int rpn, int trials,
+              const ExperimentSweep& sweep) {
   const NasJobSpec spec{bench, cls, nodes, rpn};
   const NasKnob knob = calibrate_nas_knob(spec);
 
-  OnlineStats base, desync, sync;
-  for (int t = 0; t < trials; ++t) {
-    const auto seed = static_cast<std::uint64_t>(1000 + t * 7919);
-    base.add(simulate_nas_once(spec, knob, SmiConfig::none(), seed, 0.0));
-    desync.add(simulate_nas_once(spec, knob, SmiConfig::long_every_second(),
-                                 seed, 0.0));
+  // 3 regimes x trials independent sims, swept in parallel and folded back
+  // in serial order (byte-identical to the serial loop).
+  const std::vector<double> runs = sweep.map<double>(3 * trials, [&](int i) {
+    const int regime = i % 3;
+    const auto seed = static_cast<std::uint64_t>(1000 + (i / 3) * 7919);
+    if (regime == 0) return simulate_nas_once(spec, knob, SmiConfig::none(), seed, 0.0);
+    if (regime == 1) {
+      return simulate_nas_once(spec, knob, SmiConfig::long_every_second(), seed, 0.0);
+    }
     SmiConfig synced = SmiConfig::long_every_second();
     synced.synchronized_across_nodes = true;
-    sync.add(simulate_nas_once(spec, knob, synced, seed, 0.0));
+    return simulate_nas_once(spec, knob, synced, seed, 0.0);
+  });
+  OnlineStats base, desync, sync;
+  for (int t = 0; t < trials; ++t) {
+    base.add(runs[static_cast<std::size_t>(t * 3)]);
+    desync.add(runs[static_cast<std::size_t>(t * 3 + 1)]);
+    sync.add(runs[static_cast<std::size_t>(t * 3 + 2)]);
   }
   std::printf("%-2s %s %2d nodes x %d rpn: base %8.2fs | desync +%6.2f%% | "
               "sync +%6.2f%% | amplification attributable to phase "
@@ -42,12 +53,14 @@ void run_case(NasBenchmark bench, NasClass cls, int nodes, int rpn, int trials) 
 int main(int argc, char** argv) {
   const auto args = smilab::benchtool::BenchArgs::parse(argc, argv);
   const int trials = args.quick ? 2 : 4;
+  const ExperimentSweep sweep{args.jobs};
   std::printf("=== Ablation: synchronized vs desynchronized SMI phases "
-              "(long SMIs @ 1/s, %d trials) ===\n\n", trials);
-  run_case(NasBenchmark::kFT, NasClass::kA, 8, 1, trials);
-  run_case(NasBenchmark::kFT, NasClass::kB, 8, 1, trials);
-  run_case(NasBenchmark::kBT, NasClass::kA, 16, 1, trials);
-  run_case(NasBenchmark::kEP, NasClass::kA, 16, 1, trials);
+              "(long SMIs @ 1/s, %d trials, %d jobs) ===\n\n", trials,
+              sweep.jobs());
+  run_case(NasBenchmark::kFT, NasClass::kA, 8, 1, trials, sweep);
+  run_case(NasBenchmark::kFT, NasClass::kB, 8, 1, trials, sweep);
+  run_case(NasBenchmark::kBT, NasClass::kA, 16, 1, trials, sweep);
+  run_case(NasBenchmark::kEP, NasClass::kA, 16, 1, trials, sweep);
   std::printf(
       "\nExpected: desynchronized phases amplify the impact well past the\n"
       "~10.5%% duty cycle for synchronizing codes (FT/BT); synchronized\n"

@@ -1,0 +1,96 @@
+// Machine-readable bench output: each bench binary writes a flat
+// BENCH_<name>.json next to its stdout report (event throughput, cache-sim
+// refs/sec, end-to-end grid wall time, jobs used), so the perf trajectory
+// is tracked across PRs by diffing artifacts instead of scraping stdout.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace smilab::benchtool {
+
+/// Wall-clock timer for end-to-end grid timings.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Flat JSON object accumulated in insertion order and written as
+/// BENCH_<name>.json in the working directory.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    set("bench", name_);
+  }
+
+  void set(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + escaped(value) + "\"");
+  }
+  void set(const std::string& key, const char* value) {
+    set(key, std::string{value});
+  }
+  void set(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    fields_.emplace_back(key, buf);
+  }
+  void set(const std::string& key, long long value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void set(const std::string& key, int value) {
+    set(key, static_cast<long long>(value));
+  }
+  void set(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+  }
+
+  /// Writes BENCH_<name>.json; reports the path (or failure) on stdout.
+  void write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("(could not write %s)\n", path.c_str());
+      return;
+    }
+    std::fputs("{\n", f);
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %s%s\n", escaped(fields_[i].first).c_str(),
+                   fields_[i].second.c_str(),
+                   i + 1 < fields_.size() ? "," : "");
+    }
+    std::fputs("}\n", f);
+    std::fclose(f);
+    std::printf("(bench json written to %s)\n", path.c_str());
+  }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace smilab::benchtool

@@ -2,8 +2,20 @@
 // throughput, cache-model access rate, collective lowering, and small
 // end-to-end system runs. These guard the simulator's own performance —
 // the table benches run hundreds of simulations per invocation.
+//
+// Besides the google-benchmark tables, the binary always writes
+// BENCH_engine_microbench.json with hand-timed headline numbers (events/s,
+// cache refs/s) so CI can track the perf trajectory across PRs.
+//
+// Usage: engine_microbench [--quick] [gbench flags...]
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "bench_json.h"
 #include "smilab/apps/nas/nas.h"
 #include "smilab/cache/cache.h"
 #include "smilab/mpi/collectives.h"
@@ -47,6 +59,31 @@ void BM_EngineCancelHalf(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineCancelHalf)->Arg(1 << 14);
 
+// Steady-state slab churn: a bounded pending set with events rescheduling
+// themselves, the shape of quantum timers and periodic SMI sources. The
+// rebuilt engine runs this allocation-free (slot free list + inline
+// callbacks).
+void BM_EngineSteadyState(benchmark::State& state) {
+  const int chains = 64;
+  for (auto _ : state) {
+    Engine engine;
+    std::int64_t fired = 0;
+    const std::int64_t quota = 100'000;
+    std::function<void(int)> arm = [&](int lane) {
+      if (++fired >= quota) return;
+      engine.schedule_after(SimDuration{1 + lane % 7},
+                            [&arm, lane] { arm(lane); });
+    };
+    for (int lane = 0; lane < chains; ++lane) {
+      engine.schedule_at(SimTime{lane}, [&arm, lane] { arm(lane); });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_EngineSteadyState);
+
 void BM_CacheHierarchyAccess(benchmark::State& state) {
   CacheHierarchy hierarchy = CacheHierarchy::e5620();
   Rng rng{1};
@@ -58,6 +95,30 @@ void BM_CacheHierarchyAccess(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CacheHierarchyAccess);
+
+// Unit-stride replay through the scalar entry point vs the batched one:
+// the convolve access stream's dominant shape.
+void BM_CacheUnitStrideScalar(benchmark::State& state) {
+  CacheHierarchy hierarchy = CacheHierarchy::e5620();
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    hierarchy.access(addr);
+    addr = (addr + 4) % (24 << 10);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheUnitStrideScalar);
+
+void BM_CacheAccessRunBatched(benchmark::State& state) {
+  CacheHierarchy hierarchy = CacheHierarchy::e5620();
+  const std::int64_t refs = 1 << 12;
+  for (auto _ : state) {
+    hierarchy.access_run(0, refs, 4);
+    benchmark::DoNotOptimize(hierarchy.stats().accesses);
+  }
+  state.SetItemsProcessed(state.iterations() * refs);
+}
+BENCHMARK(BM_CacheAccessRunBatched);
 
 void BM_CollectiveLowering(benchmark::State& state) {
   const auto p = static_cast<int>(state.range(0));
@@ -115,6 +176,104 @@ void BM_MpiJobAlltoall(benchmark::State& state) {
 }
 BENCHMARK(BM_MpiJobAlltoall);
 
+// --- Hand-timed headline probes for BENCH_engine_microbench.json ---------
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Events/second through a schedule-then-drain cycle (scrambled times).
+double measure_event_throughput(int n, int rounds) {
+  std::int64_t events = 0;
+  const double s = wall_seconds([&] {
+    for (int round = 0; round < rounds; ++round) {
+      Engine engine;
+      std::int64_t fired = 0;
+      for (int i = 0; i < n; ++i) {
+        engine.schedule_at(SimTime{(i * 7919) % n}, [&fired] { ++fired; });
+      }
+      engine.run();
+      events += fired;
+    }
+  });
+  return static_cast<double>(events) / s;
+}
+
+/// Events/second in steady state: bounded pending set, self-rescheduling.
+double measure_steady_state_throughput(std::int64_t quota) {
+  const double s = wall_seconds([&] {
+    Engine engine;
+    std::int64_t fired = 0;
+    std::function<void(int)> arm = [&](int lane) {
+      if (++fired >= quota) return;
+      engine.schedule_after(SimDuration{1 + lane % 7},
+                            [&arm, lane] { arm(lane); });
+    };
+    for (int lane = 0; lane < 64; ++lane) {
+      engine.schedule_at(SimTime{lane}, [&arm, lane] { arm(lane); });
+    }
+    engine.run();
+  });
+  return static_cast<double>(quota) / s;
+}
+
+/// Cache-model references/second for the convolve-shaped unit-stride replay.
+double measure_cache_refs_per_s(std::int64_t refs) {
+  CacheHierarchy hierarchy = CacheHierarchy::e5620();
+  const double s = wall_seconds([&] {
+    hierarchy.access_interleaved(0x1000'0000ull, 4, 0x7000'0000ull, 4, refs / 2);
+  });
+  benchmark::DoNotOptimize(hierarchy.stats().accesses);
+  return static_cast<double>(refs) / s;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip flags google-benchmark does not know (the CI bench loop passes
+  // --quick to every bench binary) before handing argv over.
+  bool quick = false;
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0 ||
+        std::strncmp(argv[i], "--trials=", 9) == 0 ||
+        std::strncmp(argv[i], "--csv=", 6) == 0) {
+      continue;  // accepted-and-ignored: shared bench-driver flags
+    }
+    passthrough.push_back(argv[i]);
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  if (quick && pass_argc == 1) {
+    // Keep the CI smoke run snappy: one representative benchmark each from
+    // the engine and cache families.
+    static char filter[] =
+        "--benchmark_filter=BM_EngineScheduleRun/1024|BM_CacheAccessRunBatched";
+    passthrough.push_back(filter);
+    pass_argc = 2;
+  }
+  passthrough.push_back(nullptr);
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const int scale = quick ? 1 : 4;
+  smilab::benchtool::BenchJson json{"engine_microbench"};
+  json.set("quick", quick);
+  json.set("event_throughput_per_s",
+           measure_event_throughput(1 << 16, 4 * scale));
+  json.set("event_steady_state_per_s",
+           measure_steady_state_throughput(400'000LL * scale));
+  json.set("cache_refs_per_s", measure_cache_refs_per_s(4'000'000LL * scale));
+  json.write();
+  return 0;
+}

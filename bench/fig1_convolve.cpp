@@ -8,13 +8,18 @@
 //               gap, with min/max across runs to show the variance the
 //               paper highlights.
 //
-// Usage: fig1_convolve [--trials=N] [--quick]
+// The (gap, cpus) grid cells are independent simulations and fan across
+// the sweep pool (--jobs); per-cell trial order is fixed, so the output is
+// byte-identical at any job count.
+//
+// Usage: fig1_convolve [--trials=N] [--quick] [--jobs=N]
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "nas_table.h"  // BenchArgs
 #include "smilab/apps/convolve/workload.h"
+#include "smilab/core/sweep.h"
 #include "smilab/stats/ascii_chart.h"
 #include "smilab/stats/online_stats.h"
 #include "smilab/stats/table.h"
@@ -24,7 +29,8 @@ using namespace smilab;
 namespace {
 
 void run_case(const char* label, const ConvolveWorkload& workload, int trials,
-              int gap_step_ms, const std::string& csv_prefix) {
+              int gap_step_ms, const ExperimentSweep& sweep,
+              const std::string& csv_prefix, benchtool::BenchJson* json) {
   std::printf("--- Convolve %s: L1 miss rate %.1f%%, %.1f cycles/ref, "
               "%d threads ---\n",
               label, workload.cache.l1_miss_rate * 100.0,
@@ -36,31 +42,42 @@ void run_case(const char* label, const ConvolveWorkload& workload, int trials,
   }
   Series series{"gap_ms", series_names};
 
+  const benchtool::WallTimer timer;
+
   // Baseline row (no SMIs) printed separately.
+  const std::vector<double> baselines = sweep.map<double>(8, [&](int i) {
+    return run_convolve_sim(workload, i + 1, SmiConfig::none(), 1).seconds;
+  });
   std::printf("no-SMI baselines (s):");
   for (int cpus = 1; cpus <= 8; ++cpus) {
-    const auto r = run_convolve_sim(workload, cpus, SmiConfig::none(), 1);
-    std::printf(" %d:%.2f", cpus, r.seconds);
+    std::printf(" %d:%.2f", cpus, baselines[static_cast<std::size_t>(cpus - 1)]);
   }
   std::printf("\n\n");
 
-  std::vector<OnlineStats> at_50ms(8);
-  for (int gap = 50; gap <= 1500; gap += gap_step_ms) {
+  // The swept grid: every (gap, cpus) cell runs `trials` sims with seeds
+  // derived from the cell coordinates alone.
+  std::vector<int> gaps;
+  for (int gap = 50; gap <= 1500; gap += gap_step_ms) gaps.push_back(gap);
+  const int cells = static_cast<int>(gaps.size()) * 8;
+  const std::vector<OnlineStats> grid = sweep.map<OnlineStats>(
+      cells, [&](int i) {
+        const int gap = gaps[static_cast<std::size_t>(i / 8)];
+        const int cpus = i % 8 + 1;
+        OnlineStats stats;
+        for (int trial = 0; trial < trials; ++trial) {
+          stats.add(run_convolve_sim(
+                        workload, cpus, SmiConfig::long_with_gap(gap),
+                        static_cast<std::uint64_t>(gap * 131 + cpus * 17 + trial))
+                        .seconds);
+        }
+        return stats;
+      });
+
+  for (std::size_t g = 0; g < gaps.size(); ++g) {
     std::vector<double> ys;
     ys.reserve(8);
-    for (int cpus = 1; cpus <= 8; ++cpus) {
-      OnlineStats stats;
-      for (int trial = 0; trial < trials; ++trial) {
-        const auto r = run_convolve_sim(
-            workload, cpus, SmiConfig::long_with_gap(gap),
-            static_cast<std::uint64_t>(gap * 131 + cpus * 17 + trial));
-        stats.add(r.seconds);
-        if (gap == 50) at_50ms[static_cast<std::size_t>(cpus - 1)].add(r.seconds);
-      }
-      ys.push_back(stats.mean());
-    }
-    series.add_point(gap, ys);
-    std::fflush(stdout);
+    for (int c = 0; c < 8; ++c) ys.push_back(grid[g * 8 + static_cast<std::size_t>(c)].mean());
+    series.add_point(gaps[g], ys);
   }
   ChartOptions chart;
   chart.y_label = "execution time (s)";
@@ -71,9 +88,10 @@ void run_case(const char* label, const ConvolveWorkload& workload, int trials,
     benchtool::write_file_report(csv_prefix + "_" + label + ".csv", series.to_csv());
   }
 
+  // Right panel reuses the gap==50 cells (identical trial seeds and order).
   Table right{{"cpus", "mean s", "min s", "max s", "spread %"}};
   for (int cpus = 1; cpus <= 8; ++cpus) {
-    const auto& stats = at_50ms[static_cast<std::size_t>(cpus - 1)];
+    const OnlineStats& stats = grid[static_cast<std::size_t>(cpus - 1)];
     right.row()
         .cell(static_cast<long long>(cpus))
         .cell(stats.mean())
@@ -83,6 +101,11 @@ void run_case(const char* label, const ConvolveWorkload& workload, int trials,
   }
   std::printf("Execution time at 50 ms gap vs CPU configuration (right panel):\n%s\n",
               right.to_aligned_text().c_str());
+
+  if (json != nullptr) {
+    json->set(std::string{label} + "_cells", cells);
+    json->set(std::string{label} + "_grid_wall_s", timer.seconds());
+  }
 }
 
 }  // namespace
@@ -91,13 +114,18 @@ int main(int argc, char** argv) {
   const auto args = benchtool::BenchArgs::parse(argc, argv);
   const int trials = args.quick ? 2 : std::max(3, args.trials == 6 ? 3 : args.trials);
   const int gap_step = args.quick ? 250 : 50;
+  const ExperimentSweep sweep{args.jobs};
+
+  benchtool::BenchJson json{"fig1_convolve"};
+  json.set("trials", trials);
+  json.set("jobs", sweep.jobs());
 
   std::printf("=== Figure 1: Convolve experiments (24 threads, long SMIs, "
-              "%d trials/point) ===\n\n", trials);
+              "%d trials/point, %d jobs) ===\n\n", trials, sweep.jobs());
   run_case("CacheUnfriendly", ConvolveWorkload::cache_unfriendly_workload(),
-           trials, gap_step, args.csv_prefix);
+           trials, gap_step, sweep, args.csv_prefix, &json);
   run_case("CacheFriendly", ConvolveWorkload::cache_friendly_workload(),
-           trials, gap_step, args.csv_prefix);
+           trials, gap_step, sweep, args.csv_prefix, &json);
 
   // The paper also checked short SMIs: no visible effect at any rate.
   std::printf("Short-SMI check (CacheFriendly, 8 CPUs): ");
@@ -108,5 +136,6 @@ int main(int argc, char** argv) {
   std::printf("base %.3fs, short SMIs every 50ms %.3fs (%+.2f%%)\n",
               base.seconds, shrt.seconds,
               (shrt.seconds / base.seconds - 1.0) * 100.0);
+  json.write();
   return 0;
 }

@@ -2,13 +2,17 @@
 // at 500 ms increments) for CPU configurations 1-8, long SMIs; plus the
 // short-SMI flatness check reported in the text.
 //
-// Usage: fig2_unixbench [--trials=N] [--quick]
+// The (gap, cpus) grid fans across the sweep pool (--jobs); output is
+// byte-identical at any job count.
+//
+// Usage: fig2_unixbench [--trials=N] [--quick] [--jobs=N]
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "nas_table.h"  // BenchArgs
 #include "smilab/apps/unixbench/unixbench.h"
+#include "smilab/core/sweep.h"
 #include "smilab/stats/ascii_chart.h"
 #include "smilab/stats/online_stats.h"
 #include "smilab/stats/table.h"
@@ -18,9 +22,15 @@ using namespace smilab;
 int main(int argc, char** argv) {
   const auto args = benchtool::BenchArgs::parse(argc, argv);
   const int iterations = args.quick ? 1 : (args.trials == 6 ? 3 : args.trials);
+  const ExperimentSweep sweep{args.jobs};
+
+  benchtool::BenchJson json{"fig2_unixbench"};
+  json.set("iterations", iterations);
+  json.set("jobs", sweep.jobs());
 
   std::printf("=== Figure 2: UnixBench index vs SMI gap, long SMIs "
-              "(%d iterations/point; higher is better) ===\n\n", iterations);
+              "(%d iterations/point, %d jobs; higher is better) ===\n\n",
+              iterations, sweep.jobs());
 
   // Per-test single-copy sanity row (no SMIs, 1 CPU).
   {
@@ -41,32 +51,39 @@ int main(int argc, char** argv) {
   for (int cpus = 1; cpus <= 8; ++cpus) names.push_back(std::to_string(cpus) + "cpu");
   Series series{"gap_ms", names};
 
-  for (const int gap : {100, 600, 1100, 1600}) {
-    std::vector<double> ys;
-    for (int cpus = 1; cpus <= 8; ++cpus) {
-      OnlineStats stats;
-      for (int it = 0; it < iterations; ++it) {
-        UnixBenchOptions opts;
-        opts.online_cpus = cpus;
-        opts.smi = SmiConfig::long_with_gap(gap);
-        opts.seed = static_cast<std::uint64_t>(gap * 37 + cpus * 11 + it);
-        stats.add(run_unixbench(opts).index);
-      }
-      ys.push_back(stats.mean());
+  const benchtool::WallTimer timer;
+  const std::vector<int> gaps{100, 600, 1100, 1600};
+  const int cells = static_cast<int>(gaps.size()) * 8;
+  const std::vector<double> grid = sweep.map<double>(cells, [&](int i) {
+    const int gap = gaps[static_cast<std::size_t>(i / 8)];
+    const int cpus = i % 8 + 1;
+    OnlineStats stats;
+    for (int it = 0; it < iterations; ++it) {
+      UnixBenchOptions opts;
+      opts.online_cpus = cpus;
+      opts.smi = SmiConfig::long_with_gap(gap);
+      opts.seed = static_cast<std::uint64_t>(gap * 37 + cpus * 11 + it);
+      stats.add(run_unixbench(opts).index);
     }
-    series.add_point(gap, ys);
-    std::fflush(stdout);
+    return stats.mean();
+  });
+  for (std::size_t g = 0; g < gaps.size(); ++g) {
+    std::vector<double> ys;
+    for (int c = 0; c < 8; ++c) ys.push_back(grid[g * 8 + static_cast<std::size_t>(c)]);
+    series.add_point(gaps[g], ys);
   }
   // No-SMI reference points (the asymptote the curves approach).
   {
-    std::vector<double> ys;
-    for (int cpus = 1; cpus <= 8; ++cpus) {
+    const std::vector<double> ys = sweep.map<double>(8, [&](int i) {
       UnixBenchOptions opts;
-      opts.online_cpus = cpus;
-      ys.push_back(run_unixbench(opts).index);
-    }
+      opts.online_cpus = i + 1;
+      return run_unixbench(opts).index;
+    });
     series.add_point(1e9, ys);  // "infinite gap" row
   }
+  json.set("cells", cells);
+  json.set("grid_wall_s", timer.seconds());
+
   // Chart only the finite gaps (drop the "infinite gap" sentinel row).
   Series finite{"gap_ms", names};
   for (std::size_t i = 0; i + 1 < series.point_count(); ++i) {
@@ -93,5 +110,6 @@ int main(int argc, char** argv) {
   const double with_short = run_unixbench(short_opts).index;
   std::printf("no SMIs %.1f, short SMIs every 100ms %.1f (%+.2f%%)\n", base,
               with_short, (with_short / base - 1.0) * 100.0);
+  json.write();
   return 0;
 }

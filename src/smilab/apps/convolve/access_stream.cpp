@@ -102,13 +102,17 @@ CacheMeasurement measure_convolve_cache(const ConvolveConfig& config,
     for (int dy = -r; dy <= r; ++dy) {
       const int sy = y + dy;
       if (sy < 0 || sy >= config.image_h) continue;
-      for (int dx = -r; dx <= r; ++dx) {
-        const int sx = x + dx;
-        if (sx < 0 || sx >= config.image_w) continue;
-        hierarchy.access(addr.image(sx, sy));
-        hierarchy.access(addr.kernel(dx + r, dy + r));
-        refs += 2;
-      }
+      // The dx loop alternates one image load and one kernel load, both
+      // streams contiguous; lower the whole (clipped) row to the batched
+      // interleaved replay — bit-identical to the scalar loop, but
+      // same-line stretches collapse to counter updates.
+      const int dx0 = std::max(-r, -x);
+      const int dx1 = std::min(r, config.image_w - 1 - x);
+      if (dx0 > dx1) continue;
+      const int n = dx1 - dx0 + 1;
+      hierarchy.access_interleaved(addr.image(x + dx0, sy), addr.pixel_stride,
+                                   addr.kernel(dx0 + r, dy + r), 4, n);
+      refs += 2 * n;
     }
     hierarchy.access(addr.output(x, y));
     refs += 1;

@@ -4,8 +4,10 @@
 #include <cassert>
 #include <cmath>
 #include <map>
+#include <mutex>
 #include <tuple>
 
+#include "smilab/core/sweep.h"
 #include "smilab/mpi/job.h"
 #include "smilab/sim/system.h"
 
@@ -130,16 +132,23 @@ NasKnob calibrate_uncached(const NasJobSpec& spec) {
 
 NasKnob calibrate_nas_knob(const NasJobSpec& spec) {
   using Key = std::tuple<int, int, int, int>;
+  // The memo is shared across concurrently swept cells; calibration itself
+  // runs outside the lock (it is a pure function of the spec, so a rare
+  // duplicate computation by two first-comers yields the same knob).
+  static std::mutex mu;
   static std::map<Key, NasKnob> cache;
   const Key key{static_cast<int>(spec.bench), static_cast<int>(spec.cls),
                 spec.nodes, spec.ranks_per_node};
-  const auto it = cache.find(key);
-  if (it != cache.end()) return it->second;
+  {
+    const std::lock_guard<std::mutex> lock{mu};
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
   NasJobSpec base = spec;
   base.htt = false;  // HTT does not change the no-SMI runtime
   const NasKnob knob = calibrate_uncached(base);
-  cache.emplace(key, knob);
-  return knob;
+  const std::lock_guard<std::mutex> lock{mu};
+  return cache.emplace(key, knob).first->second;
 }
 
 NasCellResult run_nas_cell(const NasJobSpec& spec, const NasRunOptions& options) {
@@ -151,15 +160,25 @@ NasCellResult run_nas_cell(const NasJobSpec& spec, const NasRunOptions& options)
   const SmiConfig configs[3] = {SmiConfig::none(), SmiConfig::short_every_second(),
                                 SmiConfig::long_every_second()};
   OnlineStats* stats[3] = {&result.smm0, &result.smm1, &result.smm2};
+  // The 3 x trials sims are independent once the knob is fixed: fan them
+  // across the sweep pool, then fold into the per-regime stats in the same
+  // (regime, trial) order the serial loop used — byte-identical results.
+  const ExperimentSweep sweep{options.jobs};
+  const std::vector<double> seconds = sweep.map<double>(
+      3 * options.trials, [&](int i) {
+        const int k = i / options.trials;
+        const int trial = i % options.trials;
+        SmiConfig smi = configs[k];
+        smi.synchronized_across_nodes = options.synchronized_smis;
+        const std::uint64_t seed =
+            options.seed * 2654435761u + static_cast<std::uint64_t>(k) * 97 +
+            static_cast<std::uint64_t>(trial) * 1013904223u + (spec.htt ? 7 : 0);
+        return simulate_nas_once(spec, result.knob, smi, seed,
+                                 options.node_speed_sigma);
+      });
   for (int k = 0; k < 3; ++k) {
-    SmiConfig smi = configs[k];
-    smi.synchronized_across_nodes = options.synchronized_smis;
     for (int trial = 0; trial < options.trials; ++trial) {
-      const std::uint64_t seed =
-          options.seed * 2654435761u + static_cast<std::uint64_t>(k) * 97 +
-          static_cast<std::uint64_t>(trial) * 1013904223u + (spec.htt ? 7 : 0);
-      stats[k]->add(simulate_nas_once(spec, result.knob, smi, seed,
-                                      options.node_speed_sigma));
+      stats[k]->add(seconds[static_cast<std::size_t>(k * options.trials + trial)]);
     }
   }
   return result;

@@ -20,6 +20,12 @@ struct NasRunOptions {
   double node_speed_sigma = 0.003; ///< non-SMI run-to-run system noise
   std::uint64_t seed = 2016;
   bool synchronized_smis = false;  ///< ablation knob
+  /// Worker threads for independent (regime, trial) sims inside a cell
+  /// (and for whole cells in the table builders). 1 = historical serial
+  /// path; <=0 = hardware concurrency. Results are byte-identical at any
+  /// value: every sim derives from (spec, knob, smi, seed) alone and is
+  /// collected in grid order (core/sweep.h).
+  int jobs = 1;
 };
 
 struct NasCellResult {

@@ -1,22 +1,76 @@
 #include "smilab/cache/cache.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <stdexcept>
 
 namespace smilab {
 
+std::string CacheConfig::validation_error() const {
+  char buf[160];
+  if (line_bytes <= 0 || (line_bytes & (line_bytes - 1)) != 0) {
+    std::snprintf(buf, sizeof buf,
+                  "CacheConfig: line_bytes must be a positive power of two, got %d",
+                  line_bytes);
+    return buf;
+  }
+  if (associativity <= 0) {
+    std::snprintf(buf, sizeof buf,
+                  "CacheConfig: associativity must be positive, got %d",
+                  associativity);
+    return buf;
+  }
+  const std::size_t way_bytes = static_cast<std::size_t>(line_bytes) *
+                                static_cast<std::size_t>(associativity);
+  if (size_bytes == 0 || size_bytes % way_bytes != 0) {
+    std::snprintf(buf, sizeof buf,
+                  "CacheConfig: size_bytes (%zu) must be a positive multiple of "
+                  "line_bytes*associativity (%zu)",
+                  size_bytes, way_bytes);
+    return buf;
+  }
+  return {};
+}
+
+namespace {
+
+int log2_exact(int v) {
+  int shift = 0;
+  while ((1 << shift) < v) ++shift;
+  return shift;
+}
+
+}  // namespace
+
 SetAssocCache::SetAssocCache(CacheConfig config)
-    : config_(config), set_count_(config.sets()) {
-  assert(config.line_bytes > 0 && (config.line_bytes & (config.line_bytes - 1)) == 0);
-  assert(config.associativity > 0);
-  assert(set_count_ > 0);
+    : config_(config), set_count_(0), line_shift_(0) {
+  if (const std::string error = config.validation_error(); !error.empty()) {
+    throw std::invalid_argument(error);
+  }
+  set_count_ = config.sets();
+  line_shift_ = log2_exact(config.line_bytes);
   ways_.resize(set_count_ * static_cast<std::size_t>(config.associativity));
+}
+
+void SetAssocCache::set_fast_path(bool enabled) {
+  fast_path_ = enabled;
+  last_line_ = ~0ull;
+  last_way_ = nullptr;
 }
 
 bool SetAssocCache::access(std::uint64_t addr) {
   ++accesses_;
   ++clock_;
   const std::uint64_t line = line_of(addr);
+  if (line == last_line_ && last_way_ != nullptr) {
+    last_way_->lru = clock_;
+    return true;
+  }
+  return access_slow(line);
+}
+
+bool SetAssocCache::access_slow(std::uint64_t line) {
   const std::size_t set = static_cast<std::size_t>(line % set_count_);
   const std::uint64_t tag = line / set_count_;
   Way* base = &ways_[set * static_cast<std::size_t>(config_.associativity)];
@@ -26,6 +80,10 @@ bool SetAssocCache::access(std::uint64_t addr) {
     Way& way = base[w];
     if (way.valid && way.tag == tag) {
       way.lru = clock_;
+      if (fast_path_) {
+        last_line_ = line;
+        last_way_ = &way;
+      }
       return true;
     }
     if (!way.valid) {
@@ -38,7 +96,23 @@ bool SetAssocCache::access(std::uint64_t addr) {
   victim->valid = true;
   victim->tag = tag;
   victim->lru = clock_;
+  if (fast_path_) {
+    // The install may have evicted the memoised line's way; pointing the
+    // memo at the just-installed line keeps it trivially valid.
+    last_line_ = line;
+    last_way_ = victim;
+  }
   return false;
+}
+
+SetAssocCache::Way* SetAssocCache::find_resident(std::uint64_t line) {
+  const std::size_t set = static_cast<std::size_t>(line % set_count_);
+  const std::uint64_t tag = line / set_count_;
+  Way* base = &ways_[set * static_cast<std::size_t>(config_.associativity)];
+  for (int w = 0; w < config_.associativity; ++w) {
+    if (base[w].valid && base[w].tag == tag) return &base[w];
+  }
+  return nullptr;
 }
 
 bool SetAssocCache::contains(std::uint64_t addr) const {
@@ -54,6 +128,8 @@ bool SetAssocCache::contains(std::uint64_t addr) const {
 
 void SetAssocCache::flush() {
   for (auto& way : ways_) way.valid = false;
+  last_line_ = ~0ull;
+  last_way_ = nullptr;
 }
 
 std::string HierarchyStats::summary() const {
@@ -98,10 +174,82 @@ CacheLevel CacheHierarchy::access(std::uint64_t addr) {
   return CacheLevel::kMemory;
 }
 
+void CacheHierarchy::access_run(std::uint64_t addr, std::int64_t count,
+                                std::uint64_t stride) {
+  const auto line_bytes =
+      static_cast<std::uint64_t>(l1_.config().line_bytes);
+  if (stride == 0 || stride >= line_bytes || !l1_.fast_path_enabled()) {
+    for (std::int64_t i = 0; i < count; ++i, addr += stride) access(addr);
+    return;
+  }
+  std::int64_t i = 0;
+  while (i < count) {
+    access(addr);  // full walk: installs the line at every level if needed
+    // Accesses i+1..i+k stay on this L1 line: guaranteed L1 hits on the
+    // memoised way, so they collapse to counter updates.
+    const std::uint64_t to_boundary = line_bytes - (addr & (line_bytes - 1));
+    std::uint64_t k = (to_boundary - 1) / stride;
+    k = std::min<std::uint64_t>(k, static_cast<std::uint64_t>(count - i - 1));
+    if (k > 0) {
+      l1_.touch_last(k);
+      stats_.accesses += k;
+      stats_.l1_hits += k;
+    }
+    i += static_cast<std::int64_t>(1 + k);
+    addr += (1 + k) * stride;
+  }
+}
+
+void CacheHierarchy::access_interleaved(std::uint64_t a, std::uint64_t stride_a,
+                                        std::uint64_t b, std::uint64_t stride_b,
+                                        std::int64_t pairs) {
+  const auto line_bytes =
+      static_cast<std::uint64_t>(l1_.config().line_bytes);
+  const bool batchable = l1_.fast_path_enabled() && stride_a > 0 &&
+                         stride_a < line_bytes && stride_b > 0 &&
+                         stride_b < line_bytes;
+  std::int64_t i = 0;
+  while (i < pairs) {
+    access(a);
+    access(b);
+    ++i;
+    if (!batchable) {
+      a += stride_a;
+      b += stride_b;
+      continue;
+    }
+    // Pairs i..i+k-1 keep both streams on their current lines. b is
+    // resident (just accessed); a may have been evicted by b's install if
+    // they conflict in a set — then batching is off for this stretch.
+    const std::uint64_t ka = (line_bytes - (a & (line_bytes - 1)) - 1) / stride_a;
+    const std::uint64_t kb = (line_bytes - (b & (line_bytes - 1)) - 1) / stride_b;
+    std::uint64_t k = std::min(ka, kb);
+    k = std::min<std::uint64_t>(k, static_cast<std::uint64_t>(pairs - i));
+    a += stride_a;
+    b += stride_b;
+    if (k == 0) continue;
+    SetAssocCache::Way* way_a = l1_.find_resident(l1_.line_of(a));
+    SetAssocCache::Way* way_b = l1_.find_resident(l1_.line_of(b));
+    if (way_a == nullptr || way_b == nullptr || way_a == way_b) continue;
+    l1_.touch_pair(*way_a, *way_b, l1_.line_of(b), k);
+    stats_.accesses += 2 * k;
+    stats_.l1_hits += 2 * k;
+    i += static_cast<std::int64_t>(k);
+    a += k * stride_a;
+    b += k * stride_b;
+  }
+}
+
 void CacheHierarchy::flush() {
   l1_.flush();
   l2_.flush();
   l3_.flush();
+}
+
+void CacheHierarchy::set_fast_path(bool enabled) {
+  l1_.set_fast_path(enabled);
+  l2_.set_fast_path(enabled);
+  l3_.set_fast_path(enabled);
 }
 
 double CacheHierarchy::average_latency_cycles(double l1_cy, double l2_cy,

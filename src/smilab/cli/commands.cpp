@@ -6,6 +6,7 @@
 #include "smilab/apps/nas/nas.h"
 #include "smilab/apps/nas/runner.h"
 #include "smilab/apps/unixbench/unixbench.h"
+#include "smilab/core/sweep.h"
 #include "smilab/cpu/energy.h"
 #include "smilab/fault/fault_injector.h"
 #include "smilab/mpi/job.h"
@@ -26,7 +27,7 @@ usage: smilab <command> [--flag=value ...]
 commands:
   nas        --workload=ep|bt|ft --class=A|B|C [--nodes=N] [--ranks-per-node=1|4]
              [--htt] [--smi=none|short|long] [--interval-ms=N] [--trials=N]
-             [--seed=N]
+             [--seed=N] [--jobs=N]
              Run one NAS table cell (calibrated against the paper baseline)
              under the chosen SMI regime.
   convolve   [--case=cf|cu] [--cpus=1..8] [--smi=none|short|long]
@@ -117,6 +118,7 @@ int cmd_nas(const Options& options, std::ostream& out, std::ostream& err) {
   spec.htt = options.get_bool("htt", false);
   const auto trials = static_cast<int>(options.get_int("trials", 3, &error));
   const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 2016, &error));
+  const auto jobs = static_cast<int>(options.get_int("jobs", 1, &error));
   const SmiConfig smi = smi_from(options, &error);
   (void)options.get("trace", "");  // mark consumed
   if (!error.empty()) return fail(err, error);
@@ -128,10 +130,19 @@ int cmd_nas(const Options& options, std::ostream& out, std::ostream& err) {
   }
 
   const NasKnob knob = calibrate_nas_knob(spec);
+  // The (regime, trial) cells are independent sims: fan them across the
+  // sweep pool (--jobs=N) and fold back in serial order, so the output is
+  // byte-identical at any job count.
+  const ExperimentSweep sweep{jobs};
+  const std::vector<double> runs = sweep.map<double>(2 * trials, [&](int i) {
+    const SmiConfig& cfg = (i % 2 == 0) ? SmiConfig::none() : smi;
+    return simulate_nas_once(spec, knob, cfg,
+                             seed + static_cast<std::uint64_t>(i / 2), 0.003);
+  });
   OnlineStats base, noisy;
   for (int t = 0; t < trials; ++t) {
-    base.add(simulate_nas_once(spec, knob, SmiConfig::none(), seed + static_cast<std::uint64_t>(t), 0.003));
-    noisy.add(simulate_nas_once(spec, knob, smi, seed + static_cast<std::uint64_t>(t), 0.003));
+    base.add(runs[static_cast<std::size_t>(2 * t)]);
+    noisy.add(runs[static_cast<std::size_t>(2 * t + 1)]);
   }
   out << "NAS " << to_string(spec.bench) << " class " << to_string(spec.cls)
       << ", " << spec.nodes << " node(s) x " << spec.ranks_per_node

@@ -1,0 +1,55 @@
+#include "smilab/core/sweep.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace smilab {
+
+int effective_jobs(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void ExperimentSweep::for_each(int cells,
+                               const std::function<void(int)>& fn) const {
+  if (cells <= 0) return;
+  const int workers = std::min(jobs_, cells);
+  if (workers <= 1) {
+    // The historical serial path: same thread, same order, no pool.
+    for (int i = 0; i < cells; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::atomic<bool> abort{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cells || abort.load(std::memory_order_relaxed)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock{error_mu};
+          if (!first_error) first_error = std::current_exception();
+        }
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace smilab

@@ -1,49 +1,157 @@
 #include "smilab/sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace smilab {
 
-EventId Engine::schedule_at(SimTime t, std::function<void()> fn) {
-  assert(t >= now_ && "cannot schedule in the past");
-  assert(fn);
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{t, seq});
-  fns_.emplace(seq, std::move(fn));
-  return EventId{seq};
+void Engine::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.seq = 0;  // retire the generation: stale EventIds can never match again
+  s.cancelled = false;
+  s.fn.reset();
+  s.next_free = free_head_;
+  free_head_ = slot;
 }
 
-EventId Engine::schedule_after(SimDuration d, std::function<void()> fn) {
+void Engine::heap_push(Entry e) {
+  heap_.push_back(e);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Engine::remove_root() {
+  const Entry moved = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], moved)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = moved;
+}
+
+EventId Engine::finish_schedule(SimTime t, std::uint32_t slot) {
+  assert(t >= now_ && "cannot schedule in the past");
+  Slot& s = slots_[slot];
+  assert(s.fn);
+  const std::uint64_t seq = next_seq_++;
+  s.seq = seq;
+  s.cancelled = false;
+  heap_push(Entry{t, seq, slot});
+  ++live_;
+  return EventId{seq, slot};
+}
+
+EventId Engine::schedule_at(SimTime t, InlineCallback fn) {
+  const std::uint32_t slot = acquire_slot();
+  slots_[slot].fn = std::move(fn);
+  return finish_schedule(t, slot);
+}
+
+EventId Engine::schedule_after(SimDuration d, InlineCallback fn) {
   assert(d >= SimDuration::zero() && "negative delay");
   return schedule_at(now_ + d, std::move(fn));
 }
 
 void Engine::cancel(EventId id) {
-  if (!id.valid()) return;
-  fns_.erase(id.seq);  // heap entry becomes a tombstone, skipped on pop
+  if (!id.valid() || id.slot >= slots_.size()) return;
+  Slot& s = slots_[id.slot];
+  // Generation check: the slot only belongs to this id while its seq
+  // matches. After the event fires (or a compaction reaps it) the slot is
+  // retired or re-tenanted, so a late cancel cannot create a tombstone.
+  if (s.seq != id.seq || s.cancelled) return;
+  s.cancelled = true;
+  s.fn.reset();  // release captured state eagerly
+  --live_;
+  ++cancelled_;
+  ++tombstones_;
+  // Keep tombstones a bounded fraction of the heap so cancel-heavy periodic
+  // sources (quantum timers raced by completions) cannot grow it without
+  // limit between pops.
+  if (tombstones_ > 64 && tombstones_ * 2 > heap_.size()) compact_tombstones();
+}
+
+void Engine::compact_tombstones() {
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    const Entry& e = heap_[i];
+    const Slot& s = slots_[e.slot];
+    if (s.cancelled && s.seq == e.seq) {
+      release_slot(e.slot);
+      continue;
+    }
+    heap_[out++] = e;
+  }
+  heap_.resize(out);
+  tombstones_ = 0;
+  // Floyd heap construction over the surviving entries.
+  if (heap_.size() < 2) return;
+  const std::size_t n = heap_.size();
+  for (std::size_t start = (n - 2) / 4 + 1; start-- > 0;) {
+    const Entry moved = heap_[start];
+    std::size_t i = start;
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], moved)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = moved;
+  }
+}
+
+void Engine::drop_root_tombstones() {
+  while (!heap_.empty()) {
+    const Entry top = heap_[0];
+    const Slot& s = slots_[top.slot];
+    if (!(s.cancelled && s.seq == top.seq)) return;
+    remove_root();
+    release_slot(top.slot);
+    --tombstones_;
+  }
 }
 
 bool Engine::pop_next() {
-  while (!heap_.empty()) {
-    const Entry top = heap_.top();
-    auto it = fns_.find(top.seq);
-    if (it == fns_.end()) {
-      heap_.pop();  // cancelled
-      continue;
-    }
-    assert(top.time >= now_);
-    now_ = top.time;
-    // Move the callback out before executing: the callback may schedule or
-    // cancel other events (rehashing fns_).
-    std::function<void()> fn = std::move(it->second);
-    fns_.erase(it);
-    heap_.pop();
-    ++executed_;
-    fn();
-    return true;
-  }
-  return false;
+  if (tombstones_ != 0) drop_root_tombstones();
+  if (heap_.empty()) return false;
+  const Entry top = heap_[0];
+  Slot& slot = slots_[top.slot];
+  assert(slot.seq == top.seq);
+  assert(top.time >= now_);
+  now_ = top.time;
+  // Move the callback out before executing: the callback may schedule
+  // events (growing the slab) or cancel others (compacting the heap).
+  InlineCallback fn = std::move(slot.fn);
+  remove_root();
+  release_slot(top.slot);
+  --live_;
+  ++executed_;
+  fn();
+  return true;
 }
 
 void Engine::run() {
@@ -54,18 +162,18 @@ void Engine::run() {
 
 bool Engine::run_until(SimTime t) {
   stopped_ = false;
-  while (!stopped_ && !heap_.empty()) {
+  while (!stopped_) {
     // Peek through tombstones without executing.
-    while (!heap_.empty() && !fns_.contains(heap_.top().seq)) heap_.pop();
+    if (tombstones_ != 0) drop_root_tombstones();
     if (heap_.empty()) break;
-    if (heap_.top().time > t) {
+    if (heap_[0].time > t) {
       now_ = t;
       return true;
     }
     pop_next();
   }
   if (now_ < t) now_ = t;
-  return !fns_.empty();
+  return live_ != 0;
 }
 
 }  // namespace smilab

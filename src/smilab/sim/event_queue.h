@@ -1,14 +1,24 @@
 // Discrete-event engine: a time-ordered queue of callbacks with stable
 // (time, insertion-sequence) ordering so runs are deterministic, plus
-// cancellation via tombstones.
+// cancellation via generation-checked tombstones.
+//
+// Internals (see DESIGN.md §8): a 4-ary implicit heap of POD entries
+// {time, seq, slot} — sift moves are 24-byte copies, and four children per
+// node share a cache line's worth of entries — with callbacks stored out of
+// line in a slab of reusable slots (InlineCallback: no allocation for the
+// captures the simulator uses). Cancellation marks the slot; the slot's seq
+// acts as a generation counter, so cancelling an already-fired id compares
+// against the slot's current tenant and is a guaranteed no-op rather than a
+// leaked tombstone. Tombstoned heap entries are skipped on pop and compacted
+// wholesale if they ever dominate the heap.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
+#include "smilab/sim/inline_callback.h"
 #include "smilab/time/sim_time.h"
 
 namespace smilab {
@@ -16,13 +26,15 @@ namespace smilab {
 /// Handle to a scheduled event; can be used to cancel it before it fires.
 struct EventId {
   std::uint64_t seq = 0;
+  std::uint32_t slot = 0;  ///< slab index; (seq, slot) is generation-checked
   [[nodiscard]] bool valid() const { return seq != 0; }
   bool operator==(const EventId&) const = default;
 };
 
 /// The simulation engine. Single-threaded by design: determinism beats
 /// parallel event execution for a noise study, where runs must be exactly
-/// reproducible from (config, seed).
+/// reproducible from (config, seed). Grid-level parallelism lives in
+/// core/sweep.h instead: one Engine per cell, no shared state.
 class Engine {
  public:
   Engine() = default;
@@ -31,11 +43,29 @@ class Engine {
 
   [[nodiscard]] SimTime now() const { return now_; }
 
-  /// Schedule `fn` at absolute time `t` (must be >= now()).
-  EventId schedule_at(SimTime t, std::function<void()> fn);
+  /// Schedule `fn` at absolute time `t` (must be >= now()). The callable is
+  /// constructed directly inside its slab slot (no temporary, no move).
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback>>>
+  EventId schedule_at(SimTime t, F&& fn) {
+    const std::uint32_t slot = acquire_slot();
+    slots_[slot].fn.emplace(std::forward<F>(fn));
+    return finish_schedule(t, slot);
+  }
+
+  /// Overload for a pre-built InlineCallback (moved into the slot).
+  EventId schedule_at(SimTime t, InlineCallback fn);
 
   /// Schedule `fn` after a non-negative delay.
-  EventId schedule_after(SimDuration d, std::function<void()> fn);
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback>>>
+  EventId schedule_after(SimDuration d, F&& fn) {
+    return schedule_at(now_ + d, std::forward<F>(fn));
+  }
+
+  EventId schedule_after(SimDuration d, InlineCallback fn);
 
   /// Cancel a pending event. Cancelling an already-fired or invalid id is a
   /// harmless no-op (common when a completion event races a preemption).
@@ -57,29 +87,77 @@ class Engine {
   /// Request `run()` to return after the current event completes.
   void stop() { stopped_ = true; }
 
-  [[nodiscard]] std::size_t pending_events() const { return fns_.size(); }
+  [[nodiscard]] std::size_t pending_events() const {
+    return static_cast<std::size_t>(live_);
+  }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+  [[nodiscard]] std::uint64_t cancelled_events() const { return cancelled_; }
+  /// Cancelled entries still occupying heap space (bounded: compacted away
+  /// once they would dominate the heap).
+  [[nodiscard]] std::size_t tombstones() const {
+    return static_cast<std::size_t>(tombstones_);
+  }
+  /// Slab high-water mark: peak concurrently scheduled events, not total
+  /// events ever scheduled (slots are recycled through a free list).
+  [[nodiscard]] std::size_t slot_capacity() const { return slots_.size(); }
 
  private:
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+  /// One cache line per slot: schedule, cancel, and fire each touch a
+  /// random slab position, so a slot never straddling two lines halves the
+  /// miss cost of the slab working set.
+  struct alignas(64) Slot {
+    InlineCallback fn;      // 48 bytes (40 inline + ops pointer)
+    std::uint64_t seq = 0;  ///< current tenant's seq; 0 = free
+    std::uint32_t next_free = kNilSlot;
+    bool cancelled = false;
+  };
+  static_assert(sizeof(Slot) == 64, "slab slots must be cache-line sized");
+
+  /// Heap entry: plain data, cheap to shuffle during sifts. Ordering is
+  /// (time, seq) — identical tie-breaking to the original binary heap.
   struct Entry {
     SimTime time;
     std::uint64_t seq;
-    // priority_queue is a max-heap; invert for earliest-first, breaking
-    // ties by insertion order for determinism.
-    bool operator<(const Entry& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
+    std::uint32_t slot;
   };
 
+  static bool before(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
   bool pop_next();  // executes one event; false if queue exhausted
+  EventId finish_schedule(SimTime t, std::uint32_t slot);
+  void heap_push(Entry e);
+  void remove_root();
+  void drop_root_tombstones();
+  void compact_tombstones();
+  void release_slot(std::uint32_t slot);
+
+  /// Pop a free slot or grow the slab. Inline: the free-list hit is three
+  /// loads and sits on every schedule call.
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNilSlot) {
+      const std::uint32_t slot = free_head_;
+      free_head_ = slots_[slot].next_free;
+      return slot;
+    }
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
 
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t live_ = 0;        // scheduled, not yet fired or cancelled
+  std::uint64_t tombstones_ = 0;  // cancelled entries still in heap_
   bool stopped_ = false;
-  std::priority_queue<Entry> heap_;
-  std::unordered_map<std::uint64_t, std::function<void()>> fns_;
+  std::vector<Entry> heap_;  // implicit 4-ary min-heap
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNilSlot;
 };
 
 }  // namespace smilab

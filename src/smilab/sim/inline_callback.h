@@ -1,0 +1,136 @@
+// Small-buffer-optimised move-only callable for the event engine.
+//
+// std::function allocates for captures beyond ~16 bytes and always pays an
+// indirect call through type-erased storage it may have to heap-manage.
+// Event callbacks are scheduled and fired millions of times per simulated
+// second, so the engine stores them in InlineCallback, which is built
+// around one invariant: **storage is always trivially relocatable**.
+// Trivially-copyable callables up to kInlineBytes live directly inside the
+// slab slot; everything else lives behind a single owned pointer. Either
+// way a move is a plain memcpy of the buffer plus an ops-pointer handoff —
+// no indirect "relocate" call — which keeps the engine's slab growth and
+// the schedule/fire path free of per-event virtual dispatch beyond the one
+// unavoidable invoke.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace smilab {
+
+class InlineCallback {
+ public:
+  /// Covers every capture list the simulator's hot paths use: `this` plus
+  /// a handful of ints/pointers/SimTimes. Non-trivially-copyable callables
+  /// (e.g. a captured std::function or vector) box instead, so staying
+  /// inline never requires a move constructor to run during relocation.
+  /// Sized so the engine's whole slab slot (callable + ops pointer + seq +
+  /// free-list link) is exactly one 64-byte cache line.
+  static constexpr std::size_t kInlineBytes = 40;
+
+  InlineCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    init(std::forward<F>(f));
+  }
+
+  /// Destroy the current callable (if any) and construct `f` in place —
+  /// the engine's schedule path uses this to build the callable directly
+  /// inside its slab slot, skipping the temporary + move a by-value
+  /// InlineCallback parameter would cost.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  void emplace(F&& f) {
+    reset();
+    init(std::forward<F>(f));
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*destroy)(void*);  // null when storage needs no cleanup
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    // Trivial copyability implies a trivial destructor, so inline storage
+    // is bitwise-movable and needs no destroy hook at all.
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_trivially_copyable_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+      nullptr,
+  };
+
+  template <typename Fn>
+  static constexpr Ops boxed_ops = {
+      [](void* p) { (**std::launder(reinterpret_cast<Fn**>(p)))(); },
+      [](void* p) { delete *std::launder(reinterpret_cast<Fn**>(p)); },
+  };
+
+  template <typename F>
+  void init(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &boxed_ops<Fn>;
+    }
+  }
+
+  void move_from(InlineCallback& other) noexcept {
+    // Both representations (inline trivially-copyable bytes, owned raw
+    // pointer) relocate by bit copy; nulling the source's ops is the
+    // ownership transfer.
+    ops_ = other.ops_;
+    std::memcpy(storage_, other.storage_, sizeof storage_);
+    other.ops_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace smilab

@@ -2,6 +2,10 @@
 // measurement that stands in for the paper's cachegrind step.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
 #include "smilab/apps/convolve/access_stream.h"
 #include "smilab/cache/cache.h"
 
@@ -80,6 +84,51 @@ TEST(SetAssocCacheTest, ContainsDoesNotPerturbLruOrStats) {
   EXPECT_FALSE(cache.contains(0));
 }
 
+TEST(CacheConfigTest, ValidConfigHasNoError) {
+  EXPECT_TRUE(CacheConfig{}.validation_error().empty());
+  const CacheConfig l1{.size_bytes = 32 * 1024, .line_bytes = 64,
+                       .associativity = 8};
+  EXPECT_TRUE(l1.validation_error().empty());
+}
+
+TEST(CacheConfigTest, RejectsNonPowerOfTwoLineSize) {
+  const CacheConfig bad{.size_bytes = 960, .line_bytes = 48,
+                        .associativity = 2};
+  const std::string error = bad.validation_error();
+  EXPECT_NE(error.find("line_bytes"), std::string::npos) << error;
+  EXPECT_THROW(SetAssocCache{bad}, std::invalid_argument);
+}
+
+TEST(CacheConfigTest, RejectsSizeNotDivisibleByLineTimesAssoc) {
+  // 1000 bytes is not a whole number of 2-way 64B sets.
+  const CacheConfig bad{.size_bytes = 1000, .line_bytes = 64,
+                        .associativity = 2};
+  const std::string error = bad.validation_error();
+  EXPECT_NE(error.find("multiple"), std::string::npos) << error;
+  EXPECT_THROW(SetAssocCache{bad}, std::invalid_argument);
+}
+
+TEST(CacheConfigTest, RejectsNonPositiveFields) {
+  const CacheConfig zero_size{.size_bytes = 0, .line_bytes = 64,
+                              .associativity = 2};
+  EXPECT_FALSE(zero_size.validation_error().empty());
+  const CacheConfig zero_assoc{.size_bytes = 1024, .line_bytes = 64,
+                               .associativity = 0};
+  EXPECT_FALSE(zero_assoc.validation_error().empty());
+}
+
+TEST(CacheConfigTest, ThrowMessageNamesTheProblem) {
+  const CacheConfig bad{.size_bytes = 1024, .line_bytes = 24,
+                        .associativity = 2};
+  try {
+    SetAssocCache cache{bad};
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("power of two"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(CacheHierarchyTest, MissWalksDownAndInstalls) {
   CacheHierarchy h = CacheHierarchy::e5620();
   EXPECT_EQ(h.access(0x1000), CacheLevel::kMemory);
@@ -112,6 +161,125 @@ TEST(CacheHierarchyTest, AverageLatencyWeightsLevels) {
   h.access(0x40);  // L1
   // avg of {180, 1} = 90.5
   EXPECT_NEAR(h.average_latency_cycles(1, 10, 40, 180), 90.5, 1e-9);
+}
+
+// Deterministic xorshift address stream mixing tight line reuse (fast-path
+// friendly), strided walks, and random far jumps (set conflicts, evictions).
+template <typename Fn>
+void replay_mixed_stream(Fn&& touch) {
+  std::uint64_t state = 0x2545f4914f6cdd1dull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  std::uint64_t addr = 0;
+  for (int i = 0; i < 200'000; ++i) {
+    const std::uint64_t r = next();
+    if (r % 8 < 5) {
+      addr += r % 32;                 // stay on/near the current line
+    } else if (r % 8 < 7) {
+      addr += 64 + r % 192;           // short stride to a nearby line
+    } else {
+      addr = r % (8ull << 20);        // far jump inside an 8 MB footprint
+    }
+    touch(addr);
+  }
+}
+
+TEST(CacheHierarchyTest, FastPathStatsIdenticalToSlowPath) {
+  CacheHierarchy fast = CacheHierarchy::e5620();
+  CacheHierarchy slow = CacheHierarchy::e5620();
+  slow.set_fast_path(false);
+  replay_mixed_stream([&](std::uint64_t a) {
+    EXPECT_EQ(fast.access(a), slow.access(a));
+  });
+  EXPECT_EQ(fast.stats(), slow.stats());
+  // And the resident state agrees, not just the counters: replaying a probe
+  // sweep through both must classify every probe identically.
+  for (std::uint64_t a = 0; a < (8ull << 20); a += 64 * 1024 + 64) {
+    EXPECT_EQ(fast.access(a), slow.access(a));
+  }
+}
+
+TEST(CacheHierarchyTest, FastPathConvolveStatsIdentical) {
+  CacheHierarchy fast = CacheHierarchy::e5620();
+  CacheHierarchy slow = CacheHierarchy::e5620();
+  slow.set_fast_path(false);
+  const CacheMeasurement a = measure_convolve_cache(
+      ConvolveConfig::cache_unfriendly(), std::move(fast), 500'000);
+  const CacheMeasurement b = measure_convolve_cache(
+      ConvolveConfig::cache_unfriendly(), std::move(slow), 500'000);
+  EXPECT_EQ(a.stats, b.stats);
+  EXPECT_EQ(a.l1_miss_rate, b.l1_miss_rate);
+  EXPECT_EQ(a.avg_latency_cycles, b.avg_latency_cycles);
+}
+
+TEST(CacheHierarchyTest, AccessRunMatchesScalarLoop) {
+  CacheHierarchy batched = CacheHierarchy::e5620();
+  CacheHierarchy scalar = CacheHierarchy::e5620();
+  // A few shapes: unit stride, sub-line stride, line-crossing stride, and a
+  // run that starts mid-line.
+  const struct { std::uint64_t base; std::int64_t count; std::int64_t stride; }
+      shapes[] = {{0, 5000, 4}, {0x1234, 3000, 8}, {0x40000, 1000, 64},
+                  {0x7Ff8, 2000, 12}, {0x90000, 1, 4}, {0xA0000, 0, 4}};
+  for (const auto& s : shapes) {
+    batched.access_run(s.base, s.count, s.stride);
+    for (std::int64_t i = 0; i < s.count; ++i) {
+      scalar.access(s.base + static_cast<std::uint64_t>(i * s.stride));
+    }
+    EXPECT_EQ(batched.stats(), scalar.stats());
+  }
+}
+
+TEST(CacheHierarchyTest, AccessInterleavedMatchesScalarPairs) {
+  CacheHierarchy batched = CacheHierarchy::e5620();
+  CacheHierarchy scalar = CacheHierarchy::e5620();
+  // Convolve-shaped: image stream at one stride, kernel stream at another,
+  // including a conflicting pair (same set, forcing the scalar fallback).
+  const struct {
+    std::uint64_t a; std::int64_t sa; std::uint64_t b; std::int64_t sb;
+    std::int64_t pairs;
+  } shapes[] = {{0x100000, 4, 0x500000, 4, 4000},
+                {0x0, 16, 0x8000, 4, 2000},
+                {0x200000, 4, 0x200040, 4, 100},
+                {0x300000, 64, 0x600000, 64, 500}};
+  for (const auto& s : shapes) {
+    batched.access_interleaved(s.a, s.sa, s.b, s.sb, s.pairs);
+    for (std::int64_t i = 0; i < s.pairs; ++i) {
+      scalar.access(s.a + static_cast<std::uint64_t>(i * s.sa));
+      scalar.access(s.b + static_cast<std::uint64_t>(i * s.sb));
+    }
+    EXPECT_EQ(batched.stats(), scalar.stats());
+  }
+}
+
+// Golden pins captured from the seed build (scalar engine, no fast path):
+// the hot-path rework must keep the measurement bit-identical, because the
+// Figure-1 calibration (cycles/ref) feeds every Convolve simulation.
+TEST(ConvolveCacheMeasurementTest, GoldenPinCacheFriendly) {
+  const CacheMeasurement m = measure_convolve_cache(
+      ConvolveConfig::cache_friendly(), CacheHierarchy::e5620(), 2'000'000);
+  EXPECT_EQ(m.stats.accesses, 2'003'900u);
+  EXPECT_EQ(m.stats.l1_hits, 2'003'349u);
+  EXPECT_EQ(m.stats.l2_hits, 0u);
+  EXPECT_EQ(m.stats.l3_hits, 0u);
+  EXPECT_EQ(m.stats.memory_accesses, 551u);
+  EXPECT_EQ(m.l1_miss_rate, 0.00027496382054992762);
+  EXPECT_EQ(m.avg_latency_cycles, 1.0492185238784371);
+}
+
+TEST(ConvolveCacheMeasurementTest, GoldenPinCacheUnfriendly) {
+  const CacheMeasurement m = measure_convolve_cache(
+      ConvolveConfig::cache_unfriendly(), CacheHierarchy::e5620(), 2'000'000);
+  EXPECT_EQ(m.stats.accesses, 2'000'016u);
+  EXPECT_EQ(m.stats.l1_hits, 947'763u);
+  EXPECT_EQ(m.stats.l2_hits, 2'813u);
+  EXPECT_EQ(m.stats.l3_hits, 130'201u);
+  EXPECT_EQ(m.stats.memory_accesses, 919'239u);
+  EXPECT_EQ(m.l1_miss_rate, 0.52612229102167185);
+  EXPECT_EQ(m.avg_latency_cycles, 85.822789917680652);
 }
 
 TEST(ConvolveCacheMeasurementTest, CacheFriendlyIsLowMiss) {
