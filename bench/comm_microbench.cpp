@@ -1,0 +1,160 @@
+// Message-path micro-suite: throughput of the simulator's point-to-point
+// transport under the three shapes that stress it differently:
+//
+//  * ping-pong        — latency-bound alternating eager traffic; exercises
+//                       inject -> NIC -> arrival -> match with a queue depth
+//                       of one.
+//  * unexpected flood — one receiver accumulates a deep unexpected queue
+//                       (distinct tags) and drains it in REVERSE order, so
+//                       every match hits the far end. The old mailbox scan
+//                       plus front-only compaction made this quadratic; the
+//                       bucketed queues make it O(1) per message.
+//  * rendezvous ack storm — rings of nonblocking rendezvous sends keep many
+//                       completion acks outstanding at once; exercises the
+//                       ack-key routing and handle-table paths.
+//
+// Always writes BENCH_comm_microbench.json with messages/s headline numbers
+// and the pool's bounded-memory evidence, so CI can gate on a throughput
+// floor and track the trajectory across PRs.
+//
+// Usage: comm_microbench [--quick]
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_json.h"
+#include "smilab/mpi/job.h"
+#include "smilab/sim/system.h"
+
+namespace {
+
+using namespace smilab;
+
+SystemConfig base_cfg(int nodes) {
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::wyeast_e5520();
+  cfg.node_count = nodes;
+  cfg.net = NetworkParams::wyeast();
+  cfg.seed = 7;
+  return cfg;
+}
+
+struct Rate {
+  double msgs_per_s = 0;
+  TransportStats stats;
+};
+
+/// Eager ping-pong between two ranks on distinct nodes.
+Rate measure_ping_pong(int round_trips) {
+  System sys{base_cfg(2)};
+  const GroupId g = sys.create_group(2);
+  std::vector<Action> a, b;
+  for (int i = 0; i < round_trips; ++i) {
+    a.push_back(Send{1, 1024, 1});
+    a.push_back(Recv{1, 2});
+    b.push_back(Recv{0, 1});
+    b.push_back(Send{0, 1024, 2});
+  }
+  sys.spawn_member(g, 0, TaskSpec::with_actions("a", 0, std::move(a)));
+  sys.spawn_member(g, 1, TaskSpec::with_actions("b", 1, std::move(b)));
+  benchtool::WallTimer timer;
+  sys.run();
+  Rate r;
+  r.msgs_per_s = 2.0 * round_trips / timer.seconds();
+  r.stats = sys.transport_stats();
+  return r;
+}
+
+/// Deep unexpected queue drained out of order: `tags` eager messages with
+/// distinct tags pile up while the receiver computes, then are received in
+/// reverse tag order; repeated for `rounds`.
+Rate measure_unexpected_flood(int tags, int rounds) {
+  System sys{base_cfg(2)};
+  const GroupId g = sys.create_group(2);
+  std::vector<Action> recv_prog, send_prog;
+  for (int round = 0; round < rounds; ++round) {
+    for (int tg = 0; tg < tags; ++tg) send_prog.push_back(Send{0, 512, tg});
+    send_prog.push_back(Compute{milliseconds(400)});
+    recv_prog.push_back(Compute{milliseconds(350)});
+    for (int tg = tags - 1; tg >= 0; --tg) recv_prog.push_back(Recv{1, tg});
+  }
+  sys.spawn_member(g, 0,
+                   TaskSpec::with_actions("recv", 0, std::move(recv_prog)));
+  sys.spawn_member(g, 1,
+                   TaskSpec::with_actions("send", 1, std::move(send_prog)));
+  benchtool::WallTimer timer;
+  sys.run();
+  Rate r;
+  r.msgs_per_s = static_cast<double>(tags) * rounds / timer.seconds();
+  r.stats = sys.transport_stats();
+  return r;
+}
+
+/// Nonblocking rendezvous ring: every rank isends `burst` rendezvous-sized
+/// messages to its successor and irecvs as many from its predecessor, then
+/// waits on everything — keeping burst*p completion acks in flight.
+Rate measure_ack_storm(int ranks, int burst, int rounds) {
+  System sys{base_cfg(ranks)};
+  auto programs = make_rank_programs(ranks);
+  std::int64_t messages = 0;
+  for (int round = 0; round < rounds; ++round) {
+    for (auto& rp : programs) {
+      const int next = (rp.rank() + 1) % ranks;
+      std::vector<int> handles;
+      for (int i = 0; i < burst; ++i) {
+        rp.isend(next, 128 * 1024, 10 + i, /*handle=*/i);
+        rp.irecv_any(10 + i, /*handle=*/burst + i);
+        handles.push_back(i);
+        handles.push_back(burst + i);
+      }
+      rp.waitall(std::move(handles));
+    }
+    messages += static_cast<std::int64_t>(ranks) * burst;
+  }
+  benchtool::WallTimer timer;
+  auto result = run_mpi_job(sys, std::move(programs),
+                            block_placement(ranks, 1), WorkloadProfile{});
+  Rate r;
+  r.msgs_per_s = static_cast<double>(messages) / timer.seconds();
+  r.stats = result.transport;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    // --jobs=/--trials=/--csv=: accepted-and-ignored shared driver flags.
+  }
+  const int scale = quick ? 1 : 4;
+
+  const Rate ping = measure_ping_pong(20'000 * scale);
+  std::printf("ping-pong:        %12.0f msgs/s\n", ping.msgs_per_s);
+  const Rate flood = measure_unexpected_flood(1500, 4 * scale);
+  std::printf("unexpected flood: %12.0f msgs/s  (pool capacity %lld for %lld msgs)\n",
+              flood.msgs_per_s,
+              static_cast<long long>(flood.stats.pool_capacity),
+              static_cast<long long>(flood.stats.messages_allocated));
+  const Rate storm = measure_ack_storm(8, 48, 2 * scale);
+  std::printf("rendezvous storm: %12.0f msgs/s  (%lld ack routes at exit)\n",
+              storm.msgs_per_s,
+              static_cast<long long>(storm.stats.ack_routes));
+
+  smilab::benchtool::BenchJson json{"comm_microbench"};
+  json.set("quick", quick);
+  json.set("ping_pong_msgs_per_s", ping.msgs_per_s);
+  json.set("unexpected_flood_msgs_per_s", flood.msgs_per_s);
+  json.set("ack_storm_msgs_per_s", storm.msgs_per_s);
+  json.set("flood_pool_capacity",
+           static_cast<long long>(flood.stats.pool_capacity));
+  json.set("flood_messages_allocated",
+           static_cast<long long>(flood.stats.messages_allocated));
+  json.set("flood_pool_live_at_exit",
+           static_cast<long long>(flood.stats.pool_live));
+  json.set("storm_peak_in_flight",
+           static_cast<long long>(storm.stats.peak_in_flight));
+  json.write();
+  return 0;
+}

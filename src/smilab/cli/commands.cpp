@@ -435,6 +435,11 @@ int cmd_faults(const Options& options, std::ostream& out, std::ostream& err) {
       << sys.retransmissions() << " retransmission(s), "
       << sys.messages_duplicated() << " duplicate(s), "
       << sys.transport_failures() << " failure(s)\n";
+  const TransportStats tstats = sys.transport_stats();
+  out << "  message pool: " << tstats.messages_allocated << " allocated, "
+      << tstats.pool_capacity << " slot(s), peak " << tstats.pool_peak_live
+      << " live / " << tstats.peak_in_flight << " in flight, "
+      << tstats.pool_live << " live at exit\n";
   for (const FaultRecord& rec : sys.fault_log()) {
     out << "  fault: " << to_string(rec.kind) << " node " << rec.node
         << " at " << rec.start.seconds() << " s";

@@ -57,6 +57,7 @@ MpiJobResult run_mpi_job(System& sys, std::vector<RankProgram> programs,
 
   result.elapsed = sys.group_finish_time(result.group) - start;
   collect_rank_stats(sys, result);
+  result.transport = sys.transport_stats();
   return result;
 }
 
@@ -79,6 +80,7 @@ MpiJobRunResult try_run_mpi_job(System& sys, std::vector<RankProgram> programs,
   }
   out.job.elapsed = clean ? sys.group_finish_time(out.job.group) - start
                           : sys.now() - start;
+  out.job.transport = sys.transport_stats();
   return out;
 }
 

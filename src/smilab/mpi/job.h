@@ -15,6 +15,9 @@ struct MpiJobResult {
   GroupId group;
   std::vector<TaskId> rank_tasks;
   std::vector<TaskStats> rank_stats;
+  /// Message pool / ack-router usage at job completion (sim/transport.h);
+  /// pool_live == 0 here means the transport drained fully.
+  TransportStats transport;
 
   [[nodiscard]] SimDuration total_smm_stolen() const {
     SimDuration total{};

@@ -52,6 +52,9 @@ class RankProgram {
     assert(src >= 0 && src < nranks_ && src != rank_);
     actions_.push_back(Recv{src, tag});
   }
+  /// MPI_ANY_SOURCE receive: matches the globally earliest-arrival message
+  /// with `tag` from any rank (funnel/master-worker patterns).
+  void recv_any(int tag) { actions_.push_back(Recv{kAnySource, tag}); }
   void sendrecv(int dst, std::int64_t send_bytes, int send_tag, int src,
                 int recv_tag) {
     assert(dst >= 0 && dst < nranks_ && dst != rank_);
@@ -69,6 +72,10 @@ class RankProgram {
   void irecv(int src, int tag, int handle) {
     assert(src >= 0 && src < nranks_ && src != rank_);
     actions_.push_back(Irecv{src, tag, handle});
+  }
+  /// Nonblocking MPI_ANY_SOURCE receive (see recv_any).
+  void irecv_any(int tag, int handle) {
+    actions_.push_back(Irecv{kAnySource, tag, handle});
   }
   void waitall(std::vector<int> handles) {
     actions_.push_back(WaitAll{std::move(handles)});

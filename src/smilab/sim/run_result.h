@@ -73,6 +73,9 @@ struct RunDiagnosis {
 struct RunResult {
   RunStatus status = RunStatus::kOk;
   RunDiagnosis diagnosis;
+  /// High-water mark of simultaneously in-flight messages over the run —
+  /// the bound on the transport's pooled-record memory (sim/transport.h).
+  std::int64_t peak_in_flight_messages = 0;
 
   [[nodiscard]] bool ok() const { return status == RunStatus::kOk; }
   [[nodiscard]] std::string to_string() const {

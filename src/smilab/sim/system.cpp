@@ -4,7 +4,6 @@
 #include <cassert>
 #include <cmath>
 #include <deque>
-#include <map>
 #include <stdexcept>
 
 #include "smilab/smm/smi_controller.h"
@@ -12,39 +11,19 @@
 namespace smilab {
 
 namespace {
-constexpr int kAnySource = -1;
 constexpr std::int64_t kAckBytes = 64;
 }  // namespace
 
 // --- Internal structures -----------------------------------------------------
 
-struct System::MessageRec {
-  GroupId group;
-  int src_rank = 0;
-  int dst_rank = 0;
-  int src_node = 0;
-  int dst_node = 0;
-  std::int64_t bytes = 0;
-  int tag = 0;
-  bool needs_ack = false;
-  std::uint64_t ack_key = 0;
-  TaskId sender;
-  SimDuration xmit{};  ///< per-stage wire service time (inter-node)
-  SimTime arrival;
-  bool arrived = false;
-  bool arrived_during_smm = false;
-  bool consumed = false;
-  int attempts = 0;     ///< egress service attempts consumed (fault drops)
-  bool ghost = false;   ///< injected duplicate; discarded at transport dedup
-  bool failed = false;  ///< abandoned by the transport (dead link / crash)
-};
+// MessageRec and the pooled transport structures live in sim/transport.h.
 
 /// One direction of a node's NIC, as a pausable FIFO server. Pauses are
 /// refcounted so overlapping causes (SMM freeze, fault freeze, link-down,
 /// crash) compose; the server resumes when the last cause clears.
 struct System::NicServer {
-  std::deque<std::uint64_t> queue;   // message indices awaiting service
-  std::uint64_t active = 0;          // msg index + 1; 0 = idle
+  std::deque<MsgHandle> queue;       // messages awaiting service
+  MsgHandle active;                  // null = idle
   SimDuration remaining{};
   SimTime since;
   SimTime paused_at;                 // start of the outermost pause
@@ -89,22 +68,13 @@ struct System::TaskImpl {
   int wait_tag = 0;
   std::uint64_t pending_ack_key = 0;  // ack we are (or will be) waiting for
   bool ack_arrived = false;
-  std::uint64_t active_msg = 0;    // 1-based index+1 into messages_, 0 = none
+  MsgHandle active_msg;               // matched message being copied
 
-  // Nonblocking communication state (Isend/Irecv/WaitAll).
-  struct NbHandle {
-    bool is_send = false;
-    bool complete = false;
-    bool data_arrived = false;    // recv: matched message landed
-    std::uint64_t msg_index1 = 0; // recv: matched message index + 1
-    int src = -1;                 // recv posting key
-    int tag = 0;
-    int peer = -1;                // counterpart rank (diagnosis wait-for edge)
-  };
-  std::map<int, NbHandle> nb_handles;
-  std::map<std::uint64_t, int> ack_to_handle;  // rendezvous isend acks
-  bool waiting_all = false;                    // parked in WaitAll
-  int active_nb_handle = -1;                   // recv copy in progress
+  // Nonblocking communication state (Isend/Irecv/WaitAll). Rendezvous isend
+  // acks route through the System-wide AckRouter, not a per-task map.
+  NbHandleTable nb;
+  bool waiting_all = false;           // parked in WaitAll
+  int active_nb_handle = -1;          // recv copy in progress
 
   // Work execution state.
   SimDuration work_left{};
@@ -114,7 +84,9 @@ struct System::TaskImpl {
   std::uint64_t epoch = 0;
   EventId completion_ev{};
 
-  std::vector<std::uint64_t> mailbox;  // indices into messages_
+  // Arrived-but-unmatched messages, bucketed by (src, tag) with a per-tag
+  // arrival-order index for kAnySource (sim/transport.h).
+  UnexpectedQueue unexpected;
 };
 
 struct System::CpuState {
@@ -513,7 +485,7 @@ void System::start_next_action(TaskImpl& t) {
     t.waiting_ack = false;
     t.ack_arrived = false;
     t.pending_ack_key = 0;
-    t.active_msg = 0;
+    t.active_msg = MsgHandle{};
     step_action(t);
     return;
   }
@@ -550,12 +522,15 @@ void System::step_action(TaskImpl& t) {
       case 1: {  // hand to the wire
         const bool needs_ack = net_.is_rendezvous(send->bytes);
         const std::uint64_t key = needs_ack ? next_ack_key_++ : 0;
-        inject_message(t, send->dst_rank, send->bytes, send->tag, needs_ack, key);
+        const MsgHandle h = inject_message(t, send->dst_rank, send->bytes,
+                                           send->tag, needs_ack, key);
         if (!needs_ack) {
           t.action.reset();
           start_next_action(t);
           return;
         }
+        ack_router_.add(key, AckTarget{t.id, /*nb_handle=*/-1, h,
+                                       send->dst_rank, send->tag});
         t.pending_ack_key = key;
         t.phase = 2;
         [[fallthrough]];
@@ -602,11 +577,11 @@ void System::step_action(TaskImpl& t) {
         return;
       }
       case 1: {  // copy complete
-        assert(t.active_msg != 0);
-        MessageRec& msg = *messages_[t.active_msg - 1];
-        t.active_msg = 0;
+        assert(t.active_msg.valid());
+        const MsgHandle h = t.active_msg;
+        t.active_msg = MsgHandle{};
         t.stats.messages_received += 1;
-        if (msg.needs_ack) deliver_ack(msg);
+        retire_copied(t, h);
         t.action.reset();
         start_next_action(t);
         return;
@@ -627,8 +602,12 @@ void System::step_action(TaskImpl& t) {
           t.sr_send_injected = true;
           const bool needs_ack = net_.is_rendezvous(sr->send_bytes);
           const std::uint64_t key = needs_ack ? next_ack_key_++ : 0;
-          inject_message(t, sr->dst_rank, sr->send_bytes, sr->send_tag,
-                         needs_ack, key);
+          const MsgHandle h = inject_message(t, sr->dst_rank, sr->send_bytes,
+                                             sr->send_tag, needs_ack, key);
+          if (needs_ack) {
+            ack_router_.add(key, AckTarget{t.id, /*nb_handle=*/-1, h,
+                                           sr->dst_rank, sr->send_tag});
+          }
           t.pending_ack_key = needs_ack ? key : 0;
         }
         MessageRec* msg = nullptr;
@@ -652,11 +631,11 @@ void System::step_action(TaskImpl& t) {
         return;
       }
       case 2: {  // recv copy complete
-        assert(t.active_msg != 0);
-        MessageRec& msg = *messages_[t.active_msg - 1];
-        t.active_msg = 0;
+        assert(t.active_msg.valid());
+        const MsgHandle h = t.active_msg;
+        t.active_msg = MsgHandle{};
         t.stats.messages_received += 1;
-        if (msg.needs_ack) deliver_ack(msg);
+        retire_copied(t, h);
         t.phase = 3;
         [[fallthrough]];
       }
@@ -685,21 +664,20 @@ void System::step_action(TaskImpl& t) {
         start_work(t, net_.send_cpu_cost(isend->bytes));
         return;
       case 1: {
-        assert(!t.nb_handles.contains(isend->handle) &&
-               "Isend handle already in use");
-        TaskImpl::NbHandle handle;
-        handle.is_send = true;
-        handle.peer = isend->dst_rank;
+        NbHandleTable::Entry& entry = t.nb.open_slot(isend->handle,
+                                                     /*is_send=*/true);
+        entry.peer = isend->dst_rank;
         const bool needs_ack = net_.is_rendezvous(isend->bytes);
         const std::uint64_t key = needs_ack ? next_ack_key_++ : 0;
-        inject_message(t, isend->dst_rank, isend->bytes, isend->tag,
-                       needs_ack, key);
+        const MsgHandle h = inject_message(t, isend->dst_rank, isend->bytes,
+                                           isend->tag, needs_ack, key);
         if (needs_ack) {
-          t.ack_to_handle.emplace(key, isend->handle);
+          entry.ack_key = key;
+          ack_router_.add(key, AckTarget{t.id, isend->handle, h,
+                                         isend->dst_rank, isend->tag});
         } else {
-          handle.complete = true;  // eager: locally complete at injection
+          entry.complete = true;  // eager: locally complete at injection
         }
-        t.nb_handles.emplace(isend->handle, handle);
         t.action.reset();
         start_next_action(t);
         return;
@@ -710,21 +688,18 @@ void System::step_action(TaskImpl& t) {
   }
 
   if (auto* irecv = std::get_if<Irecv>(&*t.action)) {
-    assert(!t.nb_handles.contains(irecv->handle) &&
-           "Irecv handle already in use");
-    TaskImpl::NbHandle handle;
-    handle.is_send = false;
-    handle.src = irecv->src_rank;
-    handle.peer = irecv->src_rank;
-    handle.tag = irecv->tag;
+    NbHandleTable::Entry& entry = t.nb.open_slot(irecv->handle,
+                                                 /*is_send=*/false);
+    entry.src = irecv->src_rank;
+    entry.peer = irecv->src_rank;
+    entry.tag = irecv->tag;
     // Match an already-arrived message immediately (late post).
     MessageRec* msg = nullptr;
     if (try_match_recv(t, irecv->src_rank, irecv->tag, &msg)) {
-      handle.data_arrived = true;
-      handle.msg_index1 = t.active_msg;
-      t.active_msg = 0;
+      entry.data_arrived = true;
+      entry.msg = t.active_msg;
+      t.active_msg = MsgHandle{};
     }
-    t.nb_handles.emplace(irecv->handle, handle);
     t.action.reset();
     start_next_action(t);
     return;
@@ -736,27 +711,27 @@ void System::step_action(TaskImpl& t) {
     t.waiting_all = false;
     if (t.phase == 1) {
       // A receive's copy just finished: complete that handle.
-      auto it = t.nb_handles.find(t.active_nb_handle);
-      assert(it != t.nb_handles.end());
-      it->second.complete = true;
+      NbHandleTable::Entry* entry = t.nb.find(t.active_nb_handle);
+      assert(entry != nullptr);
+      entry->complete = true;
       t.stats.messages_received += 1;
-      MessageRec& msg = *messages_[it->second.msg_index1 - 1];
-      if (msg.needs_ack) deliver_ack(msg);
+      const MsgHandle done = entry->msg;
+      entry->msg = MsgHandle{};
+      retire_copied(t, done);
       t.active_nb_handle = -1;
       t.phase = 0;
     }
     // Re-poll: charge the next arrived-but-uncopied receive, or finish.
     bool all_complete = true;
     for (const int h : wait->handles) {
-      auto it = t.nb_handles.find(h);
-      assert(it != t.nb_handles.end() && "WaitAll on unknown handle");
-      TaskImpl::NbHandle& handle = it->second;
-      if (handle.complete) continue;
-      if (!handle.is_send && handle.data_arrived) {
+      NbHandleTable::Entry* entry = t.nb.find(h);
+      assert(entry != nullptr && "WaitAll on unknown handle");
+      if (entry->complete) continue;
+      if (!entry->is_send && entry->data_arrived) {
         // Progress this receive now: CPU-side copy.
         t.active_nb_handle = h;
         t.phase = 1;
-        MessageRec& msg = *messages_[handle.msg_index1 - 1];
+        const MessageRec& msg = pool_.ref(entry->msg);
         SimDuration cost = net_.recv_cpu_cost(msg.bytes);
         if (msg.arrived_during_smm && node_htt_active(t.node)) {
           cost = scale(cost, cfg_.post_smi_drain_factor);
@@ -767,7 +742,7 @@ void System::step_action(TaskImpl& t) {
       all_complete = false;
     }
     if (all_complete) {
-      for (const int h : wait->handles) t.nb_handles.erase(h);
+      for (const int h : wait->handles) t.nb.close(h);
       t.waiting_all = false;
       t.action.reset();
       start_next_action(t);
@@ -827,43 +802,47 @@ void System::finish_task(TaskImpl& t) {
 
 // --- Messaging -------------------------------------------------------------------
 
-void System::inject_message(TaskImpl& sender, int dst_rank, std::int64_t bytes,
-                            int tag, bool needs_ack, std::uint64_t ack_key) {
+MsgHandle System::inject_message(TaskImpl& sender, int dst_rank,
+                                 std::int64_t bytes, int tag, bool needs_ack,
+                                 std::uint64_t ack_key) {
   const auto& members = groups_.at(static_cast<std::size_t>(sender.group.value));
   assert(dst_rank >= 0 && dst_rank < static_cast<int>(members.size()));
   const TaskId dst_id = members[static_cast<std::size_t>(dst_rank)];
   assert(dst_id.valid() && "destination rank not spawned");
   TaskImpl& dst = task(dst_id);
 
-  auto msg = std::make_unique<MessageRec>();
-  msg->group = sender.group;
-  msg->src_rank = sender.rank;
-  msg->dst_rank = dst_rank;
-  msg->src_node = sender.node;
-  msg->dst_node = dst.node;
-  msg->bytes = bytes;
-  msg->tag = tag;
-  msg->needs_ack = needs_ack;
-  msg->ack_key = ack_key;
-  msg->sender = sender.id;
-  msg->xmit = net_.wire_xmit(bytes);
-  messages_.push_back(std::move(msg));
-  const std::uint64_t index = messages_.size() - 1;
+  const MsgHandle h = pool_.alloc();
+  MessageRec& msg = pool_.ref(h);
+  msg.group = sender.group;
+  msg.src_rank = sender.rank;
+  msg.dst_rank = dst_rank;
+  msg.src_node = sender.node;
+  msg.dst_node = dst.node;
+  msg.bytes = bytes;
+  msg.tag = tag;
+  msg.needs_ack = needs_ack;
+  msg.ack_key = ack_key;
+  msg.sender = sender.id;
+  msg.xmit = net_.wire_xmit(bytes);
 
   sender.stats.messages_sent += 1;
   sender.stats.bytes_sent += bytes;
-  ++in_flight_messages_;
+  if (++in_flight_messages_ > peak_in_flight_messages_) {
+    peak_in_flight_messages_ = in_flight_messages_;
+  }
 
   if (sender.node == dst.node) {
     // Shared-memory transport: the copy is CPU work already charged to the
     // sender; the residual is a small transfer delay. Arrival during SMM
-    // just lands in the mailbox (DMA); the frozen receiver drains it later.
+    // just lands in the unexpected queue (DMA); the frozen receiver drains
+    // it later.
     engine_.schedule_after(net_.intra_transfer(bytes),
-                           [this, index] { on_message_arrival(index); });
-    return;
+                           [this, h] { on_message_arrival(h); });
+    return h;
   }
   inter_node_bytes_ += bytes;
-  nic_submit(sender.node, /*egress=*/true, index);
+  nic_submit(sender.node, /*egress=*/true, h);
+  return h;
 }
 
 // --- NIC servers ---------------------------------------------------------------
@@ -873,18 +852,18 @@ System::NicServer& System::nic(int node, bool egress) {
   return egress ? ns.egress : ns.ingress;
 }
 
-void System::nic_submit(int node, bool egress, std::uint64_t msg_index) {
-  nic(node, egress).queue.push_back(msg_index);
+void System::nic_submit(int node, bool egress, MsgHandle h) {
+  nic(node, egress).queue.push_back(h);
   nic_try_serve(node, egress);
 }
 
 void System::nic_try_serve(int node, bool egress) {
   NicServer& server = nic(node, egress);
-  if (server.paused() || server.active != 0 || server.queue.empty()) return;
-  const std::uint64_t index = server.queue.front();
+  if (server.paused() || server.active.valid() || server.queue.empty()) return;
+  const MsgHandle h = server.queue.front();
   server.queue.pop_front();
-  server.active = index + 1;
-  server.remaining = messages_[index]->xmit;
+  server.active = h;
+  server.remaining = pool_.ref(h).xmit;
   server.since = now();
   ++server.epoch;
   server.done_ev = engine_.schedule_after(
@@ -895,16 +874,16 @@ void System::nic_try_serve(int node, bool egress) {
 
 void System::nic_service_done(int node, bool egress, std::uint64_t epoch) {
   NicServer& server = nic(node, egress);
-  if (server.epoch != epoch || server.paused() || server.active == 0) return;
-  const std::uint64_t index = server.active - 1;
-  server.active = 0;
+  if (server.epoch != epoch || server.paused() || !server.active.valid()) return;
+  const MsgHandle h = server.active;
+  server.active = MsgHandle{};
   server.done_ev = EventId{};
   if (egress) {
-    handoff_to_ingress(index);
+    handoff_to_ingress(h);
   } else {
     // Delivered at the destination after propagation.
     engine_.schedule_after(net_.latency(),
-                           [this, index] { on_message_arrival(index); });
+                           [this, h] { on_message_arrival(h); });
   }
   nic_try_serve(node, egress);
 }
@@ -913,12 +892,12 @@ void System::nic_service_done(int node, bool egress, std::uint64_t epoch) {
 // the destination NIC. A dropped attempt re-enters the source egress queue
 // after the retransmission timeout; a duplicated one additionally burns
 // ingress service time at the destination before transport dedup eats it.
-void System::handoff_to_ingress(std::uint64_t msg_index) {
-  MessageRec& msg = *messages_[msg_index];
+void System::handoff_to_ingress(MsgHandle h) {
+  MessageRec& msg = pool_.ref(h);
   ++msg.attempts;
   if (node_crashed(msg.dst_node)) {
     // The destination died while the bits were on the wire: undeliverable.
-    fail_message(msg_index);
+    fail_message(h);
     return;
   }
   if (link_fault_ != nullptr && !msg.ghost &&
@@ -926,60 +905,72 @@ void System::handoff_to_ingress(std::uint64_t msg_index) {
     ++messages_dropped_;
     if (msg.attempts > net_.params().max_retries) {
       ++transport_failures_;  // dead link: the transport gives up
-      fail_message(msg_index);
+      fail_message(h);
       return;
     }
-    retransmit_later(msg_index);
+    retransmit_later(h);
     return;
   }
-  nic_submit(msg.dst_node, /*egress=*/false, msg_index);
-  if (link_fault_ != nullptr && !msg.ghost &&
-      link_fault_->should_duplicate(msg.src_node, msg.dst_node)) {
+  nic_submit(msg.dst_node, /*egress=*/false, h);
+  if (link_fault_ != nullptr && !pool_.ref(h).ghost &&
+      link_fault_->should_duplicate(pool_.ref(h).src_node,
+                                    pool_.ref(h).dst_node)) {
     ++messages_duplicated_;
-    auto dup = std::make_unique<MessageRec>();
-    dup->src_node = msg.src_node;
-    dup->dst_node = msg.dst_node;
-    dup->bytes = msg.bytes;
-    dup->xmit = msg.xmit;
-    dup->ghost = true;
-    messages_.push_back(std::move(dup));
-    const std::uint64_t dup_index = messages_.size() - 1;
-    ++in_flight_messages_;
-    nic_submit(messages_[dup_index]->dst_node, /*egress=*/false, dup_index);
+    const MsgHandle dup_h = pool_.alloc();
+    MessageRec& src = pool_.ref(h);  // alloc may have moved the slab
+    MessageRec& dup = pool_.ref(dup_h);
+    dup.src_node = src.src_node;
+    dup.dst_node = src.dst_node;
+    dup.bytes = src.bytes;
+    dup.xmit = src.xmit;
+    dup.ghost = true;
+    if (++in_flight_messages_ > peak_in_flight_messages_) {
+      peak_in_flight_messages_ = in_flight_messages_;
+    }
+    nic_submit(dup.dst_node, /*egress=*/false, dup_h);
   }
 }
 
-void System::retransmit_later(std::uint64_t msg_index) {
-  MessageRec& msg = *messages_[msg_index];
+void System::retransmit_later(MsgHandle h) {
+  MessageRec& msg = pool_.ref(h);
   ++retransmissions_;
   // RFC 6298-style exponential backoff from the base RTO.
   SimDuration rto = net_.params().retrans_timeout;
   for (int i = 1; i < msg.attempts; ++i) {
     rto = scale(rto, net_.params().retrans_backoff);
   }
-  engine_.schedule_after(rto, [this, msg_index] {
-    MessageRec& m = *messages_[msg_index];
-    if (m.failed) return;
-    if (node_crashed(m.src_node) || node_crashed(m.dst_node)) {
-      fail_message(msg_index);
+  engine_.schedule_after(rto, [this, h] {
+    MessageRec* m = pool_.get(h);
+    if (m == nullptr || m->failed) return;  // abandoned and recycled meanwhile
+    if (node_crashed(m->src_node) || node_crashed(m->dst_node)) {
+      fail_message(h);
       return;
     }
-    nic_submit(m.src_node, /*egress=*/true, msg_index);
+    nic_submit(m->src_node, /*egress=*/true, h);
   });
 }
 
-void System::fail_message(std::uint64_t msg_index) {
-  MessageRec& msg = *messages_[msg_index];
+void System::fail_message(MsgHandle h) {
+  MessageRec& msg = pool_.ref(h);
   if (msg.failed || msg.arrived) return;
   msg.failed = true;
   --in_flight_messages_;
+  if (msg.needs_ack) {
+    // The sender's ack will never come; keep the route (marked failed) so a
+    // stuck sender's diagnosis can still name its peer, but drop the record.
+    if (AckTarget* route = ack_router_.find(msg.ack_key)) {
+      route->failed = true;
+      route->msg = MsgHandle{};
+    }
+  }
+  pool_.release(h);
 }
 
 void System::nic_pause(int node, bool egress) {
   NicServer& server = nic(node, egress);
   if (++server.pause_depth > 1) return;  // already stopped by another cause
   server.paused_at = now();
-  if (server.active != 0) {
+  if (server.active.valid()) {
     server.remaining -= now() - server.since;
     if (server.remaining < SimDuration{1}) server.remaining = SimDuration{1};
     ++server.epoch;
@@ -992,7 +983,7 @@ void System::nic_resume(int node, bool egress) {
   NicServer& server = nic(node, egress);
   assert(server.paused());
   if (--server.pause_depth > 0) return;  // another cause still holds it
-  if (server.active != 0) {
+  if (server.active.valid()) {
     // TCP loss recovery after the stall: retransmission plus congestion-
     // window rebuild, proportional to how long the host was frozen.
     double recovery = net_.params().tcp_recovery_scale;
@@ -1016,23 +1007,29 @@ void System::nic_resume(int node, bool egress) {
   }
 }
 
-void System::on_message_arrival(std::uint64_t msg_index) {
-  MessageRec& msg = *messages_[msg_index];
+void System::on_message_arrival(MsgHandle h) {
+  MessageRec& msg = pool_.ref(h);
   --in_flight_messages_;
   note_progress();
-  if (msg.ghost) return;  // transport dedup swallows injected duplicates
+  if (msg.ghost) {
+    // Transport dedup swallows injected duplicates; the ghost burned its
+    // ingress wire time, so the record's job is done.
+    pool_.release(h);
+    return;
+  }
   const auto& members = groups_.at(static_cast<std::size_t>(msg.group.value));
   TaskImpl& dst = task(members[static_cast<std::size_t>(msg.dst_rank)]);
   msg.arrived = true;
   msg.arrival = now();
   msg.arrived_during_smm = node_in_smm(dst.node);
-  dst.mailbox.push_back(msg_index);
 
-  // Posted nonblocking receives match first (MPI posted-queue semantics).
-  if (match_posted_irecv(dst, msg_index)) {
+  // Posted nonblocking receives match first (MPI posted-queue semantics);
+  // only unmatched arrivals enter the unexpected queue.
+  if (match_posted_irecv(dst, h)) {
     wake_waitall(dst);
     return;
   }
+  dst.unexpected.push(pool_, h);
 
   if (!dst.waiting_msg) return;
   if (msg.tag != dst.wait_tag) return;
@@ -1051,36 +1048,48 @@ void System::on_message_arrival(std::uint64_t msg_index) {
 
 bool System::try_match_recv(TaskImpl& t, int src_rank, int tag,
                             MessageRec** out) {
-  for (const std::uint64_t idx : t.mailbox) {
-    MessageRec& msg = *messages_[idx];
-    if (msg.consumed || !msg.arrived) continue;
-    if (msg.tag != tag) continue;
-    if (src_rank != kAnySource && msg.src_rank != src_rank) continue;
-    msg.consumed = true;
-    t.waiting_msg = false;
-    t.active_msg = idx + 1;
-    *out = &msg;
-    // Compact lazily: drop consumed entries from the front.
-    while (!t.mailbox.empty() && messages_[t.mailbox.front()]->consumed) {
-      t.mailbox.erase(t.mailbox.begin());
-    }
-    return true;
-  }
-  return false;
+  const MsgHandle h = t.unexpected.match(pool_, src_rank, tag);
+  if (!h.valid()) return false;
+  t.waiting_msg = false;
+  t.active_msg = h;
+  *out = &pool_.ref(h);
+  return true;
 }
 
-bool System::match_posted_irecv(TaskImpl& t, std::uint64_t msg_index) {
-  MessageRec& msg = *messages_[msg_index];
-  for (auto& [handle_id, handle] : t.nb_handles) {
-    if (handle.is_send || handle.complete || handle.data_arrived) continue;
-    if (handle.tag != msg.tag) continue;
-    if (handle.src != kAnySource && handle.src != msg.src_rank) continue;
-    handle.data_arrived = true;
-    handle.msg_index1 = msg_index + 1;
-    msg.consumed = true;
-    return true;
+// A matched message's CPU-side copy finished: send the rendezvous ack if one
+// is owed, then recycle the record — immediately for eager messages, or at
+// the ack's completion for rendezvous ones (kConsumed holds the routing
+// fields the ack path still reads).
+void System::retire_copied(TaskImpl& /*receiver*/, MsgHandle h) {
+  MessageRec& msg = pool_.ref(h);
+  if (msg.needs_ack) {
+    deliver_ack(msg);
+    if (ack_router_.find(msg.ack_key) != nullptr) {
+      msg.state = MessageRec::State::kConsumed;
+      return;
+    }
+    // The sender was killed and its route erased: the ack will land on
+    // nobody, so nothing holds the record past this point.
   }
-  return false;
+  pool_.release(h);
+}
+
+bool System::match_posted_irecv(TaskImpl& t, MsgHandle h) {
+  if (!t.nb.any_open_recv()) return false;
+  const MessageRec& msg = pool_.ref(h);
+  NbHandleTable::Entry* hit = nullptr;
+  t.nb.for_each_open([&](int, NbHandleTable::Entry& entry) {
+    if (hit != nullptr) return;
+    if (entry.is_send || entry.complete || entry.data_arrived) return;
+    if (entry.tag != msg.tag) return;
+    if (entry.src != kAnySource && entry.src != msg.src_rank) return;
+    hit = &entry;
+  });
+  if (hit == nullptr) return false;
+  hit->data_arrived = true;
+  hit->msg = h;
+  pool_.ref(h).state = MessageRec::State::kMatched;
+  return true;
 }
 
 void System::wake_waitall(TaskImpl& t) {
@@ -1106,30 +1115,36 @@ void System::deliver_ack(const MessageRec& msg) {
 
 void System::on_ack(std::uint64_t ack_key) {
   note_progress();
-  // Linear scan over live tasks: ack traffic is rare (one per rendezvous
-  // message) and task counts are small.
-  for (auto& tp : tasks_) {
-    TaskImpl& t = *tp;
-    if (t.state == TaskImpl::State::kDone) continue;
+  // O(1) hash route: ack keys are globally unique per System.
+  AckTarget* route = ack_router_.find(ack_key);
+  if (route == nullptr) return;  // sender was killed; route already erased
+  const AckTarget target = *route;
+  ack_router_.erase(ack_key);
+  // The consumed rendezvous payload was held only for this moment.
+  if (target.msg.valid()) {
+    assert(pool_.ref(target.msg).state == MessageRec::State::kConsumed);
+    pool_.release(target.msg);
+  }
+  TaskImpl& t = task(target.task);
+  if (target.nb_handle >= 0) {
     // Nonblocking rendezvous send completion.
-    if (const auto it = t.ack_to_handle.find(ack_key);
-        it != t.ack_to_handle.end()) {
-      t.nb_handles.at(it->second).complete = true;
-      t.ack_to_handle.erase(it);
-      wake_waitall(t);
-      return;
+    if (NbHandleTable::Entry* entry = t.nb.find(target.nb_handle)) {
+      entry->complete = true;
+      entry->ack_key = 0;
     }
-    if (t.pending_ack_key != ack_key) continue;
-    t.ack_arrived = true;
-    t.pending_ack_key = 0;
-    if (!t.waiting_ack) return;  // arrived before the task started waiting
-    t.waiting_ack = false;
-    if (t.on_cpu) {
-      if (!cpu_state(t.node, t.cpu).frozen) step_action(t);
-    } else if (t.state == TaskImpl::State::kBlocked) {
-      make_ready(t);
-    }
+    wake_waitall(t);
     return;
+  }
+  if (t.state == TaskImpl::State::kDone) return;
+  if (t.pending_ack_key != ack_key) return;
+  t.ack_arrived = true;
+  t.pending_ack_key = 0;
+  if (!t.waiting_ack) return;  // arrived before the task started waiting
+  t.waiting_ack = false;
+  if (t.on_cpu) {
+    if (!cpu_state(t.node, t.cpu).frozen) step_action(t);
+  } else if (t.state == TaskImpl::State::kBlocked) {
+    make_ready(t);
   }
 }
 
@@ -1421,9 +1436,35 @@ void System::kill_task(TaskImpl& t) {
   t.pending_overhead = SimDuration::zero();
   t.action.reset();
   t.waiting_msg = t.waiting_ack = t.waiting_all = false;
-  t.nb_handles.clear();
-  t.ack_to_handle.clear();
-  t.mailbox.clear();
+  // Release every pool record this task holds and unhook its ack routes:
+  // the message in mid-copy, matched-but-uncopied nonblocking receives,
+  // queued unexpected traffic, and outstanding rendezvous-send routes
+  // (whose acks must now fall on the floor, not on a recycled slot). A
+  // routed payload is released only once it is kConsumed — in any other
+  // state the wire or the receiving task still owns it, and the receiver's
+  // retire_copied path will find the route gone and recycle it then.
+  auto drop_route = [&](std::uint64_t key) {
+    if (key == 0) return;
+    const AckTarget* route = ack_router_.find(key);
+    if (route == nullptr) return;
+    if (MessageRec* m = pool_.get(route->msg);
+        m != nullptr && m->state == MessageRec::State::kConsumed) {
+      pool_.release(route->msg);
+    }
+    ack_router_.erase(key);
+  };
+  if (t.active_msg.valid()) {
+    pool_.release(t.active_msg);
+    t.active_msg = MsgHandle{};
+  }
+  t.nb.for_each_open([&](int, NbHandleTable::Entry& entry) {
+    if (entry.data_arrived && entry.msg.valid()) pool_.release(entry.msg);
+    if (entry.is_send) drop_route(entry.ack_key);
+  });
+  t.nb.clear();
+  drop_route(t.pending_ack_key);
+  t.pending_ack_key = 0;
+  t.unexpected.clear(pool_);
   --unfinished_tasks_;
   ++failed_tasks_;
   note_progress();
@@ -1442,14 +1483,14 @@ void System::crash_node(int node) {
   nic_pause(node, /*egress=*/true);
   nic_pause(node, /*egress=*/false);
   for (NicServer* server : {&ns.egress, &ns.ingress}) {
-    if (server->active != 0) {
-      fail_message(server->active - 1);
-      server->active = 0;
+    if (server->active.valid()) {
+      fail_message(server->active);
+      server->active = MsgHandle{};
       ++server->epoch;
       engine_.cancel(server->done_ev);
       server->done_ev = EventId{};
     }
-    for (const std::uint64_t idx : server->queue) fail_message(idx);
+    for (const MsgHandle h : server->queue) fail_message(h);
     server->queue.clear();
   }
   // Fail-stop: every task placed here dies where it stands.
@@ -1555,6 +1596,42 @@ void System::validate() const {
       }
     }
   }
+  // Transport invariants: the pool's bookkeeping is sound, the in-flight
+  // counter matches the kTransit population, the per-task unexpected queues
+  // are structurally valid and account for every kUnexpected record, and
+  // every consumed-but-retained record is awaiting a routed ack.
+  pool_.check_invariants();
+  if (static_cast<std::int64_t>(pool_.live_in_state(
+          MessageRec::State::kTransit)) != in_flight_messages_) {
+    fail("in-flight counter disagrees with the pool's kTransit population");
+  }
+  std::size_t unexpected_total = 0;
+  for (const auto& tp : tasks_) {
+    tp->unexpected.check_invariants(pool_);
+    unexpected_total += tp->unexpected.size();
+  }
+  if (unexpected_total != pool_.live_in_state(MessageRec::State::kUnexpected)) {
+    fail("unexpected queues do not cover the pool's kUnexpected records");
+  }
+  if (in_flight_messages_ > peak_in_flight_messages_) {
+    fail("in-flight counter exceeds its recorded peak");
+  }
+  const std::size_t consumed =
+      pool_.live_in_state(MessageRec::State::kConsumed);
+  if (consumed > ack_router_.size()) {
+    fail("kConsumed records outnumber outstanding ack routes");
+  }
+}
+
+TransportStats System::transport_stats() const {
+  TransportStats s;
+  s.messages_allocated = pool_.total_allocated();
+  s.pool_live = static_cast<std::int64_t>(pool_.live());
+  s.pool_capacity = static_cast<std::int64_t>(pool_.capacity());
+  s.pool_peak_live = static_cast<std::int64_t>(pool_.peak_live());
+  s.peak_in_flight = peak_in_flight_messages_;
+  s.ack_routes = static_cast<std::int64_t>(ack_router_.size());
+  return s;
 }
 
 bool System::all_unfinished_comm_waiting() const {
@@ -1599,15 +1676,12 @@ RunResult System::diagnose(RunStatus status) const {
     r.name = t.name;
     r.node = t.node;
     r.rank = t.rank;
-    for (const std::uint64_t idx : t.mailbox) {
-      const MessageRec& m = *messages_[idx];
-      if (m.arrived && !m.consumed && !m.ghost) ++r.unexpected_depth;
-    }
-    for (const auto& [handle_id, handle] : t.nb_handles) {
-      if (handle.complete) continue;
+    r.unexpected_depth = t.unexpected.size();
+    t.nb.for_each_open([&](int, const NbHandleTable::Entry& entry) {
+      if (entry.complete) return;
       ++r.incomplete_handles;
-      if (!handle.is_send) ++r.posted_recvs;
-    }
+      if (!entry.is_send) ++r.posted_recvs;
+    });
     if (t.waiting_msg) {
       r.op = BlockedOp::kRecv;
       r.peer_rank = t.wait_src;
@@ -1627,30 +1701,27 @@ RunResult System::diagnose(RunStatus status) const {
       }
     } else if (t.waiting_ack) {
       r.op = BlockedOp::kAckWait;
-      // The ack comes from whoever consumes our rendezvous payload: find
-      // the in-flight message carrying our pending key.
-      for (const auto& mp : messages_) {
-        if (t.pending_ack_key == 0 || mp->ack_key != t.pending_ack_key) {
-          continue;
-        }
-        r.peer_rank = mp->dst_rank;
-        r.tag = mp->tag;
-        const TaskImpl* p = peer_of(t, mp->dst_rank);
+      // The ack comes from whoever consumes our rendezvous payload: the ack
+      // route remembers the peer (rank, tag) even after the payload record
+      // itself has been recycled.
+      if (const AckTarget* route = ack_router_.find(t.pending_ack_key)) {
+        r.peer_rank = route->dst_rank;
+        r.tag = route->tag;
+        const TaskImpl* p = peer_of(t, route->dst_rank);
         r.peer_failed = p != nullptr && p->stats.failed;
         add_edge(t, p);
-        break;
       }
     } else if (t.waiting_all) {
       r.op = BlockedOp::kWaitAll;
-      for (const auto& [handle_id, handle] : t.nb_handles) {
-        if (handle.complete) continue;
-        if (r.peer_rank < 0) r.peer_rank = handle.peer;
-        const TaskImpl* p = peer_of(t, handle.peer);
-        if (r.peer_rank == handle.peer) {
+      t.nb.for_each_open([&](int, const NbHandleTable::Entry& entry) {
+        if (entry.complete) return;
+        if (r.peer_rank < 0) r.peer_rank = entry.peer;
+        const TaskImpl* p = peer_of(t, entry.peer);
+        if (r.peer_rank == entry.peer) {
           r.peer_failed = p != nullptr && p->stats.failed;
         }
         add_edge(t, p);
-      }
+      });
     } else if (t.state == TaskImpl::State::kSleeping) {
       r.op = BlockedOp::kSleep;
     }
@@ -1688,6 +1759,7 @@ RunResult System::diagnose(RunStatus status) const {
     status = RunStatus::kDeadlock;  // the watchdog fired on a provable cycle
   }
   result.status = status;
+  result.peak_in_flight_messages = peak_in_flight_messages_;
   return result;
 }
 
@@ -1710,7 +1782,9 @@ RunResult System::try_run() {
       return diagnose(RunStatus::kHang);
     }
   }
-  return RunResult{};
+  RunResult result;
+  result.peak_in_flight_messages = peak_in_flight_messages_;
+  return result;
 }
 
 void System::run() {

@@ -30,6 +30,7 @@
 #include "smilab/sim/machine.h"
 #include "smilab/sim/run_result.h"
 #include "smilab/sim/task.h"
+#include "smilab/sim/transport.h"
 #include "smilab/smm/accounting.h"
 #include "smilab/smm/smi_config.h"
 #include "smilab/time/rng.h"
@@ -260,6 +261,18 @@ class System {
   /// Messages abandoned after max_retries or because their destination died.
   [[nodiscard]] std::int64_t transport_failures() const { return transport_failures_; }
 
+  /// Message-pool / ack-router resource snapshot (sim/transport.h). The pool
+  /// numbers are the proof that transport memory is bounded by in-flight
+  /// traffic: `pool_live` returns to 0 when the wire drains and
+  /// `pool_capacity` stops at the concurrency high-water mark instead of
+  /// growing with every message ever sent.
+  [[nodiscard]] TransportStats transport_stats() const;
+  /// High-water mark of simultaneously in-flight (injected, not yet
+  /// arrived/failed) messages over the run so far.
+  [[nodiscard]] std::int64_t peak_in_flight_messages() const {
+    return peak_in_flight_messages_;
+  }
+
   // --- Diagnostics ----------------------------------------------------------------
 
   [[nodiscard]] const NetworkModel& network() const { return net_; }
@@ -274,7 +287,11 @@ class System {
   /// every CPU's `current` cross-references a task that believes it is on
   /// that CPU; every queued task sits in exactly its own CPU's runqueue;
   /// frozen flags agree with node SMM state (outside single-CPU
-  /// preemptions); finished tasks hold no execution state. Throws
+  /// preemptions); finished tasks hold no execution state. Transport side:
+  /// the message pool's free-list bookkeeping holds, the in-flight counter
+  /// equals the pool's kTransit population, every unexpected queue is
+  /// structurally sound and their sizes sum to the pool's kUnexpected
+  /// population, and every kConsumed record has a live ack route. Throws
   /// std::logic_error with a description on the first violation.
   void validate() const;
 
@@ -282,7 +299,6 @@ class System {
   struct TaskImpl;
   struct CpuState;
   struct NodeState;
-  struct MessageRec;
 
   TaskImpl& task(TaskId id);
   const TaskImpl& task(TaskId id) const;
@@ -312,21 +328,23 @@ class System {
   void start_work(TaskImpl& t, SimDuration amount);
   void finish_task(TaskImpl& t);
 
-  // Messaging.
-  void inject_message(TaskImpl& sender, int dst_rank, std::int64_t bytes,
-                      int tag, bool needs_ack, std::uint64_t ack_key);
-  void on_message_arrival(std::uint64_t msg_index);
+  // Messaging. Records live in pool_ and are addressed by generation-checked
+  // MsgHandles; see sim/transport.h for the lifecycle and recycle policy.
+  MsgHandle inject_message(TaskImpl& sender, int dst_rank, std::int64_t bytes,
+                           int tag, bool needs_ack, std::uint64_t ack_key);
+  void on_message_arrival(MsgHandle h);
   bool try_match_recv(TaskImpl& t, int src_rank, int tag, MessageRec** out);
+  void retire_copied(TaskImpl& receiver, MsgHandle h);
   void deliver_ack(const MessageRec& msg);
   void on_ack(std::uint64_t ack_key);
-  bool match_posted_irecv(TaskImpl& t, std::uint64_t msg_index);
+  bool match_posted_irecv(TaskImpl& t, MsgHandle h);
   void wake_waitall(TaskImpl& t);
 
   // Event-driven NIC servers (pause while the node is in SMM: a frozen
   // host neither transmits nor ACKs, so TCP stalls with the CPUs).
   struct NicServer;
   NicServer& nic(int node, bool egress);
-  void nic_submit(int node, bool egress, std::uint64_t msg_index);
+  void nic_submit(int node, bool egress, MsgHandle h);
   void nic_try_serve(int node, bool egress);
   void nic_service_done(int node, bool egress, std::uint64_t epoch);
   void nic_pause(int node, bool egress);
@@ -337,9 +355,9 @@ class System {
 
   // Fault and diagnosis helpers.
   void kill_task(TaskImpl& t);
-  void fail_message(std::uint64_t msg_index);
-  void handoff_to_ingress(std::uint64_t msg_index);
-  void retransmit_later(std::uint64_t msg_index);
+  void fail_message(MsgHandle h);
+  void handoff_to_ingress(MsgHandle h);
+  void retransmit_later(MsgHandle h);
   void close_fault_record(FaultRecord::Kind kind, int node);
   [[nodiscard]] bool all_unfinished_comm_waiting() const;
   [[nodiscard]] RunResult diagnose(RunStatus status) const;
@@ -359,7 +377,8 @@ class System {
   std::vector<std::unique_ptr<TaskImpl>> tasks_;
   std::vector<std::vector<TaskId>> groups_;
   std::vector<std::unique_ptr<NodeState>> node_state_;
-  std::vector<std::unique_ptr<MessageRec>> messages_;
+  MessagePool pool_;
+  AckRouter ack_router_;
   std::uint64_t next_ack_key_ = 1;
   std::int64_t inter_node_bytes_ = 0;
   int unfinished_tasks_ = 0;
@@ -374,6 +393,7 @@ class System {
   std::int64_t transport_failures_ = 0;
   std::int64_t failed_tasks_ = 0;
   std::int64_t in_flight_messages_ = 0;
+  std::int64_t peak_in_flight_messages_ = 0;
   SimTime last_progress_ = SimTime::zero();
 
   std::unique_ptr<SmiController> smi_;

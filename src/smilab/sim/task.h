@@ -35,6 +35,10 @@ struct GroupId {
 
 // --- Actions ----------------------------------------------------------------
 
+/// Wildcard source rank for Recv/Irecv (MPI_ANY_SOURCE): matches the
+/// earliest-arrival message with the requested tag from any sender.
+inline constexpr int kAnySource = -1;
+
 /// Execute `work` seconds of computation at nominal single-thread speed.
 /// Actual wall time depends on HTT sibling occupancy, scheduling and SMM.
 struct Compute {

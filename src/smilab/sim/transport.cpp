@@ -1,0 +1,282 @@
+#include "smilab/sim/transport.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace smilab {
+
+// --- MessagePool -------------------------------------------------------------
+
+MsgHandle MessagePool::alloc() {
+  std::uint32_t index;
+  if (free_head_ != MessageRec::kNil) {
+    index = free_head_;
+    Slot& s = slots_[index];
+    free_head_ = s.next_free;
+    s.next_free = MessageRec::kNil;
+    s.rec = MessageRec{};
+    s.live = true;
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    slots_.back().live = true;
+  }
+  ++allocated_;
+  ++live_;
+  if (live_ > peak_live_) peak_live_ = live_;
+  return MsgHandle{index, slots_[index].gen};
+}
+
+MessageRec& MessagePool::ref(MsgHandle h) {
+  assert(h.valid() && h.index < slots_.size());
+  Slot& s = slots_[h.index];
+  assert(s.live && s.gen == h.gen && "stale MsgHandle on the hot path");
+  return s.rec;
+}
+
+void MessagePool::release(MsgHandle h) {
+  assert(h.valid() && h.index < slots_.size());
+  Slot& s = slots_[h.index];
+  assert(s.live && s.gen == h.gen && "double release / stale handle");
+  s.live = false;
+  ++s.gen;  // retire outstanding handles
+  s.next_free = free_head_;
+  free_head_ = h.index;
+  --live_;
+}
+
+std::size_t MessagePool::live_in_state(MessageRec::State state) const {
+  std::size_t n = 0;
+  for (const Slot& s : slots_) {
+    if (s.live && s.rec.state == state) ++n;
+  }
+  return n;
+}
+
+void MessagePool::check_invariants() const {
+  auto fail = [](const std::string& what) {
+    throw std::logic_error("MessagePool::check_invariants: " + what);
+  };
+  std::size_t live_seen = 0;
+  for (const Slot& s : slots_) {
+    if (s.live) ++live_seen;
+  }
+  if (live_seen != live_) fail("live slot count disagrees with counter");
+  if (live_ > peak_live_) fail("live exceeds recorded peak");
+  // Free list: every entry a dead slot, no cycles, covers all dead slots.
+  std::size_t free_seen = 0;
+  for (std::uint32_t i = free_head_; i != MessageRec::kNil;
+       i = slots_[i].next_free) {
+    if (i >= slots_.size()) fail("free-list index out of range");
+    if (slots_[i].live) fail("live slot on the free list");
+    if (++free_seen > slots_.size()) fail("free-list cycle");
+  }
+  if (free_seen + live_ != slots_.size()) {
+    fail("free list does not cover every dead slot");
+  }
+}
+
+// --- UnexpectedQueue ---------------------------------------------------------
+
+void UnexpectedQueue::push(MessagePool& pool, MsgHandle h) {
+  MessageRec& rec = pool.ref(h);
+  assert(rec.arrived && !rec.ghost);
+  rec.state = MessageRec::State::kUnexpected;
+  rec.arrival_seq = next_seq_++;
+  rec.st_prev = rec.st_next = MessageRec::kNil;
+  rec.tag_prev = rec.tag_next = MessageRec::kNil;
+
+  Bucket& st = by_src_tag_[src_tag_key(rec.src_rank, rec.tag)];
+  if (st.tail == MessageRec::kNil) {
+    st.head = st.tail = h.index;
+  } else {
+    pool.at_index(st.tail).st_next = h.index;
+    rec.st_prev = st.tail;
+    st.tail = h.index;
+  }
+
+  Bucket& tg = by_tag_[rec.tag];
+  if (tg.tail == MessageRec::kNil) {
+    tg.head = tg.tail = h.index;
+  } else {
+    pool.at_index(tg.tail).tag_next = h.index;
+    rec.tag_prev = tg.tail;
+    tg.tail = h.index;
+  }
+  ++count_;
+}
+
+void UnexpectedQueue::unlink(MessagePool& pool, MsgHandle h) {
+  MessageRec& rec = pool.ref(h);
+
+  {  // (src, tag) bucket list
+    const std::uint64_t key = src_tag_key(rec.src_rank, rec.tag);
+    auto it = by_src_tag_.find(key);
+    assert(it != by_src_tag_.end());
+    Bucket& b = it->second;
+    if (rec.st_prev != MessageRec::kNil) {
+      pool.at_index(rec.st_prev).st_next = rec.st_next;
+    } else {
+      b.head = rec.st_next;
+    }
+    if (rec.st_next != MessageRec::kNil) {
+      pool.at_index(rec.st_next).st_prev = rec.st_prev;
+    } else {
+      b.tail = rec.st_prev;
+    }
+    if (b.head == MessageRec::kNil) by_src_tag_.erase(it);
+  }
+
+  {  // tag index list
+    auto it = by_tag_.find(rec.tag);
+    assert(it != by_tag_.end());
+    Bucket& b = it->second;
+    if (rec.tag_prev != MessageRec::kNil) {
+      pool.at_index(rec.tag_prev).tag_next = rec.tag_next;
+    } else {
+      b.head = rec.tag_next;
+    }
+    if (rec.tag_next != MessageRec::kNil) {
+      pool.at_index(rec.tag_next).tag_prev = rec.tag_prev;
+    } else {
+      b.tail = rec.tag_prev;
+    }
+    if (b.head == MessageRec::kNil) by_tag_.erase(it);
+  }
+
+  rec.st_prev = rec.st_next = MessageRec::kNil;
+  rec.tag_prev = rec.tag_next = MessageRec::kNil;
+  assert(count_ > 0);
+  --count_;
+}
+
+MsgHandle UnexpectedQueue::match(MessagePool& pool, int src_rank, int tag) {
+  std::uint32_t index = MessageRec::kNil;
+  if (src_rank == kAnySource) {
+    // The tag index is arrival-ordered across sources: its head IS the
+    // globally earliest arrival with this tag (MPI wildcard semantics).
+    auto it = by_tag_.find(tag);
+    if (it != by_tag_.end()) index = it->second.head;
+  } else {
+    auto it = by_src_tag_.find(src_tag_key(src_rank, tag));
+    if (it != by_src_tag_.end()) index = it->second.head;
+  }
+  if (index == MessageRec::kNil) return MsgHandle{};
+  const MsgHandle h = pool.handle_at(index);
+  unlink(pool, h);
+  pool.ref(h).state = MessageRec::State::kMatched;
+  return h;
+}
+
+void UnexpectedQueue::clear(MessagePool& pool) {
+  // Walk the tag index (it covers every queued record exactly once).
+  for (auto& [tag, bucket] : by_tag_) {
+    std::uint32_t i = bucket.head;
+    while (i != MessageRec::kNil) {
+      const std::uint32_t next = pool.at_index(i).tag_next;
+      pool.release(pool.handle_at(i));
+      i = next;
+    }
+  }
+  by_tag_.clear();
+  by_src_tag_.clear();
+  count_ = 0;
+}
+
+void UnexpectedQueue::check_invariants(const MessagePool& pool) const {
+  auto fail = [](const std::string& what) {
+    throw std::logic_error("UnexpectedQueue::check_invariants: " + what);
+  };
+  std::size_t tag_seen = 0;
+  for (const auto& [tag, bucket] : by_tag_) {
+    if (bucket.head == MessageRec::kNil) fail("empty bucket not erased");
+    std::uint64_t last_seq = 0;
+    bool first = true;
+    std::uint32_t prev = MessageRec::kNil;
+    for (std::uint32_t i = bucket.head; i != MessageRec::kNil;) {
+      const MessageRec& rec = pool.at_index(i);
+      if (rec.state != MessageRec::State::kUnexpected) {
+        fail("linked record not kUnexpected");
+      }
+      if (rec.tag != tag) fail("record in the wrong tag list");
+      if (rec.tag_prev != prev) fail("tag-list prev link broken");
+      if (!first && rec.arrival_seq <= last_seq) {
+        fail("arrival_seq not strictly increasing along tag list");
+      }
+      last_seq = rec.arrival_seq;
+      first = false;
+      prev = i;
+      i = rec.tag_next;
+      ++tag_seen;
+      if (tag_seen > count_) fail("tag lists longer than queue count");
+    }
+    if (bucket.tail != prev) fail("tag-list tail stale");
+  }
+  if (tag_seen != count_) fail("tag lists do not cover the queue");
+
+  std::size_t st_seen = 0;
+  for (const auto& [key, bucket] : by_src_tag_) {
+    if (bucket.head == MessageRec::kNil) fail("empty (src,tag) bucket");
+    const int src = static_cast<std::int32_t>(key >> 32);
+    const int tag = static_cast<std::int32_t>(key & 0xffffffffu);
+    std::uint64_t last_seq = 0;
+    bool first = true;
+    std::uint32_t prev = MessageRec::kNil;
+    for (std::uint32_t i = bucket.head; i != MessageRec::kNil;) {
+      const MessageRec& rec = pool.at_index(i);
+      if (rec.src_rank != src || rec.tag != tag) {
+        fail("record in the wrong (src,tag) bucket");
+      }
+      if (rec.st_prev != prev) fail("(src,tag) prev link broken");
+      if (!first && rec.arrival_seq <= last_seq) {
+        fail("arrival_seq not strictly increasing along (src,tag) list");
+      }
+      last_seq = rec.arrival_seq;
+      first = false;
+      prev = i;
+      i = rec.st_next;
+      ++st_seen;
+      if (st_seen > count_) fail("(src,tag) lists longer than queue count");
+    }
+    if (bucket.tail != prev) fail("(src,tag) tail stale");
+  }
+  if (st_seen != count_) fail("(src,tag) buckets do not cover the queue");
+}
+
+// --- NbHandleTable -----------------------------------------------------------
+
+NbHandleTable::Entry& NbHandleTable::open_slot(int id, bool is_send) {
+  assert(id >= 0 && "nonblocking handle ids must be non-negative");
+  if (static_cast<std::size_t>(id) >= entries_.size()) {
+    entries_.resize(static_cast<std::size_t>(id) + 1);
+  }
+  Entry& e = entries_[static_cast<std::size_t>(id)];
+  assert(!e.open && "nonblocking handle already in use");
+  e = Entry{};
+  e.open = true;
+  e.is_send = is_send;
+  ++open_;
+  if (!is_send) ++open_recvs_;
+  return e;
+}
+
+void NbHandleTable::close(int id) {
+  Entry* e = find(id);
+  assert(e != nullptr && "closing an unknown handle");
+  if (!e->is_send) {
+    assert(open_recvs_ > 0);
+    --open_recvs_;
+  }
+  e->open = false;
+  assert(open_ > 0);
+  --open_;
+}
+
+void NbHandleTable::clear() {
+  for (Entry& e : entries_) e.open = false;
+  open_ = 0;
+  open_recvs_ = 0;
+}
+
+}  // namespace smilab

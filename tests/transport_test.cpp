@@ -1,0 +1,368 @@
+// Transport regression suite: golden trace hashes pinned to the seed
+// build's byte-exact output, matching-semantics pins (arrival order,
+// any-source, posted-vs-late receives), and message-pool bounds.
+//
+// The golden hashes freeze the observable outcome of transport-heavy runs
+// (per-rank finish times and ledgers plus the System's transport counters)
+// so the message-path internals can be rebuilt — pooled records, bucketed
+// matching, O(1) ack routing — under a proof of bit-identical simulation.
+// If a hash test fails, the transport CHANGED SIMULATION BEHAVIOUR; do not
+// re-pin without understanding why.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "smilab/apps/nas/nas.h"
+#include "smilab/fault/fault_injector.h"
+#include "smilab/fault/fault_plan.h"
+#include "smilab/mpi/collectives.h"
+#include "smilab/mpi/job.h"
+#include "smilab/sim/system.h"
+
+namespace smilab {
+namespace {
+
+// FNV-1a over a stream of 64-bit words: platform-independent because every
+// ingredient is integer nanoseconds / counters, never doubles.
+class TraceHash {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xff;
+      h_ *= 0x100000001b3ull;
+    }
+  }
+  void mix_signed(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+void mix_stats(TraceHash& h, const TaskStats& s) {
+  h.mix_signed(s.end_time.ns());
+  h.mix_signed(s.os_view_cpu_time.ns());
+  h.mix_signed(s.true_cpu_time.ns());
+  h.mix_signed(s.smm_stolen_time.ns());
+  h.mix_signed(s.refill_overhead.ns());
+  h.mix_signed(s.smm_hits);
+  h.mix_signed(s.messages_sent);
+  h.mix_signed(s.messages_received);
+  h.mix_signed(s.bytes_sent);
+  h.mix(s.finished ? 1 : 0);
+  h.mix(s.failed ? 1 : 0);
+}
+
+void mix_system(TraceHash& h, const System& sys) {
+  for (int t = 0; t < sys.task_count(); ++t) {
+    mix_stats(h, sys.task_stats(TaskId{t}));
+  }
+  h.mix_signed(sys.inter_node_bytes());
+  h.mix_signed(sys.messages_dropped());
+  h.mix_signed(sys.messages_duplicated());
+  h.mix_signed(sys.retransmissions());
+  h.mix_signed(sys.transport_failures());
+}
+
+// Golden values captured from the seed (pre-pool) build; see file header.
+constexpr std::uint64_t kTable2SubGridHash = 2027882165916727799ull;
+constexpr std::uint64_t kCollectiveMixHash = 17019758979342947237ull;
+constexpr std::uint64_t kFaultTransportHash = 5726809821179165383ull;
+constexpr std::uint64_t kAnySourceFunnelHash = 8648991470962502853ull;
+
+SystemConfig wyeast_cfg(int nodes, std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::wyeast_e5520();
+  cfg.node_count = nodes;
+  cfg.net = NetworkParams::wyeast();
+  cfg.seed = seed;
+  return cfg;
+}
+
+// --- Golden trace hashes -----------------------------------------------------
+
+// A Table-2 (NAS EP) sub-grid: {4 nodes x 1 rank, 2 nodes x 4 ranks} under
+// {short, long} SMIs across two seeds — inter- and intra-node transport,
+// small allreduce traffic, SMM freeze/drain interleavings.
+TEST(TransportGoldenTest, Table2SubGridHashPinned) {
+  TraceHash h;
+  for (const bool long_smi : {false, true}) {
+    for (const std::uint64_t seed : {1ull, 2ull}) {
+      for (const int ranks_per_node : {1, 4}) {
+        const NasJobSpec spec{NasBenchmark::kEP, NasClass::kA,
+                              ranks_per_node == 1 ? 4 : 2, ranks_per_node};
+        SystemConfig cfg = wyeast_cfg(spec.nodes, seed);
+        cfg.smi = long_smi ? SmiConfig::long_every_second()
+                           : SmiConfig::short_every_second();
+        System sys{cfg};
+        auto programs = build_nas_trace(spec, NasKnob{4096, 0});
+        auto result =
+            run_mpi_job(sys, std::move(programs),
+                        block_placement(spec.ranks(), spec.ranks_per_node),
+                        WorkloadProfile::dense_fp());
+        h.mix_signed(result.elapsed.ns());
+        mix_system(h, sys);
+      }
+    }
+  }
+  EXPECT_EQ(h.value(), kTable2SubGridHash);
+}
+
+// Mixed blocking/nonblocking collectives with rendezvous-sized payloads:
+// alltoall (pairwise SendRecv), nonblocking alltoall (isend/irecv/waitall
+// with the ack-completed rendezvous path), allreduce, and a barrier, under
+// long SMIs.
+TEST(TransportGoldenTest, CollectiveMixHashPinned) {
+  TraceHash h;
+  for (const std::uint64_t seed : {3ull, 11ull}) {
+    SystemConfig cfg = wyeast_cfg(8, seed);
+    cfg.smi = SmiConfig::long_every_second();
+    System sys{cfg};
+    auto programs = make_rank_programs(8);
+    TagAllocator tags;
+    for (int iter = 0; iter < 6; ++iter) {
+      for (auto& rp : programs) rp.compute(milliseconds(40));
+      alltoall(programs, 96 * 1024, tags);  // above rendezvous threshold
+      alltoall_nonblocking(programs, 80 * 1024, tags);
+      allreduce(programs, 1024, tags);
+      barrier(programs, tags);
+    }
+    auto result = run_mpi_job(sys, std::move(programs), block_placement(8, 1),
+                              WorkloadProfile::dense_fp());
+    h.mix_signed(result.elapsed.ns());
+    mix_system(h, sys);
+  }
+  EXPECT_EQ(h.value(), kCollectiveMixHash);
+}
+
+// The fault transport path: probabilistic drops and duplicates recycle
+// retransmitted and ghost records; a mid-run crash abandons traffic.
+TEST(TransportGoldenTest, FaultTransportHashPinned) {
+  TraceHash h;
+  SystemConfig cfg = wyeast_cfg(6, 7);
+  cfg.smi = SmiConfig::long_every_second();
+  System sys{cfg};
+  FaultPlan plan;
+  plan.drop(0.05).duplicate(0.05).crash(5, SimTime{2'500'000'000});
+  FaultInjector injector{sys, plan};
+  auto programs = make_rank_programs(6);
+  TagAllocator tags;
+  for (int iter = 0; iter < 8; ++iter) {
+    for (auto& rp : programs) rp.compute(milliseconds(30));
+    alltoall(programs, 128 * 1024, tags);
+    allreduce(programs, 2048, tags);
+  }
+  auto out = try_run_mpi_job(sys, std::move(programs), block_placement(6, 1),
+                             WorkloadProfile::dense_fp());
+  h.mix(static_cast<std::uint64_t>(out.run.status));
+  mix_system(h, sys);
+  EXPECT_EQ(h.value(), kFaultTransportHash);
+}
+
+// Any-source funnel under noise: rank 0 drains kAnySource receives while
+// three senders race; arrival order decides matching, so this pins the
+// global-order semantics of the wildcard path.
+TEST(TransportGoldenTest, AnySourceFunnelHashPinned) {
+  TraceHash h;
+  for (const std::uint64_t seed : {5ull, 9ull}) {
+    SystemConfig cfg = wyeast_cfg(4, seed);
+    cfg.smi = SmiConfig::long_every_second();
+    System sys{cfg};
+    const GroupId g = sys.create_group(4);
+    std::vector<Action> sink;
+    for (int i = 0; i < 60; ++i) {
+      sink.push_back(Recv{/*src_rank=*/-1, /*tag=*/7});
+      sink.push_back(Compute{microseconds(150)});
+    }
+    sys.spawn_member(g, 0, TaskSpec::with_actions("sink", 0, std::move(sink)));
+    for (int r = 1; r < 4; ++r) {
+      std::vector<Action> prog;
+      for (int i = 0; i < 20; ++i) {
+        prog.push_back(Compute{microseconds(100 + 37 * r)});
+        prog.push_back(Send{0, 32 * 1024, 7});
+      }
+      sys.spawn_member(
+          g, r, TaskSpec::with_actions("src" + std::to_string(r), r, std::move(prog)));
+    }
+    sys.run();
+    mix_system(h, sys);
+  }
+  EXPECT_EQ(h.value(), kAnySourceFunnelHash);
+}
+
+// --- Pool / queue primitives -------------------------------------------------
+
+TEST(TransportTest, PoolRecyclesSlotsAndRetiresHandles) {
+  MessagePool pool;
+  const MsgHandle a = pool.alloc();
+  const MsgHandle b = pool.alloc();
+  const MsgHandle c = pool.alloc();
+  EXPECT_EQ(pool.live(), 3u);
+  EXPECT_EQ(pool.capacity(), 3u);
+
+  pool.release(b);
+  EXPECT_EQ(pool.get(b), nullptr) << "released handle must go stale";
+  EXPECT_NE(pool.get(a), nullptr);
+  pool.check_invariants();
+
+  const MsgHandle d = pool.alloc();  // must reuse b's slot, not grow
+  EXPECT_EQ(pool.capacity(), 3u);
+  EXPECT_EQ(d.index, b.index);
+  EXPECT_NE(d.gen, b.gen) << "recycled slot must carry a new generation";
+  EXPECT_EQ(pool.get(b), nullptr) << "old handle stays stale after reuse";
+  EXPECT_NE(pool.get(d), nullptr);
+  EXPECT_EQ(pool.peak_live(), 3u);
+  EXPECT_EQ(pool.total_allocated(), 4);
+
+  pool.release(a);
+  pool.release(c);
+  pool.release(d);
+  EXPECT_EQ(pool.live(), 0u);
+  pool.check_invariants();
+}
+
+TEST(TransportTest, UnexpectedQueueMatchesArrivalOrderAcrossSources) {
+  MessagePool pool;
+  auto arrive = [&](int src, int tag) {
+    const MsgHandle h = pool.alloc();
+    MessageRec& rec = pool.ref(h);
+    rec.src_rank = src;
+    rec.tag = tag;
+    rec.arrived = true;
+    return h;
+  };
+  UnexpectedQueue q;
+  const MsgHandle first = arrive(2, 7);
+  const MsgHandle second = arrive(1, 7);
+  const MsgHandle third = arrive(2, 7);
+  const MsgHandle other_tag = arrive(1, 9);
+  q.push(pool, first);
+  q.push(pool, second);
+  q.push(pool, third);
+  q.push(pool, other_tag);
+  q.check_invariants(pool);
+  EXPECT_EQ(q.size(), 4u);
+
+  // A specific-source match skips other sources but keeps arrival order
+  // within the (src, tag) bucket.
+  EXPECT_EQ(q.match(pool, 1, 7), second);
+  q.check_invariants(pool);
+  // Any-source follows global arrival order: first (src 2) precedes third.
+  EXPECT_EQ(q.match(pool, kAnySource, 7), first);
+  EXPECT_EQ(q.match(pool, kAnySource, 7), third);
+  EXPECT_FALSE(q.match(pool, kAnySource, 7).valid());
+  EXPECT_EQ(q.match(pool, kAnySource, 9), other_tag);
+  EXPECT_EQ(q.size(), 0u);
+  q.check_invariants(pool);
+}
+
+// --- Matching semantics through the System -----------------------------------
+
+// Any-source matching must follow GLOBAL arrival order, not sender rank.
+// One wildcard receive and two racing rendezvous senders: only the sender
+// whose message arrived first gets its completion ack and finishes; the
+// other stays stuck in ack-wait. Run both orderings.
+TEST(TransportTest, AnySourceMatchesGlobalArrivalOrder) {
+  for (const int early_rank : {1, 2}) {
+    SystemConfig cfg = wyeast_cfg(3, 42);
+    cfg.hang_timeout = seconds(1);
+    System sys{cfg};
+    const GroupId g = sys.create_group(3);
+    std::vector<Action> sink;
+    sink.push_back(Recv{kAnySource, 5});
+    sys.spawn_member(g, 0, TaskSpec::with_actions("sink", 0, std::move(sink)));
+    for (int r = 1; r <= 2; ++r) {
+      std::vector<Action> prog;
+      if (r != early_rank) prog.push_back(Compute{milliseconds(20)});
+      prog.push_back(Send{0, 128 * 1024, 5});  // rendezvous: waits for ack
+      sys.spawn_member(
+          g, r, TaskSpec::with_actions("s" + std::to_string(r), r, std::move(prog)));
+    }
+    const RunResult run = sys.try_run();
+    EXPECT_FALSE(run.ok()) << "the unmatched sender must be diagnosed stuck";
+    EXPECT_GT(run.peak_in_flight_messages, 0);
+    const int late_rank = early_rank == 1 ? 2 : 1;
+    EXPECT_TRUE(sys.task_stats(TaskId{early_rank}).finished)
+        << "earliest arrival must match the wildcard (early rank "
+        << early_rank << ")";
+    EXPECT_FALSE(sys.task_stats(TaskId{late_rank}).finished)
+        << "later arrival must stay unmatched";
+    sys.validate();
+  }
+}
+
+// Posting the irecv before the message arrives and after it arrived must be
+// observably equivalent: both complete, deliver the same messages, and
+// leave the pool fully drained.
+TEST(TransportTest, PostedBeforeAndAfterArrivalAreEquivalent) {
+  auto run_variant = [](bool pre_post) {
+    SystemConfig cfg = wyeast_cfg(2, 13);
+    System sys{cfg};
+    auto programs = make_rank_programs(2);
+    for (int i = 0; i < 8; ++i) {
+      const int tag = 100 + i;
+      if (pre_post) {
+        programs[0].irecv_any(tag, /*handle=*/0);
+        programs[0].compute(milliseconds(30));  // message arrives while posted
+      } else {
+        programs[0].compute(milliseconds(30));  // message arrives first
+        programs[0].irecv_any(tag, /*handle=*/0);
+      }
+      programs[0].waitall({0});
+      programs[1].send(0, 96 * 1024, tag);  // rendezvous-sized
+    }
+    auto result = run_mpi_job(sys, std::move(programs), block_placement(2, 1),
+                              WorkloadProfile::dense_fp());
+    sys.validate();
+    EXPECT_EQ(result.transport.pool_live, 0)
+        << "transport must drain fully (pre_post=" << pre_post << ")";
+    EXPECT_EQ(result.transport.ack_routes, 0);
+    return result.rank_stats[0].messages_received;
+  };
+  EXPECT_EQ(run_variant(true), 8);
+  EXPECT_EQ(run_variant(false), 8);
+}
+
+// --- Pool bounds under flood + out-of-order drain ----------------------------
+
+// The old mailbox only compacted consumed entries from the FRONT, so a
+// receiver draining in reverse tag order retained every record until the
+// round completed — and the record vector itself grew forever. The bucketed
+// queue unlinks mid-queue eagerly and the pool recycles slots, so capacity
+// is bounded by one round's flood, not by total traffic.
+TEST(TransportTest, FloodThenReverseDrainKeepsPoolBounded) {
+  constexpr int kTags = 120;
+  constexpr int kRounds = 6;
+  SystemConfig cfg = wyeast_cfg(2, 21);
+  System sys{cfg};
+  const GroupId g = sys.create_group(2);
+  std::vector<Action> recv_prog;
+  std::vector<Action> send_prog;
+  for (int round = 0; round < kRounds; ++round) {
+    // Flood: eager messages, distinct tags, all arriving unexpected while
+    // the receiver computes...
+    for (int tg = 0; tg < kTags; ++tg) send_prog.push_back(Send{0, 1024, tg});
+    send_prog.push_back(Compute{milliseconds(60)});  // next-round spacing
+    recv_prog.push_back(Compute{milliseconds(50)});
+    // ...then drained in REVERSE order: every match hits the queue tail.
+    for (int tg = kTags - 1; tg >= 0; --tg) recv_prog.push_back(Recv{1, tg});
+  }
+  sys.spawn_member(g, 0, TaskSpec::with_actions("recv", 0, std::move(recv_prog)));
+  sys.spawn_member(g, 1, TaskSpec::with_actions("send", 1, std::move(send_prog)));
+  sys.run();
+  sys.validate();
+
+  const TransportStats stats = sys.transport_stats();
+  EXPECT_EQ(stats.messages_allocated, kTags * kRounds);
+  EXPECT_EQ(stats.pool_live, 0) << "every record must recycle after its copy";
+  EXPECT_LE(stats.pool_peak_live, kTags + 4)
+      << "peak live records must be bounded by one round's flood";
+  EXPECT_LE(stats.pool_capacity, kTags + 4)
+      << "slab capacity must stop at the concurrency high-water mark";
+  EXPECT_EQ(sys.task_stats(TaskId{0}).messages_received, kTags * kRounds);
+  EXPECT_GT(sys.peak_in_flight_messages(), 0);
+}
+
+}  // namespace
+}  // namespace smilab
