@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Run the lint gate locally: smilint (determinism rules D1-D6) and, when
+# available, clang-tidy over the exported compilation database — the same
+# two checks the CI `lint` job enforces.
+#
+#   scripts/lint.sh [--json] [smilint args...]
+#
+# Environment: BUILD_DIR overrides the build tree (default: <repo>/build).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+cmake --build "$BUILD" --target smilint -j "$(nproc)" >/dev/null
+
+echo "== smilint (tools/smilint/smilint.rules)"
+"$BUILD/tools/smilint/smilint" --root "$ROOT" "$@"
+
+TIDY="$(command -v run-clang-tidy || command -v run-clang-tidy-18 || \
+        command -v run-clang-tidy-15 || command -v run-clang-tidy-14 || true)"
+if [ -n "$TIDY" ] && [ -f "$BUILD/compile_commands.json" ]; then
+  echo "== clang-tidy (.clang-tidy, compile_commands.json)"
+  "$TIDY" -quiet -p "$BUILD" "$ROOT/(src|bench|tools)/" || {
+    echo "clang-tidy reported errors" >&2
+    exit 1
+  }
+else
+  echo "== clang-tidy not installed; skipped (CI runs it)"
+fi
+
+echo "lint: OK"

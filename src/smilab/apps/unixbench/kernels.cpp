@@ -14,10 +14,16 @@ namespace smilab {
 
 namespace {
 
+// Host-side calibration clock. These kernels run on the REAL machine so
+// examples/host_unixbench can sanity-check the simulator's calibrated
+// rates against local hardware; they never touch simulated state. The
+// sim-side UnixBench scoring (unixbench.cpp) derives purely from SimTime —
+// UnixBenchGoldenTest.IndexPinnedAgainstSeed pins that score bit-for-bit.
 double now_seconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+  // smilint: allow(wall-clock) reason=host calibration microbenchmark; measures the real machine, never simulated state
+  const auto wall = std::chrono::steady_clock::now().time_since_epoch();
+  // smilint: allow(wall-clock) reason=host calibration microbenchmark; measures the real machine, never simulated state
+  return std::chrono::duration<double>(wall).count();
 }
 
 KernelRun finish(std::int64_t ops, double start, std::uint64_t checksum) {

@@ -1732,6 +1732,7 @@ RunResult System::diagnose(RunStatus status) const {
   // it as task ids with the entry repeated at the end.
   std::vector<int> color(tasks_.size(), 0);
   std::vector<std::int32_t> path;
+  // smilint: allow(std-function) reason=recursive diagnosis DFS; runs once per failed run, never on the event hot path
   const std::function<bool(std::int32_t)> dfs = [&](std::int32_t u) -> bool {
     color[static_cast<std::size_t>(u)] = 1;
     path.push_back(u);

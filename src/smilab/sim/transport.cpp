@@ -1,5 +1,6 @@
 #include "smilab/sim/transport.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <string>
@@ -170,9 +171,20 @@ MsgHandle UnexpectedQueue::match(MessagePool& pool, int src_rank, int tag) {
 }
 
 void UnexpectedQueue::clear(MessagePool& pool) {
-  // Walk the tag index (it covers every queued record exactly once).
-  for (auto& [tag, bucket] : by_tag_) {
-    std::uint32_t i = bucket.head;
+  // Drain via sorted tag keys. Releasing in hash-iteration order would
+  // push records onto the pool free list in an order that varies across
+  // libstdc++ hash implementations — and free-list order decides the slab
+  // index of every future allocation. Sorting first makes the post-kill
+  // pool state a deterministic function of queue content alone; each
+  // per-tag list is already arrival-ordered, covering every queued record
+  // exactly once.
+  std::vector<int> tags;
+  tags.reserve(by_tag_.size());
+  // smilint: allow(unordered-iter) reason=keys are sorted before any effect; hash order cannot escape
+  for (const auto& [tag, bucket] : by_tag_) tags.push_back(tag);
+  std::sort(tags.begin(), tags.end());
+  for (const int tag : tags) {
+    std::uint32_t i = by_tag_.find(tag)->second.head;
     while (i != MessageRec::kNil) {
       const std::uint32_t next = pool.at_index(i).tag_next;
       pool.release(pool.handle_at(i));
@@ -189,6 +201,7 @@ void UnexpectedQueue::check_invariants(const MessagePool& pool) const {
     throw std::logic_error("UnexpectedQueue::check_invariants: " + what);
   };
   std::size_t tag_seen = 0;
+  // smilint: allow(unordered-iter) reason=validation only; every failure throws regardless of visit order
   for (const auto& [tag, bucket] : by_tag_) {
     if (bucket.head == MessageRec::kNil) fail("empty bucket not erased");
     std::uint64_t last_seq = 0;
@@ -216,6 +229,7 @@ void UnexpectedQueue::check_invariants(const MessagePool& pool) const {
   if (tag_seen != count_) fail("tag lists do not cover the queue");
 
   std::size_t st_seen = 0;
+  // smilint: allow(unordered-iter) reason=validation only; every failure throws regardless of visit order
   for (const auto& [key, bucket] : by_src_tag_) {
     if (bucket.head == MessageRec::kNil) fail("empty (src,tag) bucket");
     const int src = static_cast<std::int32_t>(key >> 32);

@@ -225,6 +225,14 @@ struct AckTarget {
 
 /// Global ack-key -> target hash route: one lookup per completion instead
 /// of a scan over every task. Keys are globally unique per System.
+///
+/// Determinism (smilint D3): the router is match-by-key ONLY — add, find,
+/// erase, size. It deliberately exposes no iteration or visitation API, so
+/// the map's hash order cannot reach simulation state, output, or
+/// validate() ordering. If a future change needs to walk outstanding
+/// routes (e.g. for diagnostics), it must drain via sorted keys; the
+/// AckRouterPermutation test pins this by inserting in permuted orders and
+/// hashing the observable drain sequence.
 class AckRouter {
  public:
   void add(std::uint64_t key, AckTarget target) { map_.emplace(key, target); }

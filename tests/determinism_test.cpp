@@ -1,0 +1,193 @@
+// Determinism regression suite for the transport's unordered containers
+// (smilint rule D3 made executable).
+//
+// Two structures in sim/transport.h are hash maps: the UnexpectedQueue's
+// (src,tag)/tag bucket maps and the AckRouter. Hash iteration order is
+// unspecified and changes across libstdc++ versions, so it must never
+// reach simulation state. These tests permute insertion order and assert
+// the observable outcome is bit-identical (FNV-1a over the observation
+// stream), pinning:
+//
+//  * UnexpectedQueue::clear() drains via SORTED tag keys — the pool
+//    free-list left behind (which decides the slab index of every future
+//    allocation) is a function of queue content, not of hash order or of
+//    cross-tag insertion interleaving.
+//  * AckRouter is match-by-key only: any insertion order yields the same
+//    lookup results, and draining by key leaves it empty.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "smilab/sim/transport.h"
+
+namespace smilab {
+namespace {
+
+class Fnv {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xff;
+      h_ *= 0x100000001b3ull;
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+/// One queued message's identity: enough to recognize it independently of
+/// the slab index it happened to land in.
+struct Ident {
+  int src;
+  int tag;
+  std::int64_t bytes;
+};
+
+/// Push `idents`, in that order, as arrived unexpected messages; returns
+/// the slab index each identity landed in.
+std::vector<std::uint32_t> push_all(MessagePool& pool, UnexpectedQueue& queue,
+                                    const std::vector<Ident>& idents) {
+  std::vector<std::uint32_t> slots;
+  slots.reserve(idents.size());
+  for (const Ident& id : idents) {
+    const MsgHandle h = pool.alloc();
+    MessageRec& rec = pool.ref(h);
+    rec.src_rank = id.src;
+    rec.tag = id.tag;
+    rec.bytes = id.bytes;
+    rec.arrived = true;
+    queue.push(pool, h);
+    slots.push_back(h.index);
+  }
+  return slots;
+}
+
+/// After clear(), the pool hands back recycled slots in free-list order.
+/// Map each allocation back to the identity that previously occupied the
+/// slot and hash the identity sequence: the "who gets recycled when"
+/// golden trace.
+std::uint64_t recycle_trace_hash(const std::vector<Ident>& insertion_order) {
+  MessagePool pool;
+  UnexpectedQueue queue;
+  const std::vector<std::uint32_t> slots =
+      push_all(pool, queue, insertion_order);
+  queue.clear(pool);
+  EXPECT_EQ(pool.live(), 0u);
+  pool.check_invariants();
+
+  Fnv hash;
+  for (std::size_t i = 0; i < insertion_order.size(); ++i) {
+    const MsgHandle h = pool.alloc();
+    // Find which identity lived in this slot before the clear.
+    for (std::size_t k = 0; k < slots.size(); ++k) {
+      if (slots[k] == h.index) {
+        hash.mix(static_cast<std::uint64_t>(insertion_order[k].src));
+        hash.mix(static_cast<std::uint64_t>(insertion_order[k].tag));
+        hash.mix(static_cast<std::uint64_t>(insertion_order[k].bytes));
+        break;
+      }
+    }
+  }
+  return hash.value();
+}
+
+/// 20 tags x 3 messages each. `stride` scrambles the cross-tag
+/// interleaving while keeping each tag's arrival order fixed — the part
+/// of insertion order that is semantically meaningful (MPI arrival order)
+/// stays identical; only the hash-map-shaping part varies.
+std::vector<Ident> interleaved(int stride) {
+  constexpr int kTags = 20;
+  constexpr int kPerTag = 3;
+  std::vector<Ident> out;
+  int emitted[kTags] = {};
+  int cursor = 0;
+  while (static_cast<int>(out.size()) < kTags * kPerTag) {
+    const int tag = cursor % kTags;
+    cursor += stride;
+    if (emitted[tag] < kPerTag) {
+      const int seq = emitted[tag]++;
+      out.push_back({/*src=*/tag % 4, /*tag=*/tag,
+                     /*bytes=*/static_cast<std::int64_t>(100 * tag + seq)});
+    }
+  }
+  return out;
+}
+
+TEST(UnexpectedQueueDeterminismTest, ClearRecyclesInSortedTagOrder) {
+  // Content-determined expectation, computed without touching the maps:
+  // clear() releases tag-by-tag in ascending tag order, arrival order
+  // within a tag; the free list is LIFO, so allocation hands slots back in
+  // exactly the reverse of that release sequence.
+  const std::vector<Ident> order = interleaved(1);
+  MessagePool pool;
+  UnexpectedQueue queue;
+  const std::vector<std::uint32_t> slots = push_all(pool, queue, order);
+  queue.clear(pool);
+
+  std::vector<std::uint32_t> expected_release;
+  for (int tag = 0; tag < 20; ++tag) {
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      if (order[k].tag == tag) expected_release.push_back(slots[k]);
+    }
+  }
+  for (auto it = expected_release.rbegin(); it != expected_release.rend();
+       ++it) {
+    EXPECT_EQ(pool.alloc().index, *it);
+  }
+}
+
+TEST(UnexpectedQueueDeterminismTest, RecycleTraceInvariantToInsertionOrder) {
+  // Permute the cross-tag interleaving of 60 arrivals; the post-clear
+  // recycle trace must hash identically. A reversion of clear() to
+  // hash-order iteration breaks this: the maps' internal layout depends
+  // on the interleaving, the content does not.
+  const std::uint64_t golden = recycle_trace_hash(interleaved(1));
+  for (const int stride : {3, 7, 11, 19}) {
+    EXPECT_EQ(recycle_trace_hash(interleaved(stride)), golden)
+        << "stride " << stride;
+  }
+}
+
+TEST(AckRouterDeterminismTest, MatchByKeyInvariantToInsertionOrder) {
+  // The router must behave as a pure key -> value map: any insertion
+  // order, same lookups. (It exposes no iteration API — this test plus
+  // smilint's D3 rule keep it that way.)
+  constexpr int kRoutes = 64;
+  auto drain_hash = [](int stride) -> std::uint64_t {
+    AckRouter router;
+    for (int i = 0; i < kRoutes; ++i) {
+      const int k = (i * stride) % kRoutes;
+      AckTarget t;
+      t.task = TaskId{k};
+      t.nb_handle = k % 5 - 1;
+      t.dst_rank = k % 7;
+      t.tag = 1000 + k;
+      router.add(static_cast<std::uint64_t>(k) * 0x9e3779b9u, t);
+    }
+    EXPECT_EQ(router.size(), static_cast<std::size_t>(kRoutes));
+    Fnv hash;
+    for (int k = 0; k < kRoutes; ++k) {
+      const std::uint64_t key = static_cast<std::uint64_t>(k) * 0x9e3779b9u;
+      const AckTarget* route = router.find(key);
+      EXPECT_NE(route, nullptr);
+      if (route == nullptr) return 0;
+      hash.mix(static_cast<std::uint64_t>(route->task.value));
+      hash.mix(static_cast<std::uint64_t>(route->nb_handle));
+      hash.mix(static_cast<std::uint64_t>(route->dst_rank));
+      hash.mix(static_cast<std::uint64_t>(route->tag));
+      router.erase(key);
+    }
+    EXPECT_EQ(router.size(), 0u);
+    return hash.value();
+  };
+  const std::uint64_t golden = drain_hash(1);
+  for (const int stride : {5, 13, 27, 63}) {
+    EXPECT_EQ(drain_hash(stride), golden) << "stride " << stride;
+  }
+}
+
+}  // namespace
+}  // namespace smilab

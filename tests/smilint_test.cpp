@@ -1,0 +1,213 @@
+// smilint self-test: the fixture corpus produces exactly the expected
+// findings, suppressions behave (same-line, line-above, multi-rule,
+// mandatory reason), the manifest verbs do what they say, and — the CI
+// invariant — the real tree is clean: zero unsuppressed violations, every
+// suppression reasoned.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "smilint.h"
+
+#ifndef SMILAB_SOURCE_ROOT
+#error "SMILAB_SOURCE_ROOT must point at the repository root"
+#endif
+
+namespace {
+
+using smilint::Finding;
+using smilint::Manifest;
+using smilint::Report;
+using smilint::Rule;
+using smilint::RulePolicy;
+
+const std::string kRoot = SMILAB_SOURCE_ROOT;
+
+Report fixture_report() {
+  const Manifest manifest = Manifest::parse("hot-path tools/smilint/fixtures");
+  return smilint::run_tree(kRoot, {"tools/smilint/fixtures"}, manifest);
+}
+
+TEST(SmilintFixtureTest, CorpusFindingsExact) {
+  const Report report = fixture_report();
+  struct Expect {
+    const char* file;
+    int line;
+    Rule rule;
+    bool suppressed;
+  };
+  // Sorted by (file, line, rule) — the report's order. clean.cpp
+  // contributes nothing by design.
+  const std::vector<Expect> expected = {
+      {"tools/smilint/fixtures/d1_wall_clock.cpp", 8, Rule::kWallClock, false},
+      {"tools/smilint/fixtures/d1_wall_clock.cpp", 10, Rule::kWallClock, false},
+      {"tools/smilint/fixtures/d1_wall_clock.cpp", 12, Rule::kWallClock, false},
+      {"tools/smilint/fixtures/d2_rng.cpp", 7, Rule::kUnseededRng, false},
+      {"tools/smilint/fixtures/d2_rng.cpp", 9, Rule::kUnseededRng, false},
+      {"tools/smilint/fixtures/d2_rng.cpp", 10, Rule::kUnseededRng, false},
+      {"tools/smilint/fixtures/d3_unordered_iter.cpp", 7, Rule::kUnorderedIter,
+       false},
+      {"tools/smilint/fixtures/d3_unordered_iter.cpp", 16, Rule::kUnorderedIter,
+       false},
+      {"tools/smilint/fixtures/d4_std_function.cpp", 6, Rule::kStdFunction,
+       false},
+      {"tools/smilint/fixtures/d5_new_delete.cpp", 7, Rule::kRawNewDelete,
+       false},
+      {"tools/smilint/fixtures/d5_new_delete.cpp", 9, Rule::kRawNewDelete,
+       false},
+      {"tools/smilint/fixtures/d6_float_reduce.cpp", 10, Rule::kUnorderedIter,
+       false},
+      {"tools/smilint/fixtures/d6_float_reduce.cpp", 11, Rule::kFloatReduce,
+       false},
+      {"tools/smilint/fixtures/d6_float_reduce.cpp", 15, Rule::kFloatReduce,
+       false},
+      {"tools/smilint/fixtures/suppressed_missing_reason.cpp", 5,
+       Rule::kSuppression, false},
+      {"tools/smilint/fixtures/suppressed_missing_reason.cpp", 6,
+       Rule::kUnseededRng, false},
+      {"tools/smilint/fixtures/suppressed_ok.cpp", 8, Rule::kWallClock, true},
+      {"tools/smilint/fixtures/suppressed_ok.cpp", 10, Rule::kUnseededRng,
+       true},
+      {"tools/smilint/fixtures/suppressed_ok.cpp", 13, Rule::kUnorderedIter,
+       true},
+      {"tools/smilint/fixtures/suppressed_ok.cpp", 13, Rule::kFloatReduce,
+       true},
+  };
+  ASSERT_EQ(report.findings.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    SCOPED_TRACE("finding " + std::to_string(i));
+    EXPECT_EQ(report.findings[i].file, expected[i].file);
+    EXPECT_EQ(report.findings[i].line, expected[i].line);
+    EXPECT_EQ(report.findings[i].rule, expected[i].rule);
+    EXPECT_EQ(report.findings[i].suppressed, expected[i].suppressed);
+  }
+  EXPECT_EQ(report.unsuppressed_count(), 16);
+  EXPECT_EQ(report.suppressed_count(), 4);
+}
+
+TEST(SmilintFixtureTest, SuppressionsCarryTheirReasons) {
+  const Report report = fixture_report();
+  int suppressed = 0;
+  for (const Finding& f : report.findings) {
+    if (!f.suppressed) continue;
+    ++suppressed;
+    EXPECT_FALSE(f.reason.empty()) << f.file << ":" << f.line;
+    EXPECT_NE(f.reason.find("fixture"), std::string::npos);
+  }
+  EXPECT_EQ(suppressed, 4);
+}
+
+TEST(SmilintTreeTest, RealTreeHasZeroUnsuppressedViolations) {
+  const Manifest manifest =
+      Manifest::load(kRoot + "/tools/smilint/smilint.rules");
+  const Report report =
+      smilint::run_tree(kRoot, {"src", "bench", "tools"}, manifest);
+  EXPECT_GE(report.files_scanned, 100);
+  for (const Finding& f : report.findings) {
+    EXPECT_TRUE(f.suppressed)
+        << f.file << ":" << f.line << " [" << smilint::rule_id(f.rule) << "] "
+        << f.message;
+    EXPECT_FALSE(f.reason.empty()) << f.file << ":" << f.line;
+  }
+  EXPECT_EQ(report.unsuppressed_count(), 0);
+}
+
+TEST(SmilintUnitTest, SameLineAndLineAboveSuppressionForms) {
+  RulePolicy policy;
+  const auto same_line = smilint::analyze_source(
+      "x.cpp", "int f() { return rand(); }  // smilint: allow(unseeded-rng) reason=test\n",
+      {}, policy);
+  ASSERT_EQ(same_line.size(), 1u);
+  EXPECT_TRUE(same_line[0].suppressed);
+  EXPECT_EQ(same_line[0].reason, "test");
+
+  const auto above = smilint::analyze_source(
+      "x.cpp",
+      "// smilint: allow(unseeded-rng) reason=test above\n"
+      "int f() { return rand(); }\n",
+      {}, policy);
+  ASSERT_EQ(above.size(), 1u);
+  EXPECT_TRUE(above[0].suppressed);
+  EXPECT_EQ(above[0].reason, "test above");
+}
+
+TEST(SmilintUnitTest, SuppressionForTheWrongRuleDoesNotApply) {
+  RulePolicy policy;
+  const auto findings = smilint::analyze_source(
+      "x.cpp", "int f() { return rand(); }  // smilint: allow(wall-clock) reason=mismatched\n",
+      {}, policy);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_FALSE(findings[0].suppressed);
+}
+
+TEST(SmilintUnitTest, ReasonlessSuppressionIsItselfAFinding) {
+  RulePolicy policy;
+  const auto findings = smilint::analyze_source(
+      "x.cpp", "int f() { return rand(); }  // smilint: allow(unseeded-rng)\n",
+      {}, policy);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, Rule::kUnseededRng);
+  EXPECT_FALSE(findings[0].suppressed);
+  EXPECT_EQ(findings[1].rule, Rule::kSuppression);
+}
+
+TEST(SmilintUnitTest, ManifestVerbsShapePolicy) {
+  const Manifest m = Manifest::parse(
+      "skip gen/\n"
+      "off bench/ wall-clock,float-reduce\n"
+      "hot-path src/hot\n"
+      "slab src/slab\n");
+  EXPECT_TRUE(m.skipped("gen/x.cpp"));
+  EXPECT_FALSE(m.skipped("src/x.cpp"));
+
+  const RulePolicy bench = m.policy_for("bench/b.cpp");
+  EXPECT_FALSE(bench.wall_clock);
+  EXPECT_FALSE(bench.float_reduce);
+  EXPECT_TRUE(bench.unseeded_rng);
+
+  EXPECT_FALSE(m.policy_for("src/other.cpp").std_function);
+  EXPECT_TRUE(m.policy_for("src/hot/a.h").std_function);
+  EXPECT_TRUE(m.policy_for("src/other.cpp").raw_new_delete);
+  EXPECT_FALSE(m.policy_for("src/slab/pool.cpp").raw_new_delete);
+}
+
+TEST(SmilintUnitTest, ManifestRejectsTypos) {
+  EXPECT_THROW(Manifest::parse("off src/ wall-clok"), std::runtime_error);
+  EXPECT_THROW(Manifest::parse("enable src/ wall-clock"), std::runtime_error);
+  EXPECT_THROW(Manifest::parse("off src/"), std::runtime_error);
+}
+
+TEST(SmilintUnitTest, DisabledRuleReportsNothing) {
+  RulePolicy policy;
+  policy.unseeded_rng = false;
+  const auto findings =
+      smilint::analyze_source("x.cpp", "int f() { return rand(); }\n", {},
+                              policy);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(SmilintUnitTest, JsonReportCarriesTheGateFields) {
+  RulePolicy policy;
+  Report report;
+  report.files_scanned = 1;
+  report.findings = smilint::analyze_source(
+      "x.cpp", "int f() { return rand(); }\n", {}, policy);
+  const std::string json = smilint::to_json(report);
+  EXPECT_NE(json.find("\"unsuppressed\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"unseeded-rng\""), std::string::npos);
+  EXPECT_NE(json.find("\"code\": \"D2\""), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed\": false"), std::string::npos);
+}
+
+TEST(SmilintUnitTest, PairedHeaderNamesReachTheSource) {
+  RulePolicy policy;
+  const auto findings = smilint::analyze_source(
+      "x.cpp",
+      "long walk() { long s = 0; for (const auto& kv : table_) { s += kv.second; } return s; }\n",
+      "struct T { std::unordered_map<int, long> table_; };\n", policy);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, Rule::kUnorderedIter);
+}
+
+}  // namespace

@@ -83,6 +83,39 @@ TEST(UnixBenchTest, ImpactGrowsAsGapShrinks) {
   EXPECT_LT(prev, clean * 0.6);  // 100 ms gap: about half the machine gone
 }
 
+// Golden pins (smilint D1's runtime counterpart): the UnixBench score is a
+// pure function of (config, seed) SimTime evolution — no wall clock
+// anywhere in the scoring path. The host-calibration kernels in
+// kernels.cpp are the only sanctioned chrono users (reasoned smilint
+// suppression) and never feed these numbers. Values captured from the
+// seed build; per-test rates are plain IEEE arithmetic on integer-ns sim
+// times, so they pin exactly; the index passes through std::log/std::exp,
+// so it gets a 1e-9 relative band for libm variance.
+TEST(UnixBenchGoldenTest, IndexPinnedAgainstSeed) {
+  const UnixBenchResult clean = run_unixbench(quick_options(4));
+  const double kCleanOps[kUbTestCount] = {44000000.0, 8400.0, 4200000.0,
+                                          1040000.0, 9600000.0};
+  for (int i = 0; i < kUbTestCount; ++i) {
+    EXPECT_DOUBLE_EQ(clean.ops_per_s[static_cast<std::size_t>(i)],
+                     kCleanOps[i])
+        << to_string(ub_test_specs()[static_cast<std::size_t>(i)].test);
+  }
+  EXPECT_NEAR(clean.index, 3176.6994643983371, 3176.6994643983371 * 1e-9);
+
+  UnixBenchOptions noisy = quick_options(4);
+  noisy.smi = SmiConfig::long_with_gap(600);
+  const UnixBenchResult degraded = run_unixbench(noisy);
+  const double kNoisyOps[kUbTestCount] = {
+      37019377.553732432, 7186.3015045131142, 3540430.7866803771,
+      890358.09663637611, 8226398.4724229285};
+  for (int i = 0; i < kUbTestCount; ++i) {
+    EXPECT_DOUBLE_EQ(degraded.ops_per_s[static_cast<std::size_t>(i)],
+                     kNoisyOps[i])
+        << to_string(ub_test_specs()[static_cast<std::size_t>(i)].test);
+  }
+  EXPECT_NEAR(degraded.index, 2701.9168932654102, 2701.9168932654102 * 1e-9);
+}
+
 TEST(UnixBenchTest, ShortSmisBarelyMatter) {
   UnixBenchOptions base = quick_options(4);
   UnixBenchOptions noisy = base;

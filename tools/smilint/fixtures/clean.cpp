@@ -1,0 +1,29 @@
+// Fixture: idiomatic deterministic simulator code — keyed unordered
+// lookups, ordered iteration, fixed-order float accumulation.
+// Expected: no findings.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct CleanFixture {
+  std::unordered_map<int, double> by_key_;
+  std::map<int, double> ordered_;
+
+  [[nodiscard]] double lookup(int key) const {
+    const auto it = by_key_.find(key);  // keyed: fine
+    return it == by_key_.end() ? 0.0 : it->second;
+  }
+
+  [[nodiscard]] double ordered_sum() const {
+    double sum = 0.0;
+    for (const auto& [k, v] : ordered_) sum += v;  // ordered map: fine
+    return sum;
+  }
+
+  [[nodiscard]] long vector_sum(const std::vector<int>& xs) const {
+    long sum = 0;
+    for (const int x : xs) sum += x;
+    return sum;
+  }
+};

@@ -1,0 +1,15 @@
+// Fixture: every way simulation code reaches for the wall clock.
+// Expected: D1 on lines 8, 10, 12; the comment mention below is inert.
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+double fixture_wall_clock() {
+  const auto t0 = std::chrono::steady_clock::now();  // D1
+  timeval tv{};
+  gettimeofday(&tv, nullptr);  // D1
+  // std::chrono in a comment must not fire.
+  const auto stamp = time(nullptr);  // D1
+  return static_cast<double>(stamp) + t0.time_since_epoch().count() +
+         static_cast<double>(tv.tv_sec);
+}

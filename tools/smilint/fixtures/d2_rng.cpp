@@ -1,0 +1,12 @@
+// Fixture: unseeded / ambient randomness sources.
+// Expected: D2 on lines 7, 9, 10; the string literal below is inert.
+#include <cstdlib>
+#include <random>
+
+int fixture_rng() {
+  const int a = rand();  // D2
+  const char* label = "rand() in a string must not fire";
+  std::random_device dev;                  // D2
+  std::mt19937 gen{dev()};                 // D2
+  return a + static_cast<int>(gen()) + static_cast<int>(label[0]);
+}

@@ -1,0 +1,20 @@
+// Fixture: iteration over an unordered container declared in the paired
+// header. Expected: D3 on lines 8 and 16; the keyed find() is inert.
+#include "d3_unordered_iter.h"
+
+long FixtureTable::walk() const {
+  long sum = 0;
+  for (const auto& [key, value] : rows_) {  // D3
+    sum += key + static_cast<long>(value.size());
+  }
+  const auto hit = rows_.find(42);  // keyed lookup: fine
+  return sum + (hit != rows_.end() ? 1 : 0);
+}
+
+long FixtureTable::walk_iter() const {
+  long sum = 0;
+  for (auto it = rows_.begin(); it != rows_.end(); ++it) {  // D3
+    sum += it->first;
+  }
+  return sum;
+}

@@ -1,0 +1,12 @@
+// Fixture header: the unordered member lives here; the iteration hazards
+// live in the paired .cpp, exercising cross-file name harvesting.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+struct FixtureTable {
+  std::unordered_map<int, std::string> rows_;
+  [[nodiscard]] long walk() const;
+  [[nodiscard]] long walk_iter() const;
+};

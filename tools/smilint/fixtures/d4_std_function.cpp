@@ -1,0 +1,7 @@
+// Fixture: std::function in a file the manifest marks hot-path.
+// Expected: D4 on line 6 (the fixture manifest hot-paths this directory).
+#include <functional>
+
+struct FixtureCallback {
+  std::function<void(int)> on_event;  // D4
+};

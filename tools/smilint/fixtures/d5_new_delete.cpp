@@ -1,0 +1,12 @@
+// Fixture: raw allocation outside the slab allocators.
+// Expected: D5 on lines 7 and 9; `= delete` and `operator new` are inert.
+struct FixtureBox {
+  FixtureBox(const FixtureBox&) = delete;  // deleted function: fine
+
+  static int* make() {
+    int* p = new int[16];  // D5
+    p[0] = 1;
+    delete[] p;  // D5
+    return nullptr;
+  }
+};

@@ -1,0 +1,17 @@
+// Fixture: accumulation-order-sensitive floating-point reductions.
+// Expected: D3 + D6 on the unordered loop (lines 10, 11), D6 on the
+// std::reduce call (line 15).
+#include <numeric>
+#include <unordered_map>
+
+double fixture_reduce(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  long count = 0;
+  for (const auto& [id, w] : weights) {  // D3
+    total += w;                          // D6: sum depends on hash order
+    count += 1;                          // integer: exact, no finding
+  }
+  const double vals[3] = {0.1, 0.2, 0.3};
+  total += std::reduce(vals, vals + 3);  // D6
+  return total + static_cast<double>(count);
+}

@@ -1,0 +1,6 @@
+// Fixture: a suppression without a reason does NOT suppress, and is itself
+// an S0 finding. Expected: D2 unsuppressed on line 6, S0 on line 5.
+#include <cstdlib>
+
+// smilint: allow(unseeded-rng)
+int fixture_no_reason() { return rand(); }

@@ -1,0 +1,15 @@
+// Fixture: every violation carries a reasoned suppression — same-line and
+// line-above forms. Expected: 4 suppressed findings, 0 unsuppressed.
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+
+double fixture_suppressed(const std::unordered_map<int, double>& m) {
+  const auto t0 = std::chrono::steady_clock::now();  // smilint: allow(wall-clock) reason=fixture same-line suppression
+  // smilint: allow(unseeded-rng) reason=fixture line-above suppression
+  const int r = rand();
+  double sum = 0.0;
+  // smilint: allow(unordered-iter,float-reduce) reason=fixture multi-rule suppression
+  for (const auto& [k, v] : m) { sum += v + k; }
+  return sum + r + t0.time_since_epoch().count();
+}

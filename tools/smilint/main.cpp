@@ -1,0 +1,69 @@
+// smilint CLI: scan the tree, print findings, gate on unsuppressed count.
+//
+//   smilint [--root DIR] [--rules FILE] [--json] [--show-suppressed] [PATH...]
+//
+// PATHs are repo-relative files or directories; the default scan set is
+// src, bench, and tools. Exit codes: 0 clean, 1 unsuppressed violations,
+// 2 usage or I/O error.
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "smilint.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string rules_path;
+  bool json = false;
+  bool show_suppressed = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "smilint: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = value("--root");
+    } else if (arg == "--rules") {
+      rules_path = value("--rules");
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--show-suppressed") {
+      show_suppressed = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: smilint [--root DIR] [--rules FILE] [--json] "
+                   "[--show-suppressed] [PATH...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "smilint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "bench", "tools"};
+  if (rules_path.empty()) {
+    rules_path =
+        (std::filesystem::path(root) / "tools/smilint/smilint.rules").string();
+  }
+
+  try {
+    const smilint::Manifest manifest = smilint::Manifest::load(rules_path);
+    const smilint::Report report = smilint::run_tree(root, paths, manifest);
+    if (json) {
+      std::cout << smilint::to_json(report);
+    } else {
+      smilint::print_text(std::cout, report, show_suppressed);
+    }
+    return report.unsuppressed_count() > 0 ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "smilint: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,855 @@
+#include "smilint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace smilint {
+
+namespace {
+
+constexpr std::string_view kRuleIds[kRuleCount] = {
+    "wall-clock",   "unseeded-rng",   "unordered-iter", "std-function",
+    "raw-new-delete", "float-reduce", "suppression",
+};
+constexpr std::string_view kRuleCodes[kRuleCount] = {
+    "D1", "D2", "D3", "D4", "D5", "D6", "S0",
+};
+
+}  // namespace
+
+std::string_view rule_id(Rule rule) {
+  return kRuleIds[static_cast<int>(rule)];
+}
+
+std::string_view rule_code(Rule rule) {
+  return kRuleCodes[static_cast<int>(rule)];
+}
+
+bool parse_rule_id(std::string_view id, Rule& out) {
+  for (int i = 0; i < kRuleCount; ++i) {
+    if (kRuleIds[i] == id) {
+      out = static_cast<Rule>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RulePolicy::enabled(Rule rule) const {
+  switch (rule) {
+    case Rule::kWallClock:
+      return wall_clock;
+    case Rule::kUnseededRng:
+      return unseeded_rng;
+    case Rule::kUnorderedIter:
+      return unordered_iter;
+    case Rule::kStdFunction:
+      return std_function;
+    case Rule::kRawNewDelete:
+      return raw_new_delete;
+    case Rule::kFloatReduce:
+      return float_reduce;
+    case Rule::kSuppression:
+      return true;  // suppression hygiene is never waivable
+  }
+  return true;
+}
+
+void RulePolicy::set(Rule rule, bool on) {
+  switch (rule) {
+    case Rule::kWallClock:
+      wall_clock = on;
+      break;
+    case Rule::kUnseededRng:
+      unseeded_rng = on;
+      break;
+    case Rule::kUnorderedIter:
+      unordered_iter = on;
+      break;
+    case Rule::kStdFunction:
+      std_function = on;
+      break;
+    case Rule::kRawNewDelete:
+      raw_new_delete = on;
+      break;
+    case Rule::kFloatReduce:
+      float_reduce = on;
+      break;
+    case Rule::kSuppression:
+      break;  // not configurable
+  }
+}
+
+namespace {
+
+// --- Lexer -------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+/// A suppression directive parsed from a comment.
+struct Suppression {
+  int line = 0;                  ///< line the comment ends on
+  std::vector<Rule> rules;
+  std::string reason;
+  bool has_reason = false;
+  bool used = false;
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+void trim(std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) {
+    s.clear();
+    return;
+  }
+  const auto e = s.find_last_not_of(" \t\r\n");
+  s = s.substr(b, e - b + 1);
+}
+
+/// Parse `smilint: allow(<rule>[,<rule>]) reason=<text>` out of a comment.
+/// Malformed rule lists are reported as a reason-less suppression so they
+/// surface as S0 findings instead of being silently ignored.
+void parse_suppression(std::string_view comment, int line,
+                       std::vector<Suppression>& out) {
+  const auto at = comment.find("smilint:");
+  if (at == std::string_view::npos) return;
+  std::string_view rest = comment.substr(at + 8);
+  Suppression s;
+  s.line = line;
+  const auto open = rest.find("allow(");
+  if (open == std::string_view::npos) return;
+  const auto close = rest.find(')', open);
+  if (close == std::string_view::npos) {
+    out.push_back(std::move(s));  // malformed: no rule list
+    return;
+  }
+  std::string_view list = rest.substr(open + 6, close - open - 6);
+  while (!list.empty()) {
+    const auto comma = list.find(',');
+    std::string one{list.substr(0, comma)};
+    trim(one);
+    Rule rule;
+    if (!one.empty() && parse_rule_id(one, rule)) s.rules.push_back(rule);
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+  std::string_view after = rest.substr(close + 1);
+  const auto r = after.find("reason=");
+  if (r != std::string_view::npos) {
+    std::string reason{after.substr(r + 7)};
+    trim(reason);
+    if (!reason.empty()) {
+      s.reason = std::move(reason);
+      s.has_reason = true;
+    }
+  }
+  out.push_back(std::move(s));
+}
+
+/// Strip comments, string/char literals, and preprocessor directives;
+/// tokenize what remains. Comments are scanned for suppression directives.
+Lexed lex(std::string_view text) {
+  Lexed out;
+  std::string code;  // code-only text, literals blanked, one pass
+  code.reserve(text.size());
+  std::vector<int> code_lines;  // line number per code byte
+  int line = 1;
+
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  auto peek = [&](std::size_t k) -> char { return k < n ? text[k] : '\0'; };
+
+  bool at_line_start = true;  // only whitespace seen so far on this line
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+      code.push_back('\n');
+      code_lines.push_back(line - 1);
+      ++i;
+      continue;
+    }
+    if (at_line_start && c == '#') {
+      // Preprocessor directive: drop it (with backslash continuations).
+      while (i < n) {
+        if (text[i] == '\\' && peek(i + 1) == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (text[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) at_line_start = false;
+    if (c == '/' && peek(i + 1) == '/') {
+      const std::size_t start = i + 2;
+      while (i < n && text[i] != '\n') ++i;
+      parse_suppression(text.substr(start, i - start), line, out.suppressions);
+      continue;
+    }
+    if (c == '/' && peek(i + 1) == '*') {
+      const std::size_t start = i + 2;
+      i += 2;
+      while (i < n && !(text[i] == '*' && peek(i + 1) == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      parse_suppression(text.substr(start, i - start), line, out.suppressions);
+      if (i < n) i += 2;
+      continue;
+    }
+    if (c == 'R' && peek(i + 1) == '"') {
+      // Raw string literal R"delim(...)delim".
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(') delim.push_back(text[j++]);
+      const std::string closer = ")" + delim + "\"";
+      const auto end = text.find(closer, j);
+      const std::size_t stop = end == std::string_view::npos
+                                   ? n
+                                   : end + closer.size();
+      for (std::size_t k = i; k < stop; ++k) {
+        if (text[k] == '\n') ++line;
+      }
+      i = stop;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\') ++i;
+        if (i < n && text[i] == '\n') ++line;
+        if (i < n) ++i;
+      }
+      if (i < n) ++i;
+      continue;
+    }
+    code.push_back(c);
+    code_lines.push_back(line);
+    ++i;
+  }
+
+  // Tokenize the code-only text.
+  std::size_t p = 0;
+  const std::size_t m = code.size();
+  while (p < m) {
+    const char c = code[p];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++p;
+      continue;
+    }
+    const int tok_line = code_lines[p];
+    if (ident_start(c)) {
+      std::size_t q = p;
+      while (q < m && ident_char(code[q])) ++q;
+      out.tokens.push_back({code.substr(p, q - p), tok_line});
+      p = q;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t q = p;
+      while (q < m && (ident_char(code[q]) || code[q] == '.' ||
+                       code[q] == '\'')) {
+        ++q;
+      }
+      p = q;  // numbers never participate in a rule pattern
+      continue;
+    }
+    // Multi-char operators the matchers care about; everything else is a
+    // single-char symbol token.
+    auto two = [&](char a, char b) {
+      return c == a && p + 1 < m && code[p + 1] == b;
+    };
+    if (two(':', ':') || two('+', '=') || two('-', '=') || two('*', '=') ||
+        two('/', '=') || two('-', '>')) {
+      out.tokens.push_back({code.substr(p, 2), tok_line});
+      p += 2;
+      continue;
+    }
+    out.tokens.push_back({std::string(1, c), tok_line});
+    ++p;
+  }
+  return out;
+}
+
+// --- Declared-name harvesting ------------------------------------------------
+
+struct DeclaredNames {
+  std::set<std::string> unordered_vars;   ///< variables of unordered type
+  std::set<std::string> unordered_types;  ///< aliases of unordered types
+  std::set<std::string> float_vars;       ///< double/float variables
+};
+
+bool is_unordered_container(const std::string& t) {
+  return t == "unordered_map" || t == "unordered_set" ||
+         t == "unordered_multimap" || t == "unordered_multiset";
+}
+
+/// Skip a balanced <...> starting at tokens[i] == "<"; returns the index
+/// one past the closing ">". `::` never contains angles; `->` can't appear
+/// in a template argument list we care about.
+std::size_t skip_angles(const std::vector<Token>& toks, std::size_t i) {
+  int depth = 0;
+  while (i < toks.size()) {
+    const std::string& t = toks[i].text;
+    if (t == "<") ++depth;
+    if (t == ">" && --depth == 0) return i + 1;
+    ++i;
+  }
+  return i;
+}
+
+void harvest(const std::vector<Token>& toks, DeclaredNames& names) {
+  const std::size_t n = toks.size();
+  auto tok = [&](std::size_t k) -> const std::string& {
+    static const std::string empty;
+    return k < n ? toks[k].text : empty;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string& t = toks[i].text;
+    // using NAME = std::unordered_map<...>;
+    if (t == "using" && i + 2 < n && tok(i + 2) == "=") {
+      std::size_t j = i + 3;
+      if (tok(j) == "std" && tok(j + 1) == "::") j += 2;
+      if (is_unordered_container(tok(j))) {
+        names.unordered_types.insert(tok(i + 1));
+      }
+      continue;
+    }
+    // [std::]unordered_map<...> [&|*] NAME   (declaration or parameter)
+    const bool qualified = t == "std" && tok(i + 1) == "::";
+    const std::size_t base = qualified ? i + 2 : i;
+    const bool container = is_unordered_container(tok(base)) ||
+                           names.unordered_types.count(tok(base)) > 0;
+    if (container && (qualified || !names.unordered_types.count(t))) {
+      std::size_t j = base + 1;
+      if (tok(j) == "<") j = skip_angles(toks, j);
+      while (tok(j) == "&" || tok(j) == "*" || tok(j) == "const") ++j;
+      if (j < n && ident_start(tok(j)[0]) &&
+          tok(j + 1) != "(") {  // not a function returning one
+        names.unordered_vars.insert(tok(j));
+      }
+      if (qualified) i = base;  // resume after "std :: name"
+      continue;
+    }
+    // Alias-typed declarations: ALIAS NAME;
+    if (names.unordered_types.count(t) > 0 && i + 1 < n &&
+        ident_start(tok(i + 1)[0]) && tok(i + 2) != "(") {
+      names.unordered_vars.insert(tok(i + 1));
+      continue;
+    }
+    // double/float NAME followed by ; = { , ) — a variable, not a function.
+    if ((t == "double" || t == "float") && i + 2 < n &&
+        ident_start(tok(i + 1)[0])) {
+      const std::string& after = tok(i + 2);
+      if (after == ";" || after == "=" || after == "{" || after == "," ||
+          after == ")" || after == "+=") {
+        names.float_vars.insert(tok(i + 1));
+      }
+    }
+  }
+}
+
+// --- Rule matchers -----------------------------------------------------------
+
+const std::set<std::string>& wall_clock_calls() {
+  static const std::set<std::string> kCalls = {
+      "gettimeofday", "clock_gettime", "timespec_get", "ftime",
+      "localtime",    "gmtime",        "mktime",
+  };
+  return kCalls;
+}
+
+const std::set<std::string>& banned_rng_names() {
+  static const std::set<std::string> kNames = {
+      "rand",          "srand",        "drand48",
+      "lrand48",       "mrand48",      "random_device",
+      "mt19937",       "mt19937_64",   "minstd_rand",
+      "minstd_rand0",  "knuth_b",      "default_random_engine",
+      "random_shuffle",
+  };
+  return kNames;
+}
+
+struct Matcher {
+  const std::string& file;
+  const std::vector<Token>& toks;
+  const DeclaredNames& names;
+  const RulePolicy& policy;
+  std::vector<Finding>& findings;
+
+  [[nodiscard]] const std::string& tok(std::size_t k) const {
+    static const std::string empty;
+    return k < toks.size() ? toks[k].text : empty;
+  }
+
+  void add(Rule rule, int line, std::string message) {
+    if (!policy.enabled(rule)) return;
+    findings.push_back({file, line, rule, std::move(message), false, {}});
+  }
+
+  void run() {
+    const std::size_t n = toks.size();
+    // Body extents (token ranges) of range-for loops over unordered
+    // containers, for the D6 combination rule.
+    std::vector<std::pair<std::size_t, std::size_t>> unordered_bodies;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string& t = toks[i].text;
+      const std::string& prev = i > 0 ? toks[i - 1].text : tok(n);
+
+      // D1: std::chrono anywhere; C time functions; bare time( calls.
+      if (t == "std" && tok(i + 1) == "::" && tok(i + 2) == "chrono") {
+        add(Rule::kWallClock, toks[i].line,
+            "std::chrono clock in simulation code; simulation state must "
+            "advance on SimTime only");
+      }
+      if (wall_clock_calls().count(t) > 0 && tok(i + 1) == "(" &&
+          prev != "." && prev != "->") {
+        add(Rule::kWallClock, toks[i].line,
+            "wall-clock call `" + t + "()`; use SimTime");
+      }
+      if (t == "time" && tok(i + 1) == "(" && prev != "." && prev != "->") {
+        // Allow member/qualified uses like SimClock::time(); flag ::time()
+        // and std::time().
+        const bool qualified_member =
+            prev == "::" && i >= 2 && ident_start(tok(i - 2)[0]) &&
+            tok(i - 2) != "std";
+        if (!qualified_member) {
+          add(Rule::kWallClock, toks[i].line,
+              "wall-clock call `time()`; use SimTime");
+        }
+      }
+
+      // D2: libc / <random> generators outside the seeded smilab Rng.
+      if (banned_rng_names().count(t) > 0 && prev != "." && prev != "->") {
+        const bool call_or_type =
+            tok(i + 1) == "(" || tok(i + 1) == "{" || tok(i + 1) == "<" ||
+            prev == "::" || ident_start(tok(i + 1)[0]);
+        if (call_or_type) {
+          add(Rule::kUnseededRng, toks[i].line,
+              "`" + t + "` bypasses the seeded smilab Rng stream");
+        }
+      }
+
+      // D3: range-for over a declared unordered container.
+      if (t == "for" && tok(i + 1) == "(") {
+        std::size_t close = i + 1;
+        int depth = 0;
+        std::size_t colon = 0;
+        for (; close < n; ++close) {
+          const std::string& c = toks[close].text;
+          if (c == "(") ++depth;
+          if (c == ")" && --depth == 0) break;
+          if (c == ":" && depth == 1 && colon == 0) colon = close;
+        }
+        if (colon != 0) {
+          for (std::size_t k = colon + 1; k < close; ++k) {
+            if (names.unordered_vars.count(toks[k].text) > 0) {
+              add(Rule::kUnorderedIter, toks[i].line,
+                  "iteration over unordered container `" + toks[k].text +
+                      "`; hash order is unspecified and must not reach "
+                      "output");
+              // Record the loop body for the D6 combination rule.
+              std::size_t body = close + 1;
+              if (tok(body) == "{") {
+                int braces = 0;
+                std::size_t end = body;
+                for (; end < n; ++end) {
+                  if (toks[end].text == "{") ++braces;
+                  if (toks[end].text == "}" && --braces == 0) break;
+                }
+                unordered_bodies.emplace_back(body, end);
+              }
+              break;
+            }
+          }
+        }
+      }
+
+      // D3: explicit iterator walks over a declared unordered container.
+      // Only begin/cbegin start an iteration; `it != m.end()` after a
+      // keyed find() is a sentinel comparison, not an order dependence.
+      if (names.unordered_vars.count(t) > 0 && tok(i + 1) == "." &&
+          (tok(i + 2) == "begin" || tok(i + 2) == "cbegin") &&
+          tok(i + 3) == "(") {
+        add(Rule::kUnorderedIter, toks[i].line,
+            "iterator over unordered container `" + t +
+                "`; hash order is unspecified and must not reach output");
+      }
+
+      // D4: std::function in manifest-marked hot-path files.
+      if (t == "std" && tok(i + 1) == "::" && tok(i + 2) == "function") {
+        add(Rule::kStdFunction, toks[i].line,
+            "std::function in a hot-path file (PR-2 lesson: type-erased "
+            "callbacks allocate and branch; use InlineCallback)");
+      }
+
+      // D5: raw new/delete outside the slab allocators.
+      if (t == "new" && prev != "operator") {
+        add(Rule::kRawNewDelete, toks[i].line,
+            "raw `new` outside the slab allocators (sim/event_queue, "
+            "sim/transport own allocation)");
+      }
+      if (t == "delete" && prev != "operator" && prev != "=") {
+        add(Rule::kRawNewDelete, toks[i].line,
+            "raw `delete` outside the slab allocators");
+      }
+
+      // D6: unspecified-order reduction algorithms.
+      if (t == "std" && tok(i + 1) == "::" &&
+          (tok(i + 2) == "reduce" || tok(i + 2) == "transform_reduce")) {
+        add(Rule::kFloatReduce, toks[i].line,
+            "std::" + tok(i + 2) +
+                " has unspecified reduction order; accumulate in stats/ "
+                "or use a fixed-order loop");
+      }
+    }
+
+    // D6: floating accumulation inside an unordered-container loop body.
+    for (const auto& [begin, end] : unordered_bodies) {
+      for (std::size_t k = begin; k + 1 < end; ++k) {
+        const std::string& op = toks[k + 1].text;
+        if ((op == "+=" || op == "-=" || op == "*=") &&
+            names.float_vars.count(toks[k].text) > 0) {
+          add(Rule::kFloatReduce, toks[k].line,
+              "floating-point accumulation into `" + toks[k].text +
+                  "` inside an unordered-container loop: the sum depends "
+                  "on hash iteration order");
+        }
+      }
+    }
+  }
+};
+
+// --- Suppression application -------------------------------------------------
+
+void apply_suppressions(std::vector<Suppression>& sups,
+                        std::vector<Finding>& findings,
+                        const std::string& file) {
+  for (Finding& f : findings) {
+    for (Suppression& s : sups) {
+      if (f.line != s.line && f.line != s.line + 1) continue;
+      const bool covers =
+          std::find(s.rules.begin(), s.rules.end(), f.rule) != s.rules.end();
+      if (!covers) continue;
+      s.used = true;
+      if (s.has_reason) {
+        f.suppressed = true;
+        f.reason = s.reason;
+      }
+      break;
+    }
+  }
+  // Reason-less suppressions are findings themselves — whether or not they
+  // matched, a directive without a reason is a policy violation.
+  for (const Suppression& s : sups) {
+    if (s.has_reason) continue;
+    findings.push_back({file, s.line, Rule::kSuppression,
+                        "suppression without a reason; write `smilint: "
+                        "allow(<rule>) reason=<why>`",
+                        false,
+                        {}});
+  }
+}
+
+}  // namespace
+
+// --- Public entry points -----------------------------------------------------
+
+std::vector<Finding> analyze_source(const std::string& file,
+                                    std::string_view text,
+                                    std::string_view paired_header,
+                                    const RulePolicy& policy) {
+  Lexed lexed = lex(text);
+  DeclaredNames names;
+  if (!paired_header.empty()) {
+    const Lexed header = lex(paired_header);
+    harvest(header.tokens, names);
+  }
+  harvest(lexed.tokens, names);
+
+  std::vector<Finding> findings;
+  Matcher{file, lexed.tokens, names, policy, findings}.run();
+  apply_suppressions(lexed.suppressions, findings, file);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return static_cast<int>(a.rule) < static_cast<int>(b.rule);
+            });
+  return findings;
+}
+
+// --- Manifest ----------------------------------------------------------------
+
+Manifest Manifest::parse(std::string_view text) {
+  Manifest m;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    trim(raw);
+    if (raw.empty()) continue;
+    std::istringstream fields{raw};
+    std::string verb, prefix, rules;
+    fields >> verb >> prefix >> rules;
+    auto bad = [&](const std::string& why) {
+      throw std::runtime_error("smilint manifest line " +
+                               std::to_string(line_no) + ": " + why);
+    };
+    if (prefix.empty()) bad("missing path prefix");
+    Directive d;
+    d.prefix = prefix;
+    if (verb == "skip") {
+      d.kind = Directive::Kind::kSkip;
+    } else if (verb == "off") {
+      d.kind = Directive::Kind::kOff;
+      if (rules.empty()) bad("`off` needs a rule list");
+      std::istringstream list{rules};
+      std::string one;
+      while (std::getline(list, one, ',')) {
+        Rule rule;
+        if (!parse_rule_id(one, rule)) bad("unknown rule `" + one + "`");
+        d.rules.push_back(rule);
+      }
+    } else if (verb == "hot-path") {
+      d.kind = Directive::Kind::kHotPath;
+    } else if (verb == "slab") {
+      d.kind = Directive::Kind::kSlab;
+    } else {
+      bad("unknown verb `" + verb + "`");
+    }
+    m.directives_.push_back(std::move(d));
+  }
+  return m;
+}
+
+Manifest Manifest::load(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) return Manifest{};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+namespace {
+bool has_prefix(std::string_view path, std::string_view prefix) {
+  return path.size() >= prefix.size() &&
+         path.substr(0, prefix.size()) == prefix;
+}
+}  // namespace
+
+bool Manifest::skipped(std::string_view rel_path) const {
+  for (const Directive& d : directives_) {
+    if (d.kind == Directive::Kind::kSkip && has_prefix(rel_path, d.prefix)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+RulePolicy Manifest::policy_for(std::string_view rel_path) const {
+  RulePolicy p;
+  for (const Directive& d : directives_) {
+    if (!has_prefix(rel_path, d.prefix)) continue;
+    switch (d.kind) {
+      case Directive::Kind::kSkip:
+        break;
+      case Directive::Kind::kOff:
+        for (const Rule r : d.rules) p.set(r, false);
+        break;
+      case Directive::Kind::kHotPath:
+        p.std_function = true;
+        break;
+      case Directive::Kind::kSlab:
+        p.raw_new_delete = false;
+        break;
+    }
+  }
+  return p;
+}
+
+// --- Tree runner -------------------------------------------------------------
+
+int Report::unsuppressed_count() const {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (!f.suppressed) ++n;
+  }
+  return n;
+}
+
+int Report::suppressed_count() const {
+  return static_cast<int>(findings.size()) - unsuppressed_count();
+}
+
+namespace {
+
+bool cpp_source(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".h" ||
+         ext == ".hpp" || ext == ".hh";
+}
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in{p, std::ios::binary};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+Report run_tree(const std::string& root, const std::vector<std::string>& subdirs,
+                const Manifest& manifest) {
+  namespace fs = std::filesystem;
+  Report report;
+  std::vector<fs::path> files;
+  for (const std::string& sub : subdirs) {
+    const fs::path dir = fs::path(root) / sub;
+    if (!fs::exists(dir)) continue;
+    if (fs::is_regular_file(dir)) {
+      if (cpp_source(dir)) files.push_back(dir);
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (entry.is_regular_file() && cpp_source(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const fs::path& path : files) {
+    const std::string rel =
+        fs::relative(path, root).generic_string();
+    if (manifest.skipped(rel)) continue;
+    ++report.files_scanned;
+    const RulePolicy policy = manifest.policy_for(rel);
+    std::string header_text;
+    if (path.extension() == ".cpp" || path.extension() == ".cc" ||
+        path.extension() == ".cxx") {
+      fs::path header = path;
+      header.replace_extension(".h");
+      if (fs::exists(header)) header_text = slurp(header);
+    }
+    std::vector<Finding> found =
+        analyze_source(rel, slurp(path), header_text, policy);
+    report.findings.insert(report.findings.end(),
+                           std::make_move_iterator(found.begin()),
+                           std::make_move_iterator(found.end()));
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return static_cast<int>(a.rule) < static_cast<int>(b.rule);
+            });
+  return report;
+}
+
+// --- Reporting ---------------------------------------------------------------
+
+namespace {
+void json_escape(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+}  // namespace
+
+std::string to_json(const Report& report) {
+  std::string out = "{\n  \"files_scanned\": " +
+                    std::to_string(report.files_scanned) +
+                    ",\n  \"unsuppressed\": " +
+                    std::to_string(report.unsuppressed_count()) +
+                    ",\n  \"suppressed\": " +
+                    std::to_string(report.suppressed_count()) +
+                    ",\n  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : report.findings) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"file\": \"";
+    json_escape(out, f.file);
+    out += "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"";
+    out += rule_id(f.rule);
+    out += "\", \"code\": \"";
+    out += rule_code(f.rule);
+    out += "\", \"suppressed\": ";
+    out += f.suppressed ? "true" : "false";
+    out += ", \"message\": \"";
+    json_escape(out, f.message);
+    if (f.suppressed) {
+      out += "\", \"reason\": \"";
+      json_escape(out, f.reason);
+    }
+    out += "\"}";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+void print_text(std::ostream& os, const Report& report, bool show_suppressed) {
+  for (const Finding& f : report.findings) {
+    if (f.suppressed && !show_suppressed) continue;
+    os << f.file << ":" << f.line << ": [" << rule_code(f.rule) << " "
+       << rule_id(f.rule) << "] " << f.message;
+    if (f.suppressed) os << " (suppressed: " << f.reason << ")";
+    os << "\n";
+  }
+  os << report.files_scanned << " files scanned, "
+     << report.unsuppressed_count() << " violation(s), "
+     << report.suppressed_count() << " suppressed\n";
+}
+
+}  // namespace smilint

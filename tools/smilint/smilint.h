@@ -1,0 +1,157 @@
+// smilint — determinism & invariant static analysis for the smilab tree.
+//
+// The reproduction's strongest property is that every table and figure is
+// bit-identical from (config, seed): golden FNV-1a hashes pin the output,
+// and PR-2/PR-3 only shipped because bit-equality gates caught regressions.
+// Runtime tests can only catch nondeterminism that happens to fire; smilint
+// rejects the *sources* of nondeterminism at lint time:
+//
+//   D1 wall-clock      no std::chrono clocks / time() / gettimeofday in
+//                      simulation code — simulation state must advance on
+//                      SimTime only.
+//   D2 unseeded-rng    no rand()/std::random_device/std::mt19937 — every
+//                      stochastic draw goes through the seeded smilab Rng.
+//   D3 unordered-iter  no iteration over std::unordered_{map,set}: hash
+//                      iteration order is unspecified and varies across
+//                      libstdc++ versions, so it must never reach output
+//                      or event ordering. Keyed find/erase is fine.
+//   D4 std-function    no std::function in hot-path files (the PR-2
+//                      lesson: type-erased callbacks allocate and branch;
+//                      use InlineCallback). Enforced only on files the
+//                      manifest marks `hot-path`.
+//   D5 raw-new-delete  no raw new/delete outside the slab allocators
+//                      (manifest `slab` prefixes: sim/event_queue,
+//                      sim/inline_callback, sim/transport own them).
+//   D6 float-reduce    no accumulation-order-sensitive floating-point
+//                      reductions outside stats/: float += inside an
+//                      unordered-container loop, or std::reduce /
+//                      std::transform_reduce (reduction order
+//                      unspecified).
+//
+// The engine is a lightweight lexer (comments / string literals /
+// preprocessor lines stripped; identifiers and operators tokenized) plus
+// per-rule token-pattern matchers — deliberately no libclang dependency so
+// the tool builds everywhere the simulator builds. False positives are
+// handled by inline suppressions with *mandatory* reasons:
+//
+//   // smilint: allow(unordered-iter) reason=validation only; throws on
+//   // any order
+//
+// A suppression covers its own line and the next code line (so a comment
+// directly above the statement works). A suppression without a reason is
+// itself reported (rule `suppression`, unsuppressable).
+//
+// Which rules apply where is controlled by a per-directory manifest
+// (tools/smilint/smilint.rules): `skip`, `off <prefix> <rules>`,
+// `hot-path <prefix>`, `slab <prefix>`.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smilint {
+
+enum class Rule {
+  kWallClock = 0,    // D1
+  kUnseededRng,      // D2
+  kUnorderedIter,    // D3
+  kStdFunction,      // D4
+  kRawNewDelete,     // D5
+  kFloatReduce,      // D6
+  kSuppression,      // malformed suppression (missing reason)
+};
+inline constexpr int kRuleCount = 7;
+
+/// Stable rule identifier used in suppressions and reports ("wall-clock").
+[[nodiscard]] std::string_view rule_id(Rule rule);
+
+/// Paper-style rule code ("D1".."D6", "S0" for suppression hygiene).
+[[nodiscard]] std::string_view rule_code(Rule rule);
+
+/// Parse a rule id; returns false if `id` names no rule.
+[[nodiscard]] bool parse_rule_id(std::string_view id, Rule& out);
+
+struct Finding {
+  std::string file;  ///< repo-relative path, forward slashes
+  int line = 0;
+  Rule rule = Rule::kWallClock;
+  std::string message;
+  bool suppressed = false;
+  std::string reason;  ///< the suppression's reason when suppressed
+};
+
+/// Which rules are live for one file. D4 and D5 default to the manifest's
+/// global posture (D4 off until `hot-path`, D5 on until `slab`).
+struct RulePolicy {
+  bool wall_clock = true;
+  bool unseeded_rng = true;
+  bool unordered_iter = true;
+  bool std_function = false;  ///< only on manifest `hot-path` files
+  bool raw_new_delete = true;
+  bool float_reduce = true;
+
+  [[nodiscard]] bool enabled(Rule rule) const;
+  void set(Rule rule, bool on);
+};
+
+/// Analyze one translation unit. `paired_header` is the text of the
+/// same-stem .h next to a .cpp (empty when none): it contributes declared
+/// names (unordered containers, float locals) so a member declared in
+/// foo.h is recognized when foo.cpp iterates it, but findings are only
+/// reported against `text` itself.
+[[nodiscard]] std::vector<Finding> analyze_source(const std::string& file,
+                                                  std::string_view text,
+                                                  std::string_view paired_header,
+                                                  const RulePolicy& policy);
+
+/// The per-directory rule manifest. Lines (order-independent; `#` comments):
+///   skip <prefix>                 do not scan files under prefix
+///   off <prefix> <rule>[,<rule>]  disable rules under prefix
+///   hot-path <prefix>             enforce std-function (D4) under prefix
+///   slab <prefix>                 exempt from raw-new-delete (D5)
+class Manifest {
+ public:
+  /// Parse manifest text. Unknown verbs or rule ids throw std::runtime_error
+  /// with the offending line, so a typo'd manifest cannot silently relax a
+  /// rule.
+  static Manifest parse(std::string_view text);
+
+  /// Load from a file; a missing file yields the all-defaults manifest.
+  static Manifest load(const std::string& path);
+
+  [[nodiscard]] bool skipped(std::string_view rel_path) const;
+  [[nodiscard]] RulePolicy policy_for(std::string_view rel_path) const;
+
+ private:
+  struct Directive {
+    std::string prefix;
+    enum class Kind { kSkip, kOff, kHotPath, kSlab } kind;
+    std::vector<Rule> rules;  // kOff only
+  };
+  std::vector<Directive> directives_;
+};
+
+struct Report {
+  std::vector<Finding> findings;  ///< sorted by (file, line, rule)
+  int files_scanned = 0;
+
+  [[nodiscard]] int unsuppressed_count() const;
+  [[nodiscard]] int suppressed_count() const;
+};
+
+/// Scan `subdirs` (repo-relative) under `root` for C++ sources
+/// (.h/.hpp/.hh/.cpp/.cc/.cxx), in sorted path order, applying `manifest`.
+[[nodiscard]] Report run_tree(const std::string& root,
+                              const std::vector<std::string>& subdirs,
+                              const Manifest& manifest);
+
+/// Machine-readable report for the CI gate.
+[[nodiscard]] std::string to_json(const Report& report);
+
+/// Human-readable report; suppressed findings shown when `show_suppressed`.
+void print_text(std::ostream& os, const Report& report, bool show_suppressed);
+
+}  // namespace smilint
