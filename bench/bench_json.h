@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <string>
 #include <utility>
 #include <vector>
@@ -24,6 +25,31 @@ class WallTimer {
 
  private:
   std::chrono::steady_clock::time_point start_;
+};
+
+/// Per-thread CPU time. For single-threaded deterministic work this is far
+/// more stable than wall clock on shared machines: time stolen by other
+/// processes does not count against the measurement.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(read()) {}
+  [[nodiscard]] double seconds() const { return read() - start_; }
+
+ private:
+  static double read() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+#else
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+#endif
+  }
+
+  double start_;
 };
 
 /// Flat JSON object accumulated in insertion order and written as

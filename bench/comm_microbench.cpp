@@ -1,5 +1,5 @@
 // Message-path micro-suite: throughput of the simulator's point-to-point
-// transport under the three shapes that stress it differently:
+// transport under the four shapes that stress it differently:
 //
 //  * ping-pong        — latency-bound alternating eager traffic; exercises
 //                       inject -> NIC -> arrival -> match with a queue depth
@@ -11,13 +11,23 @@
 //                       bucketed queues make it O(1) per message.
 //  * rendezvous ack storm — rings of nonblocking rendezvous sends keep many
 //                       completion acks outstanding at once; exercises the
-//                       ack-key routing and handle-table paths.
+//                       ack-key routing, posted-receive index, waitall
+//                       progress counters, and lazy ack maturation.
+//  * egress burst     — one sender blasts back-to-back eager bursts at a
+//                       single NIC egress server; exercises the pipeline
+//                       booking fast path (batched interval booking, one
+//                       armed event per server direction).
 //
-// Always writes BENCH_comm_microbench.json with messages/s headline numbers
-// and the pool's bounded-memory evidence, so CI can gate on a throughput
-// floor and track the trajectory across PRs.
+// The storm and burst shapes are also measured with the transport fast
+// paths disabled (System::set_transport_fast_paths(false)) so the JSON
+// artifact records the pipelined-vs-classic delta on the same machine; the
+// fast-path golden tests prove the two produce bit-identical simulations.
 //
-// Usage: comm_microbench [--quick]
+// Always writes BENCH_comm_microbench.json with messages/s headline numbers,
+// the pool's bounded-memory evidence, and the CI floor values the perf-smoke
+// job gates on.
+//
+// Usage: comm_microbench [--quick] [--classic]
 #include <cstdio>
 #include <cstring>
 #include <vector>
@@ -25,10 +35,19 @@
 #include "bench_json.h"
 #include "smilab/mpi/job.h"
 #include "smilab/sim/system.h"
+#include "smilab/trace/action_arena.h"
 
 namespace {
 
 using namespace smilab;
+
+// Floors for the CI perf-smoke gate, recorded in the JSON artifact. Local
+// Release rates are ~2M (flood), ~1.4M (storm), ~2M (burst) msgs/s; the
+// floors sit far below so only a reversion to quadratic matching or a
+// gross regression trips them on slow shared runners.
+constexpr double kFloodFloor = 400'000.0;
+constexpr double kAckStormFloor = 500'000.0;
+constexpr double kEgressBurstFloor = 600'000.0;
 
 SystemConfig base_cfg(int nodes) {
   SystemConfig cfg;
@@ -45,8 +64,11 @@ struct Rate {
 };
 
 /// Eager ping-pong between two ranks on distinct nodes.
-Rate measure_ping_pong(int round_trips) {
+Rate measure_ping_pong(int round_trips, bool fast_paths) {
+  ActionArena arena;
+  ActionArena::Scope scope{arena};
   System sys{base_cfg(2)};
+  sys.set_transport_fast_paths(fast_paths);
   const GroupId g = sys.create_group(2);
   std::vector<Action> a, b;
   for (int i = 0; i < round_trips; ++i) {
@@ -57,7 +79,7 @@ Rate measure_ping_pong(int round_trips) {
   }
   sys.spawn_member(g, 0, TaskSpec::with_actions("a", 0, std::move(a)));
   sys.spawn_member(g, 1, TaskSpec::with_actions("b", 1, std::move(b)));
-  benchtool::WallTimer timer;
+  benchtool::CpuTimer timer;
   sys.run();
   Rate r;
   r.msgs_per_s = 2.0 * round_trips / timer.seconds();
@@ -68,8 +90,11 @@ Rate measure_ping_pong(int round_trips) {
 /// Deep unexpected queue drained out of order: `tags` eager messages with
 /// distinct tags pile up while the receiver computes, then are received in
 /// reverse tag order; repeated for `rounds`.
-Rate measure_unexpected_flood(int tags, int rounds) {
+Rate measure_unexpected_flood(int tags, int rounds, bool fast_paths) {
+  ActionArena arena;
+  ActionArena::Scope scope{arena};
   System sys{base_cfg(2)};
+  sys.set_transport_fast_paths(fast_paths);
   const GroupId g = sys.create_group(2);
   std::vector<Action> recv_prog, send_prog;
   for (int round = 0; round < rounds; ++round) {
@@ -82,7 +107,7 @@ Rate measure_unexpected_flood(int tags, int rounds) {
                    TaskSpec::with_actions("recv", 0, std::move(recv_prog)));
   sys.spawn_member(g, 1,
                    TaskSpec::with_actions("send", 1, std::move(send_prog)));
-  benchtool::WallTimer timer;
+  benchtool::CpuTimer timer;
   sys.run();
   Rate r;
   r.msgs_per_s = static_cast<double>(tags) * rounds / timer.seconds();
@@ -93,8 +118,11 @@ Rate measure_unexpected_flood(int tags, int rounds) {
 /// Nonblocking rendezvous ring: every rank isends `burst` rendezvous-sized
 /// messages to its successor and irecvs as many from its predecessor, then
 /// waits on everything — keeping burst*p completion acks in flight.
-Rate measure_ack_storm(int ranks, int burst, int rounds) {
+Rate measure_ack_storm(int ranks, int burst, int rounds, bool fast_paths) {
+  ActionArena arena;
+  ActionArena::Scope scope{arena};
   System sys{base_cfg(ranks)};
+  sys.set_transport_fast_paths(fast_paths);
   auto programs = make_rank_programs(ranks);
   std::int64_t messages = 0;
   for (int round = 0; round < rounds; ++round) {
@@ -111,7 +139,7 @@ Rate measure_ack_storm(int ranks, int burst, int rounds) {
     }
     messages += static_cast<std::int64_t>(ranks) * burst;
   }
-  benchtool::WallTimer timer;
+  benchtool::CpuTimer timer;
   auto result = run_mpi_job(sys, std::move(programs),
                             block_placement(ranks, 1), WorkloadProfile{});
   Rate r;
@@ -120,33 +148,106 @@ Rate measure_ack_storm(int ranks, int burst, int rounds) {
   return r;
 }
 
+/// Back-to-back eager bursts at one egress server: each round the sender
+/// blasts `burst` eager isends into its NIC (booked as one batch by the
+/// pipeline), then waits for the receiver's short done message before the
+/// next round — so the in-flight window stays one burst deep and the
+/// measurement tracks per-burst booking cost rather than backlog memory.
+Rate measure_egress_burst(int burst, int rounds, bool fast_paths) {
+  ActionArena arena;
+  ActionArena::Scope scope{arena};
+  System sys{base_cfg(2)};
+  sys.set_transport_fast_paths(fast_paths);
+  auto programs = make_rank_programs(2);
+  const int done_tag = 1 << 20;
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<int> send_handles, recv_handles;
+    for (int i = 0; i < burst; ++i) {
+      programs[0].isend(1, 4096, /*tag=*/i, /*handle=*/i);
+      send_handles.push_back(i);
+      programs[1].irecv(0, /*tag=*/i, /*handle=*/i);
+      recv_handles.push_back(i);
+    }
+    programs[0].waitall(std::move(send_handles));
+    programs[0].recv(1, done_tag);
+    programs[1].waitall(std::move(recv_handles));
+    programs[1].send(0, 64, done_tag);
+  }
+  const std::int64_t messages = static_cast<std::int64_t>(burst) * rounds;
+  benchtool::CpuTimer timer;
+  auto result = run_mpi_job(sys, std::move(programs), block_placement(2, 1),
+                            WorkloadProfile{});
+  Rate r;
+  r.msgs_per_s = static_cast<double>(messages) / timer.seconds();
+  r.stats = result.transport;
+  return r;
+}
+
+/// Best-of-N wall-clock: the simulation is deterministic, so every
+/// repetition does identical work and the fastest run is the least
+/// machine-noise-contaminated estimate.
+template <typename Fn>
+Rate best_of(int reps, Fn&& measure) {
+  Rate best = measure();
+  for (int i = 1; i < reps; ++i) {
+    Rate r = measure();
+    if (r.msgs_per_s > best.msgs_per_s) best = r;
+  }
+  return best;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool classic = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--classic") == 0) classic = true;
     // --jobs=/--trials=/--csv=: accepted-and-ignored shared driver flags.
   }
   const int scale = quick ? 1 : 4;
+  const int reps = quick ? 1 : 3;
+  const bool fast = !classic;
 
-  const Rate ping = measure_ping_pong(20'000 * scale);
+  const Rate ping =
+      best_of(reps, [&] { return measure_ping_pong(20'000 * scale, fast); });
   std::printf("ping-pong:        %12.0f msgs/s\n", ping.msgs_per_s);
-  const Rate flood = measure_unexpected_flood(1500, 4 * scale);
+  const Rate flood = best_of(
+      reps, [&] { return measure_unexpected_flood(1500, 4 * scale, fast); });
   std::printf("unexpected flood: %12.0f msgs/s  (pool capacity %lld for %lld msgs)\n",
               flood.msgs_per_s,
               static_cast<long long>(flood.stats.pool_capacity),
               static_cast<long long>(flood.stats.messages_allocated));
-  const Rate storm = measure_ack_storm(8, 48, 2 * scale);
+  const Rate storm =
+      best_of(reps, [&] { return measure_ack_storm(8, 48, 2 * scale, fast); });
   std::printf("rendezvous storm: %12.0f msgs/s  (%lld ack routes at exit)\n",
               storm.msgs_per_s,
               static_cast<long long>(storm.stats.ack_routes));
+  const Rate burst = best_of(
+      reps, [&] { return measure_egress_burst(64, 300 * scale, fast); });
+  std::printf("egress burst:     %12.0f msgs/s  (peak in flight %lld)\n",
+              burst.msgs_per_s,
+              static_cast<long long>(burst.stats.peak_in_flight));
+
+  // Classic-transport reference points for the two fast-path shapes (same
+  // machine, same process), so the artifact carries the delta.
+  const Rate storm_classic =
+      best_of(reps, [&] { return measure_ack_storm(8, 48, 2 * scale, false); });
+  const Rate burst_classic = best_of(
+      reps, [&] { return measure_egress_burst(64, 300 * scale, false); });
+  std::printf("  (classic transport: storm %.0f, burst %.0f msgs/s)\n",
+              storm_classic.msgs_per_s, burst_classic.msgs_per_s);
 
   smilab::benchtool::BenchJson json{"comm_microbench"};
   json.set("quick", quick);
+  json.set("classic", classic);
   json.set("ping_pong_msgs_per_s", ping.msgs_per_s);
   json.set("unexpected_flood_msgs_per_s", flood.msgs_per_s);
   json.set("ack_storm_msgs_per_s", storm.msgs_per_s);
+  json.set("egress_burst_msgs_per_s", burst.msgs_per_s);
+  json.set("ack_storm_classic_msgs_per_s", storm_classic.msgs_per_s);
+  json.set("egress_burst_classic_msgs_per_s", burst_classic.msgs_per_s);
   json.set("flood_pool_capacity",
            static_cast<long long>(flood.stats.pool_capacity));
   json.set("flood_messages_allocated",
@@ -155,6 +256,9 @@ int main(int argc, char** argv) {
            static_cast<long long>(flood.stats.pool_live));
   json.set("storm_peak_in_flight",
            static_cast<long long>(storm.stats.peak_in_flight));
+  json.set("ci_floor_unexpected_flood_msgs_per_s", kFloodFloor);
+  json.set("ci_floor_ack_storm_msgs_per_s", kAckStormFloor);
+  json.set("ci_floor_egress_burst_msgs_per_s", kEgressBurstFloor);
   json.write();
   return 0;
 }

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <thread>
 
+#include "smilab/trace/action_arena.h"
+
 namespace smilab {
 
 int effective_jobs(int requested) {
@@ -18,8 +20,16 @@ void ExperimentSweep::for_each(int cells,
   if (cells <= 0) return;
   const int workers = std::min(jobs_, cells);
   if (workers <= 1) {
-    // The historical serial path: same thread, same order, no pool.
-    for (int i = 0; i < cells; ++i) fn(i);
+    // The historical serial path: same thread, same order, no pool. One
+    // arena serves every cell: traces bump-allocate into it, and reset()
+    // after each cell (the cell's System and programs are gone by then)
+    // recycles the chunks so later cells never touch the heap.
+    ActionArena arena;
+    const ActionArena::Scope scope{arena};
+    for (int i = 0; i < cells; ++i) {
+      fn(i);
+      arena.reset();
+    }
     return;
   }
 
@@ -29,11 +39,17 @@ void ExperimentSweep::for_each(int cells,
   std::mutex error_mu;
 
   auto worker = [&] {
+    // Each worker owns its arena (the current-resource pointer is
+    // thread-local), so cells never share allocation state across threads
+    // and results stay bit-identical at any --jobs value.
+    ActionArena arena;
+    const ActionArena::Scope scope{arena};
     for (;;) {
       const int i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= cells || abort.load(std::memory_order_relaxed)) return;
       try {
         fn(i);
+        arena.reset();
       } catch (...) {
         {
           const std::lock_guard<std::mutex> lock{error_mu};

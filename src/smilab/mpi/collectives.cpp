@@ -243,7 +243,9 @@ void alltoall_nonblocking(std::span<RankProgram> ranks,
   const int base = tags.allocate(p);
   for (auto& rp : ranks) {
     const int r = rp.rank();
-    std::vector<int> handles;
+    // Arena-backed (when a Scope is active) so the list is adopted by the
+    // WaitAll action without a copy.
+    std::pmr::vector<int> handles{ActionArena::current()};
     handles.reserve(static_cast<std::size_t>(2 * (p - 1)));
     // Post every receive first (pre-posted matches avoid unexpected-queue
     // copies in real MPI; here it exercises the posted-queue path).

@@ -31,4 +31,30 @@ NetworkParams NetworkParams::wyeast() {
   return p;
 }
 
+const NetworkModel::CostLine& NetworkModel::line(std::int64_t bytes) const {
+  // Fibonacci hashing: message sizes cluster on powers of two, which a
+  // plain low-bits index would collide badly.
+  const std::size_t slot = static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(bytes) * 0x9E3779B97F4A7C15ull) >>
+      (64 - 6));
+  static_assert(kCostLines == std::size_t{1} << 6);
+  CostLine& l = cost_cache_[slot];
+  if (l.bytes != bytes) {
+    // Exactly the pre-memoization expressions: one division plus one
+    // addition per cost, in the same order, so cached values are
+    // bit-identical to computing on every call.
+    const double b = static_cast<double>(bytes);
+    l.bytes = bytes;
+    l.wire_xmit = params_.per_message_wire_overhead +
+                  seconds_d(b / params_.bandwidth_bytes_per_s);
+    l.intra_transfer = params_.intra_latency +
+                       seconds_d(b / params_.intra_bandwidth_bytes_per_s);
+    l.send_cpu = params_.send_overhead +
+                 seconds_d(b / params_.cpu_copy_bytes_per_s);
+    l.recv_cpu = params_.recv_overhead +
+                 seconds_d(b / params_.cpu_copy_bytes_per_s);
+  }
+  return l;
+}
+
 }  // namespace smilab

@@ -17,6 +17,8 @@
 //   CPU (recv):    recv_overhead + B / cpu_copy_bw        (task work)
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "smilab/time/sim_time.h"
@@ -66,8 +68,17 @@ struct NetworkParams {
   static NetworkParams wyeast();
 };
 
-/// Pure cost calculator over NetworkParams (stateless; NIC queue state is
+/// Pure cost calculator over NetworkParams (no NIC queue state; that is
 /// owned by the System's event-driven servers).
+///
+/// Message-size costs are memoized in a small direct-mapped cache: MPI
+/// traffic reuses a handful of sizes (per-collective payloads, the ack
+/// size) millions of times per run, and each cost involves a double
+/// division. The cache fills each line with exactly the expressions the
+/// uncached code used — same operations, same order — so memoized results
+/// are bit-identical and the goldens cannot move. The cache is `mutable`
+/// per-model, never shared across threads (each System owns its model, and
+/// sweep workers each own their Systems).
 class NetworkModel {
  public:
   explicit NetworkModel(NetworkParams params) : params_(params) {}
@@ -76,27 +87,23 @@ class NetworkModel {
 
   /// Service time of one message at one NIC stage (egress or ingress).
   [[nodiscard]] SimDuration wire_xmit(std::int64_t bytes) const {
-    return params_.per_message_wire_overhead +
-           seconds_d(static_cast<double>(bytes) / params_.bandwidth_bytes_per_s);
+    return line(bytes).wire_xmit;
   }
 
   /// End-to-end transfer time of an intra-node (shared memory) message.
   [[nodiscard]] SimDuration intra_transfer(std::int64_t bytes) const {
-    return params_.intra_latency +
-           seconds_d(static_cast<double>(bytes) / params_.intra_bandwidth_bytes_per_s);
+    return line(bytes).intra_transfer;
   }
 
   [[nodiscard]] SimDuration latency() const { return params_.latency; }
 
   /// CPU work the sender performs to hand `bytes` to the transport.
   [[nodiscard]] SimDuration send_cpu_cost(std::int64_t bytes) const {
-    return params_.send_overhead +
-           seconds_d(static_cast<double>(bytes) / params_.cpu_copy_bytes_per_s);
+    return line(bytes).send_cpu;
   }
   /// CPU work the receiver performs to drain a matched message.
   [[nodiscard]] SimDuration recv_cpu_cost(std::int64_t bytes) const {
-    return params_.recv_overhead +
-           seconds_d(static_cast<double>(bytes) / params_.cpu_copy_bytes_per_s);
+    return line(bytes).recv_cpu;
   }
 
   [[nodiscard]] bool is_rendezvous(std::int64_t bytes) const {
@@ -104,7 +111,22 @@ class NetworkModel {
   }
 
  private:
+  struct CostLine {
+    std::int64_t bytes = -1;  // -1: empty (real sizes are >= 0)
+    SimDuration wire_xmit{};
+    SimDuration intra_transfer{};
+    SimDuration send_cpu{};
+    SimDuration recv_cpu{};
+  };
+
+  /// Fetch (fill on miss) the cost line for `bytes`. Defined in
+  /// network.cpp so the fill expressions sit next to the calibration data.
+  [[nodiscard]] const CostLine& line(std::int64_t bytes) const;
+
+  static constexpr std::size_t kCostLines = 64;  // power of two
+
   NetworkParams params_;
+  mutable std::array<CostLine, kCostLines> cost_cache_{};
 };
 
 }  // namespace smilab

@@ -21,8 +21,40 @@ constexpr std::int64_t kAckBytes = 64;
 /// One direction of a node's NIC, as a pausable FIFO server. Pauses are
 /// refcounted so overlapping causes (SMM freeze, fault freeze, link-down,
 /// crash) compose; the server resumes when the last cause clears.
+///
+/// Two representations carry the same FIFO:
+///  * Pipeline (fast path): while the server is unpaused and the classic
+///    state is empty, each submit books its service interval immediately
+///    ([start, end] with start = max(now, busy_until)) — a burst of N
+///    submits is N deque pushes and one running `busy_until` cursor, with
+///    no per-message done-event bookkeeping. Only the FRONT booking holds
+///    an armed event — egress: the handoff at `end`; ingress: the merged
+///    service-end + propagation arrival at `end + latency` — and arms its
+///    successor when it fires, so a deep backlog keeps the engine heap at
+///    one event per server direction instead of one per in-flight message
+///    (booking every event up front measurably loses to the classic chain
+///    once backlogs reach tens of thousands: every heap operation pays
+///    log N on the ballooned heap). Per-message timestamps are identical
+///    to serving the run one event at a time.
+///  * Classic (active/remaining/queue): anything a pause can touch. On
+///    pause, outstanding bookings convert back to classic form
+///    (nic_pipe_to_classic) and the original pause/resume/recovery/crash
+///    logic applies unchanged; the classic backlog then drains through
+///    per-message done events, and the next submit that finds the server
+///    idle re-enters the pipeline.
+/// The two are mutually exclusive: bookings require the classic state
+/// empty, and conversion empties the pipeline.
 struct System::NicServer {
-  std::deque<MsgHandle> queue;       // messages awaiting service
+  struct PipeEntry {
+    MsgHandle h;
+    SimTime start;  // service begins (for the contiguity invariant)
+    SimTime end;    // service ends: egress handoff / ingress + latency
+    EventId ev{};   // armed only while this entry is the front
+  };
+
+  std::deque<PipeEntry> pipe;        // booked services (fast path), FIFO
+  SimTime busy_until;                // end of the last booked service
+  std::deque<MsgHandle> queue;       // messages awaiting service (classic)
   MsgHandle active;                  // null = idle
   SimDuration remaining{};
   SimTime since;
@@ -32,6 +64,9 @@ struct System::NicServer {
   EventId done_ev{};
 
   [[nodiscard]] bool paused() const { return pause_depth > 0; }
+  [[nodiscard]] bool classic_busy() const {
+    return active.valid() || !queue.empty();
+  }
 };
 
 struct System::TaskImpl {
@@ -75,6 +110,31 @@ struct System::TaskImpl {
   NbHandleTable nb;
   bool waiting_all = false;           // parked in WaitAll
   int active_nb_handle = -1;          // recv copy in progress
+
+  // Active-WaitAll progress counters: armed once on entry, maintained by
+  // completion events, so each re-poll is O(1) instead of a scan over the
+  // handle list (the scan made dense waitall windows quadratic). The ready
+  // bitmap is indexed by handle-list position; find-first-set picks the
+  // same list-order-first receive the scan picked.
+  bool wa_armed = false;
+  int wa_incomplete = 0;
+  std::vector<std::uint64_t> wa_ready_bits;
+
+  // Lazily matured rendezvous acks (transport fast path): acks owed to
+  // this sender whose delivery instant is already fixed but whose effects
+  // are applied at the task's next poll — or by a wake event at exactly
+  // the delivery instant whenever the task parks first, so wake timing is
+  // identical to a dedicated per-ack event.
+  struct PendingAck {
+    SimTime due;
+    std::uint64_t seq = 0;  ///< delivery order among same-instant acks
+    std::uint64_t key = 0;
+  };
+  std::vector<PendingAck> pending_acks;
+  std::uint64_t pending_ack_seq = 0;
+  bool maturing_acks = false;  ///< re-entrancy guard: a wake may step us
+  EventId ack_wake_ev{};
+  SimTime ack_wake_due;
 
   // Work execution state.
   SimDuration work_left{};
@@ -491,11 +551,43 @@ void System::start_next_action(TaskImpl& t) {
   }
 }
 
+// --- WaitAll progress counters (see TaskImpl::wa_*) ------------------------
+
+void System::wa_mark_ready(TaskImpl& t, int pos) {
+  assert(t.wa_armed && pos >= 0);
+  const auto word = static_cast<std::size_t>(pos) / 64;
+  assert(word < t.wa_ready_bits.size());
+  t.wa_ready_bits[word] |= std::uint64_t{1} << (static_cast<unsigned>(pos) % 64);
+}
+
+void System::wa_clear_ready(TaskImpl& t, int pos) {
+  assert(t.wa_armed && pos >= 0);
+  const auto word = static_cast<std::size_t>(pos) / 64;
+  assert(word < t.wa_ready_bits.size());
+  t.wa_ready_bits[word] &=
+      ~(std::uint64_t{1} << (static_cast<unsigned>(pos) % 64));
+}
+
+int System::wa_first_ready(const TaskImpl& t) {
+  for (std::size_t w = 0; w < t.wa_ready_bits.size(); ++w) {
+    if (t.wa_ready_bits[w] != 0) {
+      return static_cast<int>(w * 64) + std::countr_zero(t.wa_ready_bits[w]);
+    }
+  }
+  return -1;
+}
+
 // The per-action state machine. Invoked whenever the task is on its CPU,
 // unfrozen, and needs driving: action entry, work completion, wait
 // satisfaction, post-SMM resume.
 void System::step_action(TaskImpl& t) {
   assert(t.on_cpu);
+  // Apply any rendezvous acks whose delivery instant has passed before the
+  // poll reads the completion flags (unless this step IS such a delivery:
+  // the maturation loop below already interleaves them in event order).
+  if (!t.pending_acks.empty() && !t.maturing_acks) {
+    mature_acks(t);
+  }
   if (!t.action) {
     start_next_action(t);
     return;
@@ -542,6 +634,7 @@ void System::step_action(TaskImpl& t) {
           return;
         }
         t.waiting_ack = true;
+        ensure_ack_wake(t);
         if (t.wait_policy == WaitPolicy::kBlock) {
           t.state = TaskImpl::State::kBlocked;
           stop_running(t, /*keep_on_cpu=*/false);
@@ -569,6 +662,7 @@ void System::step_action(TaskImpl& t) {
         t.waiting_msg = true;
         t.wait_src = recv->src_rank;
         t.wait_tag = recv->tag;
+        ensure_ack_wake(t);
         if (t.wait_policy == WaitPolicy::kBlock) {
           t.state = TaskImpl::State::kBlocked;
           stop_running(t, /*keep_on_cpu=*/false);
@@ -623,6 +717,7 @@ void System::step_action(TaskImpl& t) {
         t.waiting_msg = true;
         t.wait_src = sr->src_rank;
         t.wait_tag = sr->recv_tag;
+        ensure_ack_wake(t);
         if (t.wait_policy == WaitPolicy::kBlock) {
           t.state = TaskImpl::State::kBlocked;
           stop_running(t, /*keep_on_cpu=*/false);
@@ -646,6 +741,7 @@ void System::step_action(TaskImpl& t) {
           return;
         }
         t.waiting_ack = true;
+        ensure_ack_wake(t);
         if (t.wait_policy == WaitPolicy::kBlock) {
           t.state = TaskImpl::State::kBlocked;
           stop_running(t, /*keep_on_cpu=*/false);
@@ -693,12 +789,15 @@ void System::step_action(TaskImpl& t) {
     entry.src = irecv->src_rank;
     entry.peer = irecv->src_rank;
     entry.tag = irecv->tag;
-    // Match an already-arrived message immediately (late post).
+    // Match an already-arrived message immediately (late post); only
+    // still-waiting receives enter the posted-by-tag index.
     MessageRec* msg = nullptr;
     if (try_match_recv(t, irecv->src_rank, irecv->tag, &msg)) {
       entry.data_arrived = true;
       entry.msg = t.active_msg;
       t.active_msg = MsgHandle{};
+    } else {
+      t.nb.post_recv(irecv->handle);
     }
     t.action.reset();
     start_next_action(t);
@@ -709,11 +808,33 @@ void System::step_action(TaskImpl& t) {
     // Not parked while actively progressing: a wake that lands during a
     // receive copy must not re-enter this state machine (see wake_waitall).
     t.waiting_all = false;
+    if (!t.wa_armed) {
+      // Arm the progress counters: one walk over the handle list on entry,
+      // after which completion events (acks, arrivals, copy retirements)
+      // maintain them and every re-poll is O(1). The old re-poll scanned
+      // the whole list each time, which made dense waitall windows (the
+      // rendezvous ack storm) quadratic.
+      t.wa_armed = true;
+      t.wa_incomplete = 0;
+      t.wa_ready_bits.assign((wait->handles.size() + 63) / 64, 0);
+      for (std::size_t i = 0; i < wait->handles.size(); ++i) {
+        NbHandleTable::Entry* entry = t.nb.find(wait->handles[i]);
+        assert(entry != nullptr && "WaitAll on unknown handle");
+        entry->in_waitall = true;
+        entry->wa_pos = static_cast<int>(i);
+        if (entry->complete) continue;
+        ++t.wa_incomplete;
+        if (!entry->is_send && entry->data_arrived) {
+          wa_mark_ready(t, static_cast<int>(i));
+        }
+      }
+    }
     if (t.phase == 1) {
       // A receive's copy just finished: complete that handle.
       NbHandleTable::Entry* entry = t.nb.find(t.active_nb_handle);
       assert(entry != nullptr);
       entry->complete = true;
+      --t.wa_incomplete;
       t.stats.messages_received += 1;
       const MsgHandle done = entry->msg;
       entry->msg = MsgHandle{};
@@ -722,33 +843,36 @@ void System::step_action(TaskImpl& t) {
       t.phase = 0;
     }
     // Re-poll: charge the next arrived-but-uncopied receive, or finish.
-    bool all_complete = true;
-    for (const int h : wait->handles) {
+    // First-set-bit is the first ready receive in handle-list order — the
+    // same pick the full scan made.
+    const int pos = wa_first_ready(t);
+    if (pos >= 0) {
+      const int h = wait->handles[static_cast<std::size_t>(pos)];
       NbHandleTable::Entry* entry = t.nb.find(h);
-      assert(entry != nullptr && "WaitAll on unknown handle");
-      if (entry->complete) continue;
-      if (!entry->is_send && entry->data_arrived) {
-        // Progress this receive now: CPU-side copy.
-        t.active_nb_handle = h;
-        t.phase = 1;
-        const MessageRec& msg = pool_.ref(entry->msg);
-        SimDuration cost = net_.recv_cpu_cost(msg.bytes);
-        if (msg.arrived_during_smm && node_htt_active(t.node)) {
-          cost = scale(cost, cfg_.post_smi_drain_factor);
-        }
-        start_work(t, cost);
-        return;
+      assert(entry != nullptr && !entry->is_send && !entry->complete &&
+             entry->data_arrived);
+      wa_clear_ready(t, pos);
+      // Progress this receive now: CPU-side copy.
+      t.active_nb_handle = h;
+      t.phase = 1;
+      const MessageRec& msg = pool_.ref(entry->msg);
+      SimDuration cost = net_.recv_cpu_cost(msg.bytes);
+      if (msg.arrived_during_smm && node_htt_active(t.node)) {
+        cost = scale(cost, cfg_.post_smi_drain_factor);
       }
-      all_complete = false;
+      start_work(t, cost);
+      return;
     }
-    if (all_complete) {
+    if (t.wa_incomplete == 0) {
       for (const int h : wait->handles) t.nb.close(h);
       t.waiting_all = false;
+      t.wa_armed = false;
       t.action.reset();
       start_next_action(t);
       return;
     }
     t.waiting_all = true;
+    ensure_ack_wake(t);
     if (t.wait_policy == WaitPolicy::kBlock) {
       t.state = TaskImpl::State::kBlocked;
       stop_running(t, /*keep_on_cpu=*/false);
@@ -792,6 +916,11 @@ void System::step_action(TaskImpl& t) {
 
 void System::finish_task(TaskImpl& t) {
   assert(!t.stats.finished);
+  // A finishing task cannot be awaiting a rendezvous ack (every wait
+  // consumes its acks first), but acks queued for it with a delivery
+  // instant still in the future must keep their wire-time effects (route
+  // erase, payload recycle, note_progress) — hand them to the wake chain.
+  ensure_ack_wake(t);
   t.stats.finished = true;
   t.stats.end_time = now();
   t.state = TaskImpl::State::kDone;
@@ -853,8 +982,103 @@ System::NicServer& System::nic(int node, bool egress) {
 }
 
 void System::nic_submit(int node, bool egress, MsgHandle h) {
-  nic(node, egress).queue.push_back(h);
+  NicServer& server = nic(node, egress);
+  if (fast_paths_ && !server.paused() && !server.classic_busy()) {
+    nic_book(node, egress, server, h);
+    return;
+  }
+  server.queue.push_back(h);
   nic_try_serve(node, egress);
+}
+
+// Pipeline booking: fix the message's service interval now; the armed
+// event stays with the front entry only (see the NicServer comment).
+void System::nic_book(int node, bool egress, NicServer& server, MsgHandle h) {
+  const SimTime start = std::max(now(), server.busy_until);
+  const SimTime end = start + pool_.ref(h).xmit;
+  server.busy_until = end;
+  server.pipe.push_back(NicServer::PipeEntry{h, start, end, EventId{}});
+  if (server.pipe.size() == 1) nic_pipe_arm(node, egress, server);
+}
+
+// Arm the front booking's merged event. Called when a booking lands in an
+// empty pipe and when a fired front hands the chain to its successor; the
+// target instants were fixed at booking time, so arming order never moves
+// a timestamp.
+void System::nic_pipe_arm(int node, bool egress, NicServer& server) {
+  assert(!server.pipe.empty());
+  NicServer::PipeEntry& e = server.pipe.front();
+  assert(!e.ev.valid());
+  if (egress) {
+    e.ev = engine_.schedule_at(e.end,
+                               [this, node, h = e.h] { nic_pipe_handoff(node, h); });
+  } else {
+    e.ev = engine_.schedule_at(e.end + net_.latency(),
+                               [this, node, h = e.h] { nic_pipe_arrival(node, h); });
+  }
+}
+
+// A booked egress service ended: same instant the classic done event fired.
+// Mirrors the classic handler's order — handoff (which may book at the
+// destination ingress) before arming this server's next service.
+void System::nic_pipe_handoff(int node, MsgHandle h) {
+  NicServer& server = nic(node, /*egress=*/true);
+  assert(!server.pipe.empty() && server.pipe.front().h == h);
+  server.pipe.pop_front();
+  handoff_to_ingress(h);
+  if (!server.pipe.empty()) nic_pipe_arm(node, /*egress=*/true, server);
+  // No try_serve: the classic queue is empty by the booking precondition (a
+  // pause would have converted the pipeline away before admitting classic
+  // traffic).
+}
+
+// A booked ingress service ended and the propagation delay elapsed: the
+// merged event lands exactly where the classic done -> latency -> arrival
+// chain landed. The entry may already be gone (a pause converted the pipe
+// while this message was in propagation flight); the successor hand-over
+// happens before the arrival side effects, like the classic chain's next
+// done event which was already armed by now.
+void System::nic_pipe_arrival(int node, MsgHandle h) {
+  NicServer& server = nic(node, /*egress=*/false);
+  if (!server.pipe.empty() && server.pipe.front().h == h) {
+    server.pipe.pop_front();
+    if (!server.pipe.empty()) nic_pipe_arm(node, /*egress=*/false, server);
+  }
+  on_message_arrival(h);
+}
+
+// A pause landed while bookings are outstanding: rebuild the classic state
+// the pause/resume/crash logic expects. Entries whose service already
+// ended (ingress only) are in pure propagation flight — pause-immune, so
+// each leaves with an armed arrival event: the front already has its
+// merged event; successors get theirs here, at the exact instants the
+// classic chain used. The front still-in-service booking becomes `active`
+// with its true remaining time; the rest re-queue in order. Ties
+// (end == now, event not yet fired) stay with the server, matching the
+// classic tie where the pause beat the done event: the message pays the
+// recovery draw.
+void System::nic_pipe_to_classic(int node, NicServer& server) {
+  while (!server.pipe.empty() && server.pipe.front().end < now()) {
+    NicServer::PipeEntry& e = server.pipe.front();
+    if (!e.ev.valid()) {
+      e.ev = engine_.schedule_at(e.end + net_.latency(),
+                                 [this, node, h = e.h] { nic_pipe_arrival(node, h); });
+    }
+    server.pipe.pop_front();  // its arrival event now owns the delivery
+  }
+  for (NicServer::PipeEntry& e : server.pipe) {
+    engine_.cancel(e.ev);  // no-op for entries past the front
+    if (!server.active.valid()) {
+      assert(e.start <= now());
+      server.active = e.h;
+      server.remaining = e.end - now();
+      server.since = now();
+    } else {
+      server.queue.push_back(e.h);
+    }
+  }
+  server.pipe.clear();
+  server.busy_until = SimTime::zero();
 }
 
 void System::nic_try_serve(int node, bool egress) {
@@ -970,6 +1194,7 @@ void System::nic_pause(int node, bool egress) {
   NicServer& server = nic(node, egress);
   if (++server.pause_depth > 1) return;  // already stopped by another cause
   server.paused_at = now();
+  if (!server.pipe.empty()) nic_pipe_to_classic(node, server);
   if (server.active.valid()) {
     server.remaining -= now() - server.since;
     if (server.remaining < SimDuration{1}) server.remaining = SimDuration{1};
@@ -1076,19 +1301,20 @@ void System::retire_copied(TaskImpl& /*receiver*/, MsgHandle h) {
 
 bool System::match_posted_irecv(TaskImpl& t, MsgHandle h) {
   if (!t.nb.any_open_recv()) return false;
-  const MessageRec& msg = pool_.ref(h);
-  NbHandleTable::Entry* hit = nullptr;
-  t.nb.for_each_open([&](int, NbHandleTable::Entry& entry) {
-    if (hit != nullptr) return;
-    if (entry.is_send || entry.complete || entry.data_arrived) return;
-    if (entry.tag != msg.tag) return;
-    if (entry.src != kAnySource && entry.src != msg.src_rank) return;
-    hit = &entry;
-  });
-  if (hit == nullptr) return false;
+  MessageRec& msg = pool_.ref(h);
+  // The posted-by-tag index holds exactly the open, unmatched receives (a
+  // receive can only complete after its data arrives, so !data_arrived
+  // implies !complete) and yields the lowest id — the same handle the old
+  // ascending full-table scan picked.
+  const int id = t.nb.match_posted(msg.src_rank, msg.tag);
+  if (id < 0) return false;
+  NbHandleTable::Entry* hit = t.nb.find(id);
+  assert(hit != nullptr && !hit->is_send && !hit->complete);
+  t.nb.unpost(id);
   hit->data_arrived = true;
   hit->msg = h;
-  pool_.ref(h).state = MessageRec::State::kMatched;
+  msg.state = MessageRec::State::kMatched;
+  if (hit->in_waitall) wa_mark_ready(t, hit->wa_pos);
   return true;
 }
 
@@ -1110,10 +1336,30 @@ void System::deliver_ack(const MessageRec& msg) {
   const SimDuration wire = msg.src_node == msg.dst_node
                                ? net_.intra_transfer(kAckBytes)
                                : net_.latency() + net_.wire_xmit(kAckBytes);
+  // Fast path: the delivery instant is fixed here and acks fire
+  // unconditionally (they skip the NIC servers, so no pause or fault can
+  // move them) — record it on the sender and piggyback the effects on its
+  // next poll instead of paying a dedicated event. Falls back to the full
+  // event chain whenever a link fault model is armed (drops/dups change
+  // route lifetimes mid-flight) or the sender is already gone.
+  if (fast_paths_ && link_fault_ == nullptr) {
+    if (AckTarget* route = ack_router_.find(msg.ack_key)) {
+      queue_lazy_ack(task(route->task), msg.ack_key, now() + wire);
+      return;
+    }
+  }
   engine_.schedule_after(wire, [this, key = msg.ack_key] { on_ack(key); });
 }
 
 void System::on_ack(std::uint64_t ack_key) {
+  apply_ack(ack_key, /*allow_wake=*/true);
+}
+
+// The ack's effects. `allow_wake` is false when the owning sender is being
+// stepped right now (lazy maturation at the top of its own poll): the
+// ongoing poll reads the flags itself, and waking would re-enter its state
+// machine.
+void System::apply_ack(std::uint64_t ack_key, bool allow_wake) {
   note_progress();
   // O(1) hash route: ack keys are globally unique per System.
   AckTarget* route = ack_router_.find(ack_key);
@@ -1131,8 +1377,12 @@ void System::on_ack(std::uint64_t ack_key) {
     if (NbHandleTable::Entry* entry = t.nb.find(target.nb_handle)) {
       entry->complete = true;
       entry->ack_key = 0;
+      if (entry->in_waitall) {
+        assert(t.wa_armed);
+        --t.wa_incomplete;
+      }
     }
-    wake_waitall(t);
+    if (allow_wake) wake_waitall(t);
     return;
   }
   if (t.state == TaskImpl::State::kDone) return;
@@ -1141,11 +1391,78 @@ void System::on_ack(std::uint64_t ack_key) {
   t.pending_ack_key = 0;
   if (!t.waiting_ack) return;  // arrived before the task started waiting
   t.waiting_ack = false;
+  if (!allow_wake) return;  // the ongoing poll continues from the flag
   if (t.on_cpu) {
     if (!cpu_state(t.node, t.cpu).frozen) step_action(t);
   } else if (t.state == TaskImpl::State::kBlocked) {
     make_ready(t);
   }
+}
+
+// --- Lazy ack maturation (transport fast path) -------------------------------
+//
+// deliver_ack computes the ack's delivery instant exactly as before, but —
+// when no fault model is armed — records {due, key} on the sender instead
+// of scheduling an event. Acks skip the NIC servers and fire
+// unconditionally in the classic path, so their only observable effects
+// are the sender-side completion flags, which the sender can only read at
+// a poll. A parked sender gets a wake event at exactly the earliest due
+// instant, so wake timing (and the hang watchdog's note_progress) is
+// unchanged; a busy sender absorbs the acks into its next poll, which is
+// where the event savings come from (the ack storm's senders are almost
+// always mid-copy).
+
+void System::queue_lazy_ack(TaskImpl& sender, std::uint64_t key, SimTime due) {
+  sender.pending_acks.push_back(
+      TaskImpl::PendingAck{due, sender.pending_ack_seq++, key});
+  if (sender.waiting_msg || sender.waiting_ack || sender.waiting_all) {
+    ensure_ack_wake(sender);
+  }
+}
+
+// Apply every pending ack whose delivery instant has passed, in delivery
+// order (due, then queue order) — the order dedicated events fired in.
+void System::mature_acks(TaskImpl& t, bool allow_wake) {
+  assert(!t.maturing_acks);
+  t.maturing_acks = true;
+  while (!t.pending_acks.empty()) {
+    std::size_t best = t.pending_acks.size();
+    for (std::size_t i = 0; i < t.pending_acks.size(); ++i) {
+      const TaskImpl::PendingAck& p = t.pending_acks[i];
+      if (p.due > now()) continue;
+      if (best == t.pending_acks.size() ||
+          p.due < t.pending_acks[best].due ||
+          (p.due == t.pending_acks[best].due &&
+           p.seq < t.pending_acks[best].seq)) {
+        best = i;
+      }
+    }
+    if (best == t.pending_acks.size()) break;
+    const std::uint64_t key = t.pending_acks[best].key;
+    t.pending_acks[best] = t.pending_acks.back();
+    t.pending_acks.pop_back();
+    apply_ack(key, allow_wake);
+  }
+  t.maturing_acks = false;
+}
+
+// Arm (or tighten) the one wake event that stands in for every dedicated
+// ack event while the task is parked.
+void System::ensure_ack_wake(TaskImpl& t) {
+  if (t.pending_acks.empty()) return;
+  SimTime due = t.pending_acks[0].due;
+  for (const TaskImpl::PendingAck& p : t.pending_acks) {
+    if (p.due < due) due = p.due;
+  }
+  if (t.ack_wake_ev.valid() && t.ack_wake_due <= due) return;
+  engine_.cancel(t.ack_wake_ev);
+  t.ack_wake_due = due;
+  t.ack_wake_ev = engine_.schedule_at(due, [this, id = t.id] {
+    TaskImpl& task_ref = task(id);
+    task_ref.ack_wake_ev = EventId{};
+    mature_acks(task_ref, /*allow_wake=*/true);
+    ensure_ack_wake(task_ref);  // later dues may remain
+  });
 }
 
 // --- SMM ---------------------------------------------------------------------------
@@ -1436,6 +1753,7 @@ void System::kill_task(TaskImpl& t) {
   t.pending_overhead = SimDuration::zero();
   t.action.reset();
   t.waiting_msg = t.waiting_ack = t.waiting_all = false;
+  t.wa_armed = false;
   // Release every pool record this task holds and unhook its ack routes:
   // the message in mid-copy, matched-but-uncopied nonblocking receives,
   // queued unexpected traffic, and outstanding rendezvous-send routes
@@ -1465,6 +1783,10 @@ void System::kill_task(TaskImpl& t) {
   drop_route(t.pending_ack_key);
   t.pending_ack_key = 0;
   t.unexpected.clear(pool_);
+  // Pending lazy acks stay queued: their routes are gone (drop_route), but
+  // the wake chain still fires at each delivery instant so the watchdog
+  // sees the same note_progress sequence dedicated ack events produced.
+  ensure_ack_wake(t);
   --unfinished_tasks_;
   ++failed_tasks_;
   note_progress();
@@ -1620,6 +1942,30 @@ void System::validate() const {
       pool_.live_in_state(MessageRec::State::kConsumed);
   if (consumed > ack_router_.size()) {
     fail("kConsumed records outnumber outstanding ack routes");
+  }
+  // NIC pipeline invariants: bookings and classic state are mutually
+  // exclusive, a paused server holds no bookings, and every pipeline is a
+  // contiguous FIFO of live records.
+  for (int n = 0; n < cluster_.node_count(); ++n) {
+    const auto& ns = *node_state_[static_cast<std::size_t>(n)];
+    for (const NicServer* server : {&ns.egress, &ns.ingress}) {
+      if (server->pipe.empty()) continue;
+      if (server->paused()) fail("paused NIC server holds pipeline bookings");
+      if (server->classic_busy()) {
+        fail("NIC pipeline and classic service state coexist");
+      }
+      SimTime prev_end = SimTime::zero();
+      for (const NicServer::PipeEntry& e : server->pipe) {
+        if (pool_.get(e.h) == nullptr) fail("NIC booking holds a stale handle");
+        if (e.end < e.start || e.start < prev_end) {
+          fail("NIC pipeline bookings are not a contiguous FIFO");
+        }
+        prev_end = e.end;
+      }
+      if (server->busy_until != prev_end) {
+        fail("NIC busy_until disagrees with the last booking");
+      }
+    }
   }
 }
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <memory_resource>
 #include <optional>
 #include <string>
 #include <utility>
@@ -18,6 +19,7 @@
 
 #include "smilab/cpu/workload_profile.h"
 #include "smilab/time/sim_time.h"
+#include "smilab/trace/action_arena.h"
 
 namespace smilab {
 
@@ -99,8 +101,20 @@ struct Irecv {
 };
 
 /// Block until every listed handle has completed (MPI_Waitall).
+///
+/// The handle list lives on the thread's current ActionArena (when a Scope
+/// is active), so bulk trace construction is bump-allocated; copies fall
+/// back to the default resource (polymorphic_allocator does not propagate
+/// on copy), which only costs speed, never correctness.
 struct WaitAll {
-  std::vector<int> handles;
+  std::pmr::vector<int> handles;
+
+  WaitAll() : handles(ActionArena::current()) {}
+  WaitAll(std::initializer_list<int> h)
+      : handles(h.begin(), h.end(), ActionArena::current()) {}
+  explicit WaitAll(const std::vector<int>& h)
+      : handles(h.begin(), h.end(), ActionArena::current()) {}
+  explicit WaitAll(std::pmr::vector<int> h) : handles(std::move(h)) {}
 };
 
 /// Invoke a callback at the point this action is reached, without consuming
@@ -125,9 +139,15 @@ class ActionSource {
 };
 
 /// Vector-backed source: a fully materialized program (MPI rank traces).
+/// Storage is arena-backed when a Scope is active (see WaitAll above).
 class VectorActions final : public ActionSource {
  public:
   explicit VectorActions(std::vector<Action> actions)
+      : actions_(ActionArena::current()) {
+    actions_.reserve(actions.size());
+    for (Action& a : actions) actions_.push_back(std::move(a));
+  }
+  explicit VectorActions(std::pmr::vector<Action> actions)
       : actions_(std::move(actions)) {}
 
   std::optional<Action> next() override {
@@ -136,7 +156,7 @@ class VectorActions final : public ActionSource {
   }
 
  private:
-  std::vector<Action> actions_;
+  std::pmr::vector<Action> actions_;
   std::size_t pc_ = 0;
 };
 

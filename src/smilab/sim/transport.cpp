@@ -275,12 +275,47 @@ NbHandleTable::Entry& NbHandleTable::open_slot(int id, bool is_send) {
   return e;
 }
 
+void NbHandleTable::post_recv(int id) {
+  const Entry* e = find(id);
+  assert(e != nullptr && !e->is_send && !e->data_arrived);
+  std::vector<int>& ids = posted_by_tag_[e->tag];
+  // Ids arrive mostly in ascending order (collectives allocate densely),
+  // so the insertion point is almost always the back.
+  auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  assert(it == ids.end() || *it != id);
+  ids.insert(it, id);
+}
+
+int NbHandleTable::match_posted(int src_rank, int tag) const {
+  auto bucket = posted_by_tag_.find(tag);
+  if (bucket == posted_by_tag_.end()) return -1;
+  for (const int id : bucket->second) {
+    const Entry& e = entries_[static_cast<std::size_t>(id)];
+    assert(e.open && !e.is_send && !e.data_arrived && e.tag == tag);
+    if (e.src == kAnySource || e.src == src_rank) return id;
+  }
+  return -1;
+}
+
+void NbHandleTable::unpost(int id) {
+  const Entry* e = find(id);
+  assert(e != nullptr && !e->is_send);
+  auto bucket = posted_by_tag_.find(e->tag);
+  if (bucket == posted_by_tag_.end()) return;
+  std::vector<int>& ids = bucket->second;
+  auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  if (it == ids.end() || *it != id) return;  // not posted (already matched)
+  ids.erase(it);
+  if (ids.empty()) posted_by_tag_.erase(bucket);
+}
+
 void NbHandleTable::close(int id) {
   Entry* e = find(id);
   assert(e != nullptr && "closing an unknown handle");
   if (!e->is_send) {
     assert(open_recvs_ > 0);
     --open_recvs_;
+    if (!e->data_arrived) unpost(id);
   }
   e->open = false;
   assert(open_ > 0);
@@ -291,6 +326,7 @@ void NbHandleTable::clear() {
   for (Entry& e : entries_) e.open = false;
   open_ = 0;
   open_recvs_ = 0;
+  posted_by_tag_.clear();
 }
 
 }  // namespace smilab

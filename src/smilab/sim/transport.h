@@ -254,6 +254,14 @@ class AckRouter {
 /// indexed by the program's task-local handle id, slots reused across
 /// open/close cycles. Iteration is ascending by id (what std::map iteration
 /// gave), which fixes the posted-receive match order.
+///
+/// Posted receives are additionally indexed by tag (`post_recv` /
+/// `match_posted`): an arrival probes its tag bucket instead of scanning
+/// every open handle, which is what made dense waitall windows (the
+/// rendezvous ack storm) quadratic. The bucket keeps ids ascending, so the
+/// match picks the same lowest-id handle the full scan picked, bit-for-bit.
+/// Determinism (smilint D3): the tag map is probed by key only and dropped
+/// wholesale on clear(); its hash order never reaches simulation state.
 class NbHandleTable {
  public:
   struct Entry {
@@ -261,6 +269,8 @@ class NbHandleTable {
     bool is_send = false;
     bool complete = false;
     bool data_arrived = false;   ///< recv: matched message landed
+    bool in_waitall = false;     ///< enrolled in the task's active WaitAll
+    int wa_pos = -1;             ///< position in that WaitAll's handle list
     MsgHandle msg;               ///< recv: the matched message
     std::uint64_t ack_key = 0;   ///< send: rendezvous ack route key
     int src = -1;                ///< recv posting key
@@ -271,6 +281,18 @@ class NbHandleTable {
   /// Open slot `id` for a send or receive; asserts the id is not already
   /// in use.
   Entry& open_slot(int id, bool is_send);
+
+  /// Enroll an open, unmatched receive slot in the posted-by-tag index.
+  /// Call after the entry's `src`/`tag` posting keys are set.
+  void post_recv(int id);
+
+  /// Lowest-id posted receive matching (src_rank, tag) — identical to the
+  /// ascending full-table scan — or -1. Does not consume; the caller marks
+  /// the entry and calls unpost().
+  [[nodiscard]] int match_posted(int src_rank, int tag) const;
+
+  /// Remove a receive from the posted index (matched, closed, or killed).
+  void unpost(int id);
 
   /// The open entry with this id, or nullptr.
   [[nodiscard]] Entry* find(int id) {
@@ -313,6 +335,9 @@ class NbHandleTable {
   std::vector<Entry> entries_;
   std::size_t open_ = 0;
   std::size_t open_recvs_ = 0;
+  /// tag -> ascending ids of open receives still awaiting a message.
+  /// Probed by key only; cleared wholesale (smilint D3).
+  std::unordered_map<int, std::vector<int>> posted_by_tag_;
 };
 
 /// Snapshot of the transport's resource usage (System::transport_stats()).

@@ -1,0 +1,79 @@
+#include "smilab/trace/action_arena.h"
+
+#include <cassert>
+#include <new>
+
+namespace smilab {
+
+namespace {
+
+thread_local std::pmr::memory_resource* g_current = nullptr;
+
+[[nodiscard]] std::size_t align_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+ActionArena::~ActionArena() {
+  for (const Oversized& o : oversized_) {
+    ::operator delete(o.ptr, o.bytes, std::align_val_t{o.align});
+  }
+}
+
+void ActionArena::reset() {
+  for (Chunk& c : chunks_) c.used = 0;
+  for (const Oversized& o : oversized_) {
+    ::operator delete(o.ptr, o.bytes, std::align_val_t{o.align});
+  }
+  oversized_.clear();
+  active_ = 0;
+  in_use_ = 0;
+}
+
+std::pmr::memory_resource* ActionArena::current() {
+  return g_current != nullptr ? g_current : std::pmr::new_delete_resource();
+}
+
+ActionArena::Scope::Scope(ActionArena& arena) : prev_(g_current) {
+  g_current = &arena;
+}
+
+ActionArena::Scope::~Scope() { g_current = prev_; }
+
+void* ActionArena::do_allocate(std::size_t bytes, std::size_t align) {
+  assert(align != 0 && (align & (align - 1)) == 0);
+  // new[] of std::byte guarantees only the default new alignment; requests
+  // that exceed it, or that would dominate a chunk, go out of band.
+  if (align > __STDCPP_DEFAULT_NEW_ALIGNMENT__ || bytes > kMaxChunkBytes / 2) {
+    void* p = ::operator new(bytes, std::align_val_t{align});
+    oversized_.push_back({p, bytes, align});
+    in_use_ += bytes;
+    return p;
+  }
+  while (active_ < chunks_.size()) {
+    Chunk& c = chunks_[active_];
+    const std::size_t at = align_up(c.used, align);
+    if (at + bytes <= c.size) {
+      c.used = at + bytes;
+      in_use_ += bytes;
+      return c.data.get() + at;
+    }
+    ++active_;  // chunk full; its tail is reclaimed at the next reset()
+  }
+  std::size_t want = chunks_.empty()
+                         ? kFirstChunkBytes
+                         : std::min(chunks_.back().size * 2, kMaxChunkBytes);
+  if (want < bytes) want = align_up(bytes, kFirstChunkBytes);
+  Chunk c;
+  c.data = std::make_unique<std::byte[]>(want);
+  c.size = want;
+  c.used = bytes;
+  reserved_ += want;
+  chunks_.push_back(std::move(c));
+  active_ = chunks_.size() - 1;
+  in_use_ += bytes;
+  return chunks_.back().data.get();
+}
+
+}  // namespace smilab

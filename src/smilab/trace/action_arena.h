@@ -1,0 +1,104 @@
+// Bump arena for per-task action traces.
+//
+// Building an MPI job materializes one action vector per rank, and a table
+// sweep rebuilds all of them for every grid cell. Under the general-purpose
+// heap that is hundreds of thousands of small, identically-sized
+// allocations per cell, all freed together when the cell's System dies.
+// ActionArena replaces them with a chunked bump allocator: a
+// std::pmr::memory_resource whose deallocate is a no-op and whose reset()
+// rewinds the bump pointers while RETAINING the chunks, so every grid cell
+// after the first allocates its whole trace without touching the heap.
+//
+// Lifecycle contract:
+//   * ActionArena::Scope installs an arena as the thread-local current
+//     resource; RankProgram / VectorActions / WaitAll pick it up at
+//     construction time via ActionArena::current().
+//   * Containers allocated from the arena must be destroyed before reset()
+//     (in a sweep: the cell's System and programs die, then reset runs).
+//   * With no Scope active, current() returns new_delete_resource() —
+//     standalone construction keeps working, just unpooled.
+//
+// The thread-local current pointer (not std::pmr::set_default_resource,
+// which is process-global) keeps `--jobs=N` sweep workers independent:
+// each worker thread owns one arena for its lifetime, so allocation
+// addresses never depend on cross-thread interleaving and simulation
+// results stay bit-identical at any job count.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <memory_resource>
+#include <vector>
+
+namespace smilab {
+
+class ActionArena final : public std::pmr::memory_resource {
+ public:
+  ActionArena() = default;
+  ActionArena(const ActionArena&) = delete;
+  ActionArena& operator=(const ActionArena&) = delete;
+  ~ActionArena() override;
+
+  /// Rewind every chunk's bump pointer, retaining the chunk storage.
+  /// Everything previously allocated from this arena must already be
+  /// destroyed. Oversized out-of-band allocations are released.
+  void reset();
+
+  /// The thread's current trace resource: the innermost live Scope's
+  /// arena, or new_delete_resource() when none is active.
+  [[nodiscard]] static std::pmr::memory_resource* current();
+
+  /// Bytes handed out since construction/reset (diagnostics/tests).
+  [[nodiscard]] std::size_t bytes_in_use() const { return in_use_; }
+  /// Total chunk storage retained across resets (diagnostics/tests).
+  [[nodiscard]] std::size_t bytes_reserved() const { return reserved_; }
+
+  /// RAII: installs the arena as the thread-local current resource,
+  /// restoring the previous one (nesting is allowed) on destruction.
+  class Scope {
+   public:
+    explicit Scope(ActionArena& arena);
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope();
+
+   private:
+    std::pmr::memory_resource* prev_;
+  };
+
+ protected:
+  void* do_allocate(std::size_t bytes, std::size_t align) override;
+  void do_deallocate(void*, std::size_t, std::size_t) override {
+    // Bump arena: individual frees are no-ops; reset() reclaims wholesale.
+  }
+  [[nodiscard]] bool do_is_equal(
+      const std::pmr::memory_resource& other) const noexcept override {
+    return this == &other;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  // Requests too large (or over-aligned) for the doubling chunk ladder go
+  // to the upstream heap and are freed on reset()/destruction.
+  struct Oversized {
+    void* ptr = nullptr;
+    std::size_t bytes = 0;
+    std::size_t align = 0;
+  };
+
+  static constexpr std::size_t kFirstChunkBytes = 64 * 1024;
+  static constexpr std::size_t kMaxChunkBytes = 4 * 1024 * 1024;
+
+  std::vector<Chunk> chunks_;
+  std::vector<Oversized> oversized_;
+  std::size_t active_ = 0;  // index of the chunk currently being filled
+  std::size_t in_use_ = 0;
+  std::size_t reserved_ = 0;
+};
+
+}  // namespace smilab
