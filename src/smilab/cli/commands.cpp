@@ -9,6 +9,9 @@
 #include "smilab/core/sweep.h"
 #include "smilab/cpu/energy.h"
 #include "smilab/fault/fault_injector.h"
+#include "smilab/mc/corpus.h"
+#include "smilab/mc/explorer.h"
+#include "smilab/mc/schedule_trace.h"
 #include "smilab/mpi/job.h"
 #include "smilab/mpi/program.h"
 #include "smilab/noise/hwlat.h"
@@ -52,6 +55,14 @@ commands:
              --freeze=0:100:200,1:400:100). Prints the per-rank
              hang/deadlock diagnosis (and exits 3) if the faults stall the
              job.
+  check      [--program=NAME] [--list] [--max-schedules=N] [--max-depth=N]
+             [--no-prune] [--replay=TOKEN]
+             Explore the schedule space of the model-checking corpus (or
+             one named program) and report a determinism / deadlock
+             verdict per case. Default budgets match the pinned corpus
+             expectations, and any count or verdict drift fails the run.
+             --replay re-executes exactly one schedule from its token
+             (requires --program) and prints that run's outcome.
   help       This text.
 
 common:
@@ -457,6 +468,126 @@ int cmd_faults(const Options& options, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+void print_report(const mc::ExplorationReport& rep, std::ostream& out) {
+  out << "    verdict: " << mc::to_string(rep.verdict) << "\n";
+  out << "    schedules: " << rep.schedules_run << " run, "
+      << rep.schedules_pruned << " pruned, " << rep.choice_points
+      << " choice point(s), max depth " << rep.max_depth_seen
+      << (rep.exhausted() ? "" : "  [INCOMPLETE: budget or depth cap hit]")
+      << "\n";
+  if (rep.any_completed) {
+    out << "    canonical hash: " << std::hex << rep.canonical_hash
+        << std::dec << "\n";
+  }
+  if (rep.verdict == mc::Verdict::kDivergent) {
+    out << "    divergent schedule: " << rep.divergent_token << " (hash "
+        << std::hex << rep.divergent_hash << std::dec << ")\n";
+    out << "    replay: smilab check --program=NAME --replay="
+        << rep.divergent_token << "\n";
+  }
+  if (!rep.deadlock_token.empty()) {
+    out << "    deadlocking schedule: " << rep.deadlock_token << " ("
+        << to_string(rep.deadlock_status) << ")\n";
+  }
+  if (!rep.checker_note.empty()) {
+    out << "    checker note: " << rep.checker_note << "\n";
+  }
+}
+
+int cmd_check(const Options& options, std::ostream& out, std::ostream& err) {
+  std::string error;
+  const std::string program = options.get("program", "");
+  const bool list = options.get_bool("list", false);
+  const auto max_schedules = options.get_int(
+      "max-schedules", static_cast<long long>(mc::kCorpusMaxSchedules),
+      &error);
+  const auto max_depth = options.get_int(
+      "max-depth", static_cast<long long>(mc::kCorpusMaxDepth), &error);
+  const bool no_prune = options.get_bool("no-prune", false);
+  const std::string replay_token = options.get("replay", "");
+  if (!error.empty()) return fail(err, error);
+  if (const int rc = check_leftovers(options, err)) return rc;
+  if (max_schedules < 1) return fail(err, "--max-schedules must be >= 1");
+  if (max_depth < 1) return fail(err, "--max-depth must be >= 1");
+
+  if (list) {
+    for (const mc::McCase& c : mc::corpus()) {
+      out << "  " << c.name << ": " << c.summary << "\n";
+    }
+    return 0;
+  }
+
+  mc::ExplorerOptions eopts;
+  eopts.max_schedules = static_cast<std::size_t>(max_schedules);
+  eopts.max_depth = static_cast<std::size_t>(max_depth);
+  eopts.prune = !no_prune;
+  // The pinned corpus counts are defined at the default budgets with
+  // pruning on; a custom exploration is informative, not a gate.
+  const bool gate = !options.has("max-schedules") && !options.has("max-depth");
+
+  if (!replay_token.empty()) {
+    if (program.empty()) return fail(err, "--replay requires --program=NAME");
+    const mc::McCase* c = mc::find_case(program);
+    if (c == nullptr) {
+      return fail(err, "unknown program '" + program + "' (try --list)");
+    }
+    const auto trace = mc::ScheduleTrace::parse(replay_token);
+    if (!trace) {
+      return fail(err, "malformed replay token '" + replay_token + "'");
+    }
+    mc::Explorer explorer{c->target, eopts};
+    const mc::ExplorationReport rep = explorer.replay(*trace);
+    out << "replaying " << c->name << " schedule " << trace->to_token()
+        << ":\n";
+    print_report(rep, out);
+    if (rep.verdict == mc::Verdict::kCheckerBug) return 3;
+    if (!rep.deadlock_report.empty()) err << rep.deadlock_report << "\n";
+    return rep.deadlock_token.empty() ? 0 : 3;
+  }
+
+  bool all_ok = true;
+  std::size_t ran = 0;
+  for (const mc::McCase& c : mc::corpus()) {
+    if (!program.empty() && program != c.name) continue;
+    ++ran;
+    mc::Explorer explorer{c.target, eopts};
+    const mc::ExplorationReport rep = explorer.explore();
+    out << "  " << c.name << ":\n";
+    print_report(rep, out);
+    if (!gate) continue;
+    const std::size_t want_schedules =
+        no_prune ? c.expect_schedules_noprune : c.expect_schedules;
+    const std::size_t want_pruned = no_prune ? 0 : c.expect_pruned;
+    if (rep.verdict != c.expect_verdict) {
+      err << "smilab: " << c.name << ": expected verdict '"
+          << mc::to_string(c.expect_verdict) << "', got '"
+          << mc::to_string(rep.verdict) << "'\n";
+      all_ok = false;
+    }
+    if (rep.schedules_run != want_schedules ||
+        rep.schedules_pruned != want_pruned) {
+      err << "smilab: " << c.name << ": expected " << want_schedules
+          << " schedule(s) (" << want_pruned << " pruned), got "
+          << rep.schedules_run << " (" << rep.schedules_pruned
+          << " pruned) — a choice point appeared or vanished\n";
+      all_ok = false;
+    }
+    if (!rep.exhausted()) {
+      err << "smilab: " << c.name
+          << ": exploration did not finish within the corpus budgets\n";
+      all_ok = false;
+    }
+  }
+  if (ran == 0) {
+    return fail(err, "unknown program '" + program + "' (try --list)");
+  }
+  if (!all_ok) return 3;
+  out << (gate ? "all " : "") << std::to_string(ran)
+      << " corpus case(s) explored" << (gate ? ", all pins hold" : "")
+      << "\n";
+  return 0;
+}
+
 }  // namespace
 
 const char* cli_usage() { return kUsage; }
@@ -474,6 +605,7 @@ int run_cli_command(const Options& options, std::ostream& out,
   if (command == "detect") return cmd_detect(options, out, err);
   if (command == "rim") return cmd_rim(options, out, err);
   if (command == "faults") return cmd_faults(options, out, err);
+  if (command == "check") return cmd_check(options, out, err);
   return fail(err, "unknown command '" + command + "' (see 'smilab help')");
 }
 

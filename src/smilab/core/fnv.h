@@ -1,0 +1,41 @@
+// Shared FNV-1a mixing for determinism digests.
+//
+// The model checker (mc/) and System::progress_digest() both need a cheap,
+// platform-stable hash of simulation state: FNV-1a over the little-endian
+// bytes of each mixed word, the same construction the golden-hash tests use
+// for their trace hashes. splitmix64 is provided for order-INSENSITIVE
+// combinations (hashing a multiset of pending-event times, where the heap's
+// internal layout must not leak into the digest).
+#pragma once
+
+#include <cstdint>
+
+namespace smilab {
+
+/// Incremental FNV-1a over 64-bit words (mixed byte-wise, low byte first).
+class Fnv64 {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xffu;
+      h_ *= 0x100000001b3ull;
+    }
+  }
+  void mix_signed(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+/// Stateless 64-bit finalizer (Vigna's splitmix64). Summing splitmix64 of
+/// each element hashes a multiset independently of visit order.
+[[nodiscard]] inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace smilab

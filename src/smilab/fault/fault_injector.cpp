@@ -1,8 +1,11 @@
 #include "smilab/fault/fault_injector.h"
 
 #include <algorithm>
+#include <cassert>
 #include <string>
 #include <utility>
+
+#include "smilab/sim/choice_hooks.h"
 
 namespace smilab {
 
@@ -73,30 +76,74 @@ FaultInjector::FaultInjector(System& sys, FaultPlan plan)
       noise.dup_prob < 0.0 || noise.dup_prob > 1.0) {
     config_error("link noise probabilities must be in [0, 1]");
   }
+  if (plan_.jitter.window < SimDuration::zero()) {
+    config_error("jitter window must be non-negative");
+  }
+  if (plan_.jitter.steps < 1 || plan_.jitter.steps > 16) {
+    config_error("jitter steps must be in [1, 16], got " +
+                 std::to_string(plan_.jitter.steps));
+  }
+  if (plan_.jitter.active()) {
+    // Re-check the freeze overlap with every interval expanded by the full
+    // window: no jittered placement may collide, whichever offsets the
+    // explorer picks.
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      if (sorted[i].node == sorted[i - 1].node &&
+          sorted[i].at < sorted[i - 1].at + sorted[i - 1].duration +
+                             plan_.jitter.window) {
+        config_error("freezes on node " + std::to_string(sorted[i].node) +
+                     " may overlap under the jitter window");
+      }
+    }
+  }
+
+  // Fault start-time jitter (schedule exploration): each timed fault asks
+  // the installed SchedulePolicy which of the plan's discrete offsets to
+  // take, in plan order (freezes, crashes, link_downs, slow_nodes — the
+  // same order the kFaultJitter choice points appear in a replay token).
+  // Offset 0 — always, with no policy — is the plan's literal start time.
+  // The whole interval shifts: durations never change under jitter.
+  SchedulePolicy* policy = sys_.schedule_policy();
+  auto jittered = [&](SimTime at) -> SimTime {
+    if (!plan_.jitter.active()) return at;
+    std::size_t step = 0;
+    if (policy != nullptr) {
+      step = policy->choose(ChoiceKind::kFaultJitter,
+                            static_cast<std::size_t>(plan_.jitter.steps));
+      assert(step < static_cast<std::size_t>(plan_.jitter.steps));
+    }
+    return at + nanoseconds(plan_.jitter.window.ns() *
+                            static_cast<std::int64_t>(step) /
+                            plan_.jitter.steps);
+  };
 
   Engine& engine = sys_.engine();
   for (const NodeFreeze& f : plan_.freezes) {
-    engine.schedule_at(f.at,
+    const SimTime at = jittered(f.at);
+    engine.schedule_at(at,
                        [this, node = f.node] { sys_.fault_freeze_enter(node); });
-    engine.schedule_at(f.at + f.duration,
+    engine.schedule_at(at + f.duration,
                        [this, node = f.node] { sys_.fault_freeze_exit(node); });
   }
   for (const NodeCrash& c : plan_.crashes) {
-    engine.schedule_at(c.at, [this, node = c.node] { sys_.crash_node(node); });
+    engine.schedule_at(jittered(c.at),
+                       [this, node = c.node] { sys_.crash_node(node); });
   }
   for (const LinkDown& l : plan_.link_downs) {
-    engine.schedule_at(l.at, [this, node = l.node] {
+    const SimTime at = jittered(l.at);
+    engine.schedule_at(at, [this, node = l.node] {
       sys_.set_link_down(node, /*down=*/true);
     });
-    engine.schedule_at(l.at + l.duration, [this, node = l.node] {
+    engine.schedule_at(at + l.duration, [this, node = l.node] {
       sys_.set_link_down(node, /*down=*/false);
     });
   }
   for (const SlowNode& s : plan_.slow_nodes) {
-    engine.schedule_at(s.at, [this, node = s.node, scale = s.rate_scale] {
+    const SimTime at = jittered(s.at);
+    engine.schedule_at(at, [this, node = s.node, scale = s.rate_scale] {
       sys_.set_node_fault_rate(node, scale);
     });
-    engine.schedule_at(s.at + s.duration, [this, node = s.node] {
+    engine.schedule_at(at + s.duration, [this, node = s.node] {
       sys_.set_node_fault_rate(node, 1.0);
     });
   }

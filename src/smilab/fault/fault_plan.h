@@ -66,6 +66,22 @@ struct LinkNoise {
   double dup_prob = 0.0;
 };
 
+/// Start-time jitter window for schedule exploration (mc/). When active,
+/// every timed fault in the plan may start at one of `steps` discrete
+/// offsets in [0, window): offset k is window * k / steps, so step 0 is
+/// the plan's literal start time — the canonical schedule. The offsets are
+/// CHOSEN, not drawn: with no SchedulePolicy installed the injector always
+/// takes step 0, making an inactive-or-unexplored jitter window
+/// bit-identical to no jitter at all. The model checker enumerates the
+/// steps as kFaultJitter choice points.
+struct FaultJitter {
+  SimDuration window{};
+  int steps = 1;
+  [[nodiscard]] bool active() const {
+    return window > SimDuration::zero() && steps > 1;
+  }
+};
+
 /// The full fault schedule for one run. Build fluently:
 ///
 ///   FaultPlan plan;
@@ -78,6 +94,7 @@ struct FaultPlan {
   std::vector<LinkDown> link_downs;
   std::vector<SlowNode> slow_nodes;
   LinkNoise link_noise;
+  FaultJitter jitter;
 
   FaultPlan& freeze(int node, SimTime at, SimDuration duration) {
     freezes.push_back({node, at, duration});
@@ -101,6 +118,11 @@ struct FaultPlan {
   }
   FaultPlan& duplicate(double prob) {
     link_noise.dup_prob = prob;
+    return *this;
+  }
+  FaultPlan& with_jitter(SimDuration window, int steps) {
+    jitter.window = window;
+    jitter.steps = steps;
     return *this;
   }
 

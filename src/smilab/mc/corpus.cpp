@@ -1,0 +1,335 @@
+#include "smilab/mc/corpus.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace smilab {
+namespace mc {
+
+namespace {
+
+/// Minimal, noise-free base: no SMIs, no speed jitter — every choice point
+/// the explorer sees comes from the program, not the environment.
+SystemConfig corpus_config(int nodes) {
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::poweredge_r410_e5620();
+  cfg.node_count = nodes;
+  cfg.seed = 7;
+  return cfg;
+}
+
+// --- Deterministic programs --------------------------------------------------
+
+/// Strictly alternating eager ping-pong: the control structure serializes
+/// everything, so the canonical schedule is the ONLY schedule (token "-").
+std::unique_ptr<System> make_pingpong() {
+  auto sys = std::make_unique<System>(corpus_config(1));
+  const GroupId g = sys->create_group(2);
+  {
+    std::vector<Action> p;
+    p.push_back(Send{1, 1024, 5});
+    p.push_back(Recv{1, 6});
+    p.push_back(Send{1, 1024, 7});
+    p.push_back(Recv{1, 8});
+    sys->spawn_member(g, 0, TaskSpec::with_actions("r0", 0, std::move(p)));
+  }
+  {
+    std::vector<Action> p;
+    p.push_back(Recv{0, 5});
+    p.push_back(Send{0, 1024, 6});
+    p.push_back(Recv{0, 7});
+    p.push_back(Send{0, 1024, 8});
+    sys->spawn_member(g, 1, TaskSpec::with_actions("r1", 0, std::move(p)));
+  }
+  return sys;
+}
+
+/// Rendezvous round trip (over-threshold payloads, ack machinery live):
+/// still fully serialized, still exactly one schedule.
+std::unique_ptr<System> make_rendezvous_pingpong() {
+  auto sys = std::make_unique<System>(corpus_config(2));
+  const GroupId g = sys->create_group(2);
+  const std::int64_t big = 256 * 1024;
+  {
+    std::vector<Action> p;
+    p.push_back(Send{1, big, 5});
+    p.push_back(Recv{1, 6});
+    sys->spawn_member(g, 0, TaskSpec::with_actions("r0", 0, std::move(p)));
+  }
+  {
+    std::vector<Action> p;
+    p.push_back(Recv{0, 5});
+    p.push_back(Send{0, big, 6});
+    sys->spawn_member(g, 1, TaskSpec::with_actions("r1", 1, std::move(p)));
+  }
+  return sys;
+}
+
+/// Two identical computes on separate nodes complete at the same instant:
+/// one kEventTie with two alternatives, whose orders commute.
+std::unique_ptr<System> make_tie_twins() {
+  auto sys = std::make_unique<System>(corpus_config(2));
+  for (int n = 0; n < 2; ++n) {
+    std::vector<Action> p;
+    p.push_back(Compute{milliseconds(1)});
+    sys->spawn(TaskSpec::with_actions("twin" + std::to_string(n), n,
+                                      std::move(p)));
+  }
+  return sys;
+}
+
+/// Two back-to-back identical compute rounds: a tie at t=1ms and another
+/// at t=2ms. The first tie's orders commute BEFORE the second tie fires,
+/// so with pruning the second choice point is explored once and the [1,*]
+/// subtree collapses to a memo hit — the smallest DPOR win.
+std::unique_ptr<System> make_tie_commute() {
+  auto sys = std::make_unique<System>(corpus_config(2));
+  for (int n = 0; n < 2; ++n) {
+    std::vector<Action> p;
+    p.push_back(Compute{milliseconds(1)});
+    p.push_back(Compute{milliseconds(1)});
+    sys->spawn(TaskSpec::with_actions("twin" + std::to_string(n), n,
+                                      std::move(p)));
+  }
+  return sys;
+}
+
+/// Wildcard funnel: three skewed senders queue tag-5 messages while rank 0
+/// computes; its three ANY_SOURCE receives then drain them. Choice points
+/// of arity 3 and 2 (the last match has one candidate): 3! = 6 schedules,
+/// every one ending with identical stats.
+std::unique_ptr<System> make_anysource_fan3() {
+  auto sys = std::make_unique<System>(corpus_config(4));
+  const GroupId g = sys->create_group(4);
+  {
+    std::vector<Action> p;
+    p.push_back(Compute{milliseconds(10)});
+    p.push_back(Recv{kAnySource, 5});
+    p.push_back(Recv{kAnySource, 5});
+    p.push_back(Recv{kAnySource, 5});
+    sys->spawn_member(g, 0, TaskSpec::with_actions("root", 0, std::move(p)));
+  }
+  for (int r = 1; r < 4; ++r) {
+    std::vector<Action> p;
+    // Distinct skews: arrivals land in rank order, no event ties.
+    p.push_back(Compute{microseconds(100 * r)});
+    p.push_back(Send{0, 1024, 5});
+    sys->spawn_member(g, r,
+                      TaskSpec::with_actions("w" + std::to_string(r), r,
+                                             std::move(p)));
+  }
+  return sys;
+}
+
+/// Nonblocking wildcard pair: the Irecv(ANY_SOURCE) postings match against
+/// the already-queued arrivals, so the first posting is a 2-way choice.
+std::unique_ptr<System> make_wildcard_irecv() {
+  auto sys = std::make_unique<System>(corpus_config(3));
+  const GroupId g = sys->create_group(3);
+  {
+    std::vector<Action> p;
+    p.push_back(Compute{milliseconds(10)});
+    p.push_back(Irecv{kAnySource, 5, 0});
+    p.push_back(Irecv{kAnySource, 5, 1});
+    p.push_back(WaitAll{{0, 1}});
+    sys->spawn_member(g, 0, TaskSpec::with_actions("root", 0, std::move(p)));
+  }
+  for (int r = 1; r < 3; ++r) {
+    std::vector<Action> p;
+    p.push_back(Compute{microseconds(200 * r)});
+    p.push_back(Send{0, 1024, 5});
+    sys->spawn_member(g, r,
+                      TaskSpec::with_actions("w" + std::to_string(r), r,
+                                             std::move(p)));
+  }
+  return sys;
+}
+
+/// A freeze whose whole jitter range sits inside the task's Sleep: the
+/// node is idle throughout, so all three offsets are observably identical
+/// — the checker proves the jitter window inert.
+std::unique_ptr<System> make_jitter_sleep() {
+  auto sys = std::make_unique<System>(corpus_config(1));
+  std::vector<Action> p;
+  p.push_back(Sleep{milliseconds(100)});
+  sys->spawn(TaskSpec::with_actions("sleeper", 0, std::move(p)));
+  return sys;
+}
+
+std::unique_ptr<FaultInjector> make_jitter_sleep_injector(System& sys) {
+  FaultPlan plan;
+  plan.freeze(0, SimTime::zero() + milliseconds(10), milliseconds(5))
+      .with_jitter(milliseconds(3), 3);
+  return std::make_unique<FaultInjector>(sys, std::move(plan));
+}
+
+/// A jittered freeze scheduled long after the program quiesces: the run
+/// ends before any offset fires, so all four schedules coincide.
+std::unique_ptr<System> make_jitter_quiesce() {
+  auto sys = std::make_unique<System>(corpus_config(1));
+  std::vector<Action> p;
+  p.push_back(Compute{milliseconds(1)});
+  sys->spawn(TaskSpec::with_actions("worker", 0, std::move(p)));
+  return sys;
+}
+
+std::unique_ptr<FaultInjector> make_jitter_quiesce_injector(System& sys) {
+  FaultPlan plan;
+  plan.freeze(0, SimTime::zero() + seconds(1), milliseconds(10)).with_jitter(milliseconds(4), 4);
+  return std::make_unique<FaultInjector>(sys, std::move(plan));
+}
+
+// --- Seeded-deadlock fixtures ------------------------------------------------
+
+std::unique_ptr<System> make_sendsend_cycle() {
+  auto sys = std::make_unique<System>(corpus_config(2));
+  spawn_sendsend_cycle(*sys);
+  return sys;
+}
+
+std::unique_ptr<System> make_waitall_never() {
+  auto sys = std::make_unique<System>(corpus_config(1));
+  spawn_waitall_never(*sys);
+  return sys;
+}
+
+std::unique_ptr<System> make_anysource_starve() {
+  auto sys = std::make_unique<System>(corpus_config(1));
+  spawn_anysource_starve(*sys);
+  return sys;
+}
+
+std::unique_ptr<System> make_crashed_peer() {
+  auto sys = std::make_unique<System>(corpus_config(2));
+  spawn_crashed_peer(*sys);
+  return sys;
+}
+
+std::unique_ptr<FaultInjector> make_crashed_peer_injector(System& sys) {
+  return std::make_unique<FaultInjector>(sys, crashed_peer_plan());
+}
+
+}  // namespace
+
+void spawn_sendsend_cycle(System& sys) {
+  const GroupId g = sys.create_group(2);
+  const std::int64_t big = 256 * 1024;  // > rendezvous threshold
+  for (int r = 0; r < 2; ++r) {
+    std::vector<Action> p;
+    // Skewed starts keep the two transfer arrivals off the same instant:
+    // the deadlock needs no event tie, so the fixture has zero choice
+    // points and wedges on the one (canonical) schedule.
+    p.push_back(Compute{microseconds(50 * r)});
+    p.push_back(Send{1 - r, big, 4});
+    p.push_back(Recv{1 - r, 4});
+    sys.spawn_member(
+        g, r, TaskSpec::with_actions("s" + std::to_string(r), r, std::move(p)));
+  }
+}
+
+void spawn_waitall_never(System& sys) {
+  const GroupId g = sys.create_group(2);
+  {
+    std::vector<Action> p;
+    p.push_back(Irecv{1, 5, 0});
+    p.push_back(WaitAll{{0}});
+    sys.spawn_member(g, 0, TaskSpec::with_actions("waiter", 0, std::move(p)));
+  }
+  {
+    std::vector<Action> p;
+    p.push_back(Compute{milliseconds(1)});  // finishes without sending
+    sys.spawn_member(g, 1, TaskSpec::with_actions("silent", 0, std::move(p)));
+  }
+}
+
+void spawn_anysource_starve(System& sys) {
+  const GroupId g = sys.create_group(3);
+  {
+    std::vector<Action> p;
+    p.push_back(Compute{milliseconds(10)});  // both sends arrive meanwhile
+    p.push_back(Recv{kAnySource, 5});
+    p.push_back(Recv{1, 5});
+    sys.spawn_member(g, 0, TaskSpec::with_actions("root", 0, std::move(p)));
+  }
+  {
+    std::vector<Action> p;
+    p.push_back(Compute{microseconds(200)});  // arrives SECOND
+    p.push_back(Send{0, 1024, 5});
+    sys.spawn_member(g, 1, TaskSpec::with_actions("late", 0, std::move(p)));
+  }
+  {
+    std::vector<Action> p;
+    p.push_back(Send{0, 1024, 5});  // arrives first: the canonical match
+    sys.spawn_member(g, 2, TaskSpec::with_actions("early", 0, std::move(p)));
+  }
+}
+
+void spawn_crashed_peer(System& sys) {
+  const GroupId g = sys.create_group(2);
+  {
+    std::vector<Action> p;
+    p.push_back(Recv{1, 5});
+    sys.spawn_member(g, 0, TaskSpec::with_actions("survivor", 0, std::move(p)));
+  }
+  {
+    std::vector<Action> p;
+    p.push_back(Compute{milliseconds(50)});  // killed mid-compute
+    p.push_back(Send{0, 1024, 5});
+    sys.spawn_member(g, 1, TaskSpec::with_actions("victim", 1, std::move(p)));
+  }
+}
+
+FaultPlan crashed_peer_plan() {
+  FaultPlan plan;
+  plan.crash(1, SimTime::zero() + milliseconds(1));
+  return plan;
+}
+
+const std::vector<McCase>& corpus() {
+  // Expected counts are measured once and pinned; a mismatch means a
+  // simulator change altered the nondeterminism surface (see file header).
+  static const std::vector<McCase> kCases = {
+      {"pingpong", "alternating eager ping-pong; no nondeterminism",
+       McTarget{&make_pingpong, nullptr}, Verdict::kDeterministic, 1, 1, 0},
+      {"rendezvous-pingpong", "over-threshold round trip; no nondeterminism",
+       McTarget{&make_rendezvous_pingpong, nullptr}, Verdict::kDeterministic,
+       1, 1, 0},
+      {"tie-twins", "one 2-way same-instant completion tie",
+       McTarget{&make_tie_twins, nullptr}, Verdict::kDeterministic, 2, 2, 0},
+      {"tie-commute", "two commuting 2-way ties; pruning collapses one",
+       McTarget{&make_tie_commute, nullptr}, Verdict::kDeterministic, 3, 4, 1},
+      {"anysource-fan3", "3-sender wildcard funnel; 3! match orders",
+       McTarget{&make_anysource_fan3, nullptr}, Verdict::kDeterministic, 6, 6,
+       0},
+      {"wildcard-irecv", "nonblocking wildcard pair over queued arrivals",
+       McTarget{&make_wildcard_irecv, nullptr}, Verdict::kDeterministic, 2, 2,
+       0},
+      {"jitter-sleep", "freeze jittered inside a sleep; 3 inert offsets",
+       McTarget{&make_jitter_sleep, &make_jitter_sleep_injector},
+       Verdict::kDeterministic, 3, 3, 0},
+      {"jitter-quiesce", "jittered freeze after quiesce; 4 inert offsets",
+       McTarget{&make_jitter_quiesce, &make_jitter_quiesce_injector},
+       Verdict::kDeterministic, 4, 4, 0},
+      {"deadlock-sendsend", "head-to-head rendezvous send cycle",
+       McTarget{&make_sendsend_cycle, nullptr}, Verdict::kDeadlock, 1, 1, 0},
+      {"deadlock-waitall", "waitall on a handle nobody ever sends",
+       McTarget{&make_waitall_never, nullptr}, Verdict::kDeadlock, 1, 1, 0},
+      {"anysource-starve", "wildcard starvation on the non-canonical match",
+       McTarget{&make_anysource_starve, nullptr}, Verdict::kDeadlock, 2, 2, 0},
+      {"deadlock-crashed-peer", "blocking recv from a crashed node",
+       McTarget{&make_crashed_peer, &make_crashed_peer_injector},
+       Verdict::kDeadlock, 1, 1, 0},
+  };
+  return kCases;
+}
+
+const McCase* find_case(std::string_view name) {
+  for (const McCase& c : corpus()) {
+    if (name == c.name) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace mc
+}  // namespace smilab

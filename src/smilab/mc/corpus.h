@@ -1,0 +1,78 @@
+// The model-checking corpus: small MPI programs with known, pinned
+// exploration results.
+//
+// Each case is a self-contained target (capture-less factory functions —
+// McTarget takes plain function pointers) plus the EXACT numbers the
+// explorer must report for it at the corpus budgets: schedule count with
+// and without pruning, pruned-run count, and verdict. The counts are part
+// of the regression surface — a simulator change that adds or removes a
+// nondeterministic choice point shows up as a count mismatch in
+// tests/mc_test.cpp and in the CI `smilab check` run, exactly like a
+// golden-hash break.
+//
+// The deadlock fixtures double as diagnosis_test fixtures (the wait-for
+// report and the checker must agree on what a wedge looks like); spawn
+// helpers for them are exported below.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "smilab/fault/fault_plan.h"
+#include "smilab/mc/explorer.h"
+
+namespace smilab {
+namespace mc {
+
+/// Exploration budgets used by the corpus expectations, the mc tests, and
+/// the CI check job. Generous: the largest corpus tree is ~6 schedules.
+inline constexpr std::size_t kCorpusMaxSchedules = 256;
+inline constexpr std::size_t kCorpusMaxDepth = 32;
+
+struct McCase {
+  const char* name;
+  const char* summary;
+  McTarget target;
+  Verdict expect_verdict = Verdict::kDeterministic;
+  /// Completed runs with pruning on, at the corpus budgets.
+  std::size_t expect_schedules = 0;
+  /// Completed runs with pruning off (>= expect_schedules).
+  std::size_t expect_schedules_noprune = 0;
+  /// Runs completed through a memo-hit canonical tail (pruning on).
+  std::size_t expect_pruned = 0;
+};
+
+[[nodiscard]] const std::vector<McCase>& corpus();
+[[nodiscard]] const McCase* find_case(std::string_view name);
+
+// --- Seeded-deadlock fixtures (shared with diagnosis_test) -------------------
+
+/// Head-to-head rendezvous sends: rank 0 and rank 1 (separate nodes) each
+/// issue a blocking over-threshold Send to the other before any Recv; each
+/// waits for an ack only the other's progress could produce. Deadlocks on
+/// EVERY schedule, with a provable wait-for cycle.
+void spawn_sendsend_cycle(System& sys);
+
+/// Mismatched waitall: rank 0 posts Irecv(src=1) and parks in WaitAll;
+/// rank 1 computes and finishes without ever sending. The event queue
+/// drains with rank 0 still parked — deadlock by exhaustion, no cycle.
+void spawn_waitall_never(System& sys);
+
+/// Schedule-DEPENDENT wildcard starvation: rank 0 computes while ranks 1
+/// and 2 each send one tag-5 message (rank 1's arrives second), then rank 0
+/// does Recv(ANY_SOURCE, 5) followed by Recv(src=1, 5). The canonical
+/// wildcard match takes the earliest arrival (rank 2's), leaving rank 1's
+/// for the specific receive: completes. The alternative match consumes
+/// rank 1's message first — the specific receive then waits forever while
+/// rank 2's sits unmatched. Only exploration finds it.
+void spawn_anysource_starve(System& sys);
+
+/// Crashed-peer receive: rank 0 blocks in Recv(src=1) while node 1 — which
+/// hosts rank 1, still computing toward its send — is crashed by the fault
+/// plan below. Deadlocks with peer_failed evidence on every schedule.
+void spawn_crashed_peer(System& sys);
+[[nodiscard]] FaultPlan crashed_peer_plan();
+
+}  // namespace mc
+}  // namespace smilab

@@ -1,0 +1,67 @@
+#include "smilab/mc/schedule_trace.h"
+
+namespace smilab {
+namespace mc {
+
+namespace {
+
+/// Parse a decimal run starting at `pos`; advances `pos` past it. False if
+/// no digits are present or the value overflows a reasonable bound.
+bool parse_number(const std::string& s, std::size_t& pos, std::size_t& out) {
+  const std::size_t start = pos;
+  std::size_t value = 0;
+  while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+    value = value * 10 + static_cast<std::size_t>(s[pos] - '0');
+    if (value > 1'000'000) return false;  // no real choice point is this wide
+    ++pos;
+  }
+  if (pos == start) return false;
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string ScheduleTrace::to_token() const {
+  if (choices.empty()) return "-";
+  std::string out;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (i != 0) out += '.';
+    const Choice& c = choices[i];
+    out += token_letter(c.kind);
+    out += std::to_string(c.chosen);
+    out += '/';
+    out += std::to_string(c.n);
+  }
+  return out;
+}
+
+std::optional<ScheduleTrace> ScheduleTrace::parse(const std::string& token) {
+  ScheduleTrace trace;
+  if (token == "-") return trace;
+  if (token.empty()) return std::nullopt;
+  std::size_t pos = 0;
+  for (;;) {
+    if (pos >= token.size()) return std::nullopt;  // trailing '.'
+    Choice c;
+    switch (token[pos]) {
+      case 't': c.kind = ChoiceKind::kEventTie; break;
+      case 'a': c.kind = ChoiceKind::kAnySourceMatch; break;
+      case 'f': c.kind = ChoiceKind::kFaultJitter; break;
+      default: return std::nullopt;
+    }
+    ++pos;
+    if (!parse_number(token, pos, c.chosen)) return std::nullopt;
+    if (pos >= token.size() || token[pos] != '/') return std::nullopt;
+    ++pos;
+    if (!parse_number(token, pos, c.n)) return std::nullopt;
+    if (c.n < 2 || c.chosen >= c.n) return std::nullopt;
+    trace.choices.push_back(c);
+    if (pos == token.size()) return trace;
+    if (token[pos] != '.') return std::nullopt;
+    ++pos;
+  }
+}
+
+}  // namespace mc
+}  // namespace smilab

@@ -1,0 +1,59 @@
+// Replayable schedule traces for the model checker.
+//
+// A ScheduleTrace records one complete path through a program's choice
+// tree: the ordered list of (kind, chosen, n) decisions the explorer made.
+// Its token form is a one-line string a user can paste back into
+// `smilab check --replay=...` to reproduce exactly one schedule — e.g. the
+// schedule that deadlocked — without re-exploring anything.
+//
+// Token grammar (one token per decision, '.'-joined, "-" for the empty
+// trace, i.e. the program has no nondeterminism):
+//
+//   trace    := "-" | token ("." token)*
+//   token    := letter chosen "/" n
+//   letter   := "t"            event-tie      (ChoiceKind::kEventTie)
+//             | "a"            any-source     (ChoiceKind::kAnySourceMatch)
+//             | "f"            fault-jitter   (ChoiceKind::kFaultJitter)
+//   chosen   := decimal index, 0 <= chosen < n
+//   n        := decimal alternative count, n >= 2
+//
+// Example: "t1/2.a0/3.t0/2" — at the first same-instant tie take the
+// second event, at the wildcard match take the first of three candidate
+// sources, at the next tie take the canonical event. n is carried in the
+// token so replay can verify the program still presents the same choice
+// structure (a mismatch means the binary or config changed — the token is
+// from a different program — and is reported instead of silently
+// misreplayed).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "smilab/sim/choice_hooks.h"
+
+namespace smilab {
+namespace mc {
+
+/// One recorded decision.
+struct Choice {
+  ChoiceKind kind = ChoiceKind::kEventTie;
+  std::size_t chosen = 0;  ///< index taken, < n
+  std::size_t n = 0;       ///< alternatives presented (>= 2)
+};
+
+/// An ordered decision path; see the token grammar above.
+struct ScheduleTrace {
+  std::vector<Choice> choices;
+
+  [[nodiscard]] std::string to_token() const;
+
+  /// Parse a token string; std::nullopt on any syntax violation (unknown
+  /// letter, chosen >= n, n < 2, malformed number, empty token).
+  [[nodiscard]] static std::optional<ScheduleTrace> parse(
+      const std::string& token);
+};
+
+}  // namespace mc
+}  // namespace smilab

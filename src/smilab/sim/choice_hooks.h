@@ -1,0 +1,72 @@
+// Schedule-exploration hooks (consumed by src/smilab/mc).
+//
+// The simulator is deterministic by construction: containers are ordered or
+// probed by key, event-heap ties break by insertion sequence, wildcard
+// receives match the earliest arrival. That pins ONE schedule — but a real
+// cluster exhibits many, and the determinism claim the hot-path rewrites
+// rest on is that the *observable* outcome is the same for all of them. The
+// model checker therefore needs to enumerate the points where a real system
+// could legally diverge, and exactly three exist:
+//
+//   kEventTie        which of N same-instant engine events fires first
+//   kAnySourceMatch  which queued sender an MPI_ANY_SOURCE receive takes
+//                    (one candidate per distinct source; within a source,
+//                    MPI's non-overtaking rule pins the order)
+//   kFaultJitter     which discrete offset within a FaultPlan jitter window
+//                    shifts a fault's start time
+//
+// Contract, relied on by the canonical-schedule tests:
+//   * a policy is consulted only when n >= 2 alternatives exist;
+//   * alternatives are presented in canonical order, so decision 0 always
+//     reproduces the default schedule — an installed policy returning 0
+//     everywhere is bit-identical to no policy at all;
+//   * with no policy installed (the default) the hooks cost one pointer
+//     test on the consulting paths and nothing else.
+//
+// The interface is a virtual class, not std::function: the consulting
+// sites (engine pop, wildcard match) are smilint hot paths (rule D4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace smilab {
+
+enum class ChoiceKind : std::uint8_t {
+  kEventTie = 0,
+  kAnySourceMatch = 1,
+  kFaultJitter = 2,
+};
+
+[[nodiscard]] inline const char* to_string(ChoiceKind kind) {
+  switch (kind) {
+    case ChoiceKind::kEventTie: return "event-tie";
+    case ChoiceKind::kAnySourceMatch: return "any-source";
+    case ChoiceKind::kFaultJitter: return "fault-jitter";
+  }
+  return "?";
+}
+
+/// Replay-token letter for a choice kind ('t' / 'a' / 'f'); see
+/// mc/schedule_trace.h for the token grammar.
+[[nodiscard]] inline char token_letter(ChoiceKind kind) {
+  switch (kind) {
+    case ChoiceKind::kEventTie: return 't';
+    case ChoiceKind::kAnySourceMatch: return 'a';
+    case ChoiceKind::kFaultJitter: return 'f';
+  }
+  return '?';
+}
+
+/// Decision source for the nondeterministic choice points above. The
+/// System (and through it the Engine / transport / FaultInjector) consults
+/// the installed policy at every point where n >= 2 alternatives exist;
+/// the returned index must be < n. mc::Explorer implements this to drive
+/// DFS schedule enumeration and token replay.
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+  [[nodiscard]] virtual std::size_t choose(ChoiceKind kind, std::size_t n) = 0;
+};
+
+}  // namespace smilab

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <utility>
 
+#include "smilab/core/fnv.h"
+#include "smilab/sim/choice_hooks.h"
+
 namespace smilab {
 
 void Engine::release_slot(std::uint32_t slot) {
@@ -138,6 +141,7 @@ void Engine::drop_root_tombstones() {
 bool Engine::pop_next() {
   if (tombstones_ != 0) drop_root_tombstones();
   if (heap_.empty()) return false;
+  if (tie_break_ != nullptr) return pop_tied();
   const Entry top = heap_[0];
   Slot& slot = slots_[top.slot];
   assert(slot.seq == top.seq);
@@ -152,6 +156,55 @@ bool Engine::pop_next() {
   ++executed_;
   fn();
   return true;
+}
+
+// Tie-break path (model checking only — entered iff a policy is installed).
+// Collect every live entry sharing the minimal timestamp by popping roots;
+// successive roots come off in (time, seq) order, so tie_buf_[0] is exactly
+// the entry the default pop would have fired and "decision 0 == canonical
+// schedule" holds by construction. The losers are re-pushed BEFORE the
+// chosen callback runs: it may schedule or cancel events and must see a
+// consistent heap. (time, seq) is a total order, so the re-pushed entries
+// pop in the same relative order regardless of the heap's internal layout.
+bool Engine::pop_tied() {
+  const SimTime t0 = heap_[0].time;
+  tie_buf_.clear();
+  while (!heap_.empty() && heap_[0].time == t0) {
+    tie_buf_.push_back(heap_[0]);
+    remove_root();
+    if (tombstones_ != 0) drop_root_tombstones();
+  }
+  std::size_t pick = 0;
+  if (tie_buf_.size() > 1) {
+    pick = tie_break_->choose(ChoiceKind::kEventTie, tie_buf_.size());
+    assert(pick < tie_buf_.size() && "tie-break decision out of range");
+  }
+  const Entry chosen = tie_buf_[pick];
+  for (std::size_t i = 0; i < tie_buf_.size(); ++i) {
+    if (i != pick) heap_push(tie_buf_[i]);
+  }
+  Slot& slot = slots_[chosen.slot];
+  assert(slot.seq == chosen.seq);
+  assert(chosen.time >= now_);
+  now_ = chosen.time;
+  InlineCallback fn = std::move(slot.fn);
+  release_slot(chosen.slot);
+  --live_;
+  ++executed_;
+  fn();
+  return true;
+}
+
+std::uint64_t Engine::pending_time_digest() const {
+  // Sum of per-entry finalized hashes: independent of heap layout, seq
+  // numbering, and tombstone positions — only live entry times count.
+  std::uint64_t acc = 0;
+  for (const Entry& e : heap_) {
+    const Slot& s = slots_[e.slot];
+    if (s.seq != e.seq || s.cancelled) continue;  // tombstone
+    acc += splitmix64(static_cast<std::uint64_t>(e.time.ns()));
+  }
+  return acc;
 }
 
 void Engine::run() {

@@ -23,6 +23,8 @@
 
 namespace smilab {
 
+class SchedulePolicy;  // sim/choice_hooks.h
+
 /// Handle to a scheduled event; can be used to cancel it before it fires.
 struct EventId {
   std::uint64_t seq = 0;
@@ -101,6 +103,22 @@ class Engine {
   /// events ever scheduled (slots are recycled through a free list).
   [[nodiscard]] std::size_t slot_capacity() const { return slots_.size(); }
 
+  /// Install / clear a same-instant tie-break policy (sim/choice_hooks.h).
+  /// When set, a pop whose minimal timestamp is shared by n >= 2 live
+  /// entries asks `policy->choose(kEventTie, n)` which fires first;
+  /// candidates are presented in (time, seq) order, so decision 0 is the
+  /// default schedule bit-for-bit. Null (the default) keeps the plain
+  /// lowest-(time, seq) pop: one pointer test, no collection pass. The
+  /// policy must outlive its installation.
+  void set_tie_break(SchedulePolicy* policy) { tie_break_ = policy; }
+  [[nodiscard]] SchedulePolicy* tie_break() const { return tie_break_; }
+
+  /// Order-insensitive digest of the pending-event schedule: the multiset
+  /// of live entry timestamps (seq and heap layout excluded — commuted
+  /// same-instant firings must digest equal). Model-checker memo input;
+  /// O(heap), never on the simulation hot path.
+  [[nodiscard]] std::uint64_t pending_time_digest() const;
+
  private:
   static constexpr std::uint32_t kNilSlot = 0xffffffffu;
 
@@ -129,6 +147,7 @@ class Engine {
   }
 
   bool pop_next();  // executes one event; false if queue exhausted
+  bool pop_tied();  // pop_next with the tie-break policy consulted
   EventId finish_schedule(SimTime t, std::uint32_t slot);
   void heap_push(Entry e);
   void remove_root();
@@ -158,6 +177,8 @@ class Engine {
   std::vector<Entry> heap_;  // implicit 4-ary min-heap
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNilSlot;
+  SchedulePolicy* tie_break_ = nullptr;  // null: plain (time, seq) pops
+  std::vector<Entry> tie_buf_;           // reused same-instant collection
 };
 
 }  // namespace smilab

@@ -53,8 +53,9 @@ std::string RunDiagnosis::to_string(RunStatus status) const {
       out += "blocked in " + std::string(smilab::to_string(r.op));
       if (r.op == BlockedOp::kRecv || r.op == BlockedOp::kAckWait) {
         out += "(peer=" +
-               (r.peer_rank < 0 ? std::string("any")
-                                : std::to_string(r.peer_rank));
+               (r.any_source ? std::string("ANY_SOURCE")
+                : r.peer_rank < 0 ? std::string("any")
+                                  : std::to_string(r.peer_rank));
         if (r.tag >= 0) out += ", tag=" + std::to_string(r.tag);
         out += ")";
       }
@@ -64,6 +65,34 @@ std::string RunDiagnosis::to_string(RunStatus status) const {
            " posted=" + std::to_string(r.posted_recvs);
     if (r.incomplete_handles > 0) {
       out += " open_handles=" + std::to_string(r.incomplete_handles);
+    }
+    if (!r.unexpected_sample.empty()) {
+      out += "\n    queued unmatched (arrival order):";
+      for (const QueuedMessage& m : r.unexpected_sample) {
+        out += " [src=" + std::to_string(m.src_rank) +
+               " tag=" + std::to_string(m.tag) +
+               " bytes=" + std::to_string(m.bytes) + "]";
+      }
+      if (r.unexpected_depth > r.unexpected_sample.size()) {
+        out += " (+" +
+               std::to_string(r.unexpected_depth - r.unexpected_sample.size()) +
+               " more)";
+      }
+    }
+    if (!r.pending_handles.empty()) {
+      out += "\n    open handles:";
+      for (const PendingHandle& h : r.pending_handles) {
+        out += " [h" + std::to_string(h.id) +
+               (h.is_send ? " send->" : " recv<-") +
+               (h.any_source ? std::string("ANY_SOURCE")
+                             : std::to_string(h.peer_rank)) +
+               " tag=" + std::to_string(h.tag) + "]";
+      }
+      if (r.incomplete_handles > r.pending_handles.size()) {
+        out += " (+" +
+               std::to_string(r.incomplete_handles - r.pending_handles.size()) +
+               " more)";
+      }
     }
   }
   return out;

@@ -41,6 +41,25 @@ enum class BlockedOp {
 
 [[nodiscard]] const char* to_string(BlockedOp op);
 
+/// A message sitting in a wedged receiver's unexpected queue (sampled in
+/// arrival order): what HAS arrived but failed to match tells you why the
+/// blocked receive never fires — typically a tag mismatch, or an
+/// ANY_SOURCE receive already consumed by an earlier arrival.
+struct QueuedMessage {
+  int src_rank = -1;
+  int tag = -1;
+  std::int64_t bytes = 0;
+};
+
+/// One open nonblocking handle of a wedged task (sampled in id order).
+struct PendingHandle {
+  int id = -1;
+  bool is_send = false;
+  int peer_rank = -1;  ///< posting src (recv) / destination (send)
+  int tag = -1;
+  bool any_source = false;  ///< recv posted with kAnySource
+};
+
 /// One unfinished task's state at diagnosis time.
 struct RankDiagnosis {
   TaskId task;
@@ -50,11 +69,22 @@ struct RankDiagnosis {
   BlockedOp op = BlockedOp::kNone;
   int peer_rank = -1;         ///< blocked-on rank, or -1 (any-source / n.a.)
   int tag = -1;               ///< blocked-on tag, or -1
+  bool any_source = false;    ///< blocked receive is an ANY_SOURCE wildcard
   bool peer_failed = false;   ///< the blocked-on peer died (node crash)
   std::size_t unexpected_depth = 0;  ///< arrived-but-unmatched messages
   std::size_t posted_recvs = 0;      ///< outstanding Irecv postings
   std::size_t incomplete_handles = 0;  ///< WaitAll handles still open
+  /// First few queued-but-unmatched arrivals, in arrival order (capped at
+  /// kDiagnosisSampleCap; unexpected_depth is the true total).
+  std::vector<QueuedMessage> unexpected_sample;
+  /// First few open handles, in id order (capped at kDiagnosisSampleCap;
+  /// incomplete_handles is the true total).
+  std::vector<PendingHandle> pending_handles;
 };
+
+/// Sample cap for RankDiagnosis::unexpected_sample / pending_handles: keeps
+/// reports readable when a wedged rank has thousands queued.
+inline constexpr std::size_t kDiagnosisSampleCap = 8;
 
 /// Full post-mortem of a run that did not complete.
 struct RunDiagnosis {

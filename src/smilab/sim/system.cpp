@@ -6,6 +6,7 @@
 #include <deque>
 #include <stdexcept>
 
+#include "smilab/core/fnv.h"
 #include "smilab/smm/smi_controller.h"
 
 namespace smilab {
@@ -1273,7 +1274,7 @@ void System::on_message_arrival(MsgHandle h) {
 
 bool System::try_match_recv(TaskImpl& t, int src_rank, int tag,
                             MessageRec** out) {
-  const MsgHandle h = t.unexpected.match(pool_, src_rank, tag);
+  const MsgHandle h = t.unexpected.match(pool_, src_rank, tag, sched_policy_);
   if (!h.valid()) return false;
   t.waiting_msg = false;
   t.active_msg = h;
@@ -1980,6 +1981,63 @@ TransportStats System::transport_stats() const {
   return s;
 }
 
+std::uint64_t System::progress_digest() const {
+  // See the header contract: a stable digest of control state, transport
+  // counters, and the pending-event time multiset. Excluded on purpose:
+  // event seqs, ack keys, and arrival_seq values (numbering isomorphisms
+  // that differ between commuted-but-equivalent schedules) and pool/slab
+  // capacities (allocation-order artifacts).
+  Fnv64 h;
+  h.mix(static_cast<std::uint64_t>(now().ns()));
+  h.mix(static_cast<std::uint64_t>(unfinished_tasks_));
+  for (const auto& tp : tasks_) {
+    const TaskImpl& t = *tp;
+    h.mix_signed(t.id.value);
+    h.mix(static_cast<std::uint64_t>(t.state));
+    h.mix(static_cast<std::uint64_t>(t.phase));
+    h.mix((t.stats.finished ? 1u : 0u) | (t.stats.failed ? 2u : 0u) |
+          (t.waiting_msg ? 4u : 0u) | (t.waiting_ack ? 8u : 0u) |
+          (t.waiting_all ? 16u : 0u) | (t.on_cpu ? 32u : 0u) |
+          (t.queued ? 64u : 0u) | (t.ack_arrived ? 128u : 0u) |
+          (t.action.has_value() ? 256u : 0u));
+    h.mix_signed(t.wait_src);
+    h.mix_signed(t.wait_tag);
+    h.mix(static_cast<std::uint64_t>(t.work_left.ns()));
+    h.mix(t.stats.messages_sent);
+    h.mix(t.stats.messages_received);
+    h.mix(static_cast<std::uint64_t>(t.stats.bytes_sent));
+    h.mix(static_cast<std::uint64_t>(t.pending_acks.size()));
+    // Unexpected-queue CONTENT in arrival order (relative order matters for
+    // future matches; absolute arrival_seq values do not).
+    h.mix(static_cast<std::uint64_t>(t.unexpected.size()));
+    t.unexpected.for_each_arrival(pool_, [&h](const MessageRec& msg) {
+      h.mix_signed(msg.src_rank);
+      h.mix_signed(msg.tag);
+      h.mix(static_cast<std::uint64_t>(msg.bytes));
+    });
+    h.mix(static_cast<std::uint64_t>(t.nb.open_count()));
+    t.nb.for_each_open([&h](int id, const NbHandleTable::Entry& entry) {
+      h.mix_signed(id);
+      h.mix((entry.is_send ? 1u : 0u) | (entry.complete ? 2u : 0u) |
+            (entry.data_arrived ? 4u : 0u) | (entry.in_waitall ? 8u : 0u));
+      h.mix_signed(entry.src);
+      h.mix_signed(entry.tag);
+      h.mix_signed(entry.peer);
+    });
+  }
+  h.mix(static_cast<std::uint64_t>(messages_dropped_));
+  h.mix(static_cast<std::uint64_t>(messages_duplicated_));
+  h.mix(static_cast<std::uint64_t>(retransmissions_));
+  h.mix(static_cast<std::uint64_t>(transport_failures_));
+  h.mix(static_cast<std::uint64_t>(inter_node_bytes_));
+  h.mix(static_cast<std::uint64_t>(in_flight_messages_));
+  // The pending-event schedule: without it, states whose counters coincide
+  // but whose futures differ (e.g. the same fault at two jitter offsets,
+  // neither fired yet) would falsely collapse in the memo.
+  h.mix(engine_.pending_time_digest());
+  return h.value();
+}
+
 bool System::all_unfinished_comm_waiting() const {
   for (const auto& tp : tasks_) {
     const TaskImpl& t = *tp;
@@ -2023,15 +2081,29 @@ RunResult System::diagnose(RunStatus status) const {
     r.node = t.node;
     r.rank = t.rank;
     r.unexpected_depth = t.unexpected.size();
-    t.nb.for_each_open([&](int, const NbHandleTable::Entry& entry) {
+    // Sample what HAS arrived but failed to match (arrival order): the key
+    // evidence for diagnosing an ANY_SOURCE wedge, where the receive the
+    // user expected to fire was satisfied by a different sender earlier.
+    t.unexpected.for_each_arrival(pool_, [&](const MessageRec& msg) {
+      if (r.unexpected_sample.size() >= kDiagnosisSampleCap) return;
+      r.unexpected_sample.push_back(
+          QueuedMessage{msg.src_rank, msg.tag, msg.bytes});
+    });
+    t.nb.for_each_open([&](int id, const NbHandleTable::Entry& entry) {
       if (entry.complete) return;
       ++r.incomplete_handles;
       if (!entry.is_send) ++r.posted_recvs;
+      if (r.pending_handles.size() < kDiagnosisSampleCap) {
+        r.pending_handles.push_back(PendingHandle{
+            id, entry.is_send, entry.is_send ? entry.peer : entry.src,
+            entry.tag, !entry.is_send && entry.src == kAnySource});
+      }
     });
     if (t.waiting_msg) {
       r.op = BlockedOp::kRecv;
       r.peer_rank = t.wait_src;
       r.tag = t.wait_tag;
+      r.any_source = t.wait_src == kAnySource;
       if (t.wait_src == kAnySource) {
         // Any of the group could unblock us; conservatively depend on all.
         if (t.group.valid()) {

@@ -264,6 +264,32 @@ class System {
     return fault_log_;
   }
 
+  // --- Schedule exploration (mc/ model checker) ------------------------------
+
+  /// Install / clear the schedule-exploration policy (sim/choice_hooks.h).
+  /// Covers all three choice points: engine same-instant ties (forwarded to
+  /// engine().set_tie_break), ANY_SOURCE match order, and FaultInjector
+  /// jitter offsets (the injector reads schedule_policy() at construction).
+  /// Null — the default — restores the canonical schedule with zero
+  /// overhead beyond one pointer test per consulting site. The policy must
+  /// outlive its installation.
+  void set_schedule_policy(SchedulePolicy* policy) {
+    sched_policy_ = policy;
+    engine_.set_tie_break(policy);
+  }
+  [[nodiscard]] SchedulePolicy* schedule_policy() const { return sched_policy_; }
+
+  /// Order-insensitive digest of "where the simulation is": per-task
+  /// control state (phase, action index, wait keys, open handles,
+  /// unexpected-queue content in arrival order), transport counters, and
+  /// the multiset of pending-event times. Two exploration runs reaching
+  /// equal digests at the same choice point continue identically, which is
+  /// what the model checker's memo pruning relies on. Deliberately excludes
+  /// numbering isomorphisms (event seqs, ack keys, arrival_seq values) so
+  /// commuted-but-equivalent schedules collapse. O(state); never on the
+  /// simulation hot path.
+  [[nodiscard]] std::uint64_t progress_digest() const;
+
   // --- Transport counters ----------------------------------------------------
 
   [[nodiscard]] std::int64_t messages_dropped() const { return messages_dropped_; }
@@ -420,6 +446,7 @@ class System {
   // Fault and watchdog state.
   bool fast_paths_ = true;
   LinkFaultModel* link_fault_ = nullptr;
+  SchedulePolicy* sched_policy_ = nullptr;  ///< null: canonical schedule
   std::vector<double> fault_rate_;  ///< per-node fault rate degradation
   std::vector<FaultRecord> fault_log_;
   std::int64_t messages_dropped_ = 0;

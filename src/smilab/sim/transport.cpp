@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "smilab/sim/choice_hooks.h"
+
 namespace smilab {
 
 // --- MessagePool -------------------------------------------------------------
@@ -152,13 +154,37 @@ void UnexpectedQueue::unlink(MessagePool& pool, MsgHandle h) {
   --count_;
 }
 
-MsgHandle UnexpectedQueue::match(MessagePool& pool, int src_rank, int tag) {
+MsgHandle UnexpectedQueue::match(MessagePool& pool, int src_rank, int tag,
+                                 SchedulePolicy* policy) {
   std::uint32_t index = MessageRec::kNil;
   if (src_rank == kAnySource) {
     // The tag index is arrival-ordered across sources: its head IS the
     // globally earliest arrival with this tag (MPI wildcard semantics).
     auto it = by_tag_.find(tag);
     if (it != by_tag_.end()) index = it->second.head;
+    if (policy != nullptr && index != MessageRec::kNil) {
+      // Candidate set for exploration: the FIRST queued record of each
+      // distinct source, walked in arrival order so cand_buf_[0] is the
+      // tag-list head and decision 0 reproduces the default match.
+      cand_buf_.clear();
+      seen_buf_.clear();
+      for (std::uint32_t i = index; i != MessageRec::kNil;
+           i = pool.at_index(i).tag_next) {
+        const int src = pool.at_index(i).src_rank;
+        if (std::find(seen_buf_.begin(), seen_buf_.end(), src) !=
+            seen_buf_.end()) {
+          continue;  // later message from a seen source: non-overtaking
+        }
+        seen_buf_.push_back(src);
+        cand_buf_.push_back(i);
+      }
+      if (cand_buf_.size() > 1) {
+        const std::size_t pick =
+            policy->choose(ChoiceKind::kAnySourceMatch, cand_buf_.size());
+        assert(pick < cand_buf_.size() && "any-source decision out of range");
+        index = cand_buf_[pick];
+      }
+    }
   } else {
     auto it = by_src_tag_.find(src_tag_key(src_rank, tag));
     if (it != by_src_tag_.end()) index = it->second.head;
@@ -278,7 +304,8 @@ NbHandleTable::Entry& NbHandleTable::open_slot(int id, bool is_send) {
 void NbHandleTable::post_recv(int id) {
   const Entry* e = find(id);
   assert(e != nullptr && !e->is_send && !e->data_arrived);
-  std::vector<int>& ids = posted_by_tag_[e->tag];
+  std::pmr::vector<int>& ids =
+      posted_by_tag_.try_emplace(e->tag, arena_).first->second;
   // Ids arrive mostly in ascending order (collectives allocate densely),
   // so the insertion point is almost always the back.
   auto it = std::lower_bound(ids.begin(), ids.end(), id);
@@ -302,7 +329,7 @@ void NbHandleTable::unpost(int id) {
   assert(e != nullptr && !e->is_send);
   auto bucket = posted_by_tag_.find(e->tag);
   if (bucket == posted_by_tag_.end()) return;
-  std::vector<int>& ids = bucket->second;
+  std::pmr::vector<int>& ids = bucket->second;
   auto it = std::lower_bound(ids.begin(), ids.end(), id);
   if (it == ids.end() || *it != id) return;  // not posted (already matched)
   ids.erase(it);

@@ -38,15 +38,20 @@
 // matching picks the same handle bit-for-bit.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <memory_resource>
 #include <unordered_map>
 #include <vector>
 
 #include "smilab/sim/task.h"
 #include "smilab/time/sim_time.h"
+#include "smilab/trace/action_arena.h"
 
 namespace smilab {
+
+class SchedulePolicy;  // sim/choice_hooks.h
 
 /// Generation-checked reference to a pooled MessageRec. Trivially copyable
 /// (8 bytes) so deferred events capture it inline. A default-constructed
@@ -177,12 +182,49 @@ class UnexpectedQueue {
   /// Match and unlink the earliest-arrival message with `tag` from
   /// `src_rank` (or any source when src_rank == kAnySource). Returns a null
   /// handle when nothing matches. The record is left in kMatched state.
-  [[nodiscard]] MsgHandle match(MessagePool& pool, int src_rank, int tag);
+  ///
+  /// `policy` (model checking; sim/choice_hooks.h) is consulted only for
+  /// an ANY_SOURCE match with >= 2 candidate sources: candidates are the
+  /// earliest queued message of each distinct source, in arrival order —
+  /// MPI's non-overtaking rule pins the within-source order, so these are
+  /// exactly the matches a real MPI library could legally make. Decision 0
+  /// is the tag-list head, i.e. the default (earliest-arrival) match.
+  [[nodiscard]] MsgHandle match(MessagePool& pool, int src_rank, int tag,
+                                SchedulePolicy* policy);
+  [[nodiscard]] MsgHandle match(MessagePool& pool, int src_rank, int tag) {
+    return match(pool, src_rank, tag, nullptr);
+  }
 
   /// Release every queued record back to the pool (receiver killed).
   void clear(MessagePool& pool);
 
   [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// Visit every queued record in true arrival order (diagnostics: the
+  /// wait-for-graph report samples what a wedged receiver has queued but
+  /// unmatched). F: void(const MessageRec&). Allocates and sorts — never
+  /// on the message hot path.
+  template <typename F>
+  void for_each_arrival(const MessagePool& pool, F&& f) const {
+    std::vector<int> tags;
+    tags.reserve(by_tag_.size());
+    // smilint: allow(unordered-iter) reason=keys sorted before any effect; hash order cannot escape
+    for (const auto& [tag, bucket] : by_tag_) tags.push_back(tag);
+    std::sort(tags.begin(), tags.end());
+    std::vector<const MessageRec*> recs;
+    recs.reserve(count_);
+    for (const int tag : tags) {
+      for (std::uint32_t i = by_tag_.find(tag)->second.head;
+           i != MessageRec::kNil; i = pool.at_index(i).tag_next) {
+        recs.push_back(&pool.at_index(i));
+      }
+    }
+    std::sort(recs.begin(), recs.end(),
+              [](const MessageRec* a, const MessageRec* b) {
+                return a->arrival_seq < b->arrival_seq;
+              });
+    for (const MessageRec* r : recs) f(*r);
+  }
 
   /// Structural self-check: link symmetry, live kUnexpected records only,
   /// strictly increasing arrival_seq along every list, counts consistent.
@@ -209,6 +251,11 @@ class UnexpectedQueue {
   std::unordered_map<int, Bucket> by_tag_;
   std::uint64_t next_seq_ = 0;
   std::size_t count_ = 0;
+  // Scratch for the policy-driven any-source candidate scan (first queued
+  // record per distinct source). Members, not locals: capacity persists
+  // across matches, so exploration runs don't churn the allocator.
+  std::vector<std::uint32_t> cand_buf_;
+  std::vector<int> seen_buf_;
 };
 
 /// Where a rendezvous completion ack should land, plus enough routing
@@ -337,7 +384,15 @@ class NbHandleTable {
   std::size_t open_recvs_ = 0;
   /// tag -> ascending ids of open receives still awaiting a message.
   /// Probed by key only; cleared wholesale (smilint D3).
-  std::unordered_map<int, std::vector<int>> posted_by_tag_;
+  ///
+  /// The bucket vectors live on the thread's ActionArena (trace/): posting
+  /// and unposting churn small id vectors at waitall-window rate, and the
+  /// bump resource turns that into pointer arithmetic. Only the vectors are
+  /// arena-backed — the outer map stays on the heap, since the arena's
+  /// deallocate is a no-op and TagAllocator tags are monotonic: arena-side
+  /// map nodes for dead tags would accumulate until reset.
+  std::unordered_map<int, std::pmr::vector<int>> posted_by_tag_;
+  std::pmr::memory_resource* arena_ = ActionArena::current();
 };
 
 /// Snapshot of the transport's resource usage (System::transport_stats()).

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "smilab/cli/commands.h"
+#include "smilab/mc/corpus.h"
+#include "smilab/sim/choice_hooks.h"
 #include "smilab/sim/system.h"
 
 namespace smilab {
@@ -218,6 +220,131 @@ TEST(DiagnosisTest, CliFaultFlagsAcceptCommaSeparatedSpecLists) {
     std::ostringstream o2, e2;
     EXPECT_EQ(run_cli(3, argv2, o2, e2), 2);
     EXPECT_NE(e2.str().find("banana"), std::string::npos);
+  }
+}
+
+// --- Enriched wait-for reports on the shared mc fixtures ---------------------
+//
+// The model checker and the diagnosis must agree on what a wedge looks
+// like, so these tests drive the SAME fixture programs the mc corpus pins
+// (src/smilab/mc/corpus.h) and assert the enriched per-rank fields.
+
+TEST(DiagnosisTest, SharedSendSendFixtureDiagnosesAsAckWaitCycle) {
+  SystemConfig cfg = base_config(2);
+  System sys{cfg};
+  mc::spawn_sendsend_cycle(sys);
+  const RunResult result = sys.try_run();
+  EXPECT_EQ(result.status, RunStatus::kDeadlock);
+  const RunDiagnosis& d = result.diagnosis;
+  ASSERT_EQ(d.ranks.size(), 2u);
+  for (const RankDiagnosis& r : d.ranks) {
+    EXPECT_EQ(r.op, BlockedOp::kAckWait);
+    EXPECT_EQ(r.peer_rank, 1 - r.rank);
+    EXPECT_EQ(r.tag, 4);
+    EXPECT_FALSE(r.any_source);
+  }
+  ASSERT_EQ(d.cycle.size(), 3u);
+}
+
+TEST(DiagnosisTest, WaitAllWedgeListsItsOpenHandles) {
+  System sys{base_config()};
+  mc::spawn_waitall_never(sys);
+  const RunResult result = sys.try_run();
+  EXPECT_EQ(result.status, RunStatus::kDeadlock);
+  const RunDiagnosis& d = result.diagnosis;
+  ASSERT_EQ(d.ranks.size(), 1u);  // the silent rank finished
+  const RankDiagnosis& r = d.ranks[0];
+  EXPECT_EQ(r.op, BlockedOp::kWaitAll);
+  EXPECT_EQ(r.incomplete_handles, 1u);
+  ASSERT_EQ(r.pending_handles.size(), 1u);
+  EXPECT_EQ(r.pending_handles[0].id, 0);
+  EXPECT_FALSE(r.pending_handles[0].is_send);
+  EXPECT_EQ(r.pending_handles[0].peer_rank, 1);
+  EXPECT_EQ(r.pending_handles[0].tag, 5);
+  EXPECT_FALSE(r.pending_handles[0].any_source);
+  const std::string report = result.to_string();
+  EXPECT_NE(report.find("open handles:"), std::string::npos) << report;
+  EXPECT_NE(report.find("[h0 recv<-1 tag=5]"), std::string::npos) << report;
+}
+
+/// Forces the non-canonical branch of every wildcard match — the schedule
+/// that starves the starvation fixture's specific receive.
+class TakeSecondMatch final : public SchedulePolicy {
+ public:
+  std::size_t choose(ChoiceKind kind, std::size_t n) override {
+    return kind == ChoiceKind::kAnySourceMatch && n > 1 ? 1 : 0;
+  }
+};
+
+TEST(DiagnosisTest, StarvedReceiveShowsTheUnmatchedQueueSample) {
+  // Canonically this program completes; under the alternative wildcard
+  // match rank 1's message is consumed by the wildcard and rank 0's
+  // specific Recv(src=1) starves while rank 2's send sits queued. The
+  // report must show that stranded message — it IS the bug explanation.
+  System sys{base_config()};
+  mc::spawn_anysource_starve(sys);
+  TakeSecondMatch policy;
+  sys.set_schedule_policy(&policy);
+  const RunResult result = sys.try_run();
+  EXPECT_EQ(result.status, RunStatus::kDeadlock);
+  const RunDiagnosis& d = result.diagnosis;
+  ASSERT_EQ(d.ranks.size(), 1u);
+  const RankDiagnosis& r = d.ranks[0];
+  EXPECT_EQ(r.op, BlockedOp::kRecv);
+  EXPECT_EQ(r.peer_rank, 1);
+  EXPECT_FALSE(r.any_source);
+  EXPECT_EQ(r.unexpected_depth, 1u);
+  ASSERT_EQ(r.unexpected_sample.size(), 1u);
+  EXPECT_EQ(r.unexpected_sample[0].src_rank, 2);
+  EXPECT_EQ(r.unexpected_sample[0].tag, 5);
+  EXPECT_EQ(r.unexpected_sample[0].bytes, 1024);
+  const std::string report = result.to_string();
+  EXPECT_NE(report.find("queued unmatched (arrival order): [src=2 tag=5"),
+            std::string::npos)
+      << report;
+}
+
+TEST(DiagnosisTest, BlockedWildcardReceiveIsFlaggedAnySource) {
+  System sys{base_config()};
+  const GroupId g = sys.create_group(2);
+  {
+    std::vector<Action> prog;
+    prog.push_back(Recv{kAnySource, 9});
+    sys.spawn_member(g, 0, TaskSpec::with_actions("w", 0, std::move(prog)));
+  }
+  {
+    std::vector<Action> prog;
+    prog.push_back(Compute{milliseconds(1)});  // never sends
+    sys.spawn_member(g, 1, TaskSpec::with_actions("q", 0, std::move(prog)));
+  }
+  const RunResult result = sys.try_run();
+  EXPECT_EQ(result.status, RunStatus::kDeadlock);
+  ASSERT_EQ(result.diagnosis.ranks.size(), 1u);
+  EXPECT_TRUE(result.diagnosis.ranks[0].any_source);
+  EXPECT_NE(result.to_string().find("ANY_SOURCE"), std::string::npos);
+}
+
+TEST(DiagnosisTest, CliCheckReplayMapsWedgeToExitCode3) {
+  // The worked example from the README: replaying the starvation schedule
+  // wedges, prints the diagnosis on stderr, and exits 3.
+  const char* argv[] = {"smilab", "check", "--program=anysource-starve",
+                        "--replay=a1/2"};
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli(4, argv, out, err), 3);
+  EXPECT_NE(out.str().find("deadlock"), std::string::npos) << out.str();
+  EXPECT_NE(err.str().find("queued unmatched"), std::string::npos)
+      << err.str();
+  // A clean program explores to exit 0; garbage tokens are usage errors.
+  {
+    const char* argv2[] = {"smilab", "check", "--program=pingpong"};
+    std::ostringstream o2, e2;
+    EXPECT_EQ(run_cli(3, argv2, o2, e2), 0) << e2.str();
+  }
+  {
+    const char* argv3[] = {"smilab", "check", "--program=pingpong",
+                           "--replay=bogus"};
+    std::ostringstream o3, e3;
+    EXPECT_EQ(run_cli(4, argv3, o3, e3), 2);
   }
 }
 

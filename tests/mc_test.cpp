@@ -1,0 +1,282 @@
+// Exhaustive exploration of the model-checking corpus (DESIGN.md §12):
+// exact schedule counts, 100% observable-hash agreement for deterministic
+// programs, deadlock verdicts with working replay tokens, and proof that
+// the choice-point hooks leave the canonical schedule bit-for-bit alone.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "smilab/mc/corpus.h"
+#include "smilab/mc/explorer.h"
+#include "smilab/mc/schedule_trace.h"
+#include "smilab/sim/choice_hooks.h"
+#include "smilab/sim/system.h"
+
+namespace smilab {
+namespace mc {
+namespace {
+
+ExplorerOptions corpus_options(bool prune = true) {
+  ExplorerOptions opts;
+  opts.max_schedules = kCorpusMaxSchedules;
+  opts.max_depth = kCorpusMaxDepth;
+  opts.prune = prune;
+  return opts;
+}
+
+/// The do-nothing policy: always the canonical branch. Installing it must
+/// be indistinguishable from installing no policy at all.
+class ZeroPolicy final : public SchedulePolicy {
+ public:
+  std::size_t choose(ChoiceKind, std::size_t) override { return 0; }
+};
+
+// --- Pinned corpus expectations ---------------------------------------------
+
+TEST(McCorpus, EveryCaseMatchesItsPinsWithPruning) {
+  for (const McCase& c : corpus()) {
+    SCOPED_TRACE(c.name);
+    Explorer explorer{c.target, corpus_options()};
+    const ExplorationReport rep = explorer.explore();
+    EXPECT_EQ(rep.verdict, c.expect_verdict) << to_string(rep.verdict);
+    EXPECT_EQ(rep.schedules_run, c.expect_schedules);
+    EXPECT_EQ(rep.schedules_pruned, c.expect_pruned);
+    EXPECT_TRUE(rep.exhausted());
+    EXPECT_FALSE(rep.budget_exhausted);
+    EXPECT_FALSE(rep.depth_clipped);
+  }
+}
+
+TEST(McCorpus, EveryCaseMatchesItsPinsWithoutPruning) {
+  for (const McCase& c : corpus()) {
+    SCOPED_TRACE(c.name);
+    Explorer explorer{c.target, corpus_options(/*prune=*/false)};
+    const ExplorationReport rep = explorer.explore();
+    EXPECT_EQ(rep.verdict, c.expect_verdict) << to_string(rep.verdict);
+    EXPECT_EQ(rep.schedules_run, c.expect_schedules_noprune);
+    EXPECT_EQ(rep.schedules_pruned, 0u);
+    EXPECT_TRUE(rep.exhausted());
+  }
+}
+
+TEST(McCorpus, DeterministicCasesAgreeOnEveryScheduleHash) {
+  // kDeterministic already means every completed schedule hashed equal;
+  // assert the surrounding evidence so a reporting bug can't fake it.
+  for (const McCase& c : corpus()) {
+    if (c.expect_verdict != Verdict::kDeterministic) continue;
+    SCOPED_TRACE(c.name);
+    Explorer explorer{c.target, corpus_options()};
+    const ExplorationReport rep = explorer.explore();
+    EXPECT_TRUE(rep.any_completed);
+    EXPECT_NE(rep.canonical_hash, 0u);
+    EXPECT_TRUE(rep.divergent_token.empty());
+    EXPECT_TRUE(rep.deadlock_token.empty());
+  }
+}
+
+TEST(McCorpus, PruningNeverChangesTheCanonicalHash) {
+  for (const McCase& c : corpus()) {
+    SCOPED_TRACE(c.name);
+    Explorer with{c.target, corpus_options()};
+    Explorer without{c.target, corpus_options(/*prune=*/false)};
+    const ExplorationReport a = with.explore();
+    const ExplorationReport b = without.explore();
+    EXPECT_EQ(a.verdict, b.verdict);
+    EXPECT_EQ(a.canonical_hash, b.canonical_hash);
+  }
+}
+
+TEST(McCorpus, PruningActuallyFiresSomewhere) {
+  // tie-commute exists to prove the memo works: its two ties commute, so
+  // the second first-tie branch hits the memoized digest and collapses.
+  const McCase* c = find_case("tie-commute");
+  ASSERT_NE(c, nullptr);
+  EXPECT_GT(c->expect_pruned, 0u);
+  EXPECT_LT(c->expect_schedules, c->expect_schedules_noprune);
+}
+
+// --- Deadlock fixtures -------------------------------------------------------
+
+TEST(McDeadlocks, EveryDeadlockCaseYieldsAReplayableToken) {
+  for (const McCase& c : corpus()) {
+    if (c.expect_verdict != Verdict::kDeadlock) continue;
+    SCOPED_TRACE(c.name);
+    Explorer explorer{c.target, corpus_options()};
+    const ExplorationReport rep = explorer.explore();
+    ASSERT_EQ(rep.verdict, Verdict::kDeadlock);
+    ASSERT_FALSE(rep.deadlock_token.empty());
+    EXPECT_FALSE(rep.deadlock_report.empty());
+
+    // The token must reproduce the wedge in exactly ONE re-run.
+    const auto trace = ScheduleTrace::parse(rep.deadlock_token);
+    ASSERT_TRUE(trace.has_value()) << rep.deadlock_token;
+    Explorer replayer{c.target, corpus_options()};
+    const ExplorationReport again = replayer.replay(*trace);
+    EXPECT_EQ(again.schedules_run, 1u);
+    EXPECT_EQ(again.verdict, Verdict::kDeadlock) << to_string(again.verdict);
+    EXPECT_EQ(again.deadlock_token, rep.deadlock_token);
+    EXPECT_EQ(again.deadlock_status, rep.deadlock_status);
+  }
+}
+
+TEST(McDeadlocks, AnySourceStarvationIsScheduleDependent) {
+  // The flagship case: the canonical schedule completes, and ONLY the
+  // alternative wildcard match wedges — a bug invisible to any single run.
+  const McCase* c = find_case("anysource-starve");
+  ASSERT_NE(c, nullptr);
+  Explorer explorer{c->target, corpus_options()};
+  const ExplorationReport rep = explorer.explore();
+  EXPECT_EQ(rep.verdict, Verdict::kDeadlock);
+  EXPECT_TRUE(rep.any_completed);  // the canonical schedule finished
+  EXPECT_EQ(rep.deadlock_token, "a1/2");
+  EXPECT_EQ(rep.deadlock_status, RunStatus::kDeadlock);
+}
+
+TEST(McDeadlocks, CrashedPeerWedgeCarriesPeerEvidence) {
+  const McCase* c = find_case("deadlock-crashed-peer");
+  ASSERT_NE(c, nullptr);
+  Explorer explorer{c->target, corpus_options()};
+  const ExplorationReport rep = explorer.explore();
+  ASSERT_EQ(rep.verdict, Verdict::kDeadlock);
+  EXPECT_NE(rep.deadlock_report.find("peer"), std::string::npos)
+      << rep.deadlock_report;
+}
+
+// --- Canonical-schedule inertness --------------------------------------------
+
+TEST(McInertness, ZeroPolicyIsBitForBitIdenticalToNoPolicy) {
+  // The hooks' contract: decision 0 IS the pre-hook behaviour. Run every
+  // corpus program with no policy and with an always-zero policy; the
+  // observable hash (and the explorer's canonical hash) must all agree.
+  for (const McCase& c : corpus()) {
+    SCOPED_TRACE(c.name);
+
+    std::unique_ptr<System> bare = c.target.make_system();
+    std::unique_ptr<FaultInjector> bare_inj;
+    if (c.target.make_injector != nullptr) {
+      bare_inj = c.target.make_injector(*bare);
+    }
+    const RunResult bare_result = bare->try_run();
+
+    ZeroPolicy zero;
+    std::unique_ptr<System> wired = c.target.make_system();
+    wired->set_schedule_policy(&zero);
+    std::unique_ptr<FaultInjector> wired_inj;
+    if (c.target.make_injector != nullptr) {
+      wired_inj = c.target.make_injector(*wired);
+    }
+    const RunResult wired_result = wired->try_run();
+
+    ASSERT_EQ(bare_result.ok(), wired_result.ok());
+    if (bare_result.ok()) {
+      EXPECT_EQ(hash_observable(*bare), hash_observable(*wired));
+      Explorer explorer{c.target, corpus_options()};
+      const ExplorationReport rep = explorer.explore();
+      if (rep.any_completed) {
+        EXPECT_EQ(rep.canonical_hash, hash_observable(*bare));
+      }
+    } else {
+      EXPECT_EQ(bare_result.status, wired_result.status);
+    }
+  }
+}
+
+// --- Budgets -----------------------------------------------------------------
+
+TEST(McBudgets, ScheduleBudgetStopsExplorationAndSaysSo) {
+  const McCase* c = find_case("anysource-fan3");
+  ASSERT_NE(c, nullptr);
+  ExplorerOptions opts = corpus_options();
+  opts.max_schedules = 2;
+  Explorer explorer{c->target, opts};
+  const ExplorationReport rep = explorer.explore();
+  EXPECT_EQ(rep.schedules_run, 2u);
+  EXPECT_TRUE(rep.budget_exhausted);
+  EXPECT_FALSE(rep.exhausted());
+}
+
+TEST(McBudgets, DepthCapClipsDeepChoicePoints) {
+  const McCase* c = find_case("tie-commute");
+  ASSERT_NE(c, nullptr);
+  ExplorerOptions opts = corpus_options();
+  opts.max_depth = 1;
+  Explorer explorer{c->target, opts};
+  const ExplorationReport rep = explorer.explore();
+  // Only the first tie branches; the second takes the canonical arm.
+  EXPECT_EQ(rep.schedules_run, 2u);
+  EXPECT_TRUE(rep.depth_clipped);
+  EXPECT_FALSE(rep.exhausted());
+  EXPECT_EQ(rep.verdict, Verdict::kDeterministic);
+}
+
+// --- Replay ------------------------------------------------------------------
+
+TEST(McReplay, StructureMismatchIsACheckerBugNotACrash) {
+  // tie-twins presents an event tie; feed it a wildcard-match token.
+  const McCase* c = find_case("tie-twins");
+  ASSERT_NE(c, nullptr);
+  const auto trace = ScheduleTrace::parse("a1/2");
+  ASSERT_TRUE(trace.has_value());
+  Explorer explorer{c->target, corpus_options()};
+  const ExplorationReport rep = explorer.replay(*trace);
+  EXPECT_EQ(rep.verdict, Verdict::kCheckerBug);
+  EXPECT_NE(rep.checker_note.find("mismatch"), std::string::npos)
+      << rep.checker_note;
+}
+
+TEST(McReplay, CanonicalTokenReplaysTheCanonicalSchedule) {
+  const McCase* c = find_case("tie-twins");
+  ASSERT_NE(c, nullptr);
+  Explorer explorer{c->target, corpus_options()};
+  const ExplorationReport full = explorer.explore();
+
+  const auto trace = ScheduleTrace::parse("t0/2");
+  ASSERT_TRUE(trace.has_value());
+  Explorer replayer{c->target, corpus_options()};
+  const ExplorationReport rep = replayer.replay(*trace);
+  EXPECT_EQ(rep.schedules_run, 1u);
+  EXPECT_EQ(rep.verdict, Verdict::kDeterministic);
+  EXPECT_EQ(rep.canonical_hash, full.canonical_hash);
+}
+
+// --- Trace tokens ------------------------------------------------------------
+
+TEST(ScheduleTraceTest, TokenRoundTrips) {
+  ScheduleTrace trace;
+  trace.choices.push_back(Choice{ChoiceKind::kEventTie, 1, 3});
+  trace.choices.push_back(Choice{ChoiceKind::kAnySourceMatch, 0, 2});
+  trace.choices.push_back(Choice{ChoiceKind::kFaultJitter, 2, 4});
+  const std::string token = trace.to_token();
+  EXPECT_EQ(token, "t1/3.a0/2.f2/4");
+  const auto parsed = ScheduleTrace::parse(token);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->choices.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(parsed->choices[i].kind, trace.choices[i].kind);
+    EXPECT_EQ(parsed->choices[i].chosen, trace.choices[i].chosen);
+    EXPECT_EQ(parsed->choices[i].n, trace.choices[i].n);
+  }
+}
+
+TEST(ScheduleTraceTest, EmptyTraceIsDash) {
+  const ScheduleTrace trace;
+  EXPECT_EQ(trace.to_token(), "-");
+  const auto parsed = ScheduleTrace::parse("-");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->choices.empty());
+}
+
+TEST(ScheduleTraceTest, MalformedTokensAreRejected) {
+  const char* bad[] = {
+      "",       "x0/2",   "t",      "t0",     "t0/",    "t0/1",
+      "t2/2",   "t0/2.",  ".t0/2",  "t0/2..t1/2", "t0-2", "t99999999/2",
+  };
+  for (const char* token : bad) {
+    EXPECT_FALSE(ScheduleTrace::parse(token).has_value()) << token;
+  }
+}
+
+}  // namespace
+}  // namespace mc
+}  // namespace smilab
