@@ -19,9 +19,15 @@
 //                       armed event per server direction).
 //
 // The storm and burst shapes are also measured with the transport fast
-// paths disabled (System::set_transport_fast_paths(false)) so the JSON
-// artifact records the pipelined-vs-classic delta on the same machine; the
-// fast-path golden tests prove the two produce bit-identical simulations.
+// paths disabled (System::set_transport_fast_paths(false)) and with the
+// engine's same-instant lane disabled (Engine::set_same_instant_lane), so
+// the JSON artifact records the pipelined-vs-classic and lane-vs-heap
+// deltas on the same machine; the fast-path golden tests and the lane
+// equality suite prove each pair produces bit-identical simulations.
+//
+// A small grid re-profile rides along: a sweep of independent storm cells
+// timed at --jobs=1 and at hardware concurrency, recording cells/s for both
+// so the grid-level parallel speedup is tracked next to the per-cell rates.
 //
 // Always writes BENCH_comm_microbench.json with messages/s headline numbers,
 // the pool's bounded-memory evidence, and the CI floor values the perf-smoke
@@ -33,6 +39,7 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "smilab/core/sweep.h"
 #include "smilab/mpi/job.h"
 #include "smilab/sim/system.h"
 #include "smilab/trace/action_arena.h"
@@ -118,11 +125,13 @@ Rate measure_unexpected_flood(int tags, int rounds, bool fast_paths) {
 /// Nonblocking rendezvous ring: every rank isends `burst` rendezvous-sized
 /// messages to its successor and irecvs as many from its predecessor, then
 /// waits on everything — keeping burst*p completion acks in flight.
-Rate measure_ack_storm(int ranks, int burst, int rounds, bool fast_paths) {
+Rate measure_ack_storm(int ranks, int burst, int rounds, bool fast_paths,
+                       bool lane = true) {
   ActionArena arena;
   ActionArena::Scope scope{arena};
   System sys{base_cfg(ranks)};
   sys.set_transport_fast_paths(fast_paths);
+  sys.engine().set_same_instant_lane(lane);
   auto programs = make_rank_programs(ranks);
   std::int64_t messages = 0;
   for (int round = 0; round < rounds; ++round) {
@@ -153,11 +162,13 @@ Rate measure_ack_storm(int ranks, int burst, int rounds, bool fast_paths) {
 /// pipeline), then waits for the receiver's short done message before the
 /// next round — so the in-flight window stays one burst deep and the
 /// measurement tracks per-burst booking cost rather than backlog memory.
-Rate measure_egress_burst(int burst, int rounds, bool fast_paths) {
+Rate measure_egress_burst(int burst, int rounds, bool fast_paths,
+                          bool lane = true) {
   ActionArena arena;
   ActionArena::Scope scope{arena};
   System sys{base_cfg(2)};
   sys.set_transport_fast_paths(fast_paths);
+  sys.engine().set_same_instant_lane(lane);
   auto programs = make_rank_programs(2);
   const int done_tag = 1 << 20;
   for (int round = 0; round < rounds; ++round) {
@@ -181,6 +192,38 @@ Rate measure_egress_burst(int burst, int rounds, bool fast_paths) {
   r.msgs_per_s = static_cast<double>(messages) / timer.seconds();
   r.stats = result.transport;
   return r;
+}
+
+/// Grid re-profile: `cells` independent ack-storm cells (seed = cell index)
+/// fanned over `jobs` sweep workers; returns cells/s by wall clock (the
+/// workers run concurrently, so thread CPU time would mismeasure).
+double measure_grid_cells_per_s(int jobs, int cells, int rounds) {
+  const benchtool::WallTimer timer;
+  const ExperimentSweep sweep{jobs};
+  sweep.for_each(cells, [&](int i) {
+    ActionArena arena;
+    ActionArena::Scope scope{arena};
+    SystemConfig cfg = base_cfg(8);
+    cfg.seed = 1000 + static_cast<std::uint64_t>(i);
+    System sys{cfg};
+    auto programs = make_rank_programs(8);
+    for (int round = 0; round < rounds; ++round) {
+      for (auto& rp : programs) {
+        const int next = (rp.rank() + 1) % 8;
+        std::vector<int> handles;
+        for (int b = 0; b < 16; ++b) {
+          rp.isend(next, 128 * 1024, 10 + b, /*handle=*/b);
+          rp.irecv_any(10 + b, /*handle=*/16 + b);
+          handles.push_back(b);
+          handles.push_back(16 + b);
+        }
+        rp.waitall(std::move(handles));
+      }
+    }
+    (void)run_mpi_job(sys, std::move(programs), block_placement(8, 1),
+                      WorkloadProfile{});
+  });
+  return static_cast<double>(cells) / timer.seconds();
 }
 
 /// Best-of-N wall-clock: the simulation is deterministic, so every
@@ -239,6 +282,28 @@ int main(int argc, char** argv) {
   std::printf("  (classic transport: storm %.0f, burst %.0f msgs/s)\n",
               storm_classic.msgs_per_s, burst_classic.msgs_per_s);
 
+  // Same-instant-lane reference points: the same two dispatch-heavy shapes
+  // with the engine's now-lane disabled (every wakeup sifts the heap). The
+  // lane equality tests pin both orderings bit-identical.
+  const Rate storm_nolane = best_of(
+      reps, [&] { return measure_ack_storm(8, 48, 2 * scale, fast, false); });
+  const Rate burst_nolane = best_of(reps, [&] {
+    return measure_egress_burst(64, 300 * scale, fast, false);
+  });
+  std::printf("  (lane off:          storm %.0f, burst %.0f msgs/s)\n",
+              storm_nolane.msgs_per_s, burst_nolane.msgs_per_s);
+
+  // Grid-level parallel speedup: independent cells across sweep workers.
+  const int grid_cells = quick ? 8 : 24;
+  const int grid_rounds = 4 * scale;
+  const int grid_jobs = effective_jobs(0);
+  const double grid_j1 = measure_grid_cells_per_s(1, grid_cells, grid_rounds);
+  const double grid_jn =
+      measure_grid_cells_per_s(grid_jobs, grid_cells, grid_rounds);
+  std::printf("grid re-profile:  %8.1f cells/s at jobs=1, %8.1f at jobs=%d "
+              "(%.1fx)\n",
+              grid_j1, grid_jn, grid_jobs, grid_jn / grid_j1);
+
   smilab::benchtool::BenchJson json{"comm_microbench"};
   json.set("quick", quick);
   json.set("classic", classic);
@@ -248,6 +313,12 @@ int main(int argc, char** argv) {
   json.set("egress_burst_msgs_per_s", burst.msgs_per_s);
   json.set("ack_storm_classic_msgs_per_s", storm_classic.msgs_per_s);
   json.set("egress_burst_classic_msgs_per_s", burst_classic.msgs_per_s);
+  json.set("ack_storm_lane_off_msgs_per_s", storm_nolane.msgs_per_s);
+  json.set("egress_burst_lane_off_msgs_per_s", burst_nolane.msgs_per_s);
+  json.set("grid_cells_per_s_jobs1", grid_j1);
+  json.set("grid_cells_per_s_jobsN", grid_jn);
+  json.set("grid_jobs_n", grid_jobs);
+  json.set("grid_parallel_speedup", grid_jn / grid_j1);
   json.set("flood_pool_capacity",
            static_cast<long long>(flood.stats.pool_capacity));
   json.set("flood_messages_allocated",

@@ -1,10 +1,34 @@
 // Extension bench: the paper's future work — "test additional parallel
-// applications at larger scales". Projects the long-SMI amplification of a
-// synchronizing solver from the paper's 16 nodes out to 128, for several
-// synchronization frequencies.
+// applications at larger scales" — in two parts.
+//
+//  1. Projection table (original): long-SMI amplification of a
+//     synchronizing solver from the paper's 16 nodes out to 128, for
+//     several synchronization frequencies.
+//
+//  2. Rank-scaling sweep + RSS pair (streaming sources): a ring-exchange
+//     halo solver run at 16 -> 4096 ranks through streaming action sources
+//     (mpi/streaming.h), reporting cells/s and actions/s per rank count,
+//     then an A/B memory measurement at the top rank count: the same cell
+//     is run in a forked child per trace mode (streaming first), each child
+//     reporting its stats hash and getrusage peak-RSS delta. The parent
+//     asserts the hashes are EQUAL (streaming is a pure memory change) and
+//     records the retained/streaming RSS ratio. CI gates on the ci_floor_*/
+//     ci_ceiling_* keys in BENCH_scale_projection.json: the ratio floor is
+//     the headline — peak residency O(ranks), not O(ranks x actions).
+//
+// Usage: scale_projection [--quick] [--no-table]
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#ifdef __unix__
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "bench_json.h"
 #include "nas_table.h"
 #include "smilab/mpi/collectives.h"
 #include "smilab/mpi/job.h"
@@ -14,7 +38,18 @@ using namespace smilab;
 
 namespace {
 
-double run(int nodes, int sync_per_10s, bool smi, std::uint64_t seed) {
+// CI gate values, recorded in the JSON artifact. Floors/ceilings sit far
+// from local Release numbers so only a real regression (retained residency
+// creeping back into the streaming path, or a throughput collapse) trips
+// them on slow shared runners.
+constexpr double kRssRatioFloor = 10.0;
+constexpr long long kStreamingRssCeilingKb = 131'072;  // 128 MB
+constexpr double kActionsPerSFloor = 300'000.0;
+
+// --- Part 1: the original SMI amplification projection ---------------------
+
+double projection_run(int nodes, int sync_per_10s, bool smi,
+                      std::uint64_t seed) {
   SystemConfig cfg;
   cfg.machine = MachineSpec::wyeast_e5520();
   cfg.node_count = nodes;
@@ -34,11 +69,7 @@ double run(int nodes, int sync_per_10s, bool smi, std::uint64_t seed) {
       .elapsed.seconds();
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const auto args = smilab::benchtool::BenchArgs::parse(argc, argv);
-  const int trials = args.quick ? 1 : 3;
+void print_projection_table(int trials) {
   std::printf("=== Scale projection: long SMIs @ 1/s on a 10s solver, "
               "1 rank/node (%d trials) ===\n\n", trials);
   std::printf("Slowdown %% by node count and synchronization frequency:\n\n");
@@ -49,8 +80,8 @@ int main(int argc, char** argv) {
       OnlineStats base, noisy;
       for (int t = 0; t < trials; ++t) {
         const auto seed = static_cast<std::uint64_t>(nodes * 131 + syncs + t);
-        base.add(run(nodes, syncs, false, seed));
-        noisy.add(run(nodes, syncs, true, seed));
+        base.add(projection_run(nodes, syncs, false, seed));
+        noisy.add(projection_run(nodes, syncs, true, seed));
       }
       table.cell((noisy.mean() / base.mean() - 1.0) * 100.0, 1);
     }
@@ -62,6 +93,323 @@ int main(int argc, char** argv) {
       "fine-grained synchronization and >=64 nodes the job effectively\n"
       "inherits the worst node's noise at every step — exactly the\n"
       "extreme-scale concern of Petrini et al. and Ferreira et al., now\n"
-      "driven by firmware instead of the OS.\n");
+      "driven by firmware instead of the OS.\n\n");
+}
+
+// --- Part 2: rank-scaling sweep with streaming sources ---------------------
+
+/// Ring halo-exchange solver: per iteration every rank computes, then
+/// sendrecvs with both neighbours (the dependency chain that propagates
+/// noise ring-wide). One iteration == one streaming chunk, so a rank's
+/// retained footprint is 3 actions regardless of iteration count.
+struct RingSolver {
+  int ranks = 0;
+  int iters = 0;
+  std::int64_t bytes = 64 * 1024;
+  SimDuration step = microseconds(200);
+
+  [[nodiscard]] std::int64_t total_actions() const {
+    return static_cast<std::int64_t>(ranks) * iters * 3;
+  }
+};
+
+constexpr int kRanksPerNode = 8;  // wyeast_e5520 core count: no time-sharing
+
+bool emit_ring_chunk(const RingSolver& s, int rank, int chunk, RankProgram& rp,
+                     TagAllocator& tags) {
+  if (chunk >= s.iters) return false;
+  const int base = tags.allocate(2);
+  const int next = (rank + 1) % s.ranks;
+  const int prev = (rank + s.ranks - 1) % s.ranks;
+  rp.compute(s.step);
+  rp.sendrecv(next, s.bytes, base, prev, base);
+  rp.sendrecv(prev, s.bytes, base + 1, next, base + 1);
+  return true;
+}
+
+/// Retained build: the same emitter looped to completion per rank, so the
+/// two modes share one program definition (bit-identical sequences).
+std::vector<RankProgram> build_ring(const RingSolver& s) {
+  auto programs = make_rank_programs(s.ranks);
+  for (auto& rp : programs) {
+    TagAllocator tags;
+    for (int c = 0; emit_ring_chunk(s, rp.rank(), c, rp, tags); ++c) {
+    }
+  }
+  return programs;
+}
+
+RankSourceFactory ring_sources(const RingSolver& s) {
+  return chunked_rank_sources(s.ranks, [s](int rank) {
+    return [s, rank](int chunk, RankProgram& rp, TagAllocator& tags) {
+      return emit_ring_chunk(s, rank, chunk, rp, tags);
+    };
+  });
+}
+
+System make_ring_system(const RingSolver& s) {
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::wyeast_e5520();
+  cfg.node_count = node_count_for(s.ranks, kRanksPerNode);
+  cfg.net = NetworkParams::wyeast();
+  cfg.smi = SmiConfig::none();
+  cfg.seed = 42;
+  return System{cfg};
+}
+
+// FNV-1a over the observable outcome (per-rank stats + system counters +
+// elapsed) — the idiom of tests/streaming_equality_test.cpp, recomputed here
+// so the A/B children prove "equal statistics" across process boundaries.
+class TraceHash {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xff;
+      h_ *= 0x100000001b3ull;
+    }
+  }
+  void mix_signed(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+std::uint64_t outcome_hash(const System& sys, const MpiJobResult& result) {
+  TraceHash h;
+  h.mix_signed(result.elapsed.ns());
+  for (int t = 0; t < sys.task_count(); ++t) {
+    const TaskStats& s = sys.task_stats(TaskId{t});
+    h.mix_signed(s.end_time.ns());
+    h.mix_signed(s.os_view_cpu_time.ns());
+    h.mix_signed(s.true_cpu_time.ns());
+    h.mix_signed(s.smm_stolen_time.ns());
+    h.mix_signed(s.messages_sent);
+    h.mix_signed(s.messages_received);
+    h.mix_signed(s.bytes_sent);
+    h.mix(s.finished ? 1 : 0);
+  }
+  h.mix_signed(sys.inter_node_bytes());
+  h.mix_signed(sys.peak_in_flight_messages());
+  return h.value();
+}
+
+struct CellResult {
+  double cpu_s = 0;
+  std::uint64_t hash = 0;
+  std::int64_t peak_program_actions = 0;
+};
+
+CellResult run_ring_cell(const RingSolver& s, TraceMode mode) {
+  System sys = make_ring_system(s);
+  benchtool::CpuTimer timer;
+  const MpiJobResult result =
+      mode == TraceMode::kStreaming
+          ? run_mpi_job_streaming(sys, s.ranks, ring_sources(s),
+                                  block_placement(s.ranks, kRanksPerNode),
+                                  WorkloadProfile{})
+          : run_mpi_job(sys, build_ring(s),
+                        block_placement(s.ranks, kRanksPerNode),
+                        WorkloadProfile{});
+  CellResult r;
+  r.cpu_s = timer.seconds();
+  r.hash = outcome_hash(sys, result);
+  r.peak_program_actions = sys.peak_program_actions();
+  return r;
+}
+
+// --- The A/B RSS pair ------------------------------------------------------
+
+struct RssReport {
+  double cpu_s = 0;
+  std::uint64_t hash = 0;
+  std::int64_t peak_program_actions = 0;
+  long long rss_delta_kb = 0;  ///< getrusage maxrss growth over the cell
+  bool measured = false;       ///< false: platform had no fork/getrusage
+};
+
+#ifdef __unix__
+
+long long max_rss_kb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<long long>(usage.ru_maxrss);  // KB on Linux
+}
+
+/// Runs the cell in a forked child so each mode's peak RSS is measured in a
+/// pristine address space (the parent's heap high-water mark can't mask the
+/// delta). The child reports {cpu_ns, hash, peak_program_actions, rss} over
+/// a pipe. Must run before the parent allocates anything sizeable.
+RssReport measure_rss(const RingSolver& s, TraceMode mode) {
+  struct Wire {
+    std::int64_t cpu_ns;
+    std::uint64_t hash;
+    std::int64_t peak_program_actions;
+    long long rss_delta_kb;
+  };
+  int fd[2];
+  if (pipe(fd) != 0) return {};
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fd[0]);
+    close(fd[1]);
+    return {};
+  }
+  if (pid == 0) {
+    close(fd[0]);
+    const long long base_kb = max_rss_kb();
+    const CellResult cell = run_ring_cell(s, mode);
+    const Wire wire{static_cast<std::int64_t>(cell.cpu_s * 1e9), cell.hash,
+                    cell.peak_program_actions, max_rss_kb() - base_kb};
+    const ssize_t wrote = write(fd[1], &wire, sizeof wire);
+    close(fd[1]);
+    _exit(wrote == static_cast<ssize_t>(sizeof wire) ? 0 : 1);
+  }
+  close(fd[1]);
+  Wire wire{};
+  std::size_t got = 0;
+  while (got < sizeof wire) {
+    const ssize_t n =
+        read(fd[0], reinterpret_cast<char*>(&wire) + got, sizeof wire - got);
+    if (n <= 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  close(fd[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (got != sizeof wire || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    return {};
+  }
+  RssReport report;
+  report.cpu_s = static_cast<double>(wire.cpu_ns) / 1e9;
+  report.hash = wire.hash;
+  report.peak_program_actions = wire.peak_program_actions;
+  report.rss_delta_kb = wire.rss_delta_kb;
+  report.measured = true;
+  return report;
+}
+
+#else
+
+/// No fork on this platform: run in-process for the hash/peak comparison;
+/// RSS stays unmeasured and the JSON says so.
+RssReport measure_rss(const RingSolver& s, TraceMode mode) {
+  const CellResult cell = run_ring_cell(s, mode);
+  RssReport report;
+  report.cpu_s = cell.cpu_s;
+  report.hash = cell.hash;
+  report.peak_program_actions = cell.peak_program_actions;
+  return report;
+}
+
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = smilab::benchtool::BenchArgs::parse(argc, argv);
+  bool no_table = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-table") == 0) no_table = true;
+  }
+
+  smilab::benchtool::BenchJson json{"scale_projection"};
+  json.set("quick", args.quick);
+
+  // RSS pair first: fork while the parent's own footprint is still tiny so
+  // the children's getrusage deltas attribute cleanly to the cell.
+  RingSolver pair;
+  pair.ranks = args.quick ? 512 : 4096;
+  pair.iters = args.quick ? 300 : 600;
+  std::printf("=== Trace-residency A/B: %d-rank ring exchange, %d iterations "
+              "(%lld actions) ===\n\n",
+              pair.ranks, pair.iters,
+              static_cast<long long>(pair.total_actions()));
+  const RssReport streaming = measure_rss(pair, TraceMode::kStreaming);
+  const RssReport retained = measure_rss(pair, TraceMode::kRetained);
+  const bool hash_match =
+      streaming.hash != 0 && streaming.hash == retained.hash;
+  const double rss_ratio =
+      streaming.measured && retained.measured && streaming.rss_delta_kb > 0
+          ? static_cast<double>(retained.rss_delta_kb) /
+                static_cast<double>(streaming.rss_delta_kb)
+          : 0.0;
+  std::printf("  streaming: peak RSS delta %8lld KB, peak %9lld actions "
+              "resident, %6.2f cpu s%s\n",
+              streaming.rss_delta_kb,
+              static_cast<long long>(streaming.peak_program_actions),
+              streaming.cpu_s, streaming.measured ? "" : "  (rss unmeasured)");
+  std::printf("  retained:  peak RSS delta %8lld KB, peak %9lld actions "
+              "resident, %6.2f cpu s%s\n",
+              retained.rss_delta_kb,
+              static_cast<long long>(retained.peak_program_actions),
+              retained.cpu_s, retained.measured ? "" : "  (rss unmeasured)");
+  std::printf("  statistics hash: %s   RSS ratio (retained/streaming): "
+              "%.1fx\n\n",
+              hash_match ? "EQUAL" : "MISMATCH", rss_ratio);
+  if (!hash_match) {
+    std::printf("FAIL: streaming and retained cells disagree\n");
+    return 1;
+  }
+
+  // Rank-scaling sweep (streaming): cells/s and actions/s by rank count.
+  const std::vector<int> rank_counts =
+      args.quick ? std::vector<int>{16, 64, 256}
+                 : std::vector<int>{16, 64, 256, 1024, 4096};
+  const int sweep_iters = args.quick ? 60 : 200;
+  std::printf("=== Streaming rank sweep: ring exchange, %d iterations ===\n\n",
+              sweep_iters);
+  Table sweep_table{{"ranks", "actions", "cpu s", "Mact/s", "cells/s",
+                     "peak resident"}};
+  for (const int ranks : rank_counts) {
+    RingSolver s;
+    s.ranks = ranks;
+    s.iters = sweep_iters;
+    const CellResult cell = run_ring_cell(s, TraceMode::kStreaming);
+    const double actions_per_s =
+        static_cast<double>(s.total_actions()) / cell.cpu_s;
+    sweep_table.row()
+        .cell(static_cast<long long>(ranks))
+        .cell(static_cast<long long>(s.total_actions()))
+        .cell(cell.cpu_s, 3)
+        .cell(actions_per_s / 1e6, 2)
+        .cell(1.0 / cell.cpu_s, 2)
+        .cell(static_cast<long long>(cell.peak_program_actions));
+    json.set("streaming_cpu_s_" + std::to_string(ranks), cell.cpu_s);
+    json.set("streaming_actions_per_s_" + std::to_string(ranks),
+             actions_per_s);
+    json.set("cells_per_s_" + std::to_string(ranks), 1.0 / cell.cpu_s);
+    json.set("streaming_peak_program_actions_" + std::to_string(ranks),
+             static_cast<long long>(cell.peak_program_actions));
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", sweep_table.to_aligned_text().c_str());
+  std::printf("Reading: resident actions stay O(ranks) — 3 per rank, one\n"
+              "chunk — while total actions grow without bound; retained mode\n"
+              "would hold every action for the whole run.\n\n");
+
+  if (!no_table) print_projection_table(args.quick ? 1 : 3);
+
+  const int top_ranks = rank_counts.back();
+  json.set("sweep_iters", sweep_iters);
+  json.set("sweep_max_ranks", top_ranks);
+  json.set("pair_ranks", pair.ranks);
+  json.set("pair_iters", pair.iters);
+  json.set("pair_total_actions", static_cast<long long>(pair.total_actions()));
+  json.set("pair_hash_match", hash_match);
+  json.set("pair_rss_measured", streaming.measured && retained.measured);
+  json.set("streaming_rss_delta_kb", streaming.rss_delta_kb);
+  json.set("retained_rss_delta_kb", retained.rss_delta_kb);
+  json.set("rss_ratio", rss_ratio);
+  json.set("pair_streaming_cpu_s", streaming.cpu_s);
+  json.set("pair_retained_cpu_s", retained.cpu_s);
+  json.set("pair_streaming_peak_program_actions",
+           static_cast<long long>(streaming.peak_program_actions));
+  json.set("pair_retained_peak_program_actions",
+           static_cast<long long>(retained.peak_program_actions));
+  json.set("ci_floor_rss_ratio", kRssRatioFloor);
+  json.set("ci_ceiling_streaming_rss_kb", kStreamingRssCeilingKb);
+  json.set("ci_floor_streaming_actions_per_s", kActionsPerSFloor);
+  json.write();
   return 0;
 }

@@ -79,7 +79,7 @@ ConvolveRunResult run_convolve_sim(const ConvolveWorkload& workload,
   queue.node = 0;
   queue.workers = workload.threads;
   queue.profile = workload.profile;
-  queue.items = even_items(seconds_d(total_work), items);
+  set_even_items(queue, seconds_d(total_work), items);
   const WorkQueueResult run = run_work_queue(sys, std::move(queue));
 
   ConvolveRunResult result;

@@ -285,62 +285,103 @@ std::vector<int> bt_partner_offsets(int p) {
   return offsets;
 }
 
+/// Per-iteration compute, padded by the calibration residual; the pad may
+/// be slightly negative but never below zero total work.
+SimDuration nas_iter_work(const NasJobSpec& spec, const NasKnob& knob) {
+  const double serial = nas_serial_work_seconds(spec.bench, spec.cls);
+  const int niter = nas_iterations(spec.bench, spec.cls);
+  const SimDuration nominal = seconds_d(serial / spec.ranks() / niter);
+  return std::max(nominal + SimDuration{knob.iter_pad_ns},
+                  SimDuration::zero());
+}
+
 }  // namespace
+
+int nas_chunk_count(const NasJobSpec& spec) {
+  switch (spec.bench) {
+    case NasBenchmark::kEP:
+      return 1;
+    case NasBenchmark::kBT:
+      return nas_iterations(spec.bench, spec.cls);
+    case NasBenchmark::kFT:
+      return nas_iterations(spec.bench, spec.cls) + 1;  // checksum epilogue
+  }
+  return 0;
+}
+
+bool emit_nas_chunk(const NasJobSpec& spec, const NasKnob& knob, int chunk,
+                    RankProgram& rp, TagAllocator& tags) {
+  const int p = spec.ranks();
+  assert(rp.nranks() == p);
+  if (chunk >= nas_chunk_count(spec)) return false;
+  const SimDuration iter_work = nas_iter_work(spec, knob);
+
+  switch (spec.bench) {
+    case NasBenchmark::kEP: {
+      // One compute phase, then the final tally allreduces: sx/sy sums and
+      // the 10-bin Gaussian deviate counts.
+      rp.compute(iter_work);
+      allreduce(rp, 16, tags);  // sx, sy
+      allreduce(rp, 80, tags);  // q[0..9]
+      allreduce(rp, 8, tags);   // timer max
+      break;
+    }
+    case NasBenchmark::kBT: {
+      const auto offsets = bt_partner_offsets(p);
+      const int base_tag = tags.allocate(static_cast<int>(offsets.size()));
+      rp.compute(iter_work);
+      const int r = rp.rank();
+      for (std::size_t k = 0; k < offsets.size(); ++k) {
+        const int off = offsets[k];
+        const int dst = (r + off) % p;
+        const int src = (r - off + p) % p;
+        rp.sendrecv(dst, knob.exchange_bytes, base_tag + static_cast<int>(k),
+                    src, base_tag + static_cast<int>(k));
+      }
+      break;
+    }
+    case NasBenchmark::kFT: {
+      if (chunk < nas_iterations(spec.bench, spec.cls)) {
+        rp.compute(iter_work);
+        alltoall(rp, knob.exchange_bytes, tags);
+      } else {
+        // Checksum reduction at the end of every run.
+        allreduce(rp, 16, tags);
+      }
+      break;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<ActionSource> make_nas_rank_source(const NasJobSpec& spec,
+                                                   const NasKnob& knob,
+                                                   int rank) {
+  return std::make_unique<ChunkedProgramSource>(
+      rank, spec.ranks(),
+      [spec, knob](int chunk, RankProgram& rp, TagAllocator& tags) {
+        return emit_nas_chunk(spec, knob, chunk, rp, tags);
+      });
+}
+
+RankSourceFactory make_nas_rank_sources(const NasJobSpec& spec,
+                                        const NasKnob& knob) {
+  return [spec, knob](int rank) {
+    return make_nas_rank_source(spec, knob, rank);
+  };
+}
 
 std::vector<RankProgram> build_nas_trace(const NasJobSpec& spec,
                                          const NasKnob& knob) {
   const int p = spec.ranks();
   assert(nas_valid_rank_count(spec.bench, p));
   std::vector<RankProgram> programs = make_rank_programs(p);
-  TagAllocator tags;
-
-  const double serial = nas_serial_work_seconds(spec.bench, spec.cls);
-  const int niter = nas_iterations(spec.bench, spec.cls);
-  // Per-iteration compute, padded by the calibration residual; the pad may
-  // be slightly negative but never below zero total work.
-  const SimDuration iter_work = [&] {
-    const SimDuration nominal = seconds_d(serial / p / niter);
-    const SimDuration padded = nominal + SimDuration{knob.iter_pad_ns};
-    return std::max(padded, SimDuration::zero());
-  }();
-
-  switch (spec.bench) {
-    case NasBenchmark::kEP: {
-      // One compute phase, then the final tally allreduces: sx/sy sums and
-      // the 10-bin Gaussian deviate counts.
-      for (auto& rp : programs) rp.compute(iter_work);
-      allreduce(programs, 16, tags);   // sx, sy
-      allreduce(programs, 80, tags);   // q[0..9]
-      allreduce(programs, 8, tags);    // timer max
-      break;
-    }
-    case NasBenchmark::kBT: {
-      const auto offsets = bt_partner_offsets(p);
-      for (int it = 0; it < niter; ++it) {
-        const int base_tag = tags.allocate(static_cast<int>(offsets.size()));
-        for (auto& rp : programs) {
-          rp.compute(iter_work);
-          const int r = rp.rank();
-          for (std::size_t k = 0; k < offsets.size(); ++k) {
-            const int off = offsets[k];
-            const int dst = (r + off) % p;
-            const int src = (r - off + p) % p;
-            rp.sendrecv(dst, knob.exchange_bytes,
-                        base_tag + static_cast<int>(k), src,
-                        base_tag + static_cast<int>(k));
-          }
-        }
-      }
-      break;
-    }
-    case NasBenchmark::kFT: {
-      for (int it = 0; it < niter; ++it) {
-        for (auto& rp : programs) rp.compute(iter_work);
-        alltoall(programs, knob.exchange_bytes, tags);
-      }
-      // Checksum reduction at the end of every run.
-      allreduce(programs, 16, tags);
-      break;
+  // One pass of the chunk emitter per rank; a fresh allocator per rank
+  // reproduces the historical shared-allocator tag sequence because every
+  // rank advanced it in lockstep.
+  for (auto& rp : programs) {
+    TagAllocator tags;
+    for (int c = 0; emit_nas_chunk(spec, knob, c, rp, tags); ++c) {
     }
   }
   return programs;

@@ -15,10 +15,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "smilab/mpi/program.h"
+#include "smilab/mpi/streaming.h"
 
 namespace smilab {
 
@@ -83,9 +85,34 @@ struct NasKnob {
   std::int64_t iter_pad_ns = 0;     ///< added to each iteration's compute
 };
 
-/// Build the per-rank traces for a cell under the given knobs.
+/// Build the per-rank traces for a cell under the given knobs (retained
+/// mode; loops emit_nas_chunk per rank, so retained and streaming programs
+/// are the same sequence by construction).
 [[nodiscard]] std::vector<RankProgram> build_nas_trace(const NasJobSpec& spec,
                                                        const NasKnob& knob);
+
+/// Number of streaming chunks in a cell's per-rank program: EP is a single
+/// phase; BT one chunk per iteration; FT one per iteration plus the
+/// checksum-allreduce epilogue.
+[[nodiscard]] int nas_chunk_count(const NasJobSpec& spec);
+
+/// Append chunk `chunk` (0-based) of rank `rp.rank()`'s program to `rp`,
+/// advancing that rank's private tag stream. Returns false (appending
+/// nothing) once `chunk` is past nas_chunk_count. Every rank's allocator
+/// advances in lockstep, so per-rank tag sequences match the retained
+/// shared-allocator build exactly.
+[[nodiscard]] bool emit_nas_chunk(const NasJobSpec& spec, const NasKnob& knob,
+                                  int chunk, RankProgram& rp,
+                                  TagAllocator& tags);
+
+/// Streaming source for one rank: a ChunkedProgramSource over
+/// emit_nas_chunk, holding one iteration's actions at a time.
+[[nodiscard]] std::unique_ptr<ActionSource> make_nas_rank_source(
+    const NasJobSpec& spec, const NasKnob& knob, int rank);
+
+/// Factory for run_mpi_job_streaming covering every rank of the cell.
+[[nodiscard]] RankSourceFactory make_nas_rank_sources(const NasJobSpec& spec,
+                                                      const NasKnob& knob);
 
 /// The paper's measured SMM-0 baseline for a cell, if reported (seconds).
 [[nodiscard]] std::optional<double> nas_paper_baseline(const NasJobSpec& spec);

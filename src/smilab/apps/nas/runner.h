@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "smilab/apps/nas/nas.h"
+#include "smilab/mpi/job.h"
 #include "smilab/smm/smi_config.h"
 #include "smilab/stats/online_stats.h"
 
@@ -26,6 +27,10 @@ struct NasRunOptions {
   /// value: every sim derives from (spec, knob, smi, seed) alone and is
   /// collected in grid order (core/sweep.h).
   int jobs = 1;
+  /// Program residency (mpi/job.h): retained materializes every rank's
+  /// trace; streaming holds one chunk per rank. Results are identical —
+  /// the streaming equality suite pins it.
+  TraceMode trace_mode = TraceMode::kRetained;
 };
 
 struct NasCellResult {
@@ -52,7 +57,8 @@ struct NasCellResult {
 /// Simulate one run of a cell under the given calibrated knobs.
 double simulate_nas_once(const NasJobSpec& spec, const NasKnob& knob,
                          const SmiConfig& smi, std::uint64_t seed,
-                         double node_speed_sigma);
+                         double node_speed_sigma,
+                         TraceMode mode = TraceMode::kRetained);
 
 /// Fit the knobs so the simulated no-SMI runtime matches the paper baseline
 /// (to ~0.1%): bracketed bisection on the exchange size, then a per-

@@ -61,14 +61,15 @@ double run_one_test(const UbTestSpec& spec, const UnixBenchOptions& options,
       1, static_cast<int>(options.per_test_duration / batch));
 
   for (int c = 0; c < copies; ++c) {
-    std::vector<Action> actions(static_cast<std::size_t>(batches),
-                                Action{Compute{batch}});
     TaskSpec task;
     task.name = std::string{to_string(spec.test)} + "#" + std::to_string(c);
     task.node = 0;
     task.profile = spec.profile;
     task.wait_policy = WaitPolicy::kBlock;
-    task.actions = std::make_unique<VectorActions>(std::move(actions));
+    // Every batch is the identical Compute, so the whole budget streams
+    // from one prototype instead of a `batches`-long vector per copy.
+    task.actions =
+        std::make_unique<RepeatActions>(Action{Compute{batch}}, batches);
     sys.spawn(std::move(task));
   }
   sys.run();

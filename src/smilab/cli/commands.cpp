@@ -451,6 +451,8 @@ int cmd_faults(const Options& options, std::ostream& out, std::ostream& err) {
       << tstats.pool_capacity << " slot(s), peak " << tstats.pool_peak_live
       << " live / " << tstats.peak_in_flight << " in flight, "
       << tstats.pool_live << " live at exit\n";
+  out << "  program actions: peak " << sys.peak_program_actions()
+      << " materialized\n";
   for (const FaultRecord& rec : sys.fault_log()) {
     out << "  fault: " << to_string(rec.kind) << " node " << rec.node
         << " at " << rec.start.seconds() << " s";

@@ -6,9 +6,22 @@
 #include <vector>
 
 #include "smilab/mpi/program.h"
+#include "smilab/mpi/streaming.h"
 #include "smilab/sim/system.h"
 
 namespace smilab {
+
+/// How a job's rank programs are held in memory. Retained is the historical
+/// bit-pinned path (whole program materialized per rank); streaming holds
+/// one chunk per rank (mpi/streaming.h) and produces identical statistics.
+enum class TraceMode {
+  kRetained,
+  kStreaming,
+};
+
+[[nodiscard]] constexpr const char* to_string(TraceMode mode) {
+  return mode == TraceMode::kRetained ? "retained" : "streaming";
+}
 
 struct MpiJobResult {
   SimDuration elapsed;               ///< start -> last rank finish
@@ -51,5 +64,22 @@ MpiJobRunResult try_run_mpi_job(System& sys, std::vector<RankProgram> programs,
                                 const std::vector<int>& placement,
                                 const WorkloadProfile& profile,
                                 const std::string& job_name = "mpi");
+
+/// Streaming launcher: spawn `nranks` ranks whose actions come from
+/// `sources(rank)` (typically ChunkedProgramSources) instead of
+/// materialized programs. Scheduling, placement and stats collection are
+/// identical to run_mpi_job; only program residency differs.
+MpiJobResult run_mpi_job_streaming(System& sys, int nranks,
+                                   const RankSourceFactory& sources,
+                                   const std::vector<int>& placement,
+                                   const WorkloadProfile& profile,
+                                   const std::string& job_name = "mpi");
+
+/// Non-throwing streaming variant (fault-injection experiments).
+MpiJobRunResult try_run_mpi_job_streaming(System& sys, int nranks,
+                                          const RankSourceFactory& sources,
+                                          const std::vector<int>& placement,
+                                          const WorkloadProfile& profile,
+                                          const std::string& job_name = "mpi");
 
 }  // namespace smilab

@@ -97,6 +97,12 @@ class RankProgram {
   /// Move the built trace out (the builder is spent afterwards).
   [[nodiscard]] std::pmr::vector<Action> take() { return std::move(actions_); }
 
+  // Streaming support (mpi/streaming.h): a ChunkedProgramSource reuses one
+  // builder as its per-chunk buffer, clearing between refills so capacity
+  // is retained and chunk storage never grows with chunk count.
+  void clear() { actions_.clear(); }
+  [[nodiscard]] std::pmr::vector<Action>& mutable_actions() { return actions_; }
+
  private:
   int rank_;
   int nranks_;

@@ -58,7 +58,11 @@ EventId Engine::finish_schedule(SimTime t, std::uint32_t slot) {
   const std::uint64_t seq = next_seq_++;
   s.seq = seq;
   s.cancelled = false;
-  heap_push(Entry{t, seq, slot});
+  if (lane_enabled_ && tie_break_ == nullptr && t == now_) {
+    lane_.push_back(Entry{t, seq, slot});
+  } else {
+    heap_push(Entry{t, seq, slot});
+  }
   ++live_;
   return EventId{seq, slot};
 }
@@ -104,6 +108,19 @@ void Engine::compact_tombstones() {
     heap_[out++] = e;
   }
   heap_.resize(out);
+  // The lane holds tombstones too; sweep it so the counter reset is exact.
+  std::size_t lane_out = 0;
+  for (std::size_t i = lane_head_; i < lane_.size(); ++i) {
+    const Entry& e = lane_[i];
+    const Slot& s = slots_[e.slot];
+    if (s.cancelled && s.seq == e.seq) {
+      release_slot(e.slot);
+      continue;
+    }
+    lane_[lane_out++] = e;
+  }
+  lane_.resize(lane_out);
+  lane_head_ = 0;
   tombstones_ = 0;
   // Floyd heap construction over the surviving entries.
   if (heap_.size() < 2) return;
@@ -138,11 +155,50 @@ void Engine::drop_root_tombstones() {
   }
 }
 
+void Engine::drop_lane_tombstones() {
+  while (lane_head_ < lane_.size()) {
+    const Entry front = lane_[lane_head_];
+    const Slot& s = slots_[front.slot];
+    if (!(s.cancelled && s.seq == front.seq)) return;
+    release_slot(front.slot);
+    --tombstones_;
+    ++lane_head_;
+  }
+  lane_.clear();
+  lane_head_ = 0;
+}
+
+// Move every surviving lane entry into the heap (policy installation or
+// lane disable). (time, seq) is a total order, so subsequent pops are
+// unchanged by where an entry waits.
+void Engine::flush_lane() {
+  for (std::size_t i = lane_head_; i < lane_.size(); ++i) {
+    const Entry e = lane_[i];
+    const Slot& s = slots_[e.slot];
+    if (s.cancelled && s.seq == e.seq) {
+      release_slot(e.slot);
+      --tombstones_;
+      continue;
+    }
+    heap_push(e);
+  }
+  lane_.clear();
+  lane_head_ = 0;
+}
+
 bool Engine::pop_next() {
-  if (tombstones_ != 0) drop_root_tombstones();
-  if (heap_.empty()) return false;
-  if (tie_break_ != nullptr) return pop_tied();
-  const Entry top = heap_[0];
+  if (tombstones_ != 0) {
+    drop_root_tombstones();
+    drop_lane_tombstones();
+  }
+  const bool lane_has = lane_head_ < lane_.size();
+  if (heap_.empty() && !lane_has) return false;
+  if (tie_break_ != nullptr) return pop_tied();  // lane is empty (flushed)
+  // Merge: lane front vs heap root by (time, seq) — the same total order
+  // the heap alone produced.
+  const bool from_lane =
+      lane_has && (heap_.empty() || before(lane_[lane_head_], heap_[0]));
+  const Entry top = from_lane ? lane_[lane_head_] : heap_[0];
   Slot& slot = slots_[top.slot];
   assert(slot.seq == top.seq);
   assert(top.time >= now_);
@@ -150,7 +206,14 @@ bool Engine::pop_next() {
   // Move the callback out before executing: the callback may schedule
   // events (growing the slab) or cancel others (compacting the heap).
   InlineCallback fn = std::move(slot.fn);
-  remove_root();
+  if (from_lane) {
+    if (++lane_head_ == lane_.size()) {
+      lane_.clear();
+      lane_head_ = 0;
+    }
+  } else {
+    remove_root();
+  }
   release_slot(top.slot);
   --live_;
   ++executed_;
@@ -204,6 +267,12 @@ std::uint64_t Engine::pending_time_digest() const {
     if (s.seq != e.seq || s.cancelled) continue;  // tombstone
     acc += splitmix64(static_cast<std::uint64_t>(e.time.ns()));
   }
+  for (std::size_t i = lane_head_; i < lane_.size(); ++i) {
+    const Entry& e = lane_[i];
+    const Slot& s = slots_[e.slot];
+    if (s.seq != e.seq || s.cancelled) continue;
+    acc += splitmix64(static_cast<std::uint64_t>(e.time.ns()));
+  }
   return acc;
 }
 
@@ -217,7 +286,15 @@ bool Engine::run_until(SimTime t) {
   stopped_ = false;
   while (!stopped_) {
     // Peek through tombstones without executing.
-    if (tombstones_ != 0) drop_root_tombstones();
+    if (tombstones_ != 0) {
+      drop_root_tombstones();
+      drop_lane_tombstones();
+    }
+    if (lane_head_ < lane_.size()) {
+      // Lane entries fire at now_ <= t by the lane invariant.
+      pop_next();
+      continue;
+    }
     if (heap_.empty()) break;
     if (heap_[0].time > t) {
       now_ = t;

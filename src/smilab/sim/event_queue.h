@@ -109,9 +109,26 @@ class Engine {
   /// candidates are presented in (time, seq) order, so decision 0 is the
   /// default schedule bit-for-bit. Null (the default) keeps the plain
   /// lowest-(time, seq) pop: one pointer test, no collection pass. The
-  /// policy must outlive its installation.
-  void set_tie_break(SchedulePolicy* policy) { tie_break_ = policy; }
+  /// policy must outlive its installation. Installing a policy flushes and
+  /// disables the same-instant lane so pop_tied sees one candidate set —
+  /// model-checking schedules are identical with or without the lane.
+  void set_tie_break(SchedulePolicy* policy) {
+    tie_break_ = policy;
+    if (policy != nullptr) flush_lane();
+  }
   [[nodiscard]] SchedulePolicy* tie_break() const { return tie_break_; }
+
+  /// Toggle the same-instant fast lane (default on): events scheduled at
+  /// exactly now() append to a FIFO instead of sifting through the heap,
+  /// and pop merges lane front vs heap root by (time, seq) — the executed
+  /// order is bit-identical either way (the A/B equality test pins it).
+  /// Same-instant wakeups dominate dispatch-heavy phases (ack maturation,
+  /// run-queue handoffs), where O(1) append/pop beats two O(log n) sifts.
+  void set_same_instant_lane(bool on) {
+    lane_enabled_ = on;
+    if (!on) flush_lane();
+  }
+  [[nodiscard]] bool same_instant_lane() const { return lane_enabled_; }
 
   /// Order-insensitive digest of the pending-event schedule: the multiset
   /// of live entry timestamps (seq and heap layout excluded — commuted
@@ -152,6 +169,8 @@ class Engine {
   void heap_push(Entry e);
   void remove_root();
   void drop_root_tombstones();
+  void drop_lane_tombstones();
+  void flush_lane();
   void compact_tombstones();
   void release_slot(std::uint32_t slot);
 
@@ -175,6 +194,13 @@ class Engine {
   std::uint64_t tombstones_ = 0;  // cancelled entries still in heap_
   bool stopped_ = false;
   std::vector<Entry> heap_;  // implicit 4-ary min-heap
+  // Same-instant lane: FIFO of entries with time == now_. Seqs are
+  // monotone, so the lane is (time, seq)-sorted by construction; time
+  // cannot advance while it is non-empty because its front beats every
+  // later-time heap root in the pop merge.
+  std::vector<Entry> lane_;
+  std::size_t lane_head_ = 0;
+  bool lane_enabled_ = true;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNilSlot;
   SchedulePolicy* tie_break_ = nullptr;  // null: plain (time, seq) pops

@@ -106,6 +106,10 @@ struct RunResult {
   /// High-water mark of simultaneously in-flight messages over the run —
   /// the bound on the transport's pooled-record memory (sim/transport.h).
   std::int64_t peak_in_flight_messages = 0;
+  /// High-water mark of materialized program actions summed across tasks —
+  /// the bound on trace memory: O(total actions) retained, O(ranks x
+  /// chunk) streaming (mpi/streaming.h).
+  std::int64_t peak_program_actions = 0;
 
   [[nodiscard]] bool ok() const { return status == RunStatus::kOk; }
   [[nodiscard]] std::string to_string() const {

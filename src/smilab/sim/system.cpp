@@ -82,6 +82,14 @@ struct System::TaskImpl {
   WaitPolicy wait_policy = WaitPolicy::kSpin;
   std::unique_ptr<ActionSource> source;
   TaskStats stats;
+  /// Last-sampled source->materialized_actions(), mirrored into the
+  /// System-wide program_actions_ sum by delta updates.
+  std::int64_t materialized = 0;
+
+  // Current action's provenance for the completed-action ring (only
+  // maintained when the ring is enabled).
+  int action_kind = -1;
+  SimTime action_start;
 
   enum class State {
     kReady,       ///< runnable, waiting for its CPU
@@ -259,6 +267,12 @@ TaskId System::spawn_member(GroupId g, int rank, TaskSpec spec) {
   members[static_cast<std::size_t>(rank)] = t->id;
   cpu_state(t->node, t->cpu).assigned += 1;
   ++unfinished_tasks_;
+
+  t->materialized = t->source->materialized_actions();
+  program_actions_ += t->materialized;
+  if (program_actions_ > peak_program_actions_) {
+    peak_program_actions_ = program_actions_;
+  }
 
   TaskImpl& ref = *t;
   tasks_.push_back(std::move(t));
@@ -529,8 +543,22 @@ void System::start_work(TaskImpl& t, SimDuration amount) {
 
 void System::start_next_action(TaskImpl& t) {
   note_progress();  // an action retired: the hang watchdog re-arms
+  if (action_ring_.enabled() && t.action_kind >= 0) {
+    action_ring_.record({t.id.value, t.action_kind, t.action_start, now()});
+    t.action_kind = -1;
+  }
   while (true) {
     std::optional<Action> a = t.source->next();
+    // Streaming sources change their materialized footprint on refill;
+    // retained ones report a constant, so the delta is usually zero.
+    const std::int64_t m = t.source->materialized_actions();
+    if (m != t.materialized) {
+      program_actions_ += m - t.materialized;
+      t.materialized = m;
+      if (program_actions_ > peak_program_actions_) {
+        peak_program_actions_ = program_actions_;
+      }
+    }
     if (!a) {
       finish_task(t);
       return;
@@ -538,6 +566,10 @@ void System::start_next_action(TaskImpl& t) {
     if (auto* call = std::get_if<Call>(&*a)) {
       call->fn();
       continue;  // zero-time action; keep pulling
+    }
+    if (action_ring_.enabled()) {
+      t.action_kind = static_cast<int>(a->index());
+      t.action_start = now();
     }
     t.action = std::move(a);
     t.phase = 0;
@@ -925,6 +957,8 @@ void System::finish_task(TaskImpl& t) {
   t.stats.finished = true;
   t.stats.end_time = now();
   t.state = TaskImpl::State::kDone;
+  program_actions_ -= t.materialized;
+  t.materialized = 0;
   stop_running(t, /*keep_on_cpu=*/false);
   --unfinished_tasks_;
   dispatch(t.node, t.cpu);
@@ -1753,6 +1787,9 @@ void System::kill_task(TaskImpl& t) {
   t.work_left = SimDuration::zero();
   t.pending_overhead = SimDuration::zero();
   t.action.reset();
+  t.action_kind = -1;
+  program_actions_ -= t.materialized;
+  t.materialized = 0;
   t.waiting_msg = t.waiting_ack = t.waiting_all = false;
   t.wa_armed = false;
   // Release every pool record this task holds and unhook its ack routes:
@@ -2179,6 +2216,7 @@ RunResult System::diagnose(RunStatus status) const {
   }
   result.status = status;
   result.peak_in_flight_messages = peak_in_flight_messages_;
+  result.peak_program_actions = peak_program_actions_;
   return result;
 }
 
@@ -2203,6 +2241,7 @@ RunResult System::try_run() {
   }
   RunResult result;
   result.peak_in_flight_messages = peak_in_flight_messages_;
+  result.peak_program_actions = peak_program_actions_;
   return result;
 }
 

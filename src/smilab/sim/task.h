@@ -136,6 +136,14 @@ class ActionSource {
  public:
   virtual ~ActionSource() = default;
   virtual std::optional<Action> next() = 0;
+
+  /// Actions this source currently holds in memory. The System samples it
+  /// at spawn and after every pull to maintain the run-wide
+  /// `peak_program_actions` high-water mark: a retained VectorActions
+  /// reports its whole program, a streaming source only its live chunk
+  /// buffer, a pure generator zero. Purely observational — it never feeds
+  /// back into the schedule.
+  [[nodiscard]] virtual std::int64_t materialized_actions() const { return 0; }
 };
 
 /// Vector-backed source: a fully materialized program (MPI rank traces).
@@ -155,6 +163,12 @@ class VectorActions final : public ActionSource {
     return std::move(actions_[pc_++]);
   }
 
+  [[nodiscard]] std::int64_t materialized_actions() const override {
+    // Consumed slots stay allocated until the task ends (the vector is
+    // never shrunk), so the honest figure is the full program size.
+    return static_cast<std::int64_t>(actions_.size());
+  }
+
  private:
   std::pmr::vector<Action> actions_;
   std::size_t pc_ = 0;
@@ -171,6 +185,31 @@ class GeneratorActions final : public ActionSource {
 
  private:
   Generator gen_;
+};
+
+/// Fixed-count repetition of one prototype action with O(1) state — the
+/// streaming form of the "N identical batches" loops (UnixBench's fixed-ops
+/// tests). The prototype must be freely copyable (Compute/Sleep/Send-style
+/// payloads; not Call, whose callback identity matters, and not WaitAll,
+/// whose handles may not be reused while open).
+class RepeatActions final : public ActionSource {
+ public:
+  RepeatActions(Action prototype, std::int64_t count)
+      : prototype_(std::move(prototype)), left_(count) {}
+
+  std::optional<Action> next() override {
+    if (left_ <= 0) return std::nullopt;
+    --left_;
+    return prototype_;
+  }
+
+  [[nodiscard]] std::int64_t materialized_actions() const override {
+    return 1;  // only the prototype lives in memory, however long the run
+  }
+
+ private:
+  Action prototype_;
+  std::int64_t left_ = 0;
 };
 
 // --- Task specification --------------------------------------------------------

@@ -12,7 +12,18 @@ namespace {
 /// engine, so a plain counter is exact).
 struct QueueState {
   std::vector<SimDuration> items;
-  std::size_t next = 0;
+  std::int64_t uniform_count = 0;
+  SimDuration uniform_item{};
+  std::int64_t next = 0;
+
+  [[nodiscard]] std::int64_t total() const {
+    return static_cast<std::int64_t>(items.size()) + uniform_count;
+  }
+  [[nodiscard]] SimDuration item(std::int64_t i) const {
+    return i < static_cast<std::int64_t>(items.size())
+               ? items[static_cast<std::size_t>(i)]
+               : uniform_item;
+  }
 };
 
 }  // namespace
@@ -21,6 +32,8 @@ WorkQueueResult run_work_queue(System& sys, WorkQueueSpec spec) {
   assert(spec.workers >= 1);
   auto queue = std::make_shared<QueueState>();
   queue->items = std::move(spec.items);
+  queue->uniform_count = spec.uniform_count;
+  queue->uniform_item = spec.uniform_item;
 
   WorkQueueResult result;
   result.items_per_worker.assign(static_cast<std::size_t>(spec.workers), 0);
@@ -35,8 +48,8 @@ WorkQueueResult run_work_queue(System& sys, WorkQueueSpec spec) {
     task.wait_policy = WaitPolicy::kBlock;
     task.actions = std::make_unique<GeneratorActions>(
         [queue, counts, w]() -> std::optional<Action> {
-          if (queue->next >= queue->items.size()) return std::nullopt;
-          const SimDuration work = queue->items[queue->next++];
+          if (queue->next >= queue->total()) return std::nullopt;
+          const SimDuration work = queue->item(queue->next++);
           (*counts)[static_cast<std::size_t>(w)] += 1;
           return Action{Compute{work}};
         });
@@ -52,6 +65,12 @@ std::vector<SimDuration> even_items(SimDuration total, int items) {
   assert(items >= 1);
   return std::vector<SimDuration>(static_cast<std::size_t>(items),
                                   total / items);
+}
+
+void set_even_items(WorkQueueSpec& spec, SimDuration total, int items) {
+  assert(items >= 1);
+  spec.uniform_count = items;
+  spec.uniform_item = total / items;
 }
 
 }  // namespace smilab

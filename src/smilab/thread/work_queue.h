@@ -25,6 +25,13 @@ struct WorkQueueSpec {
   WorkloadProfile profile;
   /// One entry per work item: compute duration at nominal speed.
   std::vector<SimDuration> items;
+  /// Uniform tail of the queue: `uniform_count` additional items of
+  /// `uniform_item` each, drawn after any explicit `items`. Equivalent to
+  /// appending that many copies, but O(1) memory regardless of item count
+  /// (even_items at convolve scale materializes tens of thousands of
+  /// identical entries per cell).
+  std::int64_t uniform_count = 0;
+  SimDuration uniform_item{};
 };
 
 struct WorkQueueResult {
@@ -42,5 +49,10 @@ WorkQueueResult run_work_queue(System& sys, WorkQueueSpec spec);
 
 /// Convenience: split `total` work into `items` equal chunks.
 [[nodiscard]] std::vector<SimDuration> even_items(SimDuration total, int items);
+
+/// Streaming analogue of even_items: the same split expressed as a uniform
+/// tail, without materializing the vector. Workers pull the identical
+/// durations in the identical order, so results match even_items exactly.
+void set_even_items(WorkQueueSpec& spec, SimDuration total, int items);
 
 }  // namespace smilab
