@@ -25,9 +25,10 @@ struct RunOutcome {
 
 MpiJobRunResult run_nas_job(System& sys, const NasJobSpec& spec,
                             const NasKnob& knob) {
-  return try_run_mpi_job(sys, build_nas_trace(spec, knob),
-                         block_placement(spec.ranks(), spec.ranks_per_node),
-                         WorkloadProfile::dense_fp());
+  return try_run_mpi_job_streaming(
+      sys, spec.ranks(), make_nas_rank_sources(spec, knob),
+      block_placement(spec.ranks(), spec.ranks_per_node),
+      WorkloadProfile::dense_fp());
 }
 
 RunOutcome run_ft(const SmiConfig& smi, const FaultPlan& plan,

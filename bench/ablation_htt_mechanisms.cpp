@@ -26,9 +26,10 @@ double run_cell(const NasJobSpec& spec, const NasKnob& knob, bool smi,
   System sys{cfg};
   sys.set_online_cpus(spec.htt ? cfg.machine.logical_cpus()
                                : cfg.machine.cores());
-  return run_mpi_job(sys, build_nas_trace(spec, knob),
-                     block_placement(spec.ranks(), spec.ranks_per_node),
-                     WorkloadProfile::dense_fp())
+  return run_mpi_job_streaming(sys, spec.ranks(),
+                               make_nas_rank_sources(spec, knob),
+                               block_placement(spec.ranks(), spec.ranks_per_node),
+                               WorkloadProfile::dense_fp())
       .elapsed.seconds();
 }
 

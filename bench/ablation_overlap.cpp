@@ -27,18 +27,22 @@ double run(int nodes, bool nonblocking, const SmiConfig& smi,
   cfg.smi = smi;
   cfg.seed = seed;
   System sys{cfg};
-  auto programs = make_rank_programs(nodes);
-  TagAllocator tags;
-  for (int iter = 0; iter < 20; ++iter) {
-    for (auto& rp : programs) rp.compute(milliseconds(80));
-    if (nonblocking) {
-      alltoall_nonblocking(programs, 1 << 17, tags);
-    } else {
-      alltoall(programs, 1 << 17, tags);
-    }
-  }
-  return run_mpi_job(sys, std::move(programs), block_placement(nodes, 1),
-                     WorkloadProfile::dense_fp())
+  // Streamed: one iteration per chunk via the per-rank collective forms —
+  // the same action/tag sequences the retained span build produced.
+  const auto factory = chunked_rank_sources(nodes, [nonblocking](int) {
+    return [nonblocking](int chunk, RankProgram& rp, TagAllocator& tags) {
+      if (chunk >= 20) return false;
+      rp.compute(milliseconds(80));
+      if (nonblocking) {
+        alltoall_nonblocking(rp, 1 << 17, tags);
+      } else {
+        alltoall(rp, 1 << 17, tags);
+      }
+      return true;
+    };
+  });
+  return run_mpi_job_streaming(sys, nodes, factory, block_placement(nodes, 1),
+                               WorkloadProfile::dense_fp())
       .elapsed.seconds();
 }
 

@@ -66,9 +66,10 @@ double ft_run(bool smi, bool os_noise, std::uint64_t seed) {
     noise.rotate_cpus = true;
     injector = std::make_unique<OsNoiseInjector>(sys, noise);
   }
-  return run_mpi_job(sys, build_nas_trace(spec, knob),
-                     block_placement(spec.ranks(), spec.ranks_per_node),
-                     WorkloadProfile::dense_fp())
+  return run_mpi_job_streaming(sys, spec.ranks(),
+                               make_nas_rank_sources(spec, knob),
+                               block_placement(spec.ranks(), spec.ranks_per_node),
+                               WorkloadProfile::dense_fp())
       .elapsed.seconds();
 }
 

@@ -22,9 +22,10 @@ double run_ft(double recovery_scale, const SmiConfig& smi, std::uint64_t seed,
   cfg.seed = seed;
   System sys{cfg};
   sys.set_online_cpus(4);
-  return run_mpi_job(sys, build_nas_trace(spec, knob),
-                     block_placement(spec.ranks(), spec.ranks_per_node),
-                     WorkloadProfile::dense_fp())
+  return run_mpi_job_streaming(sys, spec.ranks(),
+                               make_nas_rank_sources(spec, knob),
+                               block_placement(spec.ranks(), spec.ranks_per_node),
+                               WorkloadProfile::dense_fp())
       .elapsed.seconds();
 }
 

@@ -28,14 +28,17 @@ double run(const SmiConfig& smi, std::uint64_t seed) {
   cfg.seed = seed;
   System sys{cfg};
   sys.set_online_cpus(4);
-  auto programs = make_rank_programs(8);
-  TagAllocator tags;
-  for (int iter = 0; iter < 40; ++iter) {
-    for (auto& rp : programs) rp.compute(milliseconds(120));
-    allreduce(programs, 8192, tags);
-  }
-  return run_mpi_job(sys, std::move(programs), block_placement(8, 1),
-                     WorkloadProfile::dense_fp())
+  // Streamed: one iteration per chunk via the per-rank allreduce form.
+  const auto factory = chunked_rank_sources(8, [](int) {
+    return [](int chunk, RankProgram& rp, TagAllocator& tags) {
+      if (chunk >= 40) return false;
+      rp.compute(milliseconds(120));
+      allreduce(rp, 8192, tags);
+      return true;
+    };
+  });
+  return run_mpi_job_streaming(sys, 8, factory, block_placement(8, 1),
+                               WorkloadProfile::dense_fp())
       .elapsed.seconds();
 }
 

@@ -56,15 +56,18 @@ RimImpact measure(const RimConfig& rim, int trials) {
       cfg.smi = noisy ? rim.to_smi_config() : SmiConfig::none();
       cfg.seed = seed;
       System sys{cfg};
-      auto programs = make_rank_programs(8);
-      TagAllocator tags;
-      for (int i = 0; i < 40; ++i) {
-        for (auto& rp : programs) rp.compute(milliseconds(100));
-        allreduce(programs, 8192, tags);
-      }
-      const auto result = run_mpi_job(sys, std::move(programs),
-                                      block_placement(8, 1),
-                                      WorkloadProfile::dense_fp());
+      // Streamed: one iteration per chunk via the per-rank allreduce form.
+      const auto factory = chunked_rank_sources(8, [](int) {
+        return [](int chunk, RankProgram& rp, TagAllocator& tags) {
+          if (chunk >= 40) return false;
+          rp.compute(milliseconds(100));
+          allreduce(rp, 8192, tags);
+          return true;
+        };
+      });
+      const auto result = run_mpi_job_streaming(sys, 8, factory,
+                                                block_placement(8, 1),
+                                                WorkloadProfile::dense_fp());
       (noisy ? mpi_noisy : mpi_base).add(result.elapsed.seconds());
     }
   }

@@ -14,15 +14,18 @@ using namespace smilab;
 
 namespace {
 
-/// 50 iterations of 100 ms compute + an 8 KB allreduce, per rank.
-std::vector<RankProgram> make_solver(int ranks) {
-  auto programs = make_rank_programs(ranks);
-  TagAllocator tags;
-  for (int iter = 0; iter < 50; ++iter) {
-    for (auto& rp : programs) rp.compute(milliseconds(100));
-    allreduce(programs, 8 * 1024, tags);
-  }
-  return programs;
+/// 50 iterations of 100 ms compute + an 8 KB allreduce, per rank — produced
+/// chunk-by-chunk (one iteration per chunk) so each rank's program never
+/// exists in full: the streaming form of the classic build-then-run loop.
+RankSourceFactory make_solver(int ranks) {
+  return chunked_rank_sources(ranks, [](int) {
+    return [](int chunk, RankProgram& rp, TagAllocator& tags) {
+      if (chunk >= 50) return false;
+      rp.compute(milliseconds(100));
+      allreduce(rp, 8 * 1024, tags);
+      return true;
+    };
+  });
 }
 
 double run(int nodes, const SmiConfig& smi, std::uint64_t seed) {
@@ -34,8 +37,9 @@ double run(int nodes, const SmiConfig& smi, std::uint64_t seed) {
   cfg.seed = seed;
   System sys{cfg};
   const MpiJobResult result =
-      run_mpi_job(sys, make_solver(nodes), block_placement(nodes, 1),
-                  WorkloadProfile::dense_fp(), "solver");
+      run_mpi_job_streaming(sys, nodes, make_solver(nodes),
+                            block_placement(nodes, 1),
+                            WorkloadProfile::dense_fp(), "solver");
   return result.elapsed.seconds();
 }
 

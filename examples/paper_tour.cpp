@@ -21,14 +21,20 @@ double compute_wall(const SmiConfig& smi, int nodes, std::uint64_t seed,
   cfg.seed = seed;
   System sys{cfg};
   sys.set_online_cpus(cfg.machine.cores());  // HTT off, like Tables 1-3
-  auto programs = make_rank_programs(nodes);
-  TagAllocator tags;
-  for (int iter = 0; iter < 25; ++iter) {
-    for (auto& rp : programs) rp.compute(milliseconds(200));
-    if (synchronizing && nodes > 1) allreduce(programs, 4096, tags);
-  }
-  return run_mpi_job(sys, std::move(programs), block_placement(nodes, 1),
-                     WorkloadProfile::dense_fp())
+  // Streamed one iteration per chunk (per-rank allreduce form): the same
+  // sequences the retained build produced, without materializing them.
+  const auto factory =
+      chunked_rank_sources(nodes, [nodes, synchronizing](int) {
+        return [nodes, synchronizing](int chunk, RankProgram& rp,
+                                      TagAllocator& tags) {
+          if (chunk >= 25) return false;
+          rp.compute(milliseconds(200));
+          if (synchronizing && nodes > 1) allreduce(rp, 4096, tags);
+          return true;
+        };
+      });
+  return run_mpi_job_streaming(sys, nodes, factory, block_placement(nodes, 1),
+                               WorkloadProfile::dense_fp())
       .elapsed.seconds();
 }
 

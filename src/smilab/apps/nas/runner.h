@@ -27,10 +27,12 @@ struct NasRunOptions {
   /// value: every sim derives from (spec, knob, smi, seed) alone and is
   /// collected in grid order (core/sweep.h).
   int jobs = 1;
-  /// Program residency (mpi/job.h): retained materializes every rank's
-  /// trace; streaming holds one chunk per rank. Results are identical —
-  /// the streaming equality suite pins it.
-  TraceMode trace_mode = TraceMode::kRetained;
+  /// Program residency (mpi/job.h): streaming (the default — big grids
+  /// hold one chunk per rank, peak RSS O(ranks)) or retained (the
+  /// historical whole-program path, still selectable via --retained).
+  /// Results are bit-identical either way — the streaming equality suite
+  /// pins it, so the golden hashes do not move with this default.
+  TraceMode trace_mode = TraceMode::kStreaming;
 };
 
 struct NasCellResult {

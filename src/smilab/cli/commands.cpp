@@ -1,6 +1,9 @@
 #include "smilab/cli/commands.h"
 
+#include <csignal>
+
 #include <fstream>
+#include <iostream>
 
 #include "smilab/apps/convolve/workload.h"
 #include "smilab/apps/nas/nas.h"
@@ -15,6 +18,7 @@
 #include "smilab/mpi/job.h"
 #include "smilab/mpi/program.h"
 #include "smilab/noise/hwlat.h"
+#include "smilab/serve/server.h"
 #include "smilab/sim/system.h"
 #include "smilab/smm/rim.h"
 #include "smilab/trace/chrome_trace.h"
@@ -30,9 +34,11 @@ usage: smilab <command> [--flag=value ...]
 commands:
   nas        --workload=ep|bt|ft --class=A|B|C [--nodes=N] [--ranks-per-node=1|4]
              [--htt] [--smi=none|short|long] [--interval-ms=N] [--trials=N]
-             [--seed=N] [--jobs=N]
+             [--seed=N] [--jobs=N] [--retained]
              Run one NAS table cell (calibrated against the paper baseline)
-             under the chosen SMI regime.
+             under the chosen SMI regime. Programs stream chunk-by-chunk by
+             default (peak RSS O(ranks)); --retained materializes whole
+             rank programs (bit-identical results).
   convolve   [--case=cf|cu] [--cpus=1..8] [--smi=none|short|long]
              [--gap-ms=N] [--seed=N]
              The Figure-1 multithreaded convolution at one sweep point.
@@ -55,6 +61,16 @@ commands:
              --freeze=0:100:200,1:400:100). Prints the per-rank
              hang/deadlock diagnosis (and exits 3) if the faults stall the
              job.
+  serve      [--socket=PATH] [--stdin-batch] [--workers=N] [--cache-mb=X]
+             [--cache-shards=N]
+             Persistent sweep service: newline-delimited JSON experiment
+             requests, answered from a content-addressed result cache
+             (hits replay bit-identical bytes with zero simulation) or
+             simulated on a warm worker pool. --stdin-batch pumps stdin
+             to stdout and exits at EOF (CI mode); otherwise listens on
+             the Unix socket PATH ('@' prefix = Linux abstract namespace)
+             until SIGINT/SIGTERM. See README "smilab serve" for the
+             request schema.
   check      [--program=NAME] [--list] [--max-schedules=N] [--max-depth=N]
              [--no-prune] [--replay=TOKEN]
              Explore the schedule space of the model-checking corpus (or
@@ -130,6 +146,9 @@ int cmd_nas(const Options& options, std::ostream& out, std::ostream& err) {
   const auto trials = static_cast<int>(options.get_int("trials", 3, &error));
   const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 2016, &error));
   const auto jobs = static_cast<int>(options.get_int("jobs", 1, &error));
+  const TraceMode mode = options.get_bool("retained", false)
+                             ? TraceMode::kRetained
+                             : TraceMode::kStreaming;
   const SmiConfig smi = smi_from(options, &error);
   (void)options.get("trace", "");  // mark consumed
   if (!error.empty()) return fail(err, error);
@@ -148,7 +167,8 @@ int cmd_nas(const Options& options, std::ostream& out, std::ostream& err) {
   const std::vector<double> runs = sweep.map<double>(2 * trials, [&](int i) {
     const SmiConfig& cfg = (i % 2 == 0) ? SmiConfig::none() : smi;
     return simulate_nas_once(spec, knob, cfg,
-                             seed + static_cast<std::uint64_t>(i / 2), 0.003);
+                             seed + static_cast<std::uint64_t>(i / 2), 0.003,
+                             mode);
   });
   OnlineStats base, noisy;
   for (int t = 0; t < trials; ++t) {
@@ -470,6 +490,62 @@ int cmd_faults(const Options& options, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+int cmd_serve(const Options& options, std::ostream& out, std::ostream& err) {
+  std::string error;
+  serve::ServiceConfig cfg;
+  cfg.workers = static_cast<int>(options.get_int("workers", 0, &error));
+  cfg.cache_bytes = static_cast<std::int64_t>(
+      options.get_double("cache-mb", 64.0, &error) * 1e6);
+  cfg.cache_shards =
+      static_cast<int>(options.get_int("cache-shards", 16, &error));
+  const bool stdin_batch = options.get_bool("stdin-batch", false);
+  const std::string socket_path = options.get("socket", "@smilab-serve");
+  if (!error.empty()) return fail(err, error);
+  if (const int rc = check_leftovers(options, err)) return rc;
+  if (cfg.cache_bytes < 0) return fail(err, "--cache-mb must be >= 0");
+  if (cfg.cache_shards < 1) return fail(err, "--cache-shards must be >= 1");
+
+  serve::SweepService service{cfg};
+  if (stdin_batch) {
+    // CI mode: stdout carries exactly one response line per request line,
+    // so the summary goes to stderr.
+    const std::int64_t handled = serve::serve_stream(service, std::cin, out);
+    const serve::ServiceStats stats = service.stats();
+    err << "smilab serve: " << handled << " request(s), " << stats.simulations
+        << " simulated, " << stats.cache.hits << " cache hit(s), "
+        << stats.errors << " error(s)\n";
+    return 0;
+  }
+
+  // Daemon mode: block the shutdown signals BEFORE the server (and its
+  // handler threads) exist, so they are only ever delivered to sigwait.
+  sigset_t shutdown_set;
+  sigemptyset(&shutdown_set);
+  sigaddset(&shutdown_set, SIGINT);
+  sigaddset(&shutdown_set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &shutdown_set, nullptr);
+  try {
+    serve::SocketServer server{service, socket_path};
+    server.start();
+    out << "smilab serve: listening on " << socket_path << " ("
+        << service.stats().workers << " worker(s), cache "
+        << cfg.cache_bytes / 1000000 << " MB / " << cfg.cache_shards
+        << " shard(s))\n";
+    out.flush();
+    int sig = 0;
+    sigwait(&shutdown_set, &sig);
+    server.stop();
+    const serve::ServiceStats stats = service.stats();
+    out << "smilab serve: shut down (" << server.connections_accepted()
+        << " connection(s), " << stats.requests << " request(s), "
+        << stats.simulations << " simulated, " << stats.cache.hits
+        << " cache hit(s))\n";
+  } catch (const std::runtime_error& e) {
+    return fail(err, e.what());
+  }
+  return 0;
+}
+
 void print_report(const mc::ExplorationReport& rep, std::ostream& out) {
   out << "    verdict: " << mc::to_string(rep.verdict) << "\n";
   out << "    schedules: " << rep.schedules_run << " run, "
@@ -607,6 +683,7 @@ int run_cli_command(const Options& options, std::ostream& out,
   if (command == "detect") return cmd_detect(options, out, err);
   if (command == "rim") return cmd_rim(options, out, err);
   if (command == "faults") return cmd_faults(options, out, err);
+  if (command == "serve") return cmd_serve(options, out, err);
   if (command == "check") return cmd_check(options, out, err);
   return fail(err, "unknown command '" + command + "' (see 'smilab help')");
 }

@@ -1,6 +1,8 @@
 #include "smilab/core/sweep.h"
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -13,6 +15,84 @@ int effective_jobs(int requested) {
   if (requested >= 1) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+struct SweepPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;   // workers wait for jobs / stop
+  std::condition_variable idle_cv;   // drain() waits for quiescence
+  std::deque<std::function<void()>> queue;
+  std::exception_ptr first_error;
+  int running = 0;   // jobs currently executing
+  bool stop = false;
+  std::vector<std::thread> threads;
+
+  void worker() {
+    // Each worker owns its arena for the THREAD's lifetime (the current-
+    // resource pointer is thread-local): jobs never share allocation state
+    // across threads, results stay bit-identical at any worker count, and
+    // chunk storage stays warm across jobs — the serve daemon's warm-worker
+    // path and the sweep's per-cell recycling are the same mechanism.
+    ActionArena arena;
+    const ActionArena::Scope scope{arena};
+    std::unique_lock<std::mutex> lock{mu};
+    for (;;) {
+      work_cv.wait(lock, [&] { return stop || !queue.empty(); });
+      if (queue.empty()) return;  // stop requested and nothing left
+      std::function<void()> job = std::move(queue.front());
+      queue.pop_front();
+      ++running;
+      lock.unlock();
+      try {
+        job();
+      } catch (...) {
+        const std::lock_guard<std::mutex> elock{mu};
+        if (!first_error) first_error = std::current_exception();
+      }
+      arena.reset();
+      lock.lock();
+      --running;
+      if (queue.empty() && running == 0) idle_cv.notify_all();
+    }
+  }
+};
+
+SweepPool::SweepPool(int workers)
+    : impl_(std::make_unique<Impl>()), workers_(effective_jobs(workers)) {
+  impl_->threads.reserve(static_cast<std::size_t>(workers_));
+  for (int w = 0; w < workers_; ++w) {
+    impl_->threads.emplace_back([this] { impl_->worker(); });
+  }
+}
+
+SweepPool::~SweepPool() {
+  {
+    const std::lock_guard<std::mutex> lock{impl_->mu};
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& t : impl_->threads) t.join();
+}
+
+void SweepPool::submit(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock{impl_->mu};
+    impl_->queue.push_back(std::move(job));
+  }
+  impl_->work_cv.notify_one();
+}
+
+void SweepPool::drain() {
+  std::unique_lock<std::mutex> lock{impl_->mu};
+  impl_->idle_cv.wait(lock, [&] {
+    return impl_->queue.empty() && impl_->running == 0;
+  });
+  if (impl_->first_error) {
+    std::exception_ptr error = impl_->first_error;
+    impl_->first_error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ExperimentSweep::for_each(int cells,
@@ -33,39 +113,30 @@ void ExperimentSweep::for_each(int cells,
     return;
   }
 
+  // One drainer job per worker, pulling cell indices from a shared atomic
+  // counter — the same work-stealing structure the dedicated-thread
+  // implementation used, now running on the shared SweepPool worker loop.
+  // (The pool resets each worker's arena after the drainer returns; the
+  // per-cell resets below keep memory bounded within the batch.)
   std::atomic<int> next{0};
   std::atomic<bool> abort{false};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
-
-  auto worker = [&] {
-    // Each worker owns its arena (the current-resource pointer is
-    // thread-local), so cells never share allocation state across threads
-    // and results stay bit-identical at any --jobs value.
-    ActionArena arena;
-    const ActionArena::Scope scope{arena};
-    for (;;) {
-      const int i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= cells || abort.load(std::memory_order_relaxed)) return;
-      try {
-        fn(i);
-        arena.reset();
-      } catch (...) {
-        {
-          const std::lock_guard<std::mutex> lock{error_mu};
-          if (!first_error) first_error = std::current_exception();
+  SweepPool pool{workers};
+  for (int w = 0; w < workers; ++w) {
+    pool.submit([&] {
+      for (;;) {
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= cells || abort.load(std::memory_order_relaxed)) return;
+        try {
+          fn(i);
+        } catch (...) {
+          abort.store(true, std::memory_order_relaxed);
+          throw;  // SweepPool records the first exception for drain()
         }
-        abort.store(true, std::memory_order_relaxed);
-        return;
+        ActionArena::reset_current();
       }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+    });
+  }
+  pool.drain();
 }
 
 }  // namespace smilab

@@ -11,9 +11,17 @@
 // shared counters or the thread id. Under that contract, jobs=N and jobs=1
 // produce identical bytes; jobs=1 runs inline on the calling thread with no
 // pool at all (exactly the historical serial path).
+//
+// SweepPool is the persistent form of the same worker loop: each worker
+// thread owns one warm ActionArena for the thread's whole lifetime (reset —
+// chunks retained — after every job), so a long-lived consumer like
+// `smilab serve` reuses trace storage across thousands of requests instead
+// of re-growing an arena per batch. ExperimentSweep::for_each runs its
+// batches on a transient SweepPool, so both paths share one worker loop.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 namespace smilab {
@@ -21,6 +29,39 @@ namespace smilab {
 /// Resolve a --jobs request: n >= 1 is taken as-is, anything else (0 or
 /// negative, the "default" sentinel) becomes hardware concurrency.
 [[nodiscard]] int effective_jobs(int requested);
+
+/// Persistent worker pool with warm per-worker trace arenas.
+///
+/// Each worker thread installs an ActionArena::Scope for its lifetime and
+/// resets the arena (retaining chunk storage) after every job, so steady-
+/// state jobs bump-allocate their whole trace without touching the heap.
+/// Jobs are drained FIFO; completion is observable via drain(). A job that
+/// throws records the first exception, which drain() (and the destructor's
+/// implicit drain) rethrows — matching ExperimentSweep's first-error
+/// semantics. Consumers that must not lose a worker to an exception (the
+/// serve daemon) catch inside the job itself.
+class SweepPool {
+ public:
+  explicit SweepPool(int workers);
+  ~SweepPool();
+  SweepPool(const SweepPool&) = delete;
+  SweepPool& operator=(const SweepPool&) = delete;
+
+  [[nodiscard]] int workers() const { return workers_; }
+
+  /// Enqueue a job. Never blocks on job execution.
+  void submit(std::function<void()> job);
+
+  /// Block until every submitted job has completed. Rethrows the first
+  /// exception thrown by a job since the last drain() (further jobs are
+  /// not cancelled; cancellation policy belongs to the caller's jobs).
+  void drain();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  int workers_;
+};
 
 class ExperimentSweep {
  public:

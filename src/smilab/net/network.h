@@ -66,6 +66,10 @@ struct NetworkParams {
   /// The Wyeast cluster interconnect fitted to the paper's SMM-0 columns
   /// (see apps/nas/calibration notes in DESIGN.md).
   static NetworkParams wyeast();
+
+  /// Memberwise equality (gates NetworkModel::warm_from: a memo may only
+  /// be adopted between identically parameterized models).
+  [[nodiscard]] bool operator==(const NetworkParams&) const = default;
 };
 
 /// Pure cost calculator over NetworkParams (no NIC queue state; that is
@@ -108,6 +112,16 @@ class NetworkModel {
 
   [[nodiscard]] bool is_rendezvous(std::int64_t bytes) const {
     return bytes > params_.rendezvous_threshold;
+  }
+
+  /// Adopt `other`'s already-filled cost lines when the parameters match
+  /// exactly (no-op otherwise). Bit-inert by construction: every line is a
+  /// pure function of (params, bytes), so a pre-warmed line holds exactly
+  /// the values this model would compute on first miss. The serve daemon's
+  /// warm workers carry the memo from one request's System to the next so
+  /// repeated message sizes never recompute their division chain.
+  void warm_from(const NetworkModel& other) {
+    if (params_ == other.params_) cost_cache_ = other.cost_cache_;
   }
 
  private:

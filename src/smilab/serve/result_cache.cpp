@@ -1,0 +1,89 @@
+#include "smilab/serve/result_cache.h"
+
+#include "smilab/core/fnv.h"
+
+namespace smilab::serve {
+
+namespace {
+
+[[nodiscard]] int round_up_pow2(int n) {
+  int p = 1;
+  while (p < n) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::int64_t byte_budget, int shards)
+    : byte_budget_(byte_budget < 0 ? 0 : byte_budget) {
+  const int count = round_up_pow2(shards < 1 ? 1 : shards);
+  shards_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_budget_ = byte_budget_ / count;
+}
+
+ResultCache::Shard& ResultCache::shard_for(std::uint64_t key) {
+  // Keys are already FNV values, but re-finalizing with splitmix64 keeps
+  // shard choice independent of any structure in the low key bits.
+  const std::uint64_t spread = splitmix64(key);
+  return *shards_[static_cast<std::size_t>(
+      spread & (shards_.size() - 1))];
+}
+
+std::shared_ptr<const std::string> ResultCache::lookup(std::uint64_t key,
+                                                       bool count) {
+  Shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock{s.mu};
+  const auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    if (count) ++s.misses;
+    return nullptr;
+  }
+  if (count) ++s.hits;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // refresh recency
+  return it->second->payload;
+}
+
+std::shared_ptr<const std::string> ResultCache::insert(std::uint64_t key,
+                                                       std::string payload) {
+  Shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock{s.mu};
+  if (const auto it = s.index.find(key); it != s.index.end()) {
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return it->second->payload;  // first write wins (see header)
+  }
+  auto shared = std::make_shared<const std::string>(std::move(payload));
+  s.bytes += static_cast<std::int64_t>(shared->size());
+  s.lru.push_front(Entry{key, shared});
+  s.index.emplace(key, s.lru.begin());
+  ++s.insertions;
+  // Evict cold entries until under the shard budget, but never the entry
+  // just inserted (a sole oversized result must remain cacheable).
+  while (s.bytes > shard_budget_ && s.lru.size() > 1) {
+    const Entry& victim = s.lru.back();
+    s.bytes -= static_cast<std::int64_t>(victim.payload->size());
+    s.index.erase(victim.key);
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+  return shared;
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats out;
+  out.byte_budget = byte_budget_;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock{shard->mu};
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.insertions += shard->insertions;
+    out.evictions += shard->evictions;
+    out.entries += static_cast<std::int64_t>(shard->lru.size());
+    out.bytes += shard->bytes;
+  }
+  return out;
+}
+
+}  // namespace smilab::serve

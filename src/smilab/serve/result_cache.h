@@ -1,0 +1,101 @@
+// Content-addressed result cache for the serve daemon.
+//
+// Keys are ExperimentRequest::canonical_key() values; payloads are the
+// canonical result-JSON bytes the service rendered on the first (miss)
+// computation. Because the simulator is deterministic and the payload
+// renderer is byte-stable (serve/wire.h), a hit replays exactly the bytes a
+// fresh simulation would produce — the hit-equals-miss test pins this.
+//
+// Concurrency: the table is sharded by key so concurrent clients touching
+// different keys never contend on one mutex; each shard is an independent
+// LRU (intrusive list + index map) under its own lock, held only for
+// pointer surgery — never while simulating. Payloads are handed out as
+// shared_ptr<const string>, so an entry evicted mid-flight stays alive for
+// readers already holding it.
+//
+// The byte budget is global but enforced per shard (budget/shards each):
+// key-sharding spreads load uniformly (keys are FNV values finalized with
+// splitmix64), so per-shard budgets approximate a global LRU without a
+// global clock. A shard always retains at least its most recent entry,
+// even when that entry alone exceeds the shard budget — a cache that
+// cannot hold the result it just computed would turn every repeat of a
+// large experiment into a miss forever.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace smilab::serve {
+
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t insertions = 0;
+  std::int64_t evictions = 0;
+  std::int64_t entries = 0;
+  std::int64_t bytes = 0;        ///< payload bytes currently resident
+  std::int64_t byte_budget = 0;  ///< configured global budget
+};
+
+class ResultCache {
+ public:
+  /// `byte_budget` bounds total resident payload bytes (approximately; see
+  /// file comment). `shards` is rounded up to a power of two.
+  explicit ResultCache(std::int64_t byte_budget, int shards = 16);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Payload for `key`, refreshing its LRU position; nullptr on miss.
+  /// Counts a hit or a miss unless `count` is false (the service's
+  /// race-closing re-check passes false so one request never books two
+  /// stats events).
+  [[nodiscard]] std::shared_ptr<const std::string> lookup(std::uint64_t key,
+                                                          bool count = true);
+
+  /// Insert (or refresh) the payload for `key`, evicting LRU entries while
+  /// the shard is over budget. Returns the resident payload — the existing
+  /// one if `key` was already present (first write wins: concurrent
+  /// computations of one key are byte-identical anyway, and returning the
+  /// incumbent keeps "same key => same pointer" true for the whole
+  /// daemon's lifetime).
+  std::shared_ptr<const std::string> insert(std::uint64_t key,
+                                            std::string payload);
+
+  [[nodiscard]] CacheStats stats() const;
+
+  [[nodiscard]] int shard_count() const {
+    return static_cast<int>(shards_.size());
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::shared_ptr<const std::string> payload;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+    std::int64_t bytes = 0;
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t insertions = 0;
+    std::int64_t evictions = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t key);
+
+  std::int64_t byte_budget_;
+  std::int64_t shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace smilab::serve

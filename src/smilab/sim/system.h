@@ -328,6 +328,10 @@ class System {
   // --- Diagnostics ----------------------------------------------------------------
 
   [[nodiscard]] const NetworkModel& network() const { return net_; }
+  /// Warm-start the network cost memo from a model left behind by an
+  /// earlier run with identical NetworkParams (a no-op otherwise). Used by
+  /// the serve daemon's warm workers; bit-inert — see NetworkModel::warm_from.
+  void warm_network_memo(const NetworkModel& prev) { net_.warm_from(prev); }
   /// Total bytes that crossed node boundaries.
   [[nodiscard]] std::int64_t inter_node_bytes() const { return inter_node_bytes_; }
   /// Derived per-run RNG stream (deterministic per label).

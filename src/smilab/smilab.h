@@ -66,6 +66,8 @@
 #include "smilab/noise/ftq.h"
 #include "smilab/noise/hwlat.h"
 #include "smilab/noise/injector.h"
+#include "smilab/serve/server.h"
+#include "smilab/serve/service.h"
 #include "smilab/sim/event_queue.h"
 #include "smilab/sim/machine.h"
 #include "smilab/sim/system.h"

@@ -7,7 +7,7 @@ namespace smilab {
 
 namespace {
 
-thread_local std::pmr::memory_resource* g_current = nullptr;
+thread_local smilab::ActionArena* g_current = nullptr;
 
 [[nodiscard]] std::size_t align_up(std::size_t n, std::size_t align) {
   return (n + align - 1) & ~(align - 1);
@@ -33,6 +33,10 @@ void ActionArena::reset() {
 
 std::pmr::memory_resource* ActionArena::current() {
   return g_current != nullptr ? g_current : std::pmr::new_delete_resource();
+}
+
+void ActionArena::reset_current() {
+  if (g_current != nullptr) g_current->reset();
 }
 
 ActionArena::Scope::Scope(ActionArena& arena) : prev_(g_current) {

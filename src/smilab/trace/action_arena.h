@@ -48,6 +48,12 @@ class ActionArena final : public std::pmr::memory_resource {
   /// arena, or new_delete_resource() when none is active.
   [[nodiscard]] static std::pmr::memory_resource* current();
 
+  /// reset() the innermost live Scope's arena on this thread, if any (the
+  /// same everything-already-destroyed contract applies). Lets batch jobs
+  /// running on a pooled worker (core/sweep.h SweepPool) recycle the
+  /// worker's arena between cells without holding a reference to it.
+  static void reset_current();
+
   /// Bytes handed out since construction/reset (diagnostics/tests).
   [[nodiscard]] std::size_t bytes_in_use() const { return in_use_; }
   /// Total chunk storage retained across resets (diagnostics/tests).
@@ -63,7 +69,7 @@ class ActionArena final : public std::pmr::memory_resource {
     ~Scope();
 
    private:
-    std::pmr::memory_resource* prev_;
+    ActionArena* prev_;
   };
 
  protected:

@@ -1,0 +1,519 @@
+// Tests for the serve subsystem: JSON wire format, request
+// canonicalization, the sharded LRU result cache, the SweepService
+// (hit-equals-miss bit-equality, single-flight, concurrent-client
+// determinism — the TSan job runs Serve*), warm worker state, and the
+// stream/socket front ends.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "smilab/net/network.h"
+#include "smilab/serve/request.h"
+#include "smilab/serve/result_cache.h"
+#include "smilab/serve/server.h"
+#include "smilab/serve/service.h"
+#include "smilab/serve/wire.h"
+
+namespace smilab::serve {
+namespace {
+
+// --- Wire format ------------------------------------------------------------
+
+TEST(ServeWire, ParsesScalarsObjectsAndArrays) {
+  std::string error;
+  const auto v = parse_json(
+      R"( {"a": 1.5, "b": [true, null, "x\n\"y"], "neg": -3} )", &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  ASSERT_EQ(v->type, JsonValue::Type::kObject);
+  ASSERT_EQ(v->members.size(), 3u);
+  EXPECT_EQ(v->members[0].first, "a");  // wire order preserved
+  EXPECT_EQ(v->find("a")->number, 1.5);
+  const JsonValue* b = v->find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->elements.size(), 3u);
+  EXPECT_TRUE(b->elements[0].boolean);
+  EXPECT_EQ(b->elements[1].type, JsonValue::Type::kNull);
+  EXPECT_EQ(b->elements[2].string, "x\n\"y");
+  EXPECT_EQ(v->find("neg")->as_int(-10, 10).value_or(99), -3);
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(ServeWire, RejectsMalformedDocuments) {
+  std::string error;
+  for (const char* bad :
+       {"", "{", "{\"a\":}", "[1,]", "{\"a\":1}extra", "\"unterminated",
+        "{\"a\" 1}", "nul", "1e999", "{\"a\":\"\\q\"}"}) {
+    EXPECT_FALSE(parse_json(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(ServeWire, AsIntRejectsFractionsAndOutOfRange) {
+  std::string error;
+  const auto v = parse_json(R"({"f": 1.5, "big": 4096})", &error);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_FALSE(v->find("f")->as_int(0, 10).has_value());
+  EXPECT_FALSE(v->find("big")->as_int(0, 10).has_value());
+  EXPECT_TRUE(v->find("big")->as_int(0, 1 << 20).has_value());
+}
+
+TEST(ServeWire, WriterRoundTripsDoublesExactly) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("x", 0.013652880000000001);
+  w.field("s", "a\"b\\c\n");
+  w.end_object();
+  const std::string text = w.take();
+  std::string error;
+  const auto v = parse_json(text, &error);
+  ASSERT_TRUE(v.has_value()) << text << ": " << error;
+  EXPECT_EQ(v->find("x")->number, 0.013652880000000001);  // %.17g round-trip
+  EXPECT_EQ(v->find("s")->string, "a\"b\\c\n");
+}
+
+// --- Request canonicalization ----------------------------------------------
+
+ExperimentRequest parse_ok(const std::string& json) {
+  std::string error;
+  const auto doc = parse_json(json, &error);
+  EXPECT_TRUE(doc.has_value()) << error;
+  const auto req = ExperimentRequest::parse(*doc, &error);
+  EXPECT_TRUE(req.has_value()) << json << ": " << error;
+  return req.value_or(ExperimentRequest{});
+}
+
+std::string parse_error(const std::string& json) {
+  std::string error;
+  const auto doc = parse_json(json, &error);
+  EXPECT_TRUE(doc.has_value()) << error;
+  const auto req = ExperimentRequest::parse(*doc, &error);
+  EXPECT_FALSE(req.has_value()) << json;
+  return error;
+}
+
+TEST(ServeRequest, SemanticallyEqualConfigsCollide) {
+  // Key order, whitespace, and spelled-out defaults must not split keys.
+  const auto a = parse_ok(
+      R"({"experiment":"ring","nodes":3,"iters":20,"bytes":1024,"seed":7})");
+  const auto b = parse_ok(
+      R"({ "iters": 20, "bytes": 1024, "seed": 7,
+           "experiment": "ring", "nodes": 3, "smi": "long",
+           "gap_ms": 1000 })");
+  EXPECT_EQ(a.canonical_key(), b.canonical_key());
+  EXPECT_EQ(a.canonical_json(), b.canonical_json());
+}
+
+TEST(ServeRequest, DistinctConfigsGetDistinctKeys) {
+  const char* variants[] = {
+      R"({"experiment":"ring"})",
+      R"({"experiment":"ring","nodes":5})",
+      R"({"experiment":"ring","iters":100})",
+      R"({"experiment":"ring","bytes":64})",
+      R"({"experiment":"ring","seed":2})",
+      R"({"experiment":"ring","smi":"short"})",
+      R"({"experiment":"ring","smi":"none"})",
+      R"({"experiment":"ring","gap_ms":500})",
+      R"({"experiment":"nas"})",
+      R"({"experiment":"nas","workload":"ft","nodes":4})",
+      R"({"experiment":"convolve"})",
+      R"({"experiment":"convolve","case":"cf"})",
+      R"({"experiment":"unixbench"})",
+      R"({"experiment":"unixbench","cpus":4})",
+  };
+  std::vector<std::uint64_t> keys;
+  for (const char* v : variants) keys.push_back(parse_ok(v).canonical_key());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    for (std::size_t j = i + 1; j < keys.size(); ++j) {
+      EXPECT_NE(keys[i], keys[j])
+          << variants[i] << " vs " << variants[j];
+    }
+  }
+}
+
+TEST(ServeRequest, GapIsFoldedWhenSmisAreOff) {
+  // With smi=none the gap is dead configuration: both must hit one entry.
+  const auto a = parse_ok(R"({"experiment":"ring","smi":"none"})");
+  const auto b = parse_ok(
+      R"({"experiment":"ring","smi":"none","gap_ms":50})");
+  EXPECT_EQ(a.canonical_key(), b.canonical_key());
+}
+
+TEST(ServeRequest, UnknownAndCrossKindFieldsAreRejected) {
+  EXPECT_NE(parse_error(R"({"experiment":"ring","nodez":3})").find("nodez"),
+            std::string::npos);
+  // A nas-only field on a ring request is unknown, not silently ignored.
+  EXPECT_NE(parse_error(R"({"experiment":"ring","htt":true})").find("htt"),
+            std::string::npos);
+  EXPECT_FALSE(parse_error(R"({"experiment":"warp"})").empty());
+  EXPECT_FALSE(parse_error(R"({"nodes":3})").empty());  // missing kind
+  EXPECT_FALSE(parse_error(R"({"experiment":"ring","nodes":1})").empty());
+  EXPECT_FALSE(
+      parse_error(R"({"experiment":"ring","iters":2.5})").empty());
+  EXPECT_FALSE(
+      parse_error(R"({"experiment":"nas","workload":"bt","nodes":2})")
+          .empty());  // BT needs a square rank count
+}
+
+TEST(ServeRequest, ControlOpsParse) {
+  std::string error;
+  const auto stats = parse_request_line(R"({"op":"stats"})", &error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->op, RequestLine::Op::kStats);
+  const auto ping = parse_request_line(R"({"op":"ping"})", &error);
+  ASSERT_TRUE(ping.has_value()) << error;
+  EXPECT_EQ(ping->op, RequestLine::Op::kPing);
+  EXPECT_FALSE(parse_request_line(R"({"op":"dance"})", &error).has_value());
+  EXPECT_FALSE(
+      parse_request_line(R"({"op":"stats","x":1})", &error).has_value());
+}
+
+// --- Result cache -----------------------------------------------------------
+
+TEST(ServeCache, LookupReturnsInsertedBytes) {
+  ResultCache cache{1 << 20, 4};
+  EXPECT_EQ(cache.lookup(42), nullptr);
+  cache.insert(42, "payload-42");
+  const auto hit = cache.lookup(42);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "payload-42");
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.insertions, 1);
+  EXPECT_EQ(s.entries, 1);
+  EXPECT_EQ(s.bytes, 10);
+}
+
+TEST(ServeCache, FirstWriteWinsOnDuplicateInsert) {
+  ResultCache cache{1 << 20, 1};
+  const auto first = cache.insert(7, "first");
+  const auto second = cache.insert(7, "second");
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(*cache.lookup(7), "first");
+  EXPECT_EQ(cache.stats().entries, 1);
+}
+
+TEST(ServeCache, TinyBudgetEvictsLeastRecentlyUsed) {
+  // One shard, budget for ~2 of the 10-byte payloads.
+  ResultCache cache{20, 1};
+  cache.insert(1, std::string(10, 'a'));
+  cache.insert(2, std::string(10, 'b'));
+  ASSERT_NE(cache.lookup(1), nullptr);  // refresh 1: LRU order is now 1, 2
+  cache.insert(3, std::string(10, 'c'));
+  EXPECT_EQ(cache.lookup(2), nullptr);  // 2 was coldest -> evicted
+  EXPECT_NE(cache.lookup(1), nullptr);
+  EXPECT_NE(cache.lookup(3), nullptr);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1);
+  EXPECT_EQ(s.entries, 2);
+  EXPECT_LE(s.bytes, 20);
+}
+
+TEST(ServeCache, SoleOversizedEntryIsRetained) {
+  ResultCache cache{4, 1};  // budget smaller than any payload
+  cache.insert(1, std::string(100, 'x'));
+  EXPECT_NE(cache.lookup(1), nullptr);  // never evict down to empty
+  cache.insert(2, std::string(100, 'y'));
+  EXPECT_NE(cache.lookup(2), nullptr);
+  EXPECT_EQ(cache.lookup(1), nullptr);  // but one oversized evicts another
+  EXPECT_EQ(cache.stats().entries, 1);
+}
+
+TEST(ServeCache, EvictedEntryStaysAliveForHolders) {
+  ResultCache cache{4, 1};
+  const auto held = cache.insert(1, "still-here");
+  cache.insert(2, std::string(50, 'z'));  // evicts key 1
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  EXPECT_EQ(*held, "still-here");  // shared_ptr keeps the bytes alive
+}
+
+// --- Service ----------------------------------------------------------------
+
+ExperimentRequest small_ring(std::uint64_t seed = 11) {
+  ExperimentRequest req;
+  req.kind = ExperimentKind::kRing;
+  req.ring_nodes = 3;
+  req.ring_iters = 10;
+  req.ring_bytes = 2048;
+  req.smi = SmiKind::kLong;
+  req.gap_ms = 1000;
+  req.seed = seed;
+  return req;
+}
+
+TEST(ServeService, HitEqualsMissBitEquality) {
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  SweepService service{cfg};
+  const auto miss = service.serve(small_ring());
+  ASSERT_TRUE(miss.ok) << miss.error;
+  EXPECT_FALSE(miss.cached);
+  const auto hit = service.serve(small_ring());
+  ASSERT_TRUE(hit.ok);
+  EXPECT_TRUE(hit.cached);
+  EXPECT_EQ(*miss.payload, *hit.payload);       // bit-identical bytes
+  EXPECT_EQ(miss.payload.get(), hit.payload.get());  // same resident entry
+  EXPECT_EQ(miss.key, hit.key);
+  // And both equal a from-scratch computation on this thread (the cached
+  // bytes are exactly what a fresh simulation renders).
+  EXPECT_EQ(*hit.payload, run_experiment_payload(small_ring()));
+}
+
+TEST(ServeService, DistinctSeedsMissIndependently) {
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  SweepService service{cfg};
+  const auto a = service.serve(small_ring(1));
+  const auto b = service.serve(small_ring(2));
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_FALSE(a.cached);
+  EXPECT_FALSE(b.cached);
+  EXPECT_NE(a.key, b.key);
+  EXPECT_EQ(service.stats().simulations, 2);
+}
+
+TEST(ServeService, TinyBudgetEvictionForcesResimulation) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.cache_bytes = 1;  // every shard holds at most its newest entry
+  cfg.cache_shards = 1;
+  SweepService service{cfg};
+  ASSERT_FALSE(service.serve(small_ring(1)).cached);
+  EXPECT_TRUE(service.serve(small_ring(1)).cached);  // sole entry retained
+  ASSERT_FALSE(service.serve(small_ring(2)).cached);  // evicts seed 1
+  const auto again = service.serve(small_ring(1));
+  EXPECT_FALSE(again.cached);  // genuinely re-simulated
+  ASSERT_TRUE(again.ok);
+  EXPECT_EQ(service.stats().cache.evictions, 2);
+  EXPECT_EQ(service.stats().simulations, 3);
+}
+
+TEST(ServeService, ConcurrentClientsGetIdenticalBytes) {
+  // Many clients, two distinct keys, hammered concurrently: every response
+  // for a key must carry the same bytes, and single-flight must coalesce
+  // the duplicate misses (run under TSan in CI).
+  ServiceConfig cfg;
+  cfg.workers = 4;
+  SweepService service{cfg};
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 4;
+  std::vector<std::string> bytes_by_seed[2];
+  std::mutex mu;
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        const int which = (t + r) % 2;
+        const auto served =
+            service.serve(small_ring(static_cast<std::uint64_t>(which)));
+        ASSERT_TRUE(served.ok) << served.error;
+        const std::lock_guard<std::mutex> lock{mu};
+        bytes_by_seed[which].push_back(*served.payload);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  for (const auto& all : bytes_by_seed) {
+    ASSERT_FALSE(all.empty());
+    for (const auto& b : all) EXPECT_EQ(b, all.front());
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, kThreads * kRounds);
+  EXPECT_EQ(stats.simulations, 2);  // one per key, everything else reused
+  EXPECT_EQ(stats.errors, 0);
+}
+
+TEST(ServeService, ServeLineEnvelopesAndErrors) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  SweepService service{cfg};
+  const std::string ok = service.serve_line(
+      R"({"experiment":"ring","nodes":3,"iters":5,"bytes":256,"seed":3})");
+  EXPECT_NE(ok.find(R"("ok":true)"), std::string::npos) << ok;
+  EXPECT_NE(ok.find(R"("cached":false)"), std::string::npos) << ok;
+  EXPECT_NE(ok.find(R"("result":{"elapsed_s":)"), std::string::npos) << ok;
+
+  const std::string bad = service.serve_line("this is not json");
+  EXPECT_NE(bad.find(R"("ok":false)"), std::string::npos) << bad;
+  const std::string unknown =
+      service.serve_line(R"({"experiment":"ring","warp":9})");
+  EXPECT_NE(unknown.find("warp"), std::string::npos) << unknown;
+  EXPECT_EQ(service.serve_line(R"({"op":"ping"})"),
+            R"({"ok":true,"op":"ping"})");
+  const std::string stats = service.serve_line(R"({"op":"stats"})");
+  EXPECT_NE(stats.find(R"("op":"stats")"), std::string::npos) << stats;
+  EXPECT_NE(stats.find(R"("cache_byte_budget")"), std::string::npos) << stats;
+}
+
+TEST(ServeService, NasRequestServesAndCaches) {
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  SweepService service{cfg};
+  ExperimentRequest req;
+  req.kind = ExperimentKind::kNas;
+  req.nas = NasJobSpec{NasBenchmark::kEP, NasClass::kA, 2, 1};
+  req.nas_trials = 1;
+  req.smi = SmiKind::kLong;
+  req.seed = 2016;
+  const auto miss = service.serve(req);
+  ASSERT_TRUE(miss.ok) << miss.error;
+  const auto hit = service.serve(req);
+  EXPECT_TRUE(hit.cached);
+  EXPECT_EQ(*miss.payload, *hit.payload);
+  EXPECT_NE(miss.payload->find("\"slowdown_pct\":"), std::string::npos);
+}
+
+// --- Warm worker state ------------------------------------------------------
+
+TEST(ServeWarm, NetworkMemoAdoptionIsBitInert) {
+  const NetworkParams params = NetworkParams::wyeast();
+  const NetworkModel cold{params};
+  NetworkModel donor{params};
+  // Fill the donor's memo on a spread of sizes, then let a fresh model
+  // adopt it: every queried cost must be bit-identical to the cold path.
+  const std::int64_t sizes[] = {0, 1, 64, 4096, 65536, 1 << 20};
+  for (const std::int64_t b : sizes) (void)donor.wire_xmit(b);
+  NetworkModel warmed{params};
+  warmed.warm_from(donor);
+  for (const std::int64_t b : sizes) {
+    EXPECT_EQ(warmed.wire_xmit(b), cold.wire_xmit(b)) << b;
+    EXPECT_EQ(warmed.intra_transfer(b), cold.intra_transfer(b)) << b;
+    EXPECT_EQ(warmed.send_cpu_cost(b), cold.send_cpu_cost(b)) << b;
+    EXPECT_EQ(warmed.recv_cpu_cost(b), cold.recv_cpu_cost(b)) << b;
+  }
+  // Mismatched parameters refuse the memo.
+  NetworkParams other = params;
+  other.bandwidth_bytes_per_s *= 2.0;
+  NetworkModel stranger{other};
+  stranger.warm_from(donor);
+  EXPECT_NE(stranger.wire_xmit(4096), cold.wire_xmit(4096));
+}
+
+TEST(ServeWarm, RepeatedServesOnWarmWorkersStayDeterministic) {
+  // One worker => every simulation reuses the same warm arena and memo;
+  // distinct seeds force re-simulation each time. Results must match a
+  // fresh single-shot service (no state leakage between requests).
+  ServiceConfig warm_cfg;
+  warm_cfg.workers = 1;
+  SweepService warm{warm_cfg};
+  for (const std::uint64_t seed : {21u, 22u, 23u, 21u}) {
+    const auto served = warm.serve(small_ring(seed));
+    ASSERT_TRUE(served.ok) << served.error;
+    SweepService fresh{warm_cfg};
+    const auto expect = fresh.serve(small_ring(seed));
+    ASSERT_TRUE(expect.ok);
+    EXPECT_EQ(*served.payload, *expect.payload) << seed;
+  }
+}
+
+// --- Front ends -------------------------------------------------------------
+
+TEST(ServeStream, PumpsLinesAndSkipsBlanks) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  SweepService service{cfg};
+  std::istringstream in{
+      "{\"op\":\"ping\"}\n"
+      "\n"
+      "{\"experiment\":\"ring\",\"nodes\":3,\"iters\":5,\"bytes\":256}\r\n"
+      "not json\n"};
+  std::ostringstream out;
+  EXPECT_EQ(serve_stream(service, in, out), 3);
+  std::istringstream lines{out.str()};
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, R"({"ok":true,"op":"ping"})");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find(R"("ok":true)"), std::string::npos);
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find(R"("ok":false)"), std::string::npos);
+  EXPECT_FALSE(std::getline(lines, line));  // exactly 3 responses
+}
+
+/// Connect a blocking client to an abstract-namespace socket.
+int connect_abstract(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path + 1, path.data() + 1, path.size() - 1);
+  const auto len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                          path.size());
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), len) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::string recv_line(int fd) {
+  std::string line;
+  char c = 0;
+  while (::recv(fd, &c, 1, 0) == 1) {
+    if (c == '\n') break;
+    line.push_back(c);
+  }
+  return line;
+}
+
+TEST(ServeSocket, RoundTripsOverAbstractUnixSocket) {
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  SweepService service{cfg};
+  const std::string path =
+      "@smilab-serve-test-" + std::to_string(::getpid());
+  std::unique_ptr<SocketServer> server;
+  try {
+    server = std::make_unique<SocketServer>(service, path);
+  } catch (const std::runtime_error& e) {
+    GTEST_SKIP() << "cannot bind abstract unix socket: " << e.what();
+  }
+  server->start();
+
+  const int a = connect_abstract(path);
+  const int b = connect_abstract(path);
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  const std::string request =
+      R"({"experiment":"ring","nodes":3,"iters":5,"bytes":256,"seed":9})"
+      "\n";
+  ASSERT_EQ(::send(a, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  const std::string first = recv_line(a);
+  EXPECT_NE(first.find(R"("cached":false)"), std::string::npos) << first;
+  ASSERT_EQ(::send(b, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  const std::string second = recv_line(b);
+  EXPECT_NE(second.find(R"("cached":true)"), std::string::npos) << second;
+  // Identical result bytes through both connections.
+  const auto payload_of = [](const std::string& line) {
+    return line.substr(line.find(R"("result":)"));
+  };
+  EXPECT_EQ(payload_of(first), payload_of(second));
+
+  // Two requests in one write drain as two ordered responses.
+  const std::string two = R"({"op":"ping"})" "\n" R"({"op":"ping"})" "\n";
+  ASSERT_EQ(::send(a, two.data(), two.size(), 0),
+            static_cast<ssize_t>(two.size()));
+  EXPECT_EQ(recv_line(a), R"({"ok":true,"op":"ping"})");
+  EXPECT_EQ(recv_line(a), R"({"ok":true,"op":"ping"})");
+
+  ::close(a);
+  ::close(b);
+  server->stop();
+  EXPECT_EQ(server->connections_accepted(), 2);
+  server->stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace smilab::serve

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory_resource>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -13,6 +14,7 @@
 #include "smilab/apps/nas/runner.h"
 #include "smilab/core/paper_tables.h"
 #include "smilab/core/sweep.h"
+#include "smilab/trace/action_arena.h"
 
 namespace smilab {
 namespace {
@@ -72,6 +74,52 @@ TEST(SweepTest, CellExceptionPropagatesToCaller) {
                                 }),
                  std::runtime_error);
   }
+}
+
+TEST(SweepPoolTest, DrainWaitsForAllJobs) {
+  SweepPool pool{3};
+  EXPECT_EQ(pool.workers(), 3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&done] { ++done; });
+  }
+  pool.drain();
+  EXPECT_EQ(done.load(), 50);
+  // The pool stays usable after a drain (it is persistent, not one-shot).
+  pool.submit([&done] { ++done; });
+  pool.drain();
+  EXPECT_EQ(done.load(), 51);
+}
+
+TEST(SweepPoolTest, DrainRethrowsFirstJobException) {
+  SweepPool pool{2};
+  std::atomic<int> done{0};
+  pool.submit([] { throw std::runtime_error{"job failed"}; });
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&done] { ++done; });  // later jobs are not cancelled
+  }
+  EXPECT_THROW(pool.drain(), std::runtime_error);
+  EXPECT_EQ(done.load(), 8);
+  // The error slot is cleared once reported.
+  pool.submit([&done] { ++done; });
+  EXPECT_NO_THROW(pool.drain());
+  EXPECT_EQ(done.load(), 9);
+}
+
+TEST(SweepPoolTest, WorkersHoldAWarmArenaScope) {
+  // Jobs on a pool worker see an installed ActionArena (not the fallback
+  // new_delete_resource), and reset_current() between jobs retains chunk
+  // storage — the warm-worker property the serve daemon leans on.
+  SweepPool pool{1};
+  std::pmr::memory_resource* first = nullptr;
+  std::pmr::memory_resource* second = nullptr;
+  pool.submit([&first] { first = ActionArena::current(); });
+  pool.drain();
+  pool.submit([&second] { second = ActionArena::current(); });
+  pool.drain();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first, second);  // same thread-lifetime arena across jobs
+  EXPECT_NE(first, std::pmr::new_delete_resource());
 }
 
 // The headline bit-equality claim: a NAS cell (three SMM regimes x trials)
