@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Fast pre-commit lint: run smilint over the files staged for commit (plus
+# the full cross-file pass those files participate in) and refuse the
+# commit on any NEW unsuppressed finding. Install as a git hook with:
+#
+#   ln -s ../../scripts/precommit-lint.sh .git/hooks/pre-commit
+#
+# The scan honors the committed baseline (tools/smilint/smilint.baseline),
+# so pre-existing, deliberately-baselined findings never block a commit —
+# only findings your staged change introduces do. Skip once with
+# `git commit --no-verify` (CI will still gate).
+#
+# Environment: BUILD_DIR overrides the build tree (default: <repo>/build).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+SMILINT="$BUILD/tools/smilint/smilint"
+
+# Only C++ sources under the scanned roots matter to smilint.
+staged="$(git -C "$ROOT" diff --cached --name-only --diff-filter=ACMR -- \
+  'src/**/*.h' 'src/**/*.cpp' 'bench/**/*.h' 'bench/**/*.cpp' \
+  'tools/**/*.h' 'tools/**/*.cpp' || true)"
+if [ -z "$staged" ]; then
+  exit 0
+fi
+
+if [ ! -x "$SMILINT" ]; then
+  cmake -B "$BUILD" -S "$ROOT" >/dev/null
+  cmake --build "$BUILD" --target smilint -j "$(nproc)" >/dev/null
+fi
+
+# Cross-file rules (D7 taint, C1 guarded-by) need the whole index, so scan
+# the default roots rather than just the staged files: a staged change to a
+# helper can create a finding in an unstaged caller, and vice versa.
+echo "pre-commit: smilint (staged C++ change detected)"
+"$SMILINT" --root "$ROOT" || {
+  echo >&2
+  echo "pre-commit: smilint found NEW violations (see above)." >&2
+  echo "pre-commit: fix them, add a reasoned '// smilint: allow(...)'," >&2
+  echo "pre-commit: or bypass once with 'git commit --no-verify'." >&2
+  exit 1
+}

@@ -21,11 +21,13 @@ struct SweepPool::Impl {
   std::mutex mu;
   std::condition_variable work_cv;   // workers wait for jobs / stop
   std::condition_variable idle_cv;   // drain() waits for quiescence
-  std::deque<std::function<void()>> queue;
-  std::exception_ptr first_error;
-  int running = 0;   // jobs currently executing
-  bool stop = false;
-  std::vector<std::thread> threads;
+  std::deque<std::function<void()>> queue;  // guarded_by(mu)
+  std::exception_ptr first_error;           // guarded_by(mu)
+  int running = 0;                          // guarded_by(mu) executing jobs
+  bool stop = false;                        // guarded_by(mu)
+  // Filled by the ctor before any worker runs, joined by the dtor after
+  // stop; never touched while workers are live.
+  std::vector<std::thread> threads;  // guarded_by(init)
 
   void worker() {
     // Each worker owns its arena for the THREAD's lifetime (the current-

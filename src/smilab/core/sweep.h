@@ -59,8 +59,8 @@ class SweepPool {
 
  private:
   struct Impl;
-  std::unique_ptr<Impl> impl_;
-  int workers_;
+  std::unique_ptr<Impl> impl_;  // guarded_by(internal): Impl locks its mu
+  int workers_;                 // guarded_by(init): fixed at construction
 };
 
 class ExperimentSweep {

@@ -82,13 +82,14 @@ class ResultCache {
 
   struct Shard {
     mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recent
+    std::list<Entry> lru;  // guarded_by(mu) front = most recent
+    // guarded_by(mu)
     std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
-    std::int64_t bytes = 0;
-    std::int64_t hits = 0;
-    std::int64_t misses = 0;
-    std::int64_t insertions = 0;
-    std::int64_t evictions = 0;
+    std::int64_t bytes = 0;       // guarded_by(mu)
+    std::int64_t hits = 0;        // guarded_by(mu)
+    std::int64_t misses = 0;      // guarded_by(mu)
+    std::int64_t insertions = 0;  // guarded_by(mu)
+    std::int64_t evictions = 0;   // guarded_by(mu)
   };
 
   [[nodiscard]] Shard& shard_for(std::uint64_t key);

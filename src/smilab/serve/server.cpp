@@ -69,15 +69,22 @@ struct SocketServer::Impl {
   Impl(SweepService& svc, std::string p) : service(svc), path(std::move(p)) {}
 
   SweepService& service;
-  std::string path;
+  std::string path;  // guarded_by(init): set in the ctor, read-only after
+  // The fd value is set before start() and stays stable while threads run;
+  // the single stop() winner (gated by `stopping`) shuts it down to unblock
+  // accept() and only closes it after joining every thread.
+  // smilint: allow(guarded-by) reason=set before start(); single stop() winner closes after joins
   int listen_fd = -1;
+  // smilint: allow(guarded-by) reason=start()/stop() lifecycle; joined by the single stop() winner
   std::thread accept_thread;
   std::atomic<bool> stopping{false};
   std::atomic<std::int64_t> accepted{0};
 
   std::mutex conn_mu;
-  std::vector<int> conn_fds;          // open connection sockets (for stop())
-  std::vector<std::thread> handlers;  // joined on stop()
+  // guarded_by(conn_mu) open connection sockets (for stop())
+  std::vector<int> conn_fds;
+  // guarded_by(conn_mu) joined on stop()
+  std::vector<std::thread> handlers;
 
   void accept_loop() {
     while (!stopping.load(std::memory_order_acquire)) {

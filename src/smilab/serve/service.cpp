@@ -197,10 +197,11 @@ struct SweepService::Impl {
       : pool(effective_jobs(config.workers)),
         cache(config.cache_bytes, config.cache_shards) {}
 
-  SweepPool pool;
-  ResultCache cache;
+  SweepPool pool;     // guarded_by(internal): owns its own mutex/cv
+  ResultCache cache;  // guarded_by(internal): per-shard locking inside
 
   std::mutex flight_mu;
+  // guarded_by(flight_mu) key -> in-flight simulation (single-flight map)
   std::unordered_map<std::uint64_t, std::shared_future<Outcome>> inflight;
 
   std::atomic<std::int64_t> requests{0};

@@ -86,6 +86,8 @@ class SweepService {
 
  private:
   struct Impl;
+  // guarded_by(internal): Impl carries flight_mu plus self-synchronizing
+  // pool/cache members; see service.cpp for the per-field discipline.
   std::unique_ptr<Impl> impl_;
 };
 

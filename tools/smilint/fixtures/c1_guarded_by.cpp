@@ -1,0 +1,25 @@
+// Fixture: C1 guarded-by, all three failure shapes in one mutex-holding
+// class under a `concurrent` manifest prefix.
+// Expected: C1 on line 16 (guarded field touched without the lock), C1 on
+// line 23 (guarded_by names no mutex member), C1 on line 24 (mutable
+// field with no annotation at all). The locked access on line 14 is
+// clean.
+#include <mutex>
+#include <vector>
+
+class FixtureLedger {
+ public:
+  void record_locked(int v) {
+    const std::lock_guard<std::mutex> lock{mu};
+    pending.push_back(v);
+  }
+  void record_unlocked(int v) { pending.push_back(v); }
+
+  [[nodiscard]] int jobs() const { return open_jobs; }
+
+ private:
+  std::mutex mu;
+  std::vector<int> pending;   // guarded_by(mu)
+  double temp_score = 0.0;    // guarded_by(scores_mu)
+  int open_jobs = 0;
+};

@@ -1,0 +1,11 @@
+// Fixture: D7 taint SOURCE TU of the cross-file pair. The pointer->integer
+// cast seeds taint on fixture_node_token, but a seed alone is not a
+// finding — d7_taint_use.cpp reports where the taint lands.
+// Expected: no findings in this file.
+#include <cstdint>
+
+std::uint64_t fixture_node_token(const int* node) {
+  // The address is fresh every run: anything derived from it is
+  // nondeterministic. This is the seed.
+  return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(node));
+}

@@ -1,0 +1,26 @@
+// Fixture: D7 taint SINK TU of the cross-file pair. fixture_node_token is
+// defined in d7_taint_helper.cpp and tainted there by a pointer->integer
+// cast; this hot-path TU calls it and feeds the result to a golden-hash
+// sink. Neither line mentions a pointer — only the cross-file index sees
+// the problem.
+// Expected: D7 on line 23 (hot-path call to a tainted function) and D7 on
+// line 24 (sink `mix` receives the tainted local).
+#include <cstdint>
+
+std::uint64_t fixture_node_token(const int* node);
+
+struct FixtureHash {
+  std::uint64_t state = 1469598103934665603ull;
+  std::uint64_t mix(std::uint64_t v) {
+    state ^= v;
+    state *= 1099511628211ull;
+    return state;
+  }
+};
+
+std::uint64_t fixture_golden_row(const int* node) {
+  FixtureHash h;
+  const std::uint64_t tok = fixture_node_token(node);
+  h.mix(tok);
+  return h.state;
+}

@@ -1,0 +1,29 @@
+// Fixture: D8 pointer-order determinism — the three shapes.
+// Expected: D8 on line 17 (map keyed on a pointer), D8 on line 19
+// (std::less over a pointer type), D8 on line 21 (lambda comparator
+// ordering two pointers by address). The int-keyed set on line 18 is
+// clean.
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+struct FixtureNode {
+  int id = 0;
+};
+
+int fixture_pointer_order(std::vector<FixtureNode*>& nodes) {
+  std::map<FixtureNode*, int> rank;
+  std::set<int> ok_keys;
+  const std::less<FixtureNode*> by_address{};
+  std::sort(nodes.begin(), nodes.end(),
+            [](const FixtureNode* a, const FixtureNode* b) { return a < b; });
+  int sum = 0;
+  for (FixtureNode* n : nodes) {
+    rank[n] = n->id;
+    ok_keys.insert(n->id);
+    sum += by_address(n, nodes.front()) ? 1 : 0;
+  }
+  return sum + static_cast<int>(ok_keys.size());
+}

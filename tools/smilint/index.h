@@ -1,0 +1,150 @@
+// smilint phase 1: lexing and per-TU symbol indexing.
+//
+// The v1 analyzer was a single-file token matcher; the cross-file rules
+// (D7 nondeterminism taint, C1 guarded-by) need to know *what* a file
+// declares, not just which tokens it contains. This header is the shared
+// vocabulary between the two phases:
+//
+//   phase 1 (index.cpp)        lex every scanned TU and harvest function
+//                              definitions (with token-range bodies), call
+//                              sites (attributed to their enclosing
+//                              function), class/struct members (with
+//                              guarded_by annotations and mutex/atomic/
+//                              const classification), and the include
+//                              list — the symbol index.
+//   phase 2 (rules_local.cpp,  run the per-file rules over each TU's
+//            rules_xfile.cpp)  tokens, then the cross-file rules over the
+//                              whole index (taint propagation walks the
+//                              call graph; guarded-by resolves fields
+//                              declared in included headers).
+//
+// Everything here is deliberately lexical: no libclang, no type
+// resolution. The indexing heuristics are tuned to this repository's
+// idiom (and self-checked by tests/smilint_test.cpp); where resolution is
+// ambiguous the rules fail open and say so (taint-unknown).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "smilint.h"
+
+namespace smilint {
+
+struct Token {
+  std::string text;
+  int line = 0;
+  int col = 0;  ///< 1-based byte column of the token's first character
+};
+
+/// A suppression directive parsed from a comment:
+///   smilint: allow(<rule>[,<rule>]) reason=<text>
+struct SuppressionDirective {
+  int line = 0;  ///< line the comment ends on
+  std::vector<Rule> rules;
+  std::string reason;
+  bool has_reason = false;
+};
+
+/// A `guarded_by(<target>)` field annotation parsed from a comment. The
+/// target is a mutex member name, or the special tokens `internal`
+/// (internally synchronized object) / `init` (written only before
+/// concurrency starts).
+struct GuardAnnotation {
+  int line = 0;
+  std::string target;
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  std::vector<SuppressionDirective> suppressions;
+  std::vector<GuardAnnotation> guards;
+  std::vector<std::string> includes;  ///< #include targets, as written
+  std::vector<std::string> lines;     ///< raw source lines (for snippets)
+};
+
+/// Strip comments / string literals / preprocessor lines and tokenize.
+/// Comments are scanned for suppression and guarded_by directives;
+/// #include lines are harvested before being dropped.
+[[nodiscard]] Lexed lex(std::string_view text);
+
+[[nodiscard]] bool ident_start_char(char c);
+
+/// Skip a balanced <...> starting at tokens[i] == "<"; returns the index
+/// one past the closing ">".
+[[nodiscard]] std::size_t skip_angle_block(const std::vector<Token>& toks,
+                                           std::size_t i);
+
+// --- Phase-1 symbol index ----------------------------------------------------
+
+struct FunctionDef {
+  std::string name;       ///< unqualified name ("serve_line")
+  std::string qualified;  ///< as written ("SweepService::serve_line")
+  int line = 0;
+  int col = 0;
+  std::size_t body_begin = 0;  ///< token index of the body's "{"
+  std::size_t body_end = 0;    ///< token index of the matching "}"
+};
+
+struct CallSite {
+  std::string callee;  ///< unqualified callee name
+  int line = 0;
+  int col = 0;
+  std::size_t token = 0;    ///< token index of the callee identifier
+  int caller = -1;          ///< index into FileIndex::functions, -1 if none
+  bool member_call = false; ///< preceded by "." or "->"
+};
+
+/// One data member of a class/struct.
+struct FieldDecl {
+  std::string name;
+  int line = 0;
+  int col = 0;
+  bool is_mutex = false;      ///< std::mutex / shared_mutex / recursive_*
+  bool is_cv = false;         ///< condition_variable[_any]
+  bool is_atomic = false;     ///< std::atomic<...>
+  bool is_const = false;
+  bool is_reference = false;
+  bool has_guard = false;     ///< carries a guarded_by(...) annotation
+  std::string guard;          ///< annotation target when has_guard
+};
+
+struct ClassInfo {
+  std::string name;  ///< unqualified ("Impl", "Shard")
+  int line = 0;
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+  std::vector<FieldDecl> fields;
+  bool has_mutex = false;
+};
+
+/// Everything phase 1 knows about one translation unit.
+struct FileIndex {
+  std::string path;  ///< repo-relative, forward slashes
+  Lexed lexed;
+  std::vector<FunctionDef> functions;
+  std::vector<CallSite> calls;
+  std::vector<ClassInfo> classes;
+};
+
+/// Index one TU. `path` is stored verbatim.
+[[nodiscard]] FileIndex index_file(const std::string& path,
+                                   std::string_view text);
+
+/// The whole scanned tree, phase-1 complete.
+struct SourceIndex {
+  std::vector<FileIndex> files;  ///< sorted by path (run_tree's scan order)
+  /// Unqualified function name -> (file index, function index) for every
+  /// definition of that name anywhere in the scan. Multiple entries mean
+  /// the name is ambiguous; taint propagation unions over them.
+  std::map<std::string, std::vector<std::pair<int, int>>> functions_by_name;
+
+  void link();  ///< (re)build functions_by_name from files
+  [[nodiscard]] const FileIndex* find(std::string_view path) const;
+};
+
+}  // namespace smilint

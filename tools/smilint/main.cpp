@@ -1,11 +1,17 @@
 // smilint CLI: scan the tree, print findings, gate on unsuppressed count.
 //
-//   smilint [--root DIR] [--rules FILE] [--json] [--show-suppressed] [PATH...]
+//   smilint [--root DIR] [--rules FILE] [--json] [--sarif FILE]
+//           [--baseline FILE] [--write-baseline] [--show-suppressed]
+//           [PATH...]
 //
 // PATHs are repo-relative files or directories; the default scan set is
-// src, bench, and tools. Exit codes: 0 clean, 1 unsuppressed violations,
-// 2 usage or I/O error.
+// src, bench, and tools. The baseline ratchet
+// (tools/smilint/smilint.baseline by default) marks known findings so the
+// gate only fails on NEW ones; --write-baseline regenerates it from the
+// current scan. Exit codes: 0 clean, 1 unsuppressed violations, 2 usage
+// or I/O error.
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -15,7 +21,10 @@
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string rules_path;
+  std::string sarif_path;
+  std::string baseline_path;
   bool json = false;
+  bool write_baseline = false;
   bool show_suppressed = false;
   std::vector<std::string> paths;
 
@@ -34,10 +43,17 @@ int main(int argc, char** argv) {
       rules_path = value("--rules");
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      sarif_path = value("--sarif");
+    } else if (arg == "--baseline") {
+      baseline_path = value("--baseline");
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
     } else if (arg == "--show-suppressed") {
       show_suppressed = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: smilint [--root DIR] [--rules FILE] [--json] "
+                   "[--sarif FILE] [--baseline FILE] [--write-baseline] "
                    "[--show-suppressed] [PATH...]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -52,10 +68,42 @@ int main(int argc, char** argv) {
     rules_path =
         (std::filesystem::path(root) / "tools/smilint/smilint.rules").string();
   }
+  if (baseline_path.empty()) {
+    baseline_path =
+        (std::filesystem::path(root) / "tools/smilint/smilint.baseline")
+            .string();
+  }
 
   try {
     const smilint::Manifest manifest = smilint::Manifest::load(rules_path);
-    const smilint::Report report = smilint::run_tree(root, paths, manifest);
+    smilint::Report report = smilint::run_tree(root, paths, manifest);
+
+    if (write_baseline) {
+      std::ofstream out{baseline_path};
+      if (!out) {
+        std::cerr << "smilint: cannot write " << baseline_path << "\n";
+        return 2;
+      }
+      out << smilint::Baseline::render(report);
+      std::cerr << "smilint: wrote baseline to " << baseline_path << "\n";
+      return 0;
+    }
+
+    smilint::Baseline baseline = smilint::Baseline::load(baseline_path);
+    baseline.apply(report);
+    for (const std::string& stale : baseline.unmatched()) {
+      std::cerr << "smilint: stale baseline entry (fixed or moved?): "
+                << stale << "\n";
+    }
+
+    if (!sarif_path.empty()) {
+      std::ofstream out{sarif_path};
+      if (!out) {
+        std::cerr << "smilint: cannot write " << sarif_path << "\n";
+        return 2;
+      }
+      out << smilint::to_sarif(report);
+    }
     if (json) {
       std::cout << smilint::to_json(report);
     } else {

@@ -1,0 +1,37 @@
+// smilint phase 2 (internal): the rule passes.
+//
+// rules_local.cpp runs the per-file rules (D1..D6, D8) over one indexed
+// TU; rules_xfile.cpp runs the cross-file rules (D7 nondet-taint, C1
+// guarded-by) over the linked SourceIndex. smilint.cpp orchestrates both
+// and applies suppressions / the baseline afterwards.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "index.h"
+#include "smilint.h"
+
+namespace smilint {
+
+/// Per-file rules over one TU. `paired_header` (nullable) contributes
+/// declared names only; findings are reported against `fi` alone.
+/// Suppressions are NOT applied here.
+void run_local_rules(const FileIndex& fi, const Lexed* paired_header,
+                     const RulePolicy& policy, std::vector<Finding>& out);
+
+/// Cross-file rules over the linked index. `policies` maps each
+/// FileIndex::path to its manifest policy; findings land in the file
+/// they occur in (seed gating and sink checks consult the policy of the
+/// file involved). Suppressions are NOT applied here.
+void run_xfile_rules(const SourceIndex& index,
+                     const std::map<std::string, RulePolicy>& policies,
+                     std::vector<Finding>& out);
+
+/// Shared helper: build a Finding with snippet filled from the TU's raw
+/// source lines, severity derived from the rule.
+[[nodiscard]] Finding make_finding(const FileIndex& fi, Rule rule, int line,
+                                   int col, std::string message);
+
+}  // namespace smilint

@@ -1,0 +1,390 @@
+// smilint phase 2a: per-file rules D1..D6 and D8 over one indexed TU.
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace smilint {
+
+namespace {
+
+void trim(std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) {
+    s.clear();
+    return;
+  }
+  const auto e = s.find_last_not_of(" \t\r\n");
+  s = s.substr(b, e - b + 1);
+}
+
+// --- Declared-name harvesting ------------------------------------------------
+
+struct DeclaredNames {
+  std::set<std::string> unordered_vars;   ///< variables of unordered type
+  std::set<std::string> unordered_types;  ///< aliases of unordered types
+  std::set<std::string> float_vars;       ///< double/float variables
+};
+
+bool is_unordered_container(const std::string& t) {
+  return t == "unordered_map" || t == "unordered_set" ||
+         t == "unordered_multimap" || t == "unordered_multiset";
+}
+
+void harvest(const std::vector<Token>& toks, DeclaredNames& names) {
+  const std::size_t n = toks.size();
+  auto tok = [&](std::size_t k) -> const std::string& {
+    static const std::string empty;
+    return k < n ? toks[k].text : empty;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string& t = toks[i].text;
+    // using NAME = std::unordered_map<...>;
+    if (t == "using" && i + 2 < n && tok(i + 2) == "=") {
+      std::size_t j = i + 3;
+      if (tok(j) == "std" && tok(j + 1) == "::") j += 2;
+      if (is_unordered_container(tok(j))) {
+        names.unordered_types.insert(tok(i + 1));
+      }
+      continue;
+    }
+    // [std::]unordered_map<...> [&|*] NAME   (declaration or parameter)
+    const bool qualified = t == "std" && tok(i + 1) == "::";
+    const std::size_t base = qualified ? i + 2 : i;
+    const bool container = is_unordered_container(tok(base)) ||
+                           names.unordered_types.count(tok(base)) > 0;
+    if (container && (qualified || !names.unordered_types.count(t))) {
+      std::size_t j = base + 1;
+      if (tok(j) == "<") j = skip_angle_block(toks, j);
+      while (tok(j) == "&" || tok(j) == "*" || tok(j) == "const") ++j;
+      if (j < n && ident_start_char(tok(j)[0]) &&
+          tok(j + 1) != "(") {  // not a function returning one
+        names.unordered_vars.insert(tok(j));
+      }
+      if (qualified) i = base;  // resume after "std :: name"
+      continue;
+    }
+    // Alias-typed declarations: ALIAS NAME;
+    if (names.unordered_types.count(t) > 0 && i + 1 < n &&
+        ident_start_char(tok(i + 1)[0]) && tok(i + 2) != "(") {
+      names.unordered_vars.insert(tok(i + 1));
+      continue;
+    }
+    // double/float NAME followed by ; = { , ) — a variable, not a function.
+    if ((t == "double" || t == "float") && i + 2 < n &&
+        ident_start_char(tok(i + 1)[0])) {
+      const std::string& after = tok(i + 2);
+      if (after == ";" || after == "=" || after == "{" || after == "," ||
+          after == ")" || after == "+=") {
+        names.float_vars.insert(tok(i + 1));
+      }
+    }
+  }
+}
+
+// --- Rule matchers -----------------------------------------------------------
+
+const std::set<std::string>& wall_clock_calls() {
+  static const std::set<std::string> kCalls = {
+      "gettimeofday", "clock_gettime", "timespec_get", "ftime",
+      "localtime",    "gmtime",        "mktime",
+  };
+  return kCalls;
+}
+
+const std::set<std::string>& banned_rng_names() {
+  static const std::set<std::string> kNames = {
+      "rand",          "srand",        "drand48",
+      "lrand48",       "mrand48",      "random_device",
+      "mt19937",       "mt19937_64",   "minstd_rand",
+      "minstd_rand0",  "knuth_b",      "default_random_engine",
+      "random_shuffle",
+  };
+  return kNames;
+}
+
+struct Matcher {
+  const FileIndex& fi;
+  const DeclaredNames& names;
+  const RulePolicy& policy;
+  std::vector<Finding>& findings;
+
+  [[nodiscard]] const std::string& tok(std::size_t k) const {
+    static const std::string empty;
+    return k < fi.lexed.tokens.size() ? fi.lexed.tokens[k].text : empty;
+  }
+
+  void add(Rule rule, std::size_t at, std::string message) {
+    if (!policy.enabled(rule)) return;
+    const Token& t = fi.lexed.tokens[at];
+    findings.push_back(make_finding(fi, rule, t.line, t.col,
+                                    std::move(message)));
+  }
+
+  void run() {
+    const std::vector<Token>& toks = fi.lexed.tokens;
+    const std::size_t n = toks.size();
+    // Body extents (token ranges) of range-for loops over unordered
+    // containers, for the D6 combination rule.
+    std::vector<std::pair<std::size_t, std::size_t>> unordered_bodies;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string& t = toks[i].text;
+      const std::string& prev = i > 0 ? toks[i - 1].text : tok(n);
+
+      // D1: std::chrono anywhere; C time functions; bare time( calls.
+      if (t == "std" && tok(i + 1) == "::" && tok(i + 2) == "chrono") {
+        add(Rule::kWallClock, i,
+            "std::chrono clock in simulation code; simulation state must "
+            "advance on SimTime only");
+      }
+      if (wall_clock_calls().count(t) > 0 && tok(i + 1) == "(" &&
+          prev != "." && prev != "->") {
+        add(Rule::kWallClock, i, "wall-clock call `" + t + "()`; use SimTime");
+      }
+      if (t == "time" && tok(i + 1) == "(" && prev != "." && prev != "->") {
+        // Allow member/qualified uses like SimClock::time(); flag ::time()
+        // and std::time().
+        const bool qualified_member =
+            prev == "::" && i >= 2 && ident_start_char(tok(i - 2)[0]) &&
+            tok(i - 2) != "std";
+        if (!qualified_member) {
+          add(Rule::kWallClock, i, "wall-clock call `time()`; use SimTime");
+        }
+      }
+
+      // D2: libc / <random> generators outside the seeded smilab Rng.
+      if (banned_rng_names().count(t) > 0 && prev != "." && prev != "->") {
+        const bool call_or_type =
+            tok(i + 1) == "(" || tok(i + 1) == "{" || tok(i + 1) == "<" ||
+            prev == "::" || ident_start_char(tok(i + 1)[0]);
+        if (call_or_type) {
+          add(Rule::kUnseededRng, i,
+              "`" + t + "` bypasses the seeded smilab Rng stream");
+        }
+      }
+
+      // D3: range-for over a declared unordered container.
+      if (t == "for" && tok(i + 1) == "(") {
+        std::size_t close = i + 1;
+        int depth = 0;
+        std::size_t colon = 0;
+        for (; close < n; ++close) {
+          const std::string& c = toks[close].text;
+          if (c == "(") ++depth;
+          if (c == ")" && --depth == 0) break;
+          if (c == ":" && depth == 1 && colon == 0) colon = close;
+        }
+        if (colon != 0) {
+          for (std::size_t k = colon + 1; k < close; ++k) {
+            if (names.unordered_vars.count(toks[k].text) > 0) {
+              add(Rule::kUnorderedIter, i,
+                  "iteration over unordered container `" + toks[k].text +
+                      "`; hash order is unspecified and must not reach "
+                      "output");
+              // Record the loop body for the D6 combination rule.
+              std::size_t body = close + 1;
+              if (tok(body) == "{") {
+                int braces = 0;
+                std::size_t end = body;
+                for (; end < n; ++end) {
+                  if (toks[end].text == "{") ++braces;
+                  if (toks[end].text == "}" && --braces == 0) break;
+                }
+                unordered_bodies.emplace_back(body, end);
+              }
+              break;
+            }
+          }
+        }
+      }
+
+      // D3: explicit iterator walks over a declared unordered container.
+      // Only begin/cbegin start an iteration; `it != m.end()` after a
+      // keyed find() is a sentinel comparison, not an order dependence.
+      if (names.unordered_vars.count(t) > 0 && tok(i + 1) == "." &&
+          (tok(i + 2) == "begin" || tok(i + 2) == "cbegin") &&
+          tok(i + 3) == "(") {
+        add(Rule::kUnorderedIter, i,
+            "iterator over unordered container `" + t +
+                "`; hash order is unspecified and must not reach output");
+      }
+
+      // D4: std::function in manifest-marked hot-path files.
+      if (t == "std" && tok(i + 1) == "::" && tok(i + 2) == "function") {
+        add(Rule::kStdFunction, i,
+            "std::function in a hot-path file (PR-2 lesson: type-erased "
+            "callbacks allocate and branch; use InlineCallback)");
+      }
+
+      // D5: raw new/delete outside the slab allocators.
+      if (t == "new" && prev != "operator") {
+        add(Rule::kRawNewDelete, i,
+            "raw `new` outside the slab allocators (sim/event_queue, "
+            "sim/transport own allocation)");
+      }
+      if (t == "delete" && prev != "operator" && prev != "=") {
+        add(Rule::kRawNewDelete, i, "raw `delete` outside the slab allocators");
+      }
+
+      // D6: unspecified-order reduction algorithms.
+      if (t == "std" && tok(i + 1) == "::" &&
+          (tok(i + 2) == "reduce" || tok(i + 2) == "transform_reduce")) {
+        add(Rule::kFloatReduce, i,
+            "std::" + tok(i + 2) +
+                " has unspecified reduction order; accumulate in stats/ "
+                "or use a fixed-order loop");
+      }
+
+      // D8: std::map/set keyed on a pointer type — pointer values vary
+      // run to run, so their order must never shape output.
+      if (t == "std" && tok(i + 1) == "::" &&
+          (tok(i + 2) == "map" || tok(i + 2) == "set" ||
+           tok(i + 2) == "multimap" || tok(i + 2) == "multiset") &&
+          tok(i + 3) == "<") {
+        // Inspect the first template argument: a "*" at angle depth 1
+        // before the first depth-1 "," means the key is a pointer.
+        int depth = 0;
+        bool pointer_key = false;
+        for (std::size_t k = i + 3; k < n; ++k) {
+          const std::string& c = toks[k].text;
+          if (c == "<") {
+            ++depth;
+          } else if (c == ">") {
+            if (--depth == 0) break;
+          } else if (c == "," && depth == 1) {
+            break;
+          } else if (c == "*" && depth == 1) {
+            pointer_key = true;
+          }
+        }
+        if (pointer_key) {
+          add(Rule::kPointerOrder, i + 2,
+              "std::" + tok(i + 2) +
+                  " keyed on a pointer: iteration order follows allocator "
+                  "addresses and varies run to run; key on a stable id");
+        }
+      }
+
+      // D8: std::less<T*> — explicit pointer-value ordering.
+      if (t == "less" && tok(i + 1) == "<") {
+        int depth = 0;
+        bool pointer_arg = false;
+        for (std::size_t k = i + 1; k < n; ++k) {
+          const std::string& c = toks[k].text;
+          if (c == "<") {
+            ++depth;
+          } else if (c == ">") {
+            if (--depth == 0) break;
+          } else if (c == "*" && depth == 1) {
+            pointer_arg = true;
+          }
+        }
+        if (pointer_arg) {
+          add(Rule::kPointerOrder, i,
+              "std::less on a pointer type orders by raw address; order "
+              "varies run to run");
+        }
+      }
+
+      // D8: lambda comparator ordering two pointer parameters by value:
+      //   [...](const T* a, const T* b) { return a < b; }
+      if (t == "]" && tok(i + 1) == "(") {
+        std::size_t close = i + 1;
+        int depth = 0;
+        for (; close < n; ++close) {
+          if (toks[close].text == "(") ++depth;
+          if (toks[close].text == ")" && --depth == 0) break;
+        }
+        // Split params at depth-1 commas; a pointer param contributes its
+        // trailing identifier.
+        std::vector<std::string> ptr_params;
+        int params = 0;
+        {
+          std::size_t start = i + 2;
+          depth = 1;
+          bool star = false;
+          std::string last_ident;
+          for (std::size_t k = i + 2; k <= close && k < n; ++k) {
+            const std::string& c = toks[k].text;
+            if (c == "(" || c == "<") ++depth;
+            if (c == ">" && depth > 1) --depth;
+            const bool end_param =
+                (c == "," && depth == 1) || (c == ")" && k == close);
+            if (!end_param) {
+              if (c == "*") star = true;
+              if (ident_start_char(c[0])) last_ident = c;
+              continue;
+            }
+            if (k > start) ++params;
+            if (star && !last_ident.empty()) ptr_params.push_back(last_ident);
+            star = false;
+            last_ident.clear();
+            start = k + 1;
+          }
+        }
+        if (params == 2 && ptr_params.size() == 2 && tok(close + 1) == "{" &&
+            tok(close + 2) == "return") {
+          const std::string& a = tok(close + 3);
+          const std::string& op = tok(close + 4);
+          const std::string& b = tok(close + 5);
+          const bool compares_params =
+              (op == "<" || op == ">") &&
+              ((a == ptr_params[0] && b == ptr_params[1]) ||
+               (a == ptr_params[1] && b == ptr_params[0]));
+          if (compares_params) {
+            add(Rule::kPointerOrder, i,
+                "comparator orders raw pointers `" + ptr_params[0] + "`/`" +
+                    ptr_params[1] +
+                    "` by address; sort by a stable key instead");
+          }
+        }
+      }
+    }
+
+    // D6: floating accumulation inside an unordered-container loop body.
+    for (const auto& [begin, end] : unordered_bodies) {
+      for (std::size_t k = begin; k + 1 < end; ++k) {
+        const std::string& op = toks[k + 1].text;
+        if ((op == "+=" || op == "-=" || op == "*=") &&
+            names.float_vars.count(toks[k].text) > 0) {
+          add(Rule::kFloatReduce, k,
+              "floating-point accumulation into `" + toks[k].text +
+                  "` inside an unordered-container loop: the sum depends "
+                  "on hash iteration order");
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Finding make_finding(const FileIndex& fi, Rule rule, int line, int col,
+                     std::string message) {
+  Finding f;
+  f.file = fi.path;
+  f.line = line;
+  f.column = col;
+  f.rule = rule;
+  f.severity = rule == Rule::kTaintUnknown ? Severity::kInfo : Severity::kError;
+  f.message = std::move(message);
+  if (line >= 1 && line <= static_cast<int>(fi.lexed.lines.size())) {
+    std::string snippet = fi.lexed.lines[line - 1];
+    trim(snippet);
+    f.snippet = std::move(snippet);
+  }
+  return f;
+}
+
+void run_local_rules(const FileIndex& fi, const Lexed* paired_header,
+                     const RulePolicy& policy, std::vector<Finding>& out) {
+  DeclaredNames names;
+  if (paired_header != nullptr) harvest(paired_header->tokens, names);
+  harvest(fi.lexed.tokens, names);
+  Matcher{fi, names, policy, out}.run();
+}
+
+}  // namespace smilint

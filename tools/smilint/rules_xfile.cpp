@@ -1,0 +1,582 @@
+// smilint phase 2b: cross-file rules over the linked symbol index.
+//
+//   D7 nondet-taint  seed taint at nondeterministic reads, propagate it
+//                    up the call graph (bounded depth), report where it
+//                    reaches a sink. Fails open as I7 (info) where the
+//                    lexical analysis cannot follow an edge.
+//   C1 guarded-by    field annotations + lexical lock-scope checking.
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace smilint {
+
+namespace {
+
+const RulePolicy& policy_for(const std::map<std::string, RulePolicy>& policies,
+                             const std::string& path) {
+  static const RulePolicy kDefault;
+  const auto it = policies.find(path);
+  return it == policies.end() ? kDefault : it->second;
+}
+
+/// True when a reasoned suppression for `rule` covers `line` in this TU.
+/// A reasoned suppression is the sanctioned audit point: what it waives
+/// locally must not re-surface as taint elsewhere.
+bool sanctioned_by_suppression(const FileIndex& fi, Rule rule, int line) {
+  for (const SuppressionDirective& s : fi.lexed.suppressions) {
+    if (!s.has_reason) continue;
+    if (line != s.line && line != s.line + 1) continue;
+    if (std::find(s.rules.begin(), s.rules.end(), rule) != s.rules.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- D7: nondeterminism taint ------------------------------------------------
+
+struct Seed {
+  int file = -1;          ///< index into SourceIndex::files
+  std::size_t token = 0;  ///< token index of the seed
+  int line = 0;
+  int col = 0;
+  std::string what;  ///< "wall-clock read", "pointer->integer cast", ...
+};
+
+const std::set<std::string>& wall_clock_calls() {
+  static const std::set<std::string> kCalls = {
+      "gettimeofday", "clock_gettime", "timespec_get", "ftime",
+      "localtime",    "gmtime",        "mktime",       "time",
+  };
+  return kCalls;
+}
+
+const std::set<std::string>& rng_names() {
+  static const std::set<std::string> kNames = {
+      "rand",         "srand",      "drand48",       "lrand48",
+      "mrand48",      "random_device", "mt19937",    "mt19937_64",
+      "minstd_rand",  "minstd_rand0",  "knuth_b",
+      "default_random_engine",
+  };
+  return kNames;
+}
+
+/// Angle block starting at toks[i] == "<" contains `needle` at depth 1.
+bool angle_contains(const std::vector<Token>& toks, std::size_t i,
+                    const std::set<std::string>& needles) {
+  int depth = 0;
+  for (std::size_t k = i; k < toks.size(); ++k) {
+    const std::string& c = toks[k].text;
+    if (c == "<") {
+      ++depth;
+    } else if (c == ">") {
+      if (--depth == 0) return false;
+    } else if (depth == 1 && needles.count(c) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Collect the taint seeds of one TU. Seeds whose base rule (D1/D2) is
+/// off or reasoned-suppressed at the seed site do not taint — the
+/// manifest/suppression is the sanction (and prevents e.g. a benchmark
+/// timer's `seconds()` from poisoning every same-named simulation
+/// function through name-based linking).
+void collect_seeds(const SourceIndex& index, int file_idx,
+                   const RulePolicy& policy, std::vector<Seed>& out) {
+  const FileIndex& fi = index.files[file_idx];
+  const std::vector<Token>& toks = fi.lexed.tokens;
+  const std::size_t n = toks.size();
+  auto tok = [&](std::size_t k) -> const std::string& {
+    static const std::string empty;
+    return k < n ? toks[k].text : empty;
+  };
+  auto seed = [&](std::size_t at, Rule base, const char* what) {
+    // Gate: the base rule must be live and unsanctioned at the seed site;
+    // D7-only seeds gate on nondet_taint itself.
+    if (base == Rule::kNondetTaint) {
+      if (!policy.nondet_taint) return;
+    } else if (!policy.enabled(base)) {
+      return;
+    }
+    if (sanctioned_by_suppression(fi, base, toks[at].line)) return;
+    if (base != Rule::kNondetTaint &&
+        sanctioned_by_suppression(fi, Rule::kNondetTaint, toks[at].line)) {
+      return;
+    }
+    out.push_back(
+        {file_idx, at, toks[at].line, toks[at].col, what});
+  };
+
+  static const std::set<std::string> kPtrIntTypes = {
+      "uintptr_t", "intptr_t", "size_t", "uint64_t", "ptrdiff_t",
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string& t = toks[i].text;
+    const std::string& prev = i > 0 ? toks[i - 1].text : tok(n);
+    // Wall-clock reads (D1's patterns).
+    if (t == "std" && tok(i + 1) == "::" && tok(i + 2) == "chrono") {
+      seed(i, Rule::kWallClock, "wall-clock read");
+      continue;
+    }
+    if (wall_clock_calls().count(t) > 0 && tok(i + 1) == "(" && prev != "." &&
+        prev != "->" && prev != "::") {
+      seed(i, Rule::kWallClock, "wall-clock read");
+      continue;
+    }
+    // Unseeded RNG (D2's names).
+    if (rng_names().count(t) > 0 && prev != "." && prev != "->" &&
+        (tok(i + 1) == "(" || tok(i + 1) == "{" || tok(i + 1) == "<" ||
+         prev == "::")) {
+      seed(i, Rule::kUnseededRng, "unseeded RNG draw");
+      continue;
+    }
+    // std::hash over a pointer type.
+    if (t == "hash" && tok(i + 1) == "<" &&
+        angle_contains(toks, i + 1, {"*"})) {
+      seed(i, Rule::kNondetTaint, "std::hash of a pointer");
+      continue;
+    }
+    // Pointer -> integer casts.
+    if (t == "reinterpret_cast" && tok(i + 1) == "<" &&
+        angle_contains(toks, i + 1, kPtrIntTypes)) {
+      seed(i, Rule::kNondetTaint, "pointer->integer cast");
+      continue;
+    }
+    if (t == "(" && (tok(i + 1) == "uintptr_t" || tok(i + 1) == "intptr_t") &&
+        tok(i + 2) == ")") {
+      seed(i + 1, Rule::kNondetTaint, "pointer->integer cast");
+      continue;
+    }
+    // Thread identity.
+    if ((t == "this_thread" && tok(i + 1) == "::" && tok(i + 2) == "get_id") ||
+        (t == "thread" && tok(i + 1) == "::" && tok(i + 2) == "id")) {
+      seed(i, Rule::kNondetTaint, "thread id");
+      continue;
+    }
+  }
+}
+
+struct TaintOrigin {
+  std::string desc;  ///< "wall-clock read at file:line[, via `f`...]"
+  int depth = 0;
+};
+
+constexpr int kTaintDepthBound = 6;
+
+/// Find the function whose body (token range) contains `token`.
+int enclosing_function(const FileIndex& fi, std::size_t token) {
+  int best = -1;
+  for (std::size_t f = 0; f < fi.functions.size(); ++f) {
+    const FunctionDef& d = fi.functions[f];
+    if (d.body_begin < token && token < d.body_end) best = static_cast<int>(f);
+  }
+  return best;
+}
+
+void run_taint(const SourceIndex& index,
+               const std::map<std::string, RulePolicy>& policies,
+               std::vector<Finding>& out) {
+  // 1) Seeds per file.
+  std::vector<Seed> seeds;
+  std::vector<std::set<std::size_t>> seed_tokens(index.files.size());
+  for (std::size_t f = 0; f < index.files.size(); ++f) {
+    const RulePolicy& policy = policy_for(policies, index.files[f].path);
+    collect_seeds(index, static_cast<int>(f), policy, seeds);
+  }
+  for (const Seed& s : seeds) seed_tokens[s.file].insert(s.token);
+
+  // 2) Seed -> enclosing function; BFS up the (name-linked) call graph.
+  std::map<std::string, TaintOrigin> tainted;
+  std::deque<std::string> frontier;
+  for (const Seed& s : seeds) {
+    const FileIndex& fi = index.files[s.file];
+    const int fn = enclosing_function(fi, s.token);
+    if (fn < 0) continue;  // file-scope seed: nothing to propagate
+    const std::string& name = fi.functions[fn].name;
+    if (tainted.count(name) > 0) continue;
+    tainted[name] = {s.what + " at " + fi.path + ":" + std::to_string(s.line),
+                     0};
+    frontier.push_back(name);
+  }
+
+  std::vector<Finding> depth_bound_hits;
+  while (!frontier.empty()) {
+    const std::string callee = frontier.front();
+    frontier.pop_front();
+    const TaintOrigin origin = tainted[callee];
+    // Every call site of `callee` taints its enclosing function.
+    for (const FileIndex& fi : index.files) {
+      for (const CallSite& c : fi.calls) {
+        if (c.callee != callee || c.caller < 0) continue;
+        const std::string& caller = fi.functions[c.caller].name;
+        if (tainted.count(caller) > 0) continue;
+        if (origin.depth + 1 > kTaintDepthBound) {
+          // Fail open: report where the bound stopped propagation.
+          const RulePolicy& policy = policy_for(policies, fi.path);
+          if (policy.nondet_taint) {
+            depth_bound_hits.push_back(make_finding(
+                fi, Rule::kTaintUnknown, c.line, c.col,
+                "taint propagation depth bound reached at call to `" +
+                    callee + "` (" + origin.desc +
+                    "); callers of `" + caller + "` are unchecked"));
+          }
+          continue;
+        }
+        tainted[caller] = {origin.desc + ", via `" + callee + "`",
+                           origin.depth + 1};
+        frontier.push_back(caller);
+      }
+    }
+  }
+  out.insert(out.end(), depth_bound_hits.begin(), depth_bound_hits.end());
+
+  // 3) Sinks.
+  static const std::set<std::string> kSinkNames = {
+      "canonical_key", "mix", "mix_signed", "record",
+  };
+  // Seed descriptions by (file index, token index), for sink messages.
+  std::map<std::pair<std::size_t, std::size_t>, std::string> seed_what;
+  for (const Seed& s : seeds) {
+    seed_what[{static_cast<std::size_t>(s.file), s.token}] = s.what;
+  }
+
+  for (std::size_t file_idx = 0; file_idx < index.files.size(); ++file_idx) {
+    const FileIndex& fi = index.files[file_idx];
+    const RulePolicy& policy = policy_for(policies, fi.path);
+    if (!policy.nondet_taint) continue;
+
+    // 3a) Any call to a tainted function inside a hot-path file: hot-path
+    // code feeds goldens/traces by definition.
+    if (policy.hot_path) {
+      for (const CallSite& c : fi.calls) {
+        if (c.caller < 0) continue;  // file-scope: a declaration, not a call
+        const auto it = tainted.find(c.callee);
+        if (it == tainted.end()) continue;
+        out.push_back(make_finding(
+            fi, Rule::kNondetTaint, c.line, c.col,
+            "hot-path call to `" + c.callee +
+                "`, which is nondeterminism-tainted (" + it->second.desc +
+                ")"));
+      }
+    }
+
+    // 3b) Sink calls whose argument list carries taint: a tainted callee,
+    // a seed expression, or a local assigned from a tainted call
+    // (one-level tracking).
+    const std::vector<Token>& toks = fi.lexed.tokens;
+    const std::size_t n = toks.size();
+    const std::set<std::size_t>& seeds_here = seed_tokens[file_idx];
+    for (const FunctionDef& fn : fi.functions) {
+      // Locals assigned from tainted calls within this body.
+      std::set<std::string> tainted_locals;
+      for (std::size_t k = fn.body_begin + 1; k + 1 < fn.body_end; ++k) {
+        if (toks[k].text != "=" || !ident_start_char(toks[k - 1].text[0])) {
+          continue;
+        }
+        for (std::size_t r = k + 1; r < fn.body_end; ++r) {
+          const std::string& rt = toks[r].text;
+          if (rt == ";") break;
+          const bool tainted_call = r + 1 < n && toks[r + 1].text == "(" &&
+                                    tainted.count(rt) > 0;
+          if (tainted_call || seeds_here.count(r) > 0) {
+            tainted_locals.insert(toks[k - 1].text);
+            break;
+          }
+        }
+      }
+      for (const CallSite& c : fi.calls) {
+        if (c.token <= fn.body_begin || c.token >= fn.body_end) continue;
+        if (kSinkNames.count(c.callee) == 0) continue;
+        // Argument token range: balanced parens after the callee.
+        std::size_t open = c.token + 1;
+        int depth = 0;
+        std::size_t close = open;
+        for (; close < n; ++close) {
+          if (toks[close].text == "(") ++depth;
+          if (toks[close].text == ")" && --depth == 0) break;
+        }
+        std::string carrier;
+        std::string why;
+        for (std::size_t k = open + 1; k < close; ++k) {
+          const std::string& a = toks[k].text;
+          const auto it = tainted.find(a);
+          if (it != tainted.end()) {
+            carrier = a;
+            why = it->second.desc;
+            break;
+          }
+          if (tainted_locals.count(a) > 0) {
+            carrier = a;
+            why = "local assigned from a tainted call";
+            break;
+          }
+          if (seeds_here.count(k) > 0) {
+            carrier = a;
+            const auto sw = seed_what.find({file_idx, k});
+            why = sw == seed_what.end() ? "nondeterministic expression"
+                                        : sw->second + " inline in the argument";
+            break;
+          }
+        }
+        if (carrier.empty()) continue;
+        out.push_back(make_finding(
+            fi, Rule::kNondetTaint, c.line, c.col,
+            "sink `" + c.callee + "` receives nondeterminism-tainted `" +
+                carrier + "` (" + why + ")"));
+      }
+    }
+
+    // 3c) Fail open: a tainted function's name used as a value (function
+    // pointer / std::function) — the call graph cannot follow it.
+    std::set<int> escape_lines;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::string& t = toks[k].text;
+      const auto it = tainted.find(t);
+      if (it == tainted.end()) continue;
+      const std::string& next = k + 1 < n ? toks[k + 1].text : t;
+      if (next == "(") continue;  // direct call or definition head
+      const std::string& prev = k > 0 ? toks[k - 1].text : t;
+      if (prev == "::" && next == "::") continue;  // mid-qualification
+      // Declaration of the function itself (name directly after a type
+      // would still be followed by "(") — anything else is an escape.
+      if (escape_lines.count(toks[k].line) > 0) continue;
+      escape_lines.insert(toks[k].line);
+      out.push_back(make_finding(
+          fi, Rule::kTaintUnknown, toks[k].line, toks[k].col,
+          "tainted function `" + t + "` (" + it->second.desc +
+              ") escapes as a value; taint analysis cannot follow "
+              "indirect calls"));
+    }
+  }
+}
+
+// --- C1: guarded-by ----------------------------------------------------------
+
+bool special_guard(const std::string& g) {
+  return g == "internal" || g == "init";
+}
+
+struct VisibleClass {
+  const ClassInfo* cls;
+  const FileIndex* decl_file;
+  bool own_tu;  ///< declared in the TU under analysis
+};
+
+/// The classes whose fields are visible to `fi`: its own, plus classes
+/// from indexed files it includes (matched by path suffix), plus the
+/// stem-paired header/source.
+std::vector<VisibleClass> visible_classes(const SourceIndex& index,
+                                          const FileIndex& fi) {
+  std::vector<VisibleClass> out;
+  for (const ClassInfo& c : fi.classes) out.push_back({&c, &fi, true});
+  auto stem = [](const std::string& p) {
+    const auto dot = p.rfind('.');
+    return dot == std::string::npos ? p : p.substr(0, dot);
+  };
+  const std::string my_stem = stem(fi.path);
+  auto path_matches_include = [](const std::string& path,
+                                 const std::string& inc) {
+    if (path == inc) return true;
+    return path.size() > inc.size() &&
+           path[path.size() - inc.size() - 1] == '/' &&
+           path.compare(path.size() - inc.size(), inc.size(), inc) == 0;
+  };
+  for (const FileIndex& other : index.files) {
+    if (&other == &fi) continue;
+    bool included = stem(other.path) == my_stem;
+    for (const std::string& inc : fi.lexed.includes) {
+      if (path_matches_include(other.path, inc)) {
+        included = true;
+        break;
+      }
+    }
+    if (!included) continue;
+    for (const ClassInfo& c : other.classes) {
+      out.push_back({&c, &other, false});
+    }
+  }
+  return out;
+}
+
+/// Register the mutex names locked by a lock declaration starting at
+/// toks[i] (lock_guard / scoped_lock / unique_lock); returns one past the
+/// declaration, or `i` when toks[i] starts no lock declaration.
+std::size_t match_lock_decl(const std::vector<Token>& toks, std::size_t i,
+                            std::set<std::string>& scope_locks) {
+  const std::size_t n = toks.size();
+  auto tok = [&](std::size_t k) -> const std::string& {
+    static const std::string empty;
+    return k < n ? toks[k].text : empty;
+  };
+  std::size_t k = i;
+  if (tok(k) == "std" && tok(k + 1) == "::") k += 2;
+  const std::string& kind = tok(k);
+  if (kind != "lock_guard" && kind != "scoped_lock" && kind != "unique_lock") {
+    return i;
+  }
+  ++k;
+  if (tok(k) == "<") k = skip_angle_block(toks, k);
+  if (!ident_start_char(tok(k).empty() ? '\0' : tok(k)[0])) return i;
+  ++k;  // the lock variable name
+  const std::string open = tok(k);
+  if (open != "(" && open != "{") return i;
+  const std::string close = open == "(" ? ")" : "}";
+  int depth = 0;
+  std::string last_ident;
+  for (; k < n; ++k) {
+    const std::string& t = toks[k].text;
+    if (t == open) ++depth;
+    if (t == close && --depth == 0) {
+      if (!last_ident.empty()) scope_locks.insert(last_ident);
+      return k + 1;
+    }
+    if (t == "," && depth == 1) {
+      // scoped_lock(a.mu, b.mu): each top-level expression locks one mutex.
+      if (!last_ident.empty()) scope_locks.insert(last_ident);
+      last_ident.clear();
+      continue;
+    }
+    if (ident_start_char(t[0])) last_ident = t;
+  }
+  return k;
+}
+
+void run_guarded_by(const SourceIndex& index,
+                    const std::map<std::string, RulePolicy>& policies,
+                    std::vector<Finding>& out) {
+  for (const FileIndex& fi : index.files) {
+    const RulePolicy& policy = policy_for(policies, fi.path);
+    if (!policy.guarded_by) continue;
+    const std::vector<Token>& toks = fi.lexed.tokens;
+
+    // 1) Annotation requirement + target validation, for classes declared
+    // in this TU.
+    for (const ClassInfo& cls : fi.classes) {
+      if (!cls.has_mutex) continue;
+      std::set<std::string> mutex_names;
+      for (const FieldDecl& f : cls.fields) {
+        if (f.is_mutex) mutex_names.insert(f.name);
+      }
+      for (const FieldDecl& f : cls.fields) {
+        const bool exempt = f.is_mutex || f.is_cv || f.is_atomic ||
+                            f.is_const || f.is_reference;
+        if (exempt) continue;
+        if (!f.has_guard) {
+          if (policy.concurrent) {
+            out.push_back(make_finding(
+                fi, Rule::kGuardedBy, f.line, f.col,
+                "mutable field `" + f.name + "` of mutex-holding `" +
+                    cls.name +
+                    "` lacks a guarded_by(...) annotation (use the mutex "
+                    "name, or `internal`/`init`)"));
+          }
+          continue;
+        }
+        if (!special_guard(f.guard) && mutex_names.count(f.guard) == 0) {
+          out.push_back(make_finding(
+              fi, Rule::kGuardedBy, f.line, f.col,
+              "guarded_by(" + f.guard + ") on `" + f.name +
+                  "` names no mutex member of `" + cls.name + "`"));
+        }
+      }
+    }
+
+    // 2) Lexical lock-scope checking against all visible guarded fields.
+    struct Guarded {
+      std::string mutex;
+      std::string cls;
+      const FileIndex* decl_file;
+      int decl_line;
+      std::size_t body_begin, body_end;  ///< class body range (decl TU)
+      bool own_tu;
+    };
+    std::map<std::string, Guarded> guarded;  // field name -> guard info
+    for (const VisibleClass& vc : visible_classes(index, fi)) {
+      std::set<std::string> mutex_names;
+      for (const FieldDecl& f : vc.cls->fields) {
+        if (f.is_mutex) mutex_names.insert(f.name);
+      }
+      for (const FieldDecl& f : vc.cls->fields) {
+        if (!f.has_guard || special_guard(f.guard)) continue;
+        if (mutex_names.count(f.guard) == 0) continue;  // flagged above
+        guarded[f.name] = {f.guard,        vc.cls->name,
+                           vc.decl_file,   f.line,
+                           vc.cls->body_begin, vc.cls->body_end,
+                           vc.own_tu};
+      }
+    }
+    if (guarded.empty()) continue;
+
+    std::set<std::pair<int, std::string>> reported;  // (line, field)
+    for (const FunctionDef& fn : fi.functions) {
+      std::vector<std::set<std::string>> scopes;
+      scopes.emplace_back();
+      auto held = [&](const std::string& mu) {
+        for (const auto& s : scopes) {
+          if (s.count(mu) > 0) return true;
+        }
+        return false;
+      };
+      for (std::size_t k = fn.body_begin + 1; k < fn.body_end; ++k) {
+        const std::string& t = toks[k].text;
+        if (t == "{") {
+          scopes.emplace_back();
+          continue;
+        }
+        if (t == "}") {
+          if (scopes.size() > 1) scopes.pop_back();
+          continue;
+        }
+        const std::size_t after = match_lock_decl(toks, k, scopes.back());
+        if (after != k) {
+          k = after - 1;
+          continue;
+        }
+        const auto g = guarded.find(t);
+        if (g == guarded.end()) continue;
+        const std::string& next = k + 1 < toks.size() ? toks[k + 1].text : t;
+        if (next == "(") continue;  // a call, not the field
+        const std::string& prev = k > 0 ? toks[k - 1].text : t;
+        // Member-access context only: `x.field` / `p->field`, a member
+        // function of the declaring class (Class::fn), or an inline
+        // method inside the class body itself. Bare same-name locals in
+        // unrelated functions are not accesses.
+        const bool member_prefix = prev == "." || prev == "->";
+        const bool member_fn =
+            fn.qualified.rfind(g->second.cls + "::", 0) == 0;
+        const bool inline_method =
+            g->second.own_tu && fn.body_begin > g->second.body_begin &&
+            fn.body_end < g->second.body_end;
+        if (!member_prefix && !member_fn && !inline_method) continue;
+        if (prev == "::") continue;  // qualified name, not an access
+        if (held(g->second.mutex)) continue;
+        const Token& at = toks[k];
+        if (!reported.insert({at.line, t}).second) continue;
+        out.push_back(make_finding(
+            fi, Rule::kGuardedBy, at.line, at.col,
+            "field `" + t + "` (guarded_by(" + g->second.mutex + ") in `" +
+                g->second.cls + "`) accessed without holding `" +
+                g->second.mutex + "`"));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void run_xfile_rules(const SourceIndex& index,
+                     const std::map<std::string, RulePolicy>& policies,
+                     std::vector<Finding>& out) {
+  run_taint(index, policies, out);
+  run_guarded_by(index, policies, out);
+}
+
+}  // namespace smilint

@@ -1,7 +1,12 @@
+// smilint orchestration: manifest, suppressions, baseline ratchet, tree
+// runner (two-phase), and report emitters (text / JSON / SARIF). The
+// lexer and symbol index live in index.cpp; the rule passes in
+// rules_local.cpp / rules_xfile.cpp.
 #include "smilint.h"
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -10,17 +15,44 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "index.h"
+#include "rules.h"
+
 namespace smilint {
 
 namespace {
 
 constexpr std::string_view kRuleIds[kRuleCount] = {
-    "wall-clock",   "unseeded-rng",   "unordered-iter", "std-function",
-    "raw-new-delete", "float-reduce", "suppression",
+    "wall-clock",   "unseeded-rng", "unordered-iter", "std-function",
+    "raw-new-delete", "float-reduce", "nondet-taint", "pointer-order",
+    "guarded-by",   "suppression",  "taint-unknown",
 };
 constexpr std::string_view kRuleCodes[kRuleCount] = {
-    "D1", "D2", "D3", "D4", "D5", "D6", "S0",
+    "D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "C1", "S0", "I7",
 };
+constexpr std::string_view kRuleDescriptions[kRuleCount] = {
+    "wall-clock read in simulation code; state must advance on SimTime",
+    "RNG outside the seeded smilab Rng stream",
+    "iteration over an unordered container; hash order is unspecified",
+    "std::function in a hot-path file; use InlineCallback",
+    "raw new/delete outside the slab allocators",
+    "accumulation-order-sensitive floating-point reduction",
+    "nondeterministic value reaches a determinism sink (cross-file taint)",
+    "container or comparator ordered by raw pointer value",
+    "mutex-guarded field accessed or declared against the lock discipline",
+    "suppression directive without a reason",
+    "taint analysis failed open (indirect call or depth bound); info only",
+};
+
+void trim(std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) {
+    s.clear();
+    return;
+  }
+  const auto e = s.find_last_not_of(" \t\r\n");
+  s = s.substr(b, e - b + 1);
+}
 
 }  // namespace
 
@@ -30,6 +62,10 @@ std::string_view rule_id(Rule rule) {
 
 std::string_view rule_code(Rule rule) {
   return kRuleCodes[static_cast<int>(rule)];
+}
+
+std::string_view rule_description(Rule rule) {
+  return kRuleDescriptions[static_cast<int>(rule)];
 }
 
 bool parse_rule_id(std::string_view id, Rule& out) {
@@ -56,8 +92,16 @@ bool RulePolicy::enabled(Rule rule) const {
       return raw_new_delete;
     case Rule::kFloatReduce:
       return float_reduce;
+    case Rule::kNondetTaint:
+      return nondet_taint;
+    case Rule::kPointerOrder:
+      return pointer_order;
+    case Rule::kGuardedBy:
+      return guarded_by;
     case Rule::kSuppression:
       return true;  // suppression hygiene is never waivable
+    case Rule::kTaintUnknown:
+      return nondet_taint;  // rides with the taint pass
   }
   return true;
 }
@@ -82,483 +126,52 @@ void RulePolicy::set(Rule rule, bool on) {
     case Rule::kFloatReduce:
       float_reduce = on;
       break;
+    case Rule::kNondetTaint:
+      nondet_taint = on;
+      break;
+    case Rule::kPointerOrder:
+      pointer_order = on;
+      break;
+    case Rule::kGuardedBy:
+      guarded_by = on;
+      break;
     case Rule::kSuppression:
-      break;  // not configurable
+    case Rule::kTaintUnknown:
+      break;  // not independently configurable
   }
 }
 
-namespace {
+// --- Fingerprints ------------------------------------------------------------
 
-// --- Lexer -------------------------------------------------------------------
-
-struct Token {
-  std::string text;
-  int line = 0;
-};
-
-/// A suppression directive parsed from a comment.
-struct Suppression {
-  int line = 0;                  ///< line the comment ends on
-  std::vector<Rule> rules;
-  std::string reason;
-  bool has_reason = false;
-  bool used = false;
-};
-
-struct Lexed {
-  std::vector<Token> tokens;
-  std::vector<Suppression> suppressions;
-};
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+std::string finding_fingerprint(const Finding& finding) {
+  // FNV-1a over the snippet with ALL whitespace removed: stable across
+  // reformatting and line moves, invalidated by edits to the code itself.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : finding.snippet) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(h));
+  return finding.file + "|" + std::string(rule_id(finding.rule)) + "|" + hex;
 }
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-void trim(std::string& s) {
-  const auto b = s.find_first_not_of(" \t\r\n");
-  if (b == std::string::npos) {
-    s.clear();
-    return;
-  }
-  const auto e = s.find_last_not_of(" \t\r\n");
-  s = s.substr(b, e - b + 1);
-}
-
-/// Parse `smilint: allow(<rule>[,<rule>]) reason=<text>` out of a comment.
-/// Malformed rule lists are reported as a reason-less suppression so they
-/// surface as S0 findings instead of being silently ignored.
-void parse_suppression(std::string_view comment, int line,
-                       std::vector<Suppression>& out) {
-  const auto at = comment.find("smilint:");
-  if (at == std::string_view::npos) return;
-  std::string_view rest = comment.substr(at + 8);
-  Suppression s;
-  s.line = line;
-  const auto open = rest.find("allow(");
-  if (open == std::string_view::npos) return;
-  const auto close = rest.find(')', open);
-  if (close == std::string_view::npos) {
-    out.push_back(std::move(s));  // malformed: no rule list
-    return;
-  }
-  std::string_view list = rest.substr(open + 6, close - open - 6);
-  while (!list.empty()) {
-    const auto comma = list.find(',');
-    std::string one{list.substr(0, comma)};
-    trim(one);
-    Rule rule;
-    if (!one.empty() && parse_rule_id(one, rule)) s.rules.push_back(rule);
-    if (comma == std::string_view::npos) break;
-    list.remove_prefix(comma + 1);
-  }
-  std::string_view after = rest.substr(close + 1);
-  const auto r = after.find("reason=");
-  if (r != std::string_view::npos) {
-    std::string reason{after.substr(r + 7)};
-    trim(reason);
-    if (!reason.empty()) {
-      s.reason = std::move(reason);
-      s.has_reason = true;
-    }
-  }
-  out.push_back(std::move(s));
-}
-
-/// Strip comments, string/char literals, and preprocessor directives;
-/// tokenize what remains. Comments are scanned for suppression directives.
-Lexed lex(std::string_view text) {
-  Lexed out;
-  std::string code;  // code-only text, literals blanked, one pass
-  code.reserve(text.size());
-  std::vector<int> code_lines;  // line number per code byte
-  int line = 1;
-
-  std::size_t i = 0;
-  const std::size_t n = text.size();
-  auto peek = [&](std::size_t k) -> char { return k < n ? text[k] : '\0'; };
-
-  bool at_line_start = true;  // only whitespace seen so far on this line
-  while (i < n) {
-    const char c = text[i];
-    if (c == '\n') {
-      ++line;
-      at_line_start = true;
-      code.push_back('\n');
-      code_lines.push_back(line - 1);
-      ++i;
-      continue;
-    }
-    if (at_line_start && c == '#') {
-      // Preprocessor directive: drop it (with backslash continuations).
-      while (i < n) {
-        if (text[i] == '\\' && peek(i + 1) == '\n') {
-          ++line;
-          i += 2;
-          continue;
-        }
-        if (text[i] == '\n') break;
-        ++i;
-      }
-      continue;
-    }
-    if (!std::isspace(static_cast<unsigned char>(c))) at_line_start = false;
-    if (c == '/' && peek(i + 1) == '/') {
-      const std::size_t start = i + 2;
-      while (i < n && text[i] != '\n') ++i;
-      parse_suppression(text.substr(start, i - start), line, out.suppressions);
-      continue;
-    }
-    if (c == '/' && peek(i + 1) == '*') {
-      const std::size_t start = i + 2;
-      i += 2;
-      while (i < n && !(text[i] == '*' && peek(i + 1) == '/')) {
-        if (text[i] == '\n') ++line;
-        ++i;
-      }
-      parse_suppression(text.substr(start, i - start), line, out.suppressions);
-      if (i < n) i += 2;
-      continue;
-    }
-    if (c == 'R' && peek(i + 1) == '"') {
-      // Raw string literal R"delim(...)delim".
-      std::size_t j = i + 2;
-      std::string delim;
-      while (j < n && text[j] != '(') delim.push_back(text[j++]);
-      const std::string closer = ")" + delim + "\"";
-      const auto end = text.find(closer, j);
-      const std::size_t stop = end == std::string_view::npos
-                                   ? n
-                                   : end + closer.size();
-      for (std::size_t k = i; k < stop; ++k) {
-        if (text[k] == '\n') ++line;
-      }
-      i = stop;
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      ++i;
-      while (i < n && text[i] != quote) {
-        if (text[i] == '\\') ++i;
-        if (i < n && text[i] == '\n') ++line;
-        if (i < n) ++i;
-      }
-      if (i < n) ++i;
-      continue;
-    }
-    code.push_back(c);
-    code_lines.push_back(line);
-    ++i;
-  }
-
-  // Tokenize the code-only text.
-  std::size_t p = 0;
-  const std::size_t m = code.size();
-  while (p < m) {
-    const char c = code[p];
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++p;
-      continue;
-    }
-    const int tok_line = code_lines[p];
-    if (ident_start(c)) {
-      std::size_t q = p;
-      while (q < m && ident_char(code[q])) ++q;
-      out.tokens.push_back({code.substr(p, q - p), tok_line});
-      p = q;
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      std::size_t q = p;
-      while (q < m && (ident_char(code[q]) || code[q] == '.' ||
-                       code[q] == '\'')) {
-        ++q;
-      }
-      p = q;  // numbers never participate in a rule pattern
-      continue;
-    }
-    // Multi-char operators the matchers care about; everything else is a
-    // single-char symbol token.
-    auto two = [&](char a, char b) {
-      return c == a && p + 1 < m && code[p + 1] == b;
-    };
-    if (two(':', ':') || two('+', '=') || two('-', '=') || two('*', '=') ||
-        two('/', '=') || two('-', '>')) {
-      out.tokens.push_back({code.substr(p, 2), tok_line});
-      p += 2;
-      continue;
-    }
-    out.tokens.push_back({std::string(1, c), tok_line});
-    ++p;
-  }
-  return out;
-}
-
-// --- Declared-name harvesting ------------------------------------------------
-
-struct DeclaredNames {
-  std::set<std::string> unordered_vars;   ///< variables of unordered type
-  std::set<std::string> unordered_types;  ///< aliases of unordered types
-  std::set<std::string> float_vars;       ///< double/float variables
-};
-
-bool is_unordered_container(const std::string& t) {
-  return t == "unordered_map" || t == "unordered_set" ||
-         t == "unordered_multimap" || t == "unordered_multiset";
-}
-
-/// Skip a balanced <...> starting at tokens[i] == "<"; returns the index
-/// one past the closing ">". `::` never contains angles; `->` can't appear
-/// in a template argument list we care about.
-std::size_t skip_angles(const std::vector<Token>& toks, std::size_t i) {
-  int depth = 0;
-  while (i < toks.size()) {
-    const std::string& t = toks[i].text;
-    if (t == "<") ++depth;
-    if (t == ">" && --depth == 0) return i + 1;
-    ++i;
-  }
-  return i;
-}
-
-void harvest(const std::vector<Token>& toks, DeclaredNames& names) {
-  const std::size_t n = toks.size();
-  auto tok = [&](std::size_t k) -> const std::string& {
-    static const std::string empty;
-    return k < n ? toks[k].text : empty;
-  };
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::string& t = toks[i].text;
-    // using NAME = std::unordered_map<...>;
-    if (t == "using" && i + 2 < n && tok(i + 2) == "=") {
-      std::size_t j = i + 3;
-      if (tok(j) == "std" && tok(j + 1) == "::") j += 2;
-      if (is_unordered_container(tok(j))) {
-        names.unordered_types.insert(tok(i + 1));
-      }
-      continue;
-    }
-    // [std::]unordered_map<...> [&|*] NAME   (declaration or parameter)
-    const bool qualified = t == "std" && tok(i + 1) == "::";
-    const std::size_t base = qualified ? i + 2 : i;
-    const bool container = is_unordered_container(tok(base)) ||
-                           names.unordered_types.count(tok(base)) > 0;
-    if (container && (qualified || !names.unordered_types.count(t))) {
-      std::size_t j = base + 1;
-      if (tok(j) == "<") j = skip_angles(toks, j);
-      while (tok(j) == "&" || tok(j) == "*" || tok(j) == "const") ++j;
-      if (j < n && ident_start(tok(j)[0]) &&
-          tok(j + 1) != "(") {  // not a function returning one
-        names.unordered_vars.insert(tok(j));
-      }
-      if (qualified) i = base;  // resume after "std :: name"
-      continue;
-    }
-    // Alias-typed declarations: ALIAS NAME;
-    if (names.unordered_types.count(t) > 0 && i + 1 < n &&
-        ident_start(tok(i + 1)[0]) && tok(i + 2) != "(") {
-      names.unordered_vars.insert(tok(i + 1));
-      continue;
-    }
-    // double/float NAME followed by ; = { , ) — a variable, not a function.
-    if ((t == "double" || t == "float") && i + 2 < n &&
-        ident_start(tok(i + 1)[0])) {
-      const std::string& after = tok(i + 2);
-      if (after == ";" || after == "=" || after == "{" || after == "," ||
-          after == ")" || after == "+=") {
-        names.float_vars.insert(tok(i + 1));
-      }
-    }
-  }
-}
-
-// --- Rule matchers -----------------------------------------------------------
-
-const std::set<std::string>& wall_clock_calls() {
-  static const std::set<std::string> kCalls = {
-      "gettimeofday", "clock_gettime", "timespec_get", "ftime",
-      "localtime",    "gmtime",        "mktime",
-  };
-  return kCalls;
-}
-
-const std::set<std::string>& banned_rng_names() {
-  static const std::set<std::string> kNames = {
-      "rand",          "srand",        "drand48",
-      "lrand48",       "mrand48",      "random_device",
-      "mt19937",       "mt19937_64",   "minstd_rand",
-      "minstd_rand0",  "knuth_b",      "default_random_engine",
-      "random_shuffle",
-  };
-  return kNames;
-}
-
-struct Matcher {
-  const std::string& file;
-  const std::vector<Token>& toks;
-  const DeclaredNames& names;
-  const RulePolicy& policy;
-  std::vector<Finding>& findings;
-
-  [[nodiscard]] const std::string& tok(std::size_t k) const {
-    static const std::string empty;
-    return k < toks.size() ? toks[k].text : empty;
-  }
-
-  void add(Rule rule, int line, std::string message) {
-    if (!policy.enabled(rule)) return;
-    findings.push_back({file, line, rule, std::move(message), false, {}});
-  }
-
-  void run() {
-    const std::size_t n = toks.size();
-    // Body extents (token ranges) of range-for loops over unordered
-    // containers, for the D6 combination rule.
-    std::vector<std::pair<std::size_t, std::size_t>> unordered_bodies;
-
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::string& t = toks[i].text;
-      const std::string& prev = i > 0 ? toks[i - 1].text : tok(n);
-
-      // D1: std::chrono anywhere; C time functions; bare time( calls.
-      if (t == "std" && tok(i + 1) == "::" && tok(i + 2) == "chrono") {
-        add(Rule::kWallClock, toks[i].line,
-            "std::chrono clock in simulation code; simulation state must "
-            "advance on SimTime only");
-      }
-      if (wall_clock_calls().count(t) > 0 && tok(i + 1) == "(" &&
-          prev != "." && prev != "->") {
-        add(Rule::kWallClock, toks[i].line,
-            "wall-clock call `" + t + "()`; use SimTime");
-      }
-      if (t == "time" && tok(i + 1) == "(" && prev != "." && prev != "->") {
-        // Allow member/qualified uses like SimClock::time(); flag ::time()
-        // and std::time().
-        const bool qualified_member =
-            prev == "::" && i >= 2 && ident_start(tok(i - 2)[0]) &&
-            tok(i - 2) != "std";
-        if (!qualified_member) {
-          add(Rule::kWallClock, toks[i].line,
-              "wall-clock call `time()`; use SimTime");
-        }
-      }
-
-      // D2: libc / <random> generators outside the seeded smilab Rng.
-      if (banned_rng_names().count(t) > 0 && prev != "." && prev != "->") {
-        const bool call_or_type =
-            tok(i + 1) == "(" || tok(i + 1) == "{" || tok(i + 1) == "<" ||
-            prev == "::" || ident_start(tok(i + 1)[0]);
-        if (call_or_type) {
-          add(Rule::kUnseededRng, toks[i].line,
-              "`" + t + "` bypasses the seeded smilab Rng stream");
-        }
-      }
-
-      // D3: range-for over a declared unordered container.
-      if (t == "for" && tok(i + 1) == "(") {
-        std::size_t close = i + 1;
-        int depth = 0;
-        std::size_t colon = 0;
-        for (; close < n; ++close) {
-          const std::string& c = toks[close].text;
-          if (c == "(") ++depth;
-          if (c == ")" && --depth == 0) break;
-          if (c == ":" && depth == 1 && colon == 0) colon = close;
-        }
-        if (colon != 0) {
-          for (std::size_t k = colon + 1; k < close; ++k) {
-            if (names.unordered_vars.count(toks[k].text) > 0) {
-              add(Rule::kUnorderedIter, toks[i].line,
-                  "iteration over unordered container `" + toks[k].text +
-                      "`; hash order is unspecified and must not reach "
-                      "output");
-              // Record the loop body for the D6 combination rule.
-              std::size_t body = close + 1;
-              if (tok(body) == "{") {
-                int braces = 0;
-                std::size_t end = body;
-                for (; end < n; ++end) {
-                  if (toks[end].text == "{") ++braces;
-                  if (toks[end].text == "}" && --braces == 0) break;
-                }
-                unordered_bodies.emplace_back(body, end);
-              }
-              break;
-            }
-          }
-        }
-      }
-
-      // D3: explicit iterator walks over a declared unordered container.
-      // Only begin/cbegin start an iteration; `it != m.end()` after a
-      // keyed find() is a sentinel comparison, not an order dependence.
-      if (names.unordered_vars.count(t) > 0 && tok(i + 1) == "." &&
-          (tok(i + 2) == "begin" || tok(i + 2) == "cbegin") &&
-          tok(i + 3) == "(") {
-        add(Rule::kUnorderedIter, toks[i].line,
-            "iterator over unordered container `" + t +
-                "`; hash order is unspecified and must not reach output");
-      }
-
-      // D4: std::function in manifest-marked hot-path files.
-      if (t == "std" && tok(i + 1) == "::" && tok(i + 2) == "function") {
-        add(Rule::kStdFunction, toks[i].line,
-            "std::function in a hot-path file (PR-2 lesson: type-erased "
-            "callbacks allocate and branch; use InlineCallback)");
-      }
-
-      // D5: raw new/delete outside the slab allocators.
-      if (t == "new" && prev != "operator") {
-        add(Rule::kRawNewDelete, toks[i].line,
-            "raw `new` outside the slab allocators (sim/event_queue, "
-            "sim/transport own allocation)");
-      }
-      if (t == "delete" && prev != "operator" && prev != "=") {
-        add(Rule::kRawNewDelete, toks[i].line,
-            "raw `delete` outside the slab allocators");
-      }
-
-      // D6: unspecified-order reduction algorithms.
-      if (t == "std" && tok(i + 1) == "::" &&
-          (tok(i + 2) == "reduce" || tok(i + 2) == "transform_reduce")) {
-        add(Rule::kFloatReduce, toks[i].line,
-            "std::" + tok(i + 2) +
-                " has unspecified reduction order; accumulate in stats/ "
-                "or use a fixed-order loop");
-      }
-    }
-
-    // D6: floating accumulation inside an unordered-container loop body.
-    for (const auto& [begin, end] : unordered_bodies) {
-      for (std::size_t k = begin; k + 1 < end; ++k) {
-        const std::string& op = toks[k + 1].text;
-        if ((op == "+=" || op == "-=" || op == "*=") &&
-            names.float_vars.count(toks[k].text) > 0) {
-          add(Rule::kFloatReduce, toks[k].line,
-              "floating-point accumulation into `" + toks[k].text +
-                  "` inside an unordered-container loop: the sum depends "
-                  "on hash iteration order");
-        }
-      }
-    }
-  }
-};
 
 // --- Suppression application -------------------------------------------------
 
-void apply_suppressions(std::vector<Suppression>& sups,
-                        std::vector<Finding>& findings,
-                        const std::string& file) {
+namespace {
+
+/// Apply one TU's suppression directives to its findings, then emit the
+/// S0 hygiene findings for reason-less directives. Must run exactly once
+/// per scanned file.
+void apply_suppressions(const FileIndex& fi, std::vector<Finding>& findings) {
   for (Finding& f : findings) {
-    for (Suppression& s : sups) {
+    for (const SuppressionDirective& s : fi.lexed.suppressions) {
       if (f.line != s.line && f.line != s.line + 1) continue;
       const bool covers =
           std::find(s.rules.begin(), s.rules.end(), f.rule) != s.rules.end();
       if (!covers) continue;
-      s.used = true;
       if (s.has_reason) {
         f.suppressed = true;
         f.reason = s.reason;
@@ -568,14 +181,28 @@ void apply_suppressions(std::vector<Suppression>& sups,
   }
   // Reason-less suppressions are findings themselves — whether or not they
   // matched, a directive without a reason is a policy violation.
-  for (const Suppression& s : sups) {
+  for (const SuppressionDirective& s : fi.lexed.suppressions) {
     if (s.has_reason) continue;
-    findings.push_back({file, s.line, Rule::kSuppression,
-                        "suppression without a reason; write `smilint: "
-                        "allow(<rule>) reason=<why>`",
-                        false,
-                        {}});
+    findings.push_back(make_finding(
+        fi, Rule::kSuppression, s.line, 1,
+        "suppression without a reason; write `smilint: allow(<rule>) "
+        "reason=<why>`"));
   }
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.column != b.column) return a.column < b.column;
+              return static_cast<int>(a.rule) < static_cast<int>(b.rule);
+            });
+}
+
+std::string path_stem(const std::string& p) {
+  const auto dot = p.rfind('.');
+  return dot == std::string::npos ? p : p.substr(0, dot);
 }
 
 }  // namespace
@@ -586,22 +213,30 @@ std::vector<Finding> analyze_source(const std::string& file,
                                     std::string_view text,
                                     std::string_view paired_header,
                                     const RulePolicy& policy) {
-  Lexed lexed = lex(text);
-  DeclaredNames names;
+  SourceIndex index;
+  std::map<std::string, RulePolicy> policies;
   if (!paired_header.empty()) {
-    const Lexed header = lex(paired_header);
-    harvest(header.tokens, names);
+    const std::string header_path = path_stem(file) + ".h";
+    index.files.push_back(index_file(header_path, paired_header));
+    policies[header_path] = policy;
   }
-  harvest(lexed.tokens, names);
+  index.files.push_back(index_file(file, text));
+  policies[file] = policy;
+  index.link();
 
+  const FileIndex& fi = index.files.back();
   std::vector<Finding> findings;
-  Matcher{file, lexed.tokens, names, policy, findings}.run();
-  apply_suppressions(lexed.suppressions, findings, file);
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.line != b.line) return a.line < b.line;
-              return static_cast<int>(a.rule) < static_cast<int>(b.rule);
-            });
+  run_local_rules(fi,
+                  paired_header.empty() ? nullptr : &index.files.front().lexed,
+                  policy, findings);
+  std::vector<Finding> cross;
+  run_xfile_rules(index, policies, cross);
+  for (Finding& f : cross) {
+    // The single-TU contract: findings only against `text` itself.
+    if (f.file == file) findings.push_back(std::move(f));
+  }
+  apply_suppressions(fi, findings);
+  sort_findings(findings);
   return findings;
 }
 
@@ -644,6 +279,8 @@ Manifest Manifest::parse(std::string_view text) {
       d.kind = Directive::Kind::kHotPath;
     } else if (verb == "slab") {
       d.kind = Directive::Kind::kSlab;
+    } else if (verb == "concurrent") {
+      d.kind = Directive::Kind::kConcurrent;
     } else {
       bad("unknown verb `" + verb + "`");
     }
@@ -688,28 +325,151 @@ RulePolicy Manifest::policy_for(std::string_view rel_path) const {
         break;
       case Directive::Kind::kHotPath:
         p.std_function = true;
+        p.hot_path = true;
         break;
       case Directive::Kind::kSlab:
         p.raw_new_delete = false;
+        break;
+      case Directive::Kind::kConcurrent:
+        p.concurrent = true;
         break;
     }
   }
   return p;
 }
 
-// --- Tree runner -------------------------------------------------------------
+// --- Baseline ratchet --------------------------------------------------------
+
+Baseline Baseline::parse(std::string_view text) {
+  Baseline b;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    trim(raw);
+    if (raw.empty()) continue;
+    auto bad = [&](const std::string& why) {
+      throw std::runtime_error("smilint baseline line " +
+                               std::to_string(line_no) + ": " + why);
+    };
+    // Validate `file|rule|16-hex` so the baseline fails closed.
+    const auto p1 = raw.find('|');
+    const auto p2 = p1 == std::string::npos ? p1 : raw.find('|', p1 + 1);
+    if (p1 == std::string::npos || p2 == std::string::npos ||
+        raw.find('|', p2 + 1) != std::string::npos) {
+      bad("expected `file|rule|hash`");
+    }
+    Rule rule;
+    if (!parse_rule_id(raw.substr(p1 + 1, p2 - p1 - 1), rule)) {
+      bad("unknown rule `" + raw.substr(p1 + 1, p2 - p1 - 1) + "`");
+    }
+    const std::string hex = raw.substr(p2 + 1);
+    if (hex.size() != 16 ||
+        hex.find_first_not_of("0123456789abcdef") != std::string::npos) {
+      bad("hash must be 16 lowercase hex digits");
+    }
+    b.entries_.push_back(raw);
+  }
+  std::sort(b.entries_.begin(), b.entries_.end());
+  b.entries_.erase(std::unique(b.entries_.begin(), b.entries_.end()),
+                   b.entries_.end());
+  b.matched_.assign(b.entries_.size(), false);
+  return b;
+}
+
+Baseline Baseline::load(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) return Baseline{};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+bool Baseline::contains(const std::string& fingerprint) const {
+  return std::binary_search(entries_.begin(), entries_.end(), fingerprint);
+}
+
+int Baseline::size() const { return static_cast<int>(entries_.size()); }
+
+std::vector<std::string> Baseline::unmatched() const {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (!matched_[i]) out.push_back(entries_[i]);
+  }
+  return out;
+}
+
+void Baseline::apply(Report& report) {
+  for (Finding& f : report.findings) {
+    if (f.severity != Severity::kError || f.suppressed) continue;
+    const std::string fp = finding_fingerprint(f);
+    const auto it =
+        std::lower_bound(entries_.begin(), entries_.end(), fp);
+    if (it == entries_.end() || *it != fp) continue;
+    f.baselined = true;
+    matched_[static_cast<std::size_t>(it - entries_.begin())] = true;
+  }
+}
+
+std::string Baseline::render(const Report& report) {
+  std::vector<std::string> fps;
+  for (const Finding& f : report.findings) {
+    if (f.severity != Severity::kError || f.suppressed) continue;
+    fps.push_back(finding_fingerprint(f));
+  }
+  std::sort(fps.begin(), fps.end());
+  fps.erase(std::unique(fps.begin(), fps.end()), fps.end());
+  std::string out =
+      "# smilint baseline — known findings that do not gate CI.\n"
+      "# One `file|rule|hash` fingerprint per line (hash = FNV-1a of the\n"
+      "# whitespace-collapsed source line, so moving code keeps its entry\n"
+      "# while editing the offending line invalidates it).\n"
+      "# Regenerate with: smilint --write-baseline\n";
+  for (const std::string& fp : fps) {
+    out += fp;
+    out += '\n';
+  }
+  return out;
+}
+
+// --- Report counts -----------------------------------------------------------
 
 int Report::unsuppressed_count() const {
   int n = 0;
   for (const Finding& f : findings) {
-    if (!f.suppressed) ++n;
+    if (f.severity == Severity::kError && !f.suppressed && !f.baselined) ++n;
   }
   return n;
 }
 
 int Report::suppressed_count() const {
-  return static_cast<int>(findings.size()) - unsuppressed_count();
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (f.suppressed) ++n;
+  }
+  return n;
 }
+
+int Report::baselined_count() const {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (f.baselined && !f.suppressed) ++n;
+  }
+  return n;
+}
+
+int Report::info_count() const {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (f.severity == Severity::kInfo && !f.suppressed) ++n;
+  }
+  return n;
+}
+
+// --- Tree runner -------------------------------------------------------------
 
 namespace {
 
@@ -732,47 +492,72 @@ Report run_tree(const std::string& root, const std::vector<std::string>& subdirs
                 const Manifest& manifest) {
   namespace fs = std::filesystem;
   Report report;
-  std::vector<fs::path> files;
+  std::vector<fs::path> paths;
   for (const std::string& sub : subdirs) {
     const fs::path dir = fs::path(root) / sub;
     if (!fs::exists(dir)) continue;
     if (fs::is_regular_file(dir)) {
-      if (cpp_source(dir)) files.push_back(dir);
+      if (cpp_source(dir)) paths.push_back(dir);
       continue;
     }
     for (const auto& entry : fs::recursive_directory_iterator(dir)) {
       if (entry.is_regular_file() && cpp_source(entry.path())) {
-        files.push_back(entry.path());
+        paths.push_back(entry.path());
       }
     }
   }
-  std::sort(files.begin(), files.end());
+  std::sort(paths.begin(), paths.end());
 
-  for (const fs::path& path : files) {
-    const std::string rel =
-        fs::relative(path, root).generic_string();
+  // Phase 1: index every scanned TU.
+  SourceIndex index;
+  std::map<std::string, RulePolicy> policies;
+  for (const fs::path& path : paths) {
+    const std::string rel = fs::relative(path, root).generic_string();
     if (manifest.skipped(rel)) continue;
     ++report.files_scanned;
-    const RulePolicy policy = manifest.policy_for(rel);
-    std::string header_text;
-    if (path.extension() == ".cpp" || path.extension() == ".cc" ||
-        path.extension() == ".cxx") {
-      fs::path header = path;
-      header.replace_extension(".h");
-      if (fs::exists(header)) header_text = slurp(header);
-    }
-    std::vector<Finding> found =
-        analyze_source(rel, slurp(path), header_text, policy);
-    report.findings.insert(report.findings.end(),
-                           std::make_move_iterator(found.begin()),
-                           std::make_move_iterator(found.end()));
+    policies[rel] = manifest.policy_for(rel);
+    index.files.push_back(index_file(rel, slurp(path)));
   }
-  std::sort(report.findings.begin(), report.findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.file != b.file) return a.file < b.file;
-              if (a.line != b.line) return a.line < b.line;
-              return static_cast<int>(a.rule) < static_cast<int>(b.rule);
-            });
+  index.link();
+
+  // Phase 2a: per-file rules. A .cpp's stem-paired .h contributes declared
+  // names; prefer the already-indexed header, fall back to disk (the header
+  // may be manifest-skipped yet still declare names the .cpp touches).
+  std::map<std::string, std::vector<Finding>> by_file;
+  std::map<std::string, Lexed> header_fallbacks;
+  for (const FileIndex& fi : index.files) {
+    const std::string ext = fs::path(fi.path).extension().string();
+    const Lexed* header = nullptr;
+    if (ext == ".cpp" || ext == ".cc" || ext == ".cxx") {
+      const std::string hpath = path_stem(fi.path) + ".h";
+      if (const FileIndex* hfi = index.find(hpath)) {
+        header = &hfi->lexed;
+      } else {
+        const fs::path disk = fs::path(root) / hpath;
+        if (fs::exists(disk)) {
+          header_fallbacks[hpath] = lex(slurp(disk));
+          header = &header_fallbacks[hpath];
+        }
+      }
+    }
+    run_local_rules(fi, header, policies[fi.path], by_file[fi.path]);
+  }
+
+  // Phase 2b: cross-file rules over the linked index.
+  std::vector<Finding> cross;
+  run_xfile_rules(index, policies, cross);
+  for (Finding& f : cross) by_file[f.file].push_back(std::move(f));
+
+  // Suppressions are per-TU; S0 hygiene runs once per scanned file.
+  for (const FileIndex& fi : index.files) {
+    apply_suppressions(fi, by_file[fi.path]);
+  }
+  for (auto& [file, findings] : by_file) {
+    report.findings.insert(report.findings.end(),
+                           std::make_move_iterator(findings.begin()),
+                           std::make_move_iterator(findings.end()));
+  }
+  sort_findings(report.findings);
   return report;
 }
 
@@ -814,6 +599,9 @@ std::string to_json(const Report& report) {
                     std::to_string(report.unsuppressed_count()) +
                     ",\n  \"suppressed\": " +
                     std::to_string(report.suppressed_count()) +
+                    ",\n  \"baselined\": " +
+                    std::to_string(report.baselined_count()) +
+                    ",\n  \"info\": " + std::to_string(report.info_count()) +
                     ",\n  \"findings\": [";
   bool first = true;
   for (const Finding& f : report.findings) {
@@ -821,14 +609,21 @@ std::string to_json(const Report& report) {
     first = false;
     out += "    {\"file\": \"";
     json_escape(out, f.file);
-    out += "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"";
+    out += "\", \"line\": " + std::to_string(f.line) +
+           ", \"column\": " + std::to_string(f.column) + ", \"rule\": \"";
     out += rule_id(f.rule);
     out += "\", \"code\": \"";
     out += rule_code(f.rule);
+    out += "\", \"severity\": \"";
+    out += f.severity == Severity::kInfo ? "info" : "error";
     out += "\", \"suppressed\": ";
     out += f.suppressed ? "true" : "false";
+    out += ", \"baselined\": ";
+    out += f.baselined ? "true" : "false";
     out += ", \"message\": \"";
     json_escape(out, f.message);
+    out += "\", \"snippet\": \"";
+    json_escape(out, f.snippet);
     if (f.suppressed) {
       out += "\", \"reason\": \"";
       json_escape(out, f.reason);
@@ -839,17 +634,92 @@ std::string to_json(const Report& report) {
   return out;
 }
 
+std::string to_sarif(const Report& report) {
+  std::string out =
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"smilint\",\n"
+      "          \"informationUri\": "
+      "\"https://example.invalid/smilab/tools/smilint\",\n"
+      "          \"rules\": [";
+  for (int i = 0; i < kRuleCount; ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "            {\"id\": \"";
+    out += kRuleIds[i];
+    out += "\", \"name\": \"";
+    out += kRuleCodes[i];
+    out += "\", \"shortDescription\": {\"text\": \"";
+    json_escape(out, kRuleDescriptions[i]);
+    out += "\"}}";
+  }
+  out +=
+      "\n          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [";
+  bool first = true;
+  for (const Finding& f : report.findings) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    const bool gates =
+        f.severity == Severity::kError && !f.suppressed && !f.baselined;
+    out += "        {\"ruleId\": \"";
+    out += rule_id(f.rule);
+    out += "\", \"ruleIndex\": " + std::to_string(static_cast<int>(f.rule));
+    out += ", \"level\": \"";
+    out += gates ? "error" : "note";
+    out += "\", \"message\": {\"text\": \"";
+    json_escape(out, f.message);
+    out += "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"";
+    json_escape(out, f.file);
+    out += "\"}, \"region\": {\"startLine\": " + std::to_string(f.line) +
+           ", \"startColumn\": " + std::to_string(f.column) +
+           ", \"snippet\": {\"text\": \"";
+    json_escape(out, f.snippet);
+    out += "\"}}}}]";
+    if (f.suppressed) {
+      out += ", \"suppressions\": [{\"kind\": \"inSource\", "
+             "\"justification\": \"";
+      json_escape(out, f.reason);
+      out += "\"}]";
+    } else if (f.baselined) {
+      out += ", \"suppressions\": [{\"kind\": \"external\", "
+             "\"justification\": \"baselined in "
+             "tools/smilint/smilint.baseline\"}]";
+    }
+    out += "}";
+  }
+  out += first ? "]\n" : "\n      ]\n";
+  out +=
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
 void print_text(std::ostream& os, const Report& report, bool show_suppressed) {
   for (const Finding& f : report.findings) {
     if (f.suppressed && !show_suppressed) continue;
-    os << f.file << ":" << f.line << ": [" << rule_code(f.rule) << " "
-       << rule_id(f.rule) << "] " << f.message;
+    os << f.file << ":" << f.line << ":" << f.column << ": ["
+       << rule_code(f.rule) << " " << rule_id(f.rule) << "] " << f.message;
     if (f.suppressed) os << " (suppressed: " << f.reason << ")";
+    if (f.baselined) os << " (baselined)";
+    if (f.severity == Severity::kInfo) os << " (info)";
     os << "\n";
+    if (!f.snippet.empty()) os << "    | " << f.snippet << "\n";
   }
   os << report.files_scanned << " files scanned, "
      << report.unsuppressed_count() << " violation(s), "
-     << report.suppressed_count() << " suppressed\n";
+     << report.suppressed_count() << " suppressed, "
+     << report.baselined_count() << " baselined, " << report.info_count()
+     << " info\n";
 }
 
 }  // namespace smilint

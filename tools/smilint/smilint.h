@@ -2,48 +2,76 @@
 //
 // The reproduction's strongest property is that every table and figure is
 // bit-identical from (config, seed): golden FNV-1a hashes pin the output,
-// and PR-2/PR-3 only shipped because bit-equality gates caught regressions.
-// Runtime tests can only catch nondeterminism that happens to fire; smilint
-// rejects the *sources* of nondeterminism at lint time:
+// and the hot-path rewrites only shipped because bit-equality gates caught
+// regressions. Runtime tests can only catch nondeterminism that happens to
+// fire; smilint rejects the *sources* of nondeterminism at lint time.
 //
+// v2 is a two-phase, symbol-aware analyzer: phase 1 (index.{h,cpp}) lexes
+// every scanned TU and builds a symbol index (function definitions with
+// token-range bodies, call sites, class members, includes); phase 2 runs
+// the per-file rules (rules_local.cpp) over each TU and the cross-file
+// rules (rules_xfile.cpp) over the whole index.
+//
+// Per-file rules:
 //   D1 wall-clock      no std::chrono clocks / time() / gettimeofday in
 //                      simulation code — simulation state must advance on
 //                      SimTime only.
 //   D2 unseeded-rng    no rand()/std::random_device/std::mt19937 — every
 //                      stochastic draw goes through the seeded smilab Rng.
 //   D3 unordered-iter  no iteration over std::unordered_{map,set}: hash
-//                      iteration order is unspecified and varies across
-//                      libstdc++ versions, so it must never reach output
-//                      or event ordering. Keyed find/erase is fine.
-//   D4 std-function    no std::function in hot-path files (the PR-2
-//                      lesson: type-erased callbacks allocate and branch;
-//                      use InlineCallback). Enforced only on files the
-//                      manifest marks `hot-path`.
+//                      iteration order is unspecified. Keyed find/erase is
+//                      fine.
+//   D4 std-function    no std::function in hot-path files. Enforced only
+//                      on files the manifest marks `hot-path`.
 //   D5 raw-new-delete  no raw new/delete outside the slab allocators
-//                      (manifest `slab` prefixes: sim/event_queue,
-//                      sim/inline_callback, sim/transport own them).
+//                      (manifest `slab` prefixes).
 //   D6 float-reduce    no accumulation-order-sensitive floating-point
-//                      reductions outside stats/: float += inside an
-//                      unordered-container loop, or std::reduce /
-//                      std::transform_reduce (reduction order
-//                      unspecified).
+//                      reductions outside stats/.
+//   D8 pointer-order   no std::map/std::set keyed on pointers, std::less
+//                      on pointers, or sort-by-raw-pointer comparators:
+//                      pointer values vary run to run, so pointer order
+//                      reaching output is silent nondeterminism.
 //
-// The engine is a lightweight lexer (comments / string literals /
-// preprocessor lines stripped; identifiers and operators tokenized) plus
-// per-rule token-pattern matchers — deliberately no libclang dependency so
-// the tool builds everywhere the simulator builds. False positives are
-// handled by inline suppressions with *mandatory* reasons:
+// Cross-file rules:
+//   D7 nondet-taint    taint seeds at wall-clock reads, unseeded RNG,
+//                      std::hash on pointers, pointer->integer casts, and
+//                      thread ids; propagates through the call graph
+//                      (bounded depth); reports when a tainted value
+//                      reaches a sink — golden-hash inputs (Fnv64 mix*),
+//                      canonical_key, trace emission, or any call site in
+//                      a `hot-path` manifest file. Seeds whose own base
+//                      rule is off or reasoned-suppressed do not taint
+//                      (the manifest/suppression is the sanction).
+//   I7 taint-unknown   info finding where the taint analysis fails open:
+//                      a tainted function escaping into a function
+//                      pointer / std::function, or the propagation depth
+//                      bound. Info findings never gate.
+//   C1 guarded-by      `// guarded_by(mu_)` field annotations, checked
+//                      two ways: in manifest `concurrent` directories,
+//                      every mutable field of a mutex-holding class must
+//                      be annotated (guarded_by(<mutex>), or the special
+//                      targets `internal` / `init`); and a field guarded
+//                      by a mutex may only be touched lexically inside a
+//                      lock_guard/scoped_lock/unique_lock scope naming
+//                      that mutex.
+//
+// False positives are handled by inline suppressions with *mandatory*
+// reasons:
 //
 //   // smilint: allow(unordered-iter) reason=validation only; throws on
 //   // any order
 //
-// A suppression covers its own line and the next code line (so a comment
-// directly above the statement works). A suppression without a reason is
-// itself reported (rule `suppression`, unsuppressable).
+// A suppression covers its own line and the next code line. A suppression
+// without a reason is itself reported (rule `suppression`, S0,
+// unsuppressable). On top of suppressions, a committed baseline file
+// (tools/smilint/smilint.baseline) ratchets the tree: findings whose
+// fingerprint (file|rule|snippet-hash — line-number independent) appears
+// in the baseline are reported but do not gate, so CI fails only on NEW
+// findings while pre-existing reasoned debt stays visible.
 //
 // Which rules apply where is controlled by a per-directory manifest
 // (tools/smilint/smilint.rules): `skip`, `off <prefix> <rules>`,
-// `hot-path <prefix>`, `slab <prefix>`.
+// `hot-path <prefix>`, `slab <prefix>`, `concurrent <prefix>`.
 #pragma once
 
 #include <cstdint>
@@ -61,15 +89,27 @@ enum class Rule {
   kStdFunction,      // D4
   kRawNewDelete,     // D5
   kFloatReduce,      // D6
-  kSuppression,      // malformed suppression (missing reason)
+  kNondetTaint,      // D7 (cross-file)
+  kPointerOrder,     // D8
+  kGuardedBy,        // C1
+  kSuppression,      // S0: malformed suppression (missing reason)
+  kTaintUnknown,     // I7: info — taint analysis failed open
 };
-inline constexpr int kRuleCount = 7;
+inline constexpr int kRuleCount = 11;
+
+enum class Severity {
+  kError = 0,  ///< gates CI when unsuppressed and not baselined
+  kInfo,       ///< never gates; visibility only (taint-unknown)
+};
 
 /// Stable rule identifier used in suppressions and reports ("wall-clock").
 [[nodiscard]] std::string_view rule_id(Rule rule);
 
-/// Paper-style rule code ("D1".."D6", "S0" for suppression hygiene).
+/// Paper-style rule code ("D1".."D8", "C1", "S0", "I7").
 [[nodiscard]] std::string_view rule_code(Rule rule);
+
+/// One-line rule description (SARIF rule metadata, docs).
+[[nodiscard]] std::string_view rule_description(Rule rule);
 
 /// Parse a rule id; returns false if `id` names no rule.
 [[nodiscard]] bool parse_rule_id(std::string_view id, Rule& out);
@@ -77,14 +117,25 @@ inline constexpr int kRuleCount = 7;
 struct Finding {
   std::string file;  ///< repo-relative path, forward slashes
   int line = 0;
+  int column = 0;    ///< 1-based byte column of the offending token
   Rule rule = Rule::kWallClock;
+  Severity severity = Severity::kError;
   std::string message;
+  std::string snippet;  ///< trimmed source line (CI annotations)
   bool suppressed = false;
   std::string reason;  ///< the suppression's reason when suppressed
+  bool baselined = false;  ///< fingerprint matched the ratchet baseline
 };
 
-/// Which rules are live for one file. D4 and D5 default to the manifest's
-/// global posture (D4 off until `hot-path`, D5 on until `slab`).
+/// Line-number-independent identity of a finding, for the baseline
+/// ratchet: "<file>|<rule-id>|<fnv64 of the whitespace-collapsed
+/// snippet>". Moving code within a file does not invalidate the baseline;
+/// editing the offending line does.
+[[nodiscard]] std::string finding_fingerprint(const Finding& finding);
+
+/// Which rules are live for one file, plus the file's manifest posture
+/// (hot_path feeds D4 and the D7 sink set; concurrent feeds C1's
+/// annotation requirement).
 struct RulePolicy {
   bool wall_clock = true;
   bool unseeded_rng = true;
@@ -92,6 +143,12 @@ struct RulePolicy {
   bool std_function = false;  ///< only on manifest `hot-path` files
   bool raw_new_delete = true;
   bool float_reduce = true;
+  bool nondet_taint = true;
+  bool pointer_order = true;
+  bool guarded_by = true;
+
+  bool hot_path = false;    ///< manifest `hot-path` (also a D7 sink)
+  bool concurrent = false;  ///< manifest `concurrent` (C1 annotations)
 
   [[nodiscard]] bool enabled(Rule rule) const;
   void set(Rule rule, bool on);
@@ -99,9 +156,11 @@ struct RulePolicy {
 
 /// Analyze one translation unit. `paired_header` is the text of the
 /// same-stem .h next to a .cpp (empty when none): it contributes declared
-/// names (unordered containers, float locals) so a member declared in
-/// foo.h is recognized when foo.cpp iterates it, but findings are only
-/// reported against `text` itself.
+/// names (unordered containers, float locals, guarded fields) so a member
+/// declared in foo.h is recognized when foo.cpp touches it, but findings
+/// are only reported against `text` itself. Cross-file taint (D7) is
+/// limited to this TU + header here; run_tree() links the full call
+/// graph.
 [[nodiscard]] std::vector<Finding> analyze_source(const std::string& file,
                                                   std::string_view text,
                                                   std::string_view paired_header,
@@ -110,8 +169,11 @@ struct RulePolicy {
 /// The per-directory rule manifest. Lines (order-independent; `#` comments):
 ///   skip <prefix>                 do not scan files under prefix
 ///   off <prefix> <rule>[,<rule>]  disable rules under prefix
-///   hot-path <prefix>             enforce std-function (D4) under prefix
+///   hot-path <prefix>             enforce std-function (D4) under prefix;
+///                                 hot-path files are also D7 taint sinks
 ///   slab <prefix>                 exempt from raw-new-delete (D5)
+///   concurrent <prefix>           C1: mutable fields of mutex-holding
+///                                 classes must carry guarded_by(...)
 class Manifest {
  public:
   /// Parse manifest text. Unknown verbs or rule ids throw std::runtime_error
@@ -128,28 +190,64 @@ class Manifest {
  private:
   struct Directive {
     std::string prefix;
-    enum class Kind { kSkip, kOff, kHotPath, kSlab } kind;
+    enum class Kind { kSkip, kOff, kHotPath, kSlab, kConcurrent } kind;
     std::vector<Rule> rules;  // kOff only
   };
   std::vector<Directive> directives_;
 };
 
+/// The committed ratchet: fingerprints of known findings that do not gate.
+/// Format: one fingerprint per line, `#` comments. Parsing an entry that
+/// is not `file|rule|16-hex` throws (the baseline fails closed, like the
+/// manifest).
+class Baseline {
+ public:
+  static Baseline parse(std::string_view text);
+  /// Missing file yields an empty baseline.
+  static Baseline load(const std::string& path);
+
+  [[nodiscard]] bool contains(const std::string& fingerprint) const;
+  [[nodiscard]] int size() const;
+  /// Entries that matched no finding in the last apply() — stale debt.
+  [[nodiscard]] std::vector<std::string> unmatched() const;
+
+  /// Mark report findings whose fingerprint is baselined; records which
+  /// entries matched (for unmatched()).
+  void apply(struct Report& report);
+
+  /// Serialize the unsuppressed error findings of `report` as a baseline
+  /// file (the --write-baseline path).
+  [[nodiscard]] static std::string render(const struct Report& report);
+
+ private:
+  std::vector<std::string> entries_;      // sorted, unique
+  std::vector<bool> matched_;             // parallel to entries_
+};
+
 struct Report {
-  std::vector<Finding> findings;  ///< sorted by (file, line, rule)
+  std::vector<Finding> findings;  ///< sorted by (file, line, column, rule)
   int files_scanned = 0;
 
+  /// Error findings that are neither suppressed nor baselined — the gate.
   [[nodiscard]] int unsuppressed_count() const;
   [[nodiscard]] int suppressed_count() const;
+  [[nodiscard]] int baselined_count() const;
+  [[nodiscard]] int info_count() const;
 };
 
 /// Scan `subdirs` (repo-relative) under `root` for C++ sources
 /// (.h/.hpp/.hh/.cpp/.cc/.cxx), in sorted path order, applying `manifest`.
+/// Runs both phases: per-file rules on every TU, then the cross-file rules
+/// over the linked symbol index.
 [[nodiscard]] Report run_tree(const std::string& root,
                               const std::vector<std::string>& subdirs,
                               const Manifest& manifest);
 
 /// Machine-readable report for the CI gate.
 [[nodiscard]] std::string to_json(const Report& report);
+
+/// SARIF 2.1.0 (one run, full rule metadata) for code-scanning upload.
+[[nodiscard]] std::string to_sarif(const Report& report);
 
 /// Human-readable report; suppressed findings shown when `show_suppressed`.
 void print_text(std::ostream& os, const Report& report, bool show_suppressed);
