@@ -318,7 +318,10 @@ int main(int argc, char** argv) {
   json.set("grid_cells_per_s_jobs1", grid_j1);
   json.set("grid_cells_per_s_jobsN", grid_jn);
   json.set("grid_jobs_n", grid_jobs);
-  json.set("grid_parallel_speedup", grid_jn / grid_j1);
+  // On a single-core box jobs=1 and jobs=N are the same configuration, so a
+  // "speedup" key would just record run-to-run noise. Only emit it when the
+  // grid actually fanned out.
+  if (grid_jobs > 1) json.set("grid_parallel_speedup", grid_jn / grid_j1);
   json.set("flood_pool_capacity",
            static_cast<long long>(flood.stats.pool_capacity));
   json.set("flood_messages_allocated",

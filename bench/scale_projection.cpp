@@ -16,9 +16,17 @@
 //     ci_ceiling_* keys in BENCH_scale_projection.json: the ratio floor is
 //     the headline — peak residency O(ranks), not O(ranks x actions).
 //
-// Usage: scale_projection [--quick] [--no-table]
+// Usage: scale_projection [--quick] [--no-table] [--max-ranks=N]
+//
+// The rank sweep runs 16 -> min(4096, N) by default; passing
+// --max-ranks=65536 adds the 16384- and 65536-rank legs plus a 65536-rank
+// streaming RSS cell gated against the committed ceiling. CI perf-smoke
+// uses the 4096 default so its budget is unchanged; the committed artifact
+// is regenerated locally with the full projection.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -45,6 +53,10 @@ namespace {
 constexpr double kRssRatioFloor = 10.0;
 constexpr long long kStreamingRssCeilingKb = 131'072;  // 128 MB
 constexpr double kActionsPerSFloor = 300'000.0;
+// Scale-flatness: actions/s at 4096 ranks over actions/s at 16 ranks. A
+// rank-independent per-action cost keeps this near 1.0; the pre-ladder
+// core scored 0.40 (event-queue and matching costs grew with rank count).
+constexpr double kFlatnessRatioFloor = 0.45;
 
 // --- Part 1: the original SMI amplification projection ---------------------
 
@@ -140,9 +152,14 @@ std::vector<RankProgram> build_ring(const RingSolver& s) {
 }
 
 RankSourceFactory ring_sources(const RingSolver& s) {
-  return chunked_rank_sources(s.ranks, [s](int rank) {
-    return [s, rank](int chunk, RankProgram& rp, TagAllocator& tags) {
-      return emit_ring_chunk(s, rank, chunk, rp, tags);
+  // The per-rank emitter captures a pointer + an int: 16 bytes, inside
+  // std::function's inline buffer, so 65536 rank sources cost zero
+  // closure heap (a by-value RingSolver capture was ~5 MB of allocations
+  // at that scale). Safe: `s` outlives the job — every caller's solver is
+  // a local that spans the run_*_job call.
+  return chunked_rank_sources(s.ranks, [sp = &s](int rank) {
+    return [sp, rank](int chunk, RankProgram& rp, TagAllocator& tags) {
+      return emit_ring_chunk(*sp, rank, chunk, rp, tags);
     };
   });
 }
@@ -309,8 +326,12 @@ RssReport measure_rss(const RingSolver& s, TraceMode mode) {
 int main(int argc, char** argv) {
   const auto args = smilab::benchtool::BenchArgs::parse(argc, argv);
   bool no_table = false;
+  int max_ranks = 4096;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-table") == 0) no_table = true;
+    if (std::strncmp(argv[i], "--max-ranks=", 12) == 0) {
+      max_ranks = std::atoi(argv[i] + 12);
+    }
   }
 
   smilab::benchtool::BenchJson json{"scale_projection"};
@@ -352,15 +373,45 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // 64k-rank residency cell (still before the parent grows): streaming
+  // mode only — retained at this scale would hold 39M actions. Gated
+  // against the same committed ceiling as the 4096-rank pair, proving the
+  // O(ranks) bound holds another 16x out.
+  RssReport big{};
+  const bool run_big = !args.quick && max_ranks >= 65536;
+  if (run_big) {
+    RingSolver giant;
+    giant.ranks = 65536;
+    giant.iters = 200;
+    std::printf("=== 65536-rank streaming residency: %lld actions ===\n\n",
+                static_cast<long long>(giant.total_actions()));
+    big = measure_rss(giant, TraceMode::kStreaming);
+    std::printf("  streaming: peak RSS delta %8lld KB (ceiling %lld KB), "
+                "peak %9lld actions resident, %6.2f cpu s%s\n\n",
+                big.rss_delta_kb, kStreamingRssCeilingKb,
+                static_cast<long long>(big.peak_program_actions), big.cpu_s,
+                big.measured ? "" : "  (rss unmeasured)");
+    if (big.measured && big.rss_delta_kb > kStreamingRssCeilingKb) {
+      std::printf("FAIL: 65536-rank streaming cell exceeds the RSS ceiling\n");
+      return 1;
+    }
+  }
+
   // Rank-scaling sweep (streaming): cells/s and actions/s by rank count.
-  const std::vector<int> rank_counts =
-      args.quick ? std::vector<int>{16, 64, 256}
-                 : std::vector<int>{16, 64, 256, 1024, 4096};
+  std::vector<int> rank_counts = args.quick
+                                     ? std::vector<int>{16, 64, 256}
+                                     : std::vector<int>{16, 64, 256, 1024};
+  if (!args.quick) {
+    for (const int big_ranks : {4096, 16384, 65536}) {
+      if (big_ranks <= max_ranks) rank_counts.push_back(big_ranks);
+    }
+  }
   const int sweep_iters = args.quick ? 60 : 200;
   std::printf("=== Streaming rank sweep: ring exchange, %d iterations ===\n\n",
               sweep_iters);
   Table sweep_table{{"ranks", "actions", "cpu s", "Mact/s", "cells/s",
                      "peak resident"}};
+  std::map<int, double> rate_by_ranks;
   for (const int ranks : rank_counts) {
     RingSolver s;
     s.ranks = ranks;
@@ -375,6 +426,7 @@ int main(int argc, char** argv) {
         .cell(actions_per_s / 1e6, 2)
         .cell(1.0 / cell.cpu_s, 2)
         .cell(static_cast<long long>(cell.peak_program_actions));
+    rate_by_ranks[ranks] = actions_per_s;
     json.set("streaming_cpu_s_" + std::to_string(ranks), cell.cpu_s);
     json.set("streaming_actions_per_s_" + std::to_string(ranks),
              actions_per_s);
@@ -387,6 +439,20 @@ int main(int argc, char** argv) {
   std::printf("Reading: resident actions stay O(ranks) — 3 per rank, one\n"
               "chunk — while total actions grow without bound; retained mode\n"
               "would hold every action for the whole run.\n\n");
+
+  // Scale-flatness: per-action throughput at 4096 ranks relative to 16.
+  // The committed headline metric — near 1.0 means the event core's
+  // per-action cost is rank-independent.
+  if (rate_by_ranks.count(16) != 0 && rate_by_ranks.count(4096) != 0) {
+    const double flatness = rate_by_ranks[4096] / rate_by_ranks[16];
+    std::printf("Scale flatness (actions/s @4096 / @16): %.2f\n\n", flatness);
+    json.set("flatness_ratio_4096_over_16", flatness);
+    json.set("ci_floor_flatness_ratio", kFlatnessRatioFloor);
+  }
+  if (rate_by_ranks.count(16) != 0 && rate_by_ranks.count(65536) != 0) {
+    json.set("flatness_ratio_65536_over_16",
+             rate_by_ranks[65536] / rate_by_ranks[16]);
+  }
 
   if (!no_table) print_projection_table(args.quick ? 1 : 3);
 
@@ -410,6 +476,12 @@ int main(int argc, char** argv) {
   json.set("ci_floor_rss_ratio", kRssRatioFloor);
   json.set("ci_ceiling_streaming_rss_kb", kStreamingRssCeilingKb);
   json.set("ci_floor_streaming_actions_per_s", kActionsPerSFloor);
+  json.set("max_ranks", max_ranks);
+  if (run_big && big.measured) {
+    json.set("streaming_rss_delta_kb_65536", big.rss_delta_kb);
+    json.set("streaming_peak_program_actions_65536_cell",
+             static_cast<long long>(big.peak_program_actions));
+  }
   json.write();
   return 0;
 }

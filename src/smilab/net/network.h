@@ -20,6 +20,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "smilab/time/sim_time.h"
 
@@ -75,19 +76,40 @@ struct NetworkParams {
 /// Pure cost calculator over NetworkParams (no NIC queue state; that is
 /// owned by the System's event-driven servers).
 ///
-/// Message-size costs are memoized in a small direct-mapped cache: MPI
-/// traffic reuses a handful of sizes (per-collective payloads, the ack
-/// size) millions of times per run, and each cost involves a double
-/// division. The cache fills each line with exactly the expressions the
-/// uncached code used — same operations, same order — so memoized results
-/// are bit-identical and the goldens cannot move. The cache is `mutable`
+/// Message-size costs are memoized in a set-associative cache: MPI traffic
+/// reuses a handful of sizes (per-collective payloads, the ack size)
+/// millions of times per run, and each cost involves a double division.
+/// Sets are indexed by Fibonacci-hashed size with kWays lines each and
+/// round-robin fill, so the power-of-two size clusters that thrash a
+/// direct-mapped table coexist within a set. The set count scales with the
+/// simulated rank count (resize_cache; the System sizes it from
+/// node_count) because collectives over p ranks touch O(log p) distinct
+/// segment sizes — at 64k ranks a fixed 64-line table misses its way
+/// through every reduction.
+///
+/// Each line holds exactly the expressions the uncached code used — same
+/// operations, same order — so memoized results are bit-identical whatever
+/// the geometry, and the goldens cannot move. The cache is `mutable`
 /// per-model, never shared across threads (each System owns its model, and
 /// sweep workers each own their Systems).
 class NetworkModel {
  public:
-  explicit NetworkModel(NetworkParams params) : params_(params) {}
+  explicit NetworkModel(NetworkParams params) : params_(params) {
+    resize_cache(kDefaultLines);
+  }
 
   [[nodiscard]] const NetworkParams& params() const { return params_; }
+
+  /// Re-size the memo to hold about `line_hint` cost lines (rounded up to
+  /// a power-of-two set count, floor kDefaultLines). Drops every cached
+  /// line — values are pure functions of (params, bytes), so refills are
+  /// bit-identical and resizing is always safe.
+  void resize_cache(std::size_t line_hint);
+
+  /// Cost lines the memo can hold (sets × ways); for tests and reports.
+  [[nodiscard]] std::size_t cache_lines() const {
+    return sets_.size() * kWays;
+  }
 
   /// Service time of one message at one NIC stage (egress or ingress).
   [[nodiscard]] SimDuration wire_xmit(std::int64_t bytes) const {
@@ -117,12 +139,15 @@ class NetworkModel {
   /// Adopt `other`'s already-filled cost lines when the parameters match
   /// exactly (no-op otherwise). Bit-inert by construction: every line is a
   /// pure function of (params, bytes), so a pre-warmed line holds exactly
-  /// the values this model would compute on first miss. The serve daemon's
-  /// warm workers carry the memo from one request's System to the next so
+  /// the values this model would compute on first miss. Works across
+  /// geometries: matching shapes copy wholesale, otherwise the donor's
+  /// lines are re-inserted into this model's sets. The serve daemon's warm
+  /// workers carry the memo from one request's System to the next so
   /// repeated message sizes never recompute their division chain.
-  void warm_from(const NetworkModel& other) {
-    if (params_ == other.params_) cost_cache_ = other.cost_cache_;
-  }
+  void warm_from(const NetworkModel& other);
+
+  static constexpr std::size_t kWays = 4;
+  static constexpr std::size_t kDefaultLines = 64;
 
  private:
   struct CostLine {
@@ -132,15 +157,26 @@ class NetworkModel {
     SimDuration send_cpu{};
     SimDuration recv_cpu{};
   };
+  struct Set {
+    std::array<CostLine, kWays> way{};
+    std::uint8_t fill = 0;  ///< round-robin victim cursor (deterministic)
+  };
 
   /// Fetch (fill on miss) the cost line for `bytes`. Defined in
   /// network.cpp so the fill expressions sit next to the calibration data.
   [[nodiscard]] const CostLine& line(std::int64_t bytes) const;
 
-  static constexpr std::size_t kCostLines = 64;  // power of two
+  [[nodiscard]] std::size_t set_of(std::int64_t bytes) const {
+    // Fibonacci hashing: message sizes cluster on powers of two, which a
+    // plain low-bits index would collide badly.
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(bytes) * 0x9E3779B97F4A7C15ull) >>
+        set_shift_);
+  }
 
   NetworkParams params_;
-  mutable std::array<CostLine, kCostLines> cost_cache_{};
+  mutable std::vector<Set> sets_;
+  int set_shift_ = 64;  ///< 64 - log2(sets_.size())
 };
 
 }  // namespace smilab

@@ -60,6 +60,8 @@ EventId Engine::finish_schedule(SimTime t, std::uint32_t slot) {
   s.cancelled = false;
   if (lane_enabled_ && tie_break_ == nullptr && t == now_) {
     lane_.push_back(Entry{t, seq, slot});
+  } else if (ladder_routing() && t.ns() < win_hi_ns_) {
+    ladder_insert(Entry{t, seq, slot});
   } else {
     heap_push(Entry{t, seq, slot});
   }
@@ -90,10 +92,12 @@ void Engine::cancel(EventId id) {
   --live_;
   ++cancelled_;
   ++tombstones_;
-  // Keep tombstones a bounded fraction of the heap so cancel-heavy periodic
-  // sources (quantum timers raced by completions) cannot grow it without
-  // limit between pops.
-  if (tombstones_ > 64 && tombstones_ * 2 > heap_.size()) compact_tombstones();
+  // Keep tombstones a bounded fraction of the pending set so cancel-heavy
+  // periodic sources (quantum timers raced by completions) cannot grow it
+  // without limit between pops.
+  if (tombstones_ > 64 && tombstones_ * 2 > heap_.size() + ladder_size_) {
+    compact_tombstones();
+  }
 }
 
 void Engine::compact_tombstones() {
@@ -121,6 +125,7 @@ void Engine::compact_tombstones() {
   }
   lane_.resize(lane_out);
   lane_head_ = 0;
+  sweep_ladder_tombstones();
   tombstones_ = 0;
   // Floyd heap construction over the surviving entries.
   if (heap_.size() < 2) return;
@@ -186,19 +191,213 @@ void Engine::flush_lane() {
   lane_head_ = 0;
 }
 
+void Engine::set_scheduler(Scheduler s) {
+  if (s == scheduler_) return;
+  scheduler_ = s;
+  // kHeap: everything must live in the heap again. kLadder: pending heap
+  // entries migrate at the next window refill, no pass needed.
+  if (s == Scheduler::kHeap) flush_ladder();
+}
+
+std::size_t Engine::bucket_index(SimTime t) const {
+  // t may sit below win_lo_ when run_until advanced now_ into a gap before
+  // the window anchor; those entries share bucket 0 (still the earliest
+  // bucket, and within-bucket order is by (time, seq) regardless).
+  const std::int64_t lo = win_lo_.ns();
+  if (t.ns() <= lo) return 0;
+  const auto idx = static_cast<std::size_t>((t.ns() - lo) / width_);
+  return idx < kBucketCount ? idx : kBucketCount - 1;
+}
+
+void Engine::ladder_insert(Entry e) {
+  const std::size_t b = bucket_index(e.time);
+  Bucket& bk = buckets_[b];
+  if (!bk.sorted) {
+    bk.v.push_back(e);
+  } else {
+    // Keep the bucket sorted: new entries carry the largest seq, so the
+    // insertion point is always at or after the drain cursor. A position
+    // exactly at the cursor (the common now()+epsilon reschedule) reuses
+    // the gap the cursor left at the front; otherwise shift whichever side
+    // is shorter.
+    auto pos = std::upper_bound(bk.v.begin() + static_cast<std::ptrdiff_t>(
+                                                   bk.head),
+                                bk.v.end(), e, before);
+    const auto at = static_cast<std::size_t>(pos - bk.v.begin());
+    if (at == bk.head && bk.head > 0) {
+      bk.v[--bk.head] = e;
+    } else if (at - bk.head < bk.v.size() - at && bk.head > 0) {
+      std::move(bk.v.begin() + static_cast<std::ptrdiff_t>(bk.head),
+                bk.v.begin() + static_cast<std::ptrdiff_t>(at),
+                bk.v.begin() + static_cast<std::ptrdiff_t>(bk.head) - 1);
+      --bk.head;
+      bk.v[at - 1] = e;
+    } else {
+      bk.v.insert(pos, e);
+    }
+  }
+  if (b < scan_hint_) scan_hint_ = b;
+  ++ladder_size_;
+  ++win_inserted_;
+}
+
+// Re-anchor the window at the heap root and pull every in-horizon heap
+// entry into the buckets. The bucket width re-derives from the event-
+// horizon statistics of the window just drained: if the window averaged
+// more than ~8 live entries per bucket the width halves (sorted-insert
+// memmoves were getting long), if it averaged under ~1/4 entry per bucket
+// it doubles (pops were mostly scanning empty buckets and refilling).
+// Deterministic: inputs are simulation state only.
+bool Engine::refill_window() {
+  if (tombstones_ != 0) drop_root_tombstones();
+  if (heap_.empty()) {
+    win_hi_ns_ = std::numeric_limits<std::int64_t>::min();
+    return false;
+  }
+  if (buckets_.empty()) buckets_.resize(kBucketCount);
+  if (win_inserted_ > kBucketCount * 8) {
+    width_ = std::max(kMinBucketWidthNs, width_ / 2);
+  } else if (win_inserted_ * 4 < kBucketCount) {
+    width_ = std::min(kMaxBucketWidthNs, width_ * 2);
+  }
+  win_inserted_ = 0;
+  const std::int64_t lo = heap_[0].time.ns();
+  const std::int64_t span = width_ * static_cast<std::int64_t>(kBucketCount);
+  win_lo_ = SimTime{lo};
+  win_hi_ns_ = lo > std::numeric_limits<std::int64_t>::max() - span
+                   ? std::numeric_limits<std::int64_t>::max()
+                   : lo + span;
+  scan_hint_ = 0;
+  while (!heap_.empty() && heap_[0].time.ns() < win_hi_ns_) {
+    const Entry e = heap_[0];
+    remove_root();
+    const Slot& s = slots_[e.slot];
+    if (s.cancelled && s.seq == e.seq) {
+      release_slot(e.slot);
+      --tombstones_;
+      continue;
+    }
+    ladder_insert(e);
+  }
+  return true;
+}
+
+const Engine::Entry* Engine::ladder_peek() {
+  for (;;) {
+    if (ladder_size_ != 0) {
+      for (std::size_t b = scan_hint_; b < kBucketCount; ++b) {
+        Bucket& bk = buckets_[b];
+        while (bk.head < bk.v.size()) {
+          if (!bk.sorted) {
+            std::sort(bk.v.begin(), bk.v.end(), before);
+            bk.sorted = true;
+          }
+          const Entry& e = bk.v[bk.head];
+          const Slot& s = slots_[e.slot];
+          if (s.cancelled && s.seq == e.seq) {
+            release_slot(e.slot);
+            --tombstones_;
+            --ladder_size_;
+            ++bk.head;
+            continue;
+          }
+          scan_hint_ = b;
+          return &e;
+        }
+        bk.v.clear();
+        bk.head = 0;
+        bk.sorted = false;
+      }
+    }
+    // Window drained; pull the next horizon out of the overflow heap.
+    if (!refill_window()) return nullptr;
+  }
+}
+
+void Engine::ladder_pop_front() {
+  Bucket& bk = buckets_[scan_hint_];
+  --ladder_size_;
+  if (++bk.head == bk.v.size()) {
+    bk.v.clear();
+    bk.head = 0;
+    bk.sorted = false;
+  }
+}
+
+// Move every surviving ladder entry into the heap and drop the window
+// (policy installation or set_scheduler(kHeap)). Like flush_lane: (time,
+// seq) is a total order, so pop order is unchanged by the migration.
+void Engine::flush_ladder() {
+  if (ladder_size_ != 0) {
+    for (Bucket& bk : buckets_) {
+      for (std::size_t i = bk.head; i < bk.v.size(); ++i) {
+        const Entry e = bk.v[i];
+        const Slot& s = slots_[e.slot];
+        if (s.cancelled && s.seq == e.seq) {
+          release_slot(e.slot);
+          --tombstones_;
+          continue;
+        }
+        heap_push(e);
+      }
+      bk.v.clear();
+      bk.head = 0;
+      bk.sorted = false;
+    }
+    ladder_size_ = 0;
+  }
+  win_hi_ns_ = std::numeric_limits<std::int64_t>::min();
+  scan_hint_ = 0;
+  win_inserted_ = 0;
+}
+
+void Engine::sweep_ladder_tombstones() {
+  if (ladder_size_ == 0) return;
+  for (Bucket& bk : buckets_) {
+    if (bk.v.empty()) continue;
+    // Stable in-place removal from the cursor on preserves both the drain
+    // position and any established sort.
+    std::size_t out = bk.head;
+    for (std::size_t i = bk.head; i < bk.v.size(); ++i) {
+      const Entry& e = bk.v[i];
+      const Slot& s = slots_[e.slot];
+      if (s.cancelled && s.seq == e.seq) {
+        release_slot(e.slot);
+        --ladder_size_;
+        continue;
+      }
+      bk.v[out++] = e;
+    }
+    bk.v.resize(out);
+    if (bk.head == bk.v.size()) {
+      bk.v.clear();
+      bk.head = 0;
+      bk.sorted = false;
+    }
+  }
+}
+
 bool Engine::pop_next() {
   if (tombstones_ != 0) {
     drop_root_tombstones();
     drop_lane_tombstones();
   }
+  if (tie_break_ != nullptr) {  // lane and ladder are empty (flushed)
+    if (heap_.empty()) return false;
+    return pop_tied();
+  }
+  // Under the ladder the heap is the far-future tier: ladder_peek is the
+  // non-lane minimum (refilling the window from the heap as needed).
+  const Entry* next = ladder_routing()
+                          ? ladder_peek()
+                          : (heap_.empty() ? nullptr : heap_.data());
   const bool lane_has = lane_head_ < lane_.size();
-  if (heap_.empty() && !lane_has) return false;
-  if (tie_break_ != nullptr) return pop_tied();  // lane is empty (flushed)
-  // Merge: lane front vs heap root by (time, seq) — the same total order
-  // the heap alone produced.
+  if (next == nullptr && !lane_has) return false;
+  // Merge: lane front vs scheduler minimum by (time, seq) — the same total
+  // order the heap alone produced.
   const bool from_lane =
-      lane_has && (heap_.empty() || before(lane_[lane_head_], heap_[0]));
-  const Entry top = from_lane ? lane_[lane_head_] : heap_[0];
+      lane_has && (next == nullptr || before(lane_[lane_head_], *next));
+  const Entry top = from_lane ? lane_[lane_head_] : *next;
   Slot& slot = slots_[top.slot];
   assert(slot.seq == top.seq);
   assert(top.time >= now_);
@@ -211,6 +410,8 @@ bool Engine::pop_next() {
       lane_.clear();
       lane_head_ = 0;
     }
+  } else if (ladder_routing()) {
+    ladder_pop_front();
   } else {
     remove_root();
   }
@@ -273,6 +474,14 @@ std::uint64_t Engine::pending_time_digest() const {
     if (s.seq != e.seq || s.cancelled) continue;
     acc += splitmix64(static_cast<std::uint64_t>(e.time.ns()));
   }
+  for (const Bucket& bk : buckets_) {
+    for (std::size_t i = bk.head; i < bk.v.size(); ++i) {
+      const Entry& e = bk.v[i];
+      const Slot& s = slots_[e.slot];
+      if (s.seq != e.seq || s.cancelled) continue;
+      acc += splitmix64(static_cast<std::uint64_t>(e.time.ns()));
+    }
+  }
   return acc;
 }
 
@@ -295,8 +504,11 @@ bool Engine::run_until(SimTime t) {
       pop_next();
       continue;
     }
-    if (heap_.empty()) break;
-    if (heap_[0].time > t) {
+    const Entry* next = ladder_routing()
+                            ? ladder_peek()
+                            : (heap_.empty() ? nullptr : heap_.data());
+    if (next == nullptr) break;
+    if (next->time > t) {
       now_ = t;
       return true;
     }

@@ -2,18 +2,32 @@
 // (time, insertion-sequence) ordering so runs are deterministic, plus
 // cancellation via generation-checked tombstones.
 //
-// Internals (see DESIGN.md §8): a 4-ary implicit heap of POD entries
-// {time, seq, slot} — sift moves are 24-byte copies, and four children per
-// node share a cache line's worth of entries — with callbacks stored out of
-// line in a slab of reusable slots (InlineCallback: no allocation for the
-// captures the simulator uses). Cancellation marks the slot; the slot's seq
-// acts as a generation counter, so cancelling an already-fired id compares
-// against the slot's current tenant and is a guaranteed no-op rather than a
-// leaked tombstone. Tombstoned heap entries are skipped on pop and compacted
-// wholesale if they ever dominate the heap.
+// Internals (see DESIGN.md §8, §16): callbacks live out of line in a slab
+// of reusable slots (InlineCallback: no allocation for the captures the
+// simulator uses); pending entries are POD {time, seq, slot} records.
+// Cancellation marks the slot; the slot's seq acts as a generation counter,
+// so cancelling an already-fired id compares against the slot's current
+// tenant and is a guaranteed no-op rather than a leaked tombstone.
+// Tombstoned entries are skipped on pop and compacted wholesale if they
+// ever dominate the pending set.
+//
+// Two interchangeable schedulers order the entries (set_scheduler):
+//  - kHeap: a 4-ary implicit min-heap — sift moves are 24-byte copies, and
+//    four children per node share a cache line's worth of entries. O(log n)
+//    per event with n = live entries, which grows with rank count.
+//  - kLadder (default): a two-tier ladder/calendar queue — a near-future
+//    window of fixed-count, adaptive-width time buckets drained in (time,
+//    seq) order (each bucket sorted once when first touched), with the
+//    4-ary heap demoted to a far-future overflow tier. Amortized O(1) per
+//    event independent of n; bucket width re-derives from the previous
+//    window's occupancy each time the window is re-anchored (DESIGN.md
+//    §16). Pop order is bit-identical to kHeap by construction: (time,
+//    seq) is a total order, so it never matters which tier an entry
+//    waited in.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -110,11 +124,15 @@ class Engine {
   /// default schedule bit-for-bit. Null (the default) keeps the plain
   /// lowest-(time, seq) pop: one pointer test, no collection pass. The
   /// policy must outlive its installation. Installing a policy flushes and
-  /// disables the same-instant lane so pop_tied sees one candidate set —
-  /// model-checking schedules are identical with or without the lane.
+  /// disables the same-instant lane and the ladder window so pop_tied sees
+  /// one candidate set — model-checking schedules are identical with or
+  /// without either structure.
   void set_tie_break(SchedulePolicy* policy) {
     tie_break_ = policy;
-    if (policy != nullptr) flush_lane();
+    if (policy != nullptr) {
+      flush_lane();
+      flush_ladder();
+    }
   }
   [[nodiscard]] SchedulePolicy* tie_break() const { return tie_break_; }
 
@@ -135,6 +153,15 @@ class Engine {
   /// same-instant firings must digest equal). Model-checker memo input;
   /// O(heap), never on the simulation hot path.
   [[nodiscard]] std::uint64_t pending_time_digest() const;
+
+  /// Which structure orders pending entries (see file header). Executed
+  /// event order is bit-identical under either; the scheduler-equality
+  /// suite (tests/scheduler_equality_test.cpp) pins it. Switching to kHeap
+  /// flushes the ladder window into the heap; switching to kLadder lets
+  /// pending heap entries migrate naturally at the next window refill.
+  enum class Scheduler : std::uint8_t { kHeap, kLadder };
+  void set_scheduler(Scheduler s);
+  [[nodiscard]] Scheduler scheduler() const { return scheduler_; }
 
  private:
   static constexpr std::uint32_t kNilSlot = 0xffffffffu;
@@ -163,6 +190,17 @@ class Engine {
     return a.seq < b.seq;
   }
 
+  /// One near-future time bucket: entries appended unsorted, sorted by
+  /// (time, seq) the first time the drain cursor touches the bucket, then
+  /// consumed from `head`. Inserts into a sorted bucket binary-insert;
+  /// `head` > 0 leaves a gap at the front that absorbs now()+epsilon
+  /// inserts without a memmove.
+  struct Bucket {
+    std::vector<Entry> v;
+    std::size_t head = 0;
+    bool sorted = false;
+  };
+
   bool pop_next();  // executes one event; false if queue exhausted
   bool pop_tied();  // pop_next with the tie-break policy consulted
   EventId finish_schedule(SimTime t, std::uint32_t slot);
@@ -173,6 +211,21 @@ class Engine {
   void flush_lane();
   void compact_tombstones();
   void release_slot(std::uint32_t slot);
+
+  /// Ladder routing is live only when no tie-break policy is installed:
+  /// pop_tied needs the whole candidate set in one structure, so policy
+  /// installation flushes the ladder (decision 0 stays the canonical
+  /// schedule either way).
+  [[nodiscard]] bool ladder_routing() const {
+    return scheduler_ == Scheduler::kLadder && tie_break_ == nullptr;
+  }
+  [[nodiscard]] std::size_t bucket_index(SimTime t) const;
+  void ladder_insert(Entry e);
+  const Entry* ladder_peek();  // min ladder entry; refills window from heap
+  void ladder_pop_front();     // consume the entry ladder_peek returned
+  bool refill_window();        // re-anchor window at heap root; false: empty
+  void flush_ladder();         // move ladder entries to heap, drop window
+  void sweep_ladder_tombstones();
 
   /// Pop a free slot or grow the slab. Inline: the free-list hit is three
   /// loads and sits on every schedule call.
@@ -205,6 +258,27 @@ class Engine {
   std::uint32_t free_head_ = kNilSlot;
   SchedulePolicy* tie_break_ = nullptr;  // null: plain (time, seq) pops
   std::vector<Entry> tie_buf_;           // reused same-instant collection
+
+  // Ladder state (scheduler_ == kLadder). The window covers
+  // [win_lo_, win_hi_ns_) split into kBucketCount buckets of width_ ns;
+  // entries at or past win_hi_ns_ overflow into heap_. win_hi_ns_ ==
+  // INT64_MIN means "no window": everything routes to the heap until the
+  // first pop re-anchors the window at the heap root (so enabling the
+  // ladder mid-run needs no migration pass). Invariant while a window is
+  // live: every heap entry's time >= win_hi_ns_, so the ladder minimum is
+  // the global non-lane minimum.
+  static constexpr std::size_t kBucketCount = 512;
+  static constexpr std::int64_t kMinBucketWidthNs = 16;
+  static constexpr std::int64_t kMaxBucketWidthNs =
+      std::int64_t{1} << 32;  // ~4.3 s
+  Scheduler scheduler_ = Scheduler::kLadder;
+  std::vector<Bucket> buckets_;  // kBucketCount once first window forms
+  SimTime win_lo_ = SimTime::zero();
+  std::int64_t win_hi_ns_ = std::numeric_limits<std::int64_t>::min();
+  std::int64_t width_ = 1024;     // current bucket width (ns)
+  std::size_t scan_hint_ = 0;     // first possibly non-empty bucket
+  std::size_t ladder_size_ = 0;   // entries in buckets (incl. tombstones)
+  std::size_t win_inserted_ = 0;  // inserts this window: width feedback
 };
 
 }  // namespace smilab

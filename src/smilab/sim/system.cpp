@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <deque>
+#include <cstdio>
 #include <stdexcept>
 
 #include "smilab/core/fnv.h"
@@ -45,6 +45,50 @@ constexpr std::int64_t kAckBytes = 64;
 ///    idle re-enters the pipeline.
 /// The two are mutually exclusive: bookings require the classic state
 /// empty, and conversion empties the pipeline.
+// Allocation-lazy FIFO for per-CPU and per-NIC queues. std::deque here
+// cost ~600 bytes of chunk map per instance at construction — times 16
+// runqueues and 4 NIC queues per node that dominated System construction
+// at 8192 nodes (77 MB before a single task spawned). A vector with a
+// consumed-prefix head index allocates nothing until first use, pops in
+// amortized O(1), and iterates contiguously.
+template <typename T>
+class ShortFifo {
+ public:
+  [[nodiscard]] bool empty() const { return head_ == v_.size(); }
+  [[nodiscard]] std::size_t size() const { return v_.size() - head_; }
+  [[nodiscard]] T& front() { return v_[head_]; }
+  [[nodiscard]] const T& front() const { return v_[head_]; }
+  void push_back(T x) {
+    if (head_ != 0 && head_ == v_.size()) {
+      v_.clear();
+      head_ = 0;
+    }
+    v_.push_back(std::move(x));
+  }
+  void pop_front() {
+    ++head_;
+    if (head_ == v_.size()) {
+      v_.clear();
+      head_ = 0;
+    } else if (head_ > 64 && head_ * 2 > v_.size()) {
+      v_.erase(v_.begin(), v_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+  void clear() {
+    v_.clear();
+    head_ = 0;
+  }
+  [[nodiscard]] auto begin() { return v_.begin() + static_cast<std::ptrdiff_t>(head_); }
+  [[nodiscard]] auto end() { return v_.end(); }
+  [[nodiscard]] auto begin() const { return v_.begin() + static_cast<std::ptrdiff_t>(head_); }
+  [[nodiscard]] auto end() const { return v_.end(); }
+
+ private:
+  std::vector<T> v_;
+  std::size_t head_ = 0;
+};
+
 struct System::NicServer {
   struct PipeEntry {
     MsgHandle h;
@@ -53,9 +97,9 @@ struct System::NicServer {
     EventId ev{};   // armed only while this entry is the front
   };
 
-  std::deque<PipeEntry> pipe;        // booked services (fast path), FIFO
+  ShortFifo<PipeEntry> pipe;         // booked services (fast path), FIFO
   SimTime busy_until;                // end of the last booked service
-  std::deque<MsgHandle> queue;       // messages awaiting service (classic)
+  ShortFifo<MsgHandle> queue;        // messages awaiting service (classic)
   MsgHandle active;                  // null = idle
   SimDuration remaining{};
   SimTime since;
@@ -70,64 +114,78 @@ struct System::NicServer {
   }
 };
 
+// Field order is deliberate (64k-rank residency: every byte here is
+// paid per rank): the interpreter/scheduler state the per-action hot
+// path touches sits in the first cache lines, flags and small ints are
+// clustered so padding does not reappear between 8-byte members, and
+// cold identity/config/stats fields trail.
 struct System::TaskImpl {
-  TaskId id;
-  GroupId group;
-  int rank = 0;
-  std::string name;
-  int node = 0;
-  int cpu = -1;        ///< node-local CPU this task is sticky-placed on
-  bool pinned = false; ///< hard affinity: never migrated by idle stealing
-  WorkloadProfile profile;
-  WaitPolicy wait_policy = WaitPolicy::kSpin;
-  std::unique_ptr<ActionSource> source;
-  TaskStats stats;
-  /// Last-sampled source->materialized_actions(), mirrored into the
-  /// System-wide program_actions_ sum by delta updates.
-  std::int64_t materialized = 0;
-
-  // Current action's provenance for the completed-action ring (only
-  // maintained when the ring is enabled).
-  int action_kind = -1;
-  SimTime action_start;
-
-  enum class State {
+  enum class State : std::uint8_t {
     kReady,       ///< runnable, waiting for its CPU
     kRunning,     ///< current on its CPU (executing or spin-waiting)
     kBlocked,     ///< off-CPU, waiting for a message/ack (kBlock policy)
     kSleeping,    ///< off-CPU, waiting for a timer
     kDone,
   };
+
+  // --- Flag/small-int cluster (one packed block, hot path first) ---
   State state = State::kReady;
   bool on_cpu = false;
   bool queued = false;
-
-  // Current action interpreter state.
-  std::optional<Action> action;
-  int phase = 0;
-  bool sr_send_injected = false;   // SendRecv: send half injected
+  bool pinned = false;  ///< hard affinity: never migrated by idle stealing
+  bool sr_send_injected = false;  // SendRecv: send half injected
   bool waiting_msg = false;
   bool waiting_ack = false;
+  bool ack_arrived = false;
+  bool waiting_all = false;  // parked in WaitAll
+  /// Spawn-time rank-indexing decision, applied when nbs_ materializes.
+  bool nb_rank_indexed = false;
+  bool maturing_acks = false;  ///< re-entrancy guard: a wake may step us
+  WaitPolicy wait_policy = WaitPolicy::kSpin;
+  int phase = 0;
   int wait_src = kAnySource;
   int wait_tag = 0;
+  int rank = 0;
+  int node = 0;
+  int cpu = -1;  ///< node-local CPU this task is sticky-placed on
+  TaskId id;
+  GroupId group;
+
+  // Current action interpreter state.
   std::uint64_t pending_ack_key = 0;  // ack we are (or will be) waiting for
-  bool ack_arrived = false;
   MsgHandle active_msg;               // matched message being copied
+  std::optional<Action> action;
 
-  // Nonblocking communication state (Isend/Irecv/WaitAll). Rendezvous isend
-  // acks route through the System-wide AckRouter, not a per-task map.
-  NbHandleTable nb;
-  bool waiting_all = false;           // parked in WaitAll
-  int active_nb_handle = -1;          // recv copy in progress
+  // Nonblocking communication state (Isend/Irecv/WaitAll), boxed: a task
+  // that never issues a nonblocking op never allocates it, and at 64k
+  // ranks a blocking-only workload (e.g. the sendrecv ring cell) saves
+  // ~190 inline bytes per rank — about 12 MB of dead residency. Only
+  // `waiting_all` stays inline; hot wake paths test it for every task.
+  // Rendezvous isend acks route through the System-wide AckRouter, not a
+  // per-task map.
+  struct NbState {
+    NbHandleTable table;
+    int active_nb_handle = -1;  ///< recv copy in progress
 
-  // Active-WaitAll progress counters: armed once on entry, maintained by
-  // completion events, so each re-poll is O(1) instead of a scan over the
-  // handle list (the scan made dense waitall windows quadratic). The ready
-  // bitmap is indexed by handle-list position; find-first-set picks the
-  // same list-order-first receive the scan picked.
-  bool wa_armed = false;
-  int wa_incomplete = 0;
-  std::vector<std::uint64_t> wa_ready_bits;
+    // Active-WaitAll progress counters: armed once on entry, maintained
+    // by completion events, so each re-poll is O(1) instead of a scan
+    // over the handle list (the scan made dense waitall windows
+    // quadratic). The ready bitmap is indexed by handle-list position;
+    // find-first-set picks the same list-order-first receive the scan
+    // picked.
+    bool wa_armed = false;
+    int wa_incomplete = 0;
+    std::vector<std::uint64_t> wa_ready_bits;
+  };
+  std::unique_ptr<NbState> nbs_;
+
+  NbState& nbs() {
+    if (!nbs_) {
+      nbs_ = std::make_unique<NbState>();
+      if (nb_rank_indexed) nbs_->table.set_rank_indexed(true);
+    }
+    return *nbs_;
+  }
 
   // Lazily matured rendezvous acks (transport fast path): acks owed to
   // this sender whose delivery instant is already fixed but whose effects
@@ -141,7 +199,6 @@ struct System::TaskImpl {
   };
   std::vector<PendingAck> pending_acks;
   std::uint64_t pending_ack_seq = 0;
-  bool maturing_acks = false;  ///< re-entrancy guard: a wake may step us
   EventId ack_wake_ev{};
   SimTime ack_wake_due;
 
@@ -156,10 +213,26 @@ struct System::TaskImpl {
   // Arrived-but-unmatched messages, bucketed by (src, tag) with a per-tag
   // arrival-order index for kAnySource (sim/transport.h).
   UnexpectedQueue unexpected;
+
+  // --- Cold tail: identity, configuration, accounting ---
+  std::string name;
+  WorkloadProfile profile;
+  std::unique_ptr<ActionSource> source;
+  TaskStats stats;
+  /// Last-sampled source->materialized_actions(), mirrored into the
+  /// System-wide program_actions_ sum by delta updates.
+  std::int64_t materialized = 0;
+  // Current action's provenance for the completed-action ring (only
+  // maintained when the ring is enabled).
+  int action_kind = -1;
+  SimTime action_start;
 };
 
 struct System::CpuState {
-  std::deque<std::int32_t> runqueue;  // task indices
+  // A vector, not a deque: runqueues are short (a few sticky tasks), and
+  // an untouched vector holds no heap block — see ShortFifo above for why
+  // that matters at 8192 nodes x 16 CPUs.
+  std::vector<std::int32_t> runqueue;  // task indices
   std::int32_t current = -1;
   bool frozen = false;
   EventId quantum_ev{};
@@ -189,6 +262,12 @@ System::System(SystemConfig cfg)
       master_rng_(cfg.seed),
       refill_rng_(master_rng_.fork(stream_label("refill"))),
       nic_rng_(master_rng_.fork(stream_label("nic"))) {
+  // Collectives over p ranks touch O(log p) distinct segment sizes per
+  // phase and different phases use different bases, so scale the cost memo
+  // with the node count (4 lines/node keeps 64k ranks comfortably under a
+  // few MB while a 1-node run stays at the 64-line floor).
+  net_.resize_cache(std::max<std::size_t>(
+      NetworkModel::kDefaultLines, static_cast<std::size_t>(cfg.node_count) * 4));
   htt_refill_run_factor_ =
       master_rng_.fork(stream_label("htt_luck")).uniform(0.5, 1.8);
   node_speed_.resize(static_cast<std::size_t>(cfg.node_count), 1.0);
@@ -208,6 +287,16 @@ System::System(SystemConfig cfg)
   if (cfg_.smi.enabled()) {
     smi_ = std::make_unique<SmiController>(*this, cfg_.smi);
   }
+  // The ack router is system-wide (keys are monotonic, access is probe-
+  // only), so unlike the per-task stores it follows the rank-indexing
+  // toggle directly rather than the group-size threshold.
+  set_transport_rank_indexing(rank_indexing_);
+}
+
+void System::set_transport_rank_indexing(bool on) {
+  rank_indexing_ = on;
+  ack_router_.set_rank_indexed(
+      on, on ? static_cast<std::size_t>(cfg_.node_count) * 4 : 0);
 }
 
 System::~System() = default;
@@ -272,6 +361,15 @@ TaskId System::spawn_member(GroupId g, int rank, TaskSpec spec) {
   program_actions_ += t->materialized;
   if (program_actions_ > peak_program_actions_) {
     peak_program_actions_ = program_actions_;
+  }
+
+  // Large groups get the rank-indexed stores before any traffic exists;
+  // small groups keep the classic maps (bit-exact either way — the
+  // scheduler-equality suite pins both layouts to the same hashes).
+  if (rank_indexing_ &&
+      static_cast<int>(members.size()) >= rank_index_threshold_) {
+    t->unexpected.set_rank_indexed(true);
+    t->nb_rank_indexed = true;
   }
 
   TaskImpl& ref = *t;
@@ -342,7 +440,7 @@ void System::dispatch(int node, int cpu) {
   if (cs.runqueue.empty()) steal_into(node, cpu);
   if (cs.runqueue.empty()) return;
   const std::int32_t idx = cs.runqueue.front();
-  cs.runqueue.pop_front();
+  cs.runqueue.erase(cs.runqueue.begin());
   TaskImpl& t = *tasks_[static_cast<std::size_t>(idx)];
   assert(t.queued);
   t.queued = false;
@@ -587,24 +685,29 @@ void System::start_next_action(TaskImpl& t) {
 // --- WaitAll progress counters (see TaskImpl::wa_*) ------------------------
 
 void System::wa_mark_ready(TaskImpl& t, int pos) {
-  assert(t.wa_armed && pos >= 0);
+  assert(t.nbs_ && t.nbs_->wa_armed && pos >= 0);
+  TaskImpl::NbState& nb = *t.nbs_;
   const auto word = static_cast<std::size_t>(pos) / 64;
-  assert(word < t.wa_ready_bits.size());
-  t.wa_ready_bits[word] |= std::uint64_t{1} << (static_cast<unsigned>(pos) % 64);
+  assert(word < nb.wa_ready_bits.size());
+  nb.wa_ready_bits[word] |= std::uint64_t{1}
+                            << (static_cast<unsigned>(pos) % 64);
 }
 
 void System::wa_clear_ready(TaskImpl& t, int pos) {
-  assert(t.wa_armed && pos >= 0);
+  assert(t.nbs_ && t.nbs_->wa_armed && pos >= 0);
+  TaskImpl::NbState& nb = *t.nbs_;
   const auto word = static_cast<std::size_t>(pos) / 64;
-  assert(word < t.wa_ready_bits.size());
-  t.wa_ready_bits[word] &=
+  assert(word < nb.wa_ready_bits.size());
+  nb.wa_ready_bits[word] &=
       ~(std::uint64_t{1} << (static_cast<unsigned>(pos) % 64));
 }
 
 int System::wa_first_ready(const TaskImpl& t) {
-  for (std::size_t w = 0; w < t.wa_ready_bits.size(); ++w) {
-    if (t.wa_ready_bits[w] != 0) {
-      return static_cast<int>(w * 64) + std::countr_zero(t.wa_ready_bits[w]);
+  assert(t.nbs_);
+  const TaskImpl::NbState& nb = *t.nbs_;
+  for (std::size_t w = 0; w < nb.wa_ready_bits.size(); ++w) {
+    if (nb.wa_ready_bits[w] != 0) {
+      return static_cast<int>(w * 64) + std::countr_zero(nb.wa_ready_bits[w]);
     }
   }
   return -1;
@@ -793,8 +896,8 @@ void System::step_action(TaskImpl& t) {
         start_work(t, net_.send_cpu_cost(isend->bytes));
         return;
       case 1: {
-        NbHandleTable::Entry& entry = t.nb.open_slot(isend->handle,
-                                                     /*is_send=*/true);
+        NbHandleTable::Entry& entry = t.nbs().table.open_slot(isend->handle,
+                                                              /*is_send=*/true);
         entry.peer = isend->dst_rank;
         const bool needs_ack = net_.is_rendezvous(isend->bytes);
         const std::uint64_t key = needs_ack ? next_ack_key_++ : 0;
@@ -817,8 +920,9 @@ void System::step_action(TaskImpl& t) {
   }
 
   if (auto* irecv = std::get_if<Irecv>(&*t.action)) {
-    NbHandleTable::Entry& entry = t.nb.open_slot(irecv->handle,
-                                                 /*is_send=*/false);
+    NbHandleTable& nb_table = t.nbs().table;
+    NbHandleTable::Entry& entry = nb_table.open_slot(irecv->handle,
+                                                     /*is_send=*/false);
     entry.src = irecv->src_rank;
     entry.peer = irecv->src_rank;
     entry.tag = irecv->tag;
@@ -830,7 +934,7 @@ void System::step_action(TaskImpl& t) {
       entry.msg = t.active_msg;
       t.active_msg = MsgHandle{};
     } else {
-      t.nb.post_recv(irecv->handle);
+      nb_table.post_recv(irecv->handle);
     }
     t.action.reset();
     start_next_action(t);
@@ -841,22 +945,23 @@ void System::step_action(TaskImpl& t) {
     // Not parked while actively progressing: a wake that lands during a
     // receive copy must not re-enter this state machine (see wake_waitall).
     t.waiting_all = false;
-    if (!t.wa_armed) {
+    TaskImpl::NbState& nb = t.nbs();
+    if (!nb.wa_armed) {
       // Arm the progress counters: one walk over the handle list on entry,
       // after which completion events (acks, arrivals, copy retirements)
       // maintain them and every re-poll is O(1). The old re-poll scanned
       // the whole list each time, which made dense waitall windows (the
       // rendezvous ack storm) quadratic.
-      t.wa_armed = true;
-      t.wa_incomplete = 0;
-      t.wa_ready_bits.assign((wait->handles.size() + 63) / 64, 0);
+      nb.wa_armed = true;
+      nb.wa_incomplete = 0;
+      nb.wa_ready_bits.assign((wait->handles.size() + 63) / 64, 0);
       for (std::size_t i = 0; i < wait->handles.size(); ++i) {
-        NbHandleTable::Entry* entry = t.nb.find(wait->handles[i]);
+        NbHandleTable::Entry* entry = nb.table.find(wait->handles[i]);
         assert(entry != nullptr && "WaitAll on unknown handle");
         entry->in_waitall = true;
         entry->wa_pos = static_cast<int>(i);
         if (entry->complete) continue;
-        ++t.wa_incomplete;
+        ++nb.wa_incomplete;
         if (!entry->is_send && entry->data_arrived) {
           wa_mark_ready(t, static_cast<int>(i));
         }
@@ -864,15 +969,15 @@ void System::step_action(TaskImpl& t) {
     }
     if (t.phase == 1) {
       // A receive's copy just finished: complete that handle.
-      NbHandleTable::Entry* entry = t.nb.find(t.active_nb_handle);
+      NbHandleTable::Entry* entry = nb.table.find(nb.active_nb_handle);
       assert(entry != nullptr);
       entry->complete = true;
-      --t.wa_incomplete;
+      --nb.wa_incomplete;
       t.stats.messages_received += 1;
       const MsgHandle done = entry->msg;
       entry->msg = MsgHandle{};
       retire_copied(t, done);
-      t.active_nb_handle = -1;
+      nb.active_nb_handle = -1;
       t.phase = 0;
     }
     // Re-poll: charge the next arrived-but-uncopied receive, or finish.
@@ -881,12 +986,12 @@ void System::step_action(TaskImpl& t) {
     const int pos = wa_first_ready(t);
     if (pos >= 0) {
       const int h = wait->handles[static_cast<std::size_t>(pos)];
-      NbHandleTable::Entry* entry = t.nb.find(h);
+      NbHandleTable::Entry* entry = nb.table.find(h);
       assert(entry != nullptr && !entry->is_send && !entry->complete &&
              entry->data_arrived);
       wa_clear_ready(t, pos);
       // Progress this receive now: CPU-side copy.
-      t.active_nb_handle = h;
+      nb.active_nb_handle = h;
       t.phase = 1;
       const MessageRec& msg = pool_.ref(entry->msg);
       SimDuration cost = net_.recv_cpu_cost(msg.bytes);
@@ -896,10 +1001,10 @@ void System::step_action(TaskImpl& t) {
       start_work(t, cost);
       return;
     }
-    if (t.wa_incomplete == 0) {
-      for (const int h : wait->handles) t.nb.close(h);
+    if (nb.wa_incomplete == 0) {
+      for (const int h : wait->handles) nb.table.close(h);
       t.waiting_all = false;
-      t.wa_armed = false;
+      nb.wa_armed = false;
       t.action.reset();
       start_next_action(t);
       return;
@@ -1335,17 +1440,18 @@ void System::retire_copied(TaskImpl& /*receiver*/, MsgHandle h) {
 }
 
 bool System::match_posted_irecv(TaskImpl& t, MsgHandle h) {
-  if (!t.nb.any_open_recv()) return false;
+  if (!t.nbs_ || !t.nbs_->table.any_open_recv()) return false;
+  NbHandleTable& nb_table = t.nbs_->table;
   MessageRec& msg = pool_.ref(h);
   // The posted-by-tag index holds exactly the open, unmatched receives (a
   // receive can only complete after its data arrives, so !data_arrived
   // implies !complete) and yields the lowest id — the same handle the old
   // ascending full-table scan picked.
-  const int id = t.nb.match_posted(msg.src_rank, msg.tag);
+  const int id = nb_table.match_posted(msg.src_rank, msg.tag);
   if (id < 0) return false;
-  NbHandleTable::Entry* hit = t.nb.find(id);
+  NbHandleTable::Entry* hit = nb_table.find(id);
   assert(hit != nullptr && !hit->is_send && !hit->complete);
-  t.nb.unpost(id);
+  nb_table.unpost(id);
   hit->data_arrived = true;
   hit->msg = h;
   msg.state = MessageRec::State::kMatched;
@@ -1409,12 +1515,13 @@ void System::apply_ack(std::uint64_t ack_key, bool allow_wake) {
   TaskImpl& t = task(target.task);
   if (target.nb_handle >= 0) {
     // Nonblocking rendezvous send completion.
-    if (NbHandleTable::Entry* entry = t.nb.find(target.nb_handle)) {
+    if (NbHandleTable::Entry* entry =
+            t.nbs_ ? t.nbs_->table.find(target.nb_handle) : nullptr) {
       entry->complete = true;
       entry->ack_key = 0;
       if (entry->in_waitall) {
-        assert(t.wa_armed);
-        --t.wa_incomplete;
+        assert(t.nbs_->wa_armed);
+        --t.nbs_->wa_incomplete;
       }
     }
     if (allow_wake) wake_waitall(t);
@@ -1791,7 +1898,7 @@ void System::kill_task(TaskImpl& t) {
   program_actions_ -= t.materialized;
   t.materialized = 0;
   t.waiting_msg = t.waiting_ack = t.waiting_all = false;
-  t.wa_armed = false;
+  if (t.nbs_) t.nbs_->wa_armed = false;
   // Release every pool record this task holds and unhook its ack routes:
   // the message in mid-copy, matched-but-uncopied nonblocking receives,
   // queued unexpected traffic, and outstanding rendezvous-send routes
@@ -1813,11 +1920,13 @@ void System::kill_task(TaskImpl& t) {
     pool_.release(t.active_msg);
     t.active_msg = MsgHandle{};
   }
-  t.nb.for_each_open([&](int, NbHandleTable::Entry& entry) {
-    if (entry.data_arrived && entry.msg.valid()) pool_.release(entry.msg);
-    if (entry.is_send) drop_route(entry.ack_key);
-  });
-  t.nb.clear();
+  if (t.nbs_) {
+    t.nbs_->table.for_each_open([&](int, NbHandleTable::Entry& entry) {
+      if (entry.data_arrived && entry.msg.valid()) pool_.release(entry.msg);
+      if (entry.is_send) drop_route(entry.ack_key);
+    });
+    t.nbs_->table.clear();
+  }
   drop_route(t.pending_ack_key);
   t.pending_ack_key = 0;
   t.unexpected.clear(pool_);
@@ -2052,8 +2161,12 @@ std::uint64_t System::progress_digest() const {
       h.mix_signed(msg.tag);
       h.mix(static_cast<std::uint64_t>(msg.bytes));
     });
-    h.mix(static_cast<std::uint64_t>(t.nb.open_count()));
-    t.nb.for_each_open([&h](int id, const NbHandleTable::Entry& entry) {
+    // An absent nb box hashes exactly like a constructed-but-empty table:
+    // count 0, no entries.
+    h.mix(static_cast<std::uint64_t>(t.nbs_ ? t.nbs_->table.open_count() : 0));
+    if (t.nbs_)
+      t.nbs_->table.for_each_open([&h](int id,
+                                       const NbHandleTable::Entry& entry) {
       h.mix_signed(id);
       h.mix((entry.is_send ? 1u : 0u) | (entry.complete ? 2u : 0u) |
             (entry.data_arrived ? 4u : 0u) | (entry.in_waitall ? 8u : 0u));
@@ -2126,7 +2239,9 @@ RunResult System::diagnose(RunStatus status) const {
       r.unexpected_sample.push_back(
           QueuedMessage{msg.src_rank, msg.tag, msg.bytes});
     });
-    t.nb.for_each_open([&](int id, const NbHandleTable::Entry& entry) {
+    if (t.nbs_)
+      t.nbs_->table.for_each_open([&](int id,
+                                      const NbHandleTable::Entry& entry) {
       if (entry.complete) return;
       ++r.incomplete_handles;
       if (!entry.is_send) ++r.posted_recvs;
@@ -2168,7 +2283,8 @@ RunResult System::diagnose(RunStatus status) const {
       }
     } else if (t.waiting_all) {
       r.op = BlockedOp::kWaitAll;
-      t.nb.for_each_open([&](int, const NbHandleTable::Entry& entry) {
+      if (t.nbs_)
+        t.nbs_->table.for_each_open([&](int, const NbHandleTable::Entry& entry) {
         if (entry.complete) return;
         if (r.peer_rank < 0) r.peer_rank = entry.peer;
         const TaskImpl* p = peer_of(t, entry.peer);

@@ -90,7 +90,7 @@ void UnexpectedQueue::push(MessagePool& pool, MsgHandle h) {
   rec.st_prev = rec.st_next = MessageRec::kNil;
   rec.tag_prev = rec.tag_next = MessageRec::kNil;
 
-  Bucket& st = by_src_tag_[src_tag_key(rec.src_rank, rec.tag)];
+  Bucket& st = get_st_bucket(rec.src_rank, rec.tag);
   if (st.tail == MessageRec::kNil) {
     st.head = st.tail = h.index;
   } else {
@@ -99,7 +99,7 @@ void UnexpectedQueue::push(MessagePool& pool, MsgHandle h) {
     st.tail = h.index;
   }
 
-  Bucket& tg = by_tag_[rec.tag];
+  Bucket& tg = get_tag_bucket(rec.tag);
   if (tg.tail == MessageRec::kNil) {
     tg.head = tg.tail = h.index;
   } else {
@@ -114,38 +114,35 @@ void UnexpectedQueue::unlink(MessagePool& pool, MsgHandle h) {
   MessageRec& rec = pool.ref(h);
 
   {  // (src, tag) bucket list
-    const std::uint64_t key = src_tag_key(rec.src_rank, rec.tag);
-    auto it = by_src_tag_.find(key);
-    assert(it != by_src_tag_.end());
-    Bucket& b = it->second;
+    Bucket* b = find_st_bucket(rec.src_rank, rec.tag);
+    assert(b != nullptr);
     if (rec.st_prev != MessageRec::kNil) {
       pool.at_index(rec.st_prev).st_next = rec.st_next;
     } else {
-      b.head = rec.st_next;
+      b->head = rec.st_next;
     }
     if (rec.st_next != MessageRec::kNil) {
       pool.at_index(rec.st_next).st_prev = rec.st_prev;
     } else {
-      b.tail = rec.st_prev;
+      b->tail = rec.st_prev;
     }
-    if (b.head == MessageRec::kNil) by_src_tag_.erase(it);
+    if (b->head == MessageRec::kNil) erase_st_bucket(rec.src_rank, rec.tag);
   }
 
   {  // tag index list
-    auto it = by_tag_.find(rec.tag);
-    assert(it != by_tag_.end());
-    Bucket& b = it->second;
+    Bucket* b = find_tag_bucket(rec.tag);
+    assert(b != nullptr);
     if (rec.tag_prev != MessageRec::kNil) {
       pool.at_index(rec.tag_prev).tag_next = rec.tag_next;
     } else {
-      b.head = rec.tag_next;
+      b->head = rec.tag_next;
     }
     if (rec.tag_next != MessageRec::kNil) {
       pool.at_index(rec.tag_next).tag_prev = rec.tag_prev;
     } else {
-      b.tail = rec.tag_prev;
+      b->tail = rec.tag_prev;
     }
-    if (b.head == MessageRec::kNil) by_tag_.erase(it);
+    if (b->head == MessageRec::kNil) erase_tag_bucket(rec.tag);
   }
 
   rec.st_prev = rec.st_next = MessageRec::kNil;
@@ -160,34 +157,34 @@ MsgHandle UnexpectedQueue::match(MessagePool& pool, int src_rank, int tag,
   if (src_rank == kAnySource) {
     // The tag index is arrival-ordered across sources: its head IS the
     // globally earliest arrival with this tag (MPI wildcard semantics).
-    auto it = by_tag_.find(tag);
-    if (it != by_tag_.end()) index = it->second.head;
+    if (const Bucket* b = find_tag_bucket(tag)) index = b->head;
     if (policy != nullptr && index != MessageRec::kNil) {
       // Candidate set for exploration: the FIRST queued record of each
-      // distinct source, walked in arrival order so cand_buf_[0] is the
+      // distinct source, walked in arrival order so cand[0] is the
       // tag-list head and decision 0 reproduces the default match.
-      cand_buf_.clear();
-      seen_buf_.clear();
+      MatchScratch& sc = scratch();
+      sc.cand.clear();
+      sc.seen.clear();
       for (std::uint32_t i = index; i != MessageRec::kNil;
            i = pool.at_index(i).tag_next) {
         const int src = pool.at_index(i).src_rank;
-        if (std::find(seen_buf_.begin(), seen_buf_.end(), src) !=
-            seen_buf_.end()) {
+        if (std::find(sc.seen.begin(), sc.seen.end(), src) != sc.seen.end()) {
           continue;  // later message from a seen source: non-overtaking
         }
-        seen_buf_.push_back(src);
-        cand_buf_.push_back(i);
+        sc.seen.push_back(src);
+        sc.cand.push_back(i);
       }
-      if (cand_buf_.size() > 1) {
+      if (sc.cand.size() > 1) {
         const std::size_t pick =
-            policy->choose(ChoiceKind::kAnySourceMatch, cand_buf_.size());
-        assert(pick < cand_buf_.size() && "any-source decision out of range");
-        index = cand_buf_[pick];
+            policy->choose(ChoiceKind::kAnySourceMatch, sc.cand.size());
+        assert(pick < sc.cand.size() && "any-source decision out of range");
+        index = sc.cand[pick];
       }
     }
   } else {
-    auto it = by_src_tag_.find(src_tag_key(src_rank, tag));
-    if (it != by_src_tag_.end()) index = it->second.head;
+    if (const Bucket* b = find_st_bucket(src_rank, tag)) {
+      index = b->head;
+    }
   }
   if (index == MessageRec::kNil) return MsgHandle{};
   const MsgHandle h = pool.handle_at(index);
@@ -196,29 +193,47 @@ MsgHandle UnexpectedQueue::match(MessagePool& pool, int src_rank, int tag,
   return h;
 }
 
+std::vector<int> UnexpectedQueue::tag_keys() const {
+  std::vector<int> tags;
+  if (rank_indexed_) {
+    flat_.for_each([&tags](std::uint64_t key, const Bucket&) {
+      // Tag-family keys only: (src, tag) keys carry src + 1 up top.
+      if ((key >> 32) == 0) {
+        tags.push_back(
+            static_cast<std::int32_t>(static_cast<std::uint32_t>(key)));
+      }
+    });
+  } else if (classic_) {
+    tags.reserve(classic_->by_tag.size());
+    // smilint: allow(unordered-iter) reason=keys are sorted before any effect; hash order cannot escape
+    for (const auto& [tag, bucket] : classic_->by_tag) tags.push_back(tag);
+  }
+  std::sort(tags.begin(), tags.end());
+  return tags;
+}
+
 void UnexpectedQueue::clear(MessagePool& pool) {
-  // Drain via sorted tag keys. Releasing in hash-iteration order would
-  // push records onto the pool free list in an order that varies across
-  // libstdc++ hash implementations — and free-list order decides the slab
+  // Drain via sorted tag keys. Releasing in probe/hash-iteration order
+  // would push records onto the pool free list in an order that varies
+  // with insertion history (flat mode) or across libstdc++ hash
+  // implementations (classic) — and free-list order decides the slab
   // index of every future allocation. Sorting first makes the post-kill
   // pool state a deterministic function of queue content alone; each
   // per-tag list is already arrival-ordered, covering every queued record
   // exactly once.
-  std::vector<int> tags;
-  tags.reserve(by_tag_.size());
-  // smilint: allow(unordered-iter) reason=keys are sorted before any effect; hash order cannot escape
-  for (const auto& [tag, bucket] : by_tag_) tags.push_back(tag);
-  std::sort(tags.begin(), tags.end());
-  for (const int tag : tags) {
-    std::uint32_t i = by_tag_.find(tag)->second.head;
+  for (const int tag : tag_keys()) {
+    std::uint32_t i = find_tag_bucket(tag)->head;
     while (i != MessageRec::kNil) {
       const std::uint32_t next = pool.at_index(i).tag_next;
       pool.release(pool.handle_at(i));
       i = next;
     }
   }
-  by_tag_.clear();
-  by_src_tag_.clear();
+  if (classic_) {
+    classic_->by_tag.clear();
+    classic_->by_src_tag.clear();
+  }
+  flat_.clear();
   count_ = 0;
 }
 
@@ -226,9 +241,37 @@ void UnexpectedQueue::check_invariants(const MessagePool& pool) const {
   auto fail = [](const std::string& what) {
     throw std::logic_error("UnexpectedQueue::check_invariants: " + what);
   };
+  // Collect buckets from whichever store is active; validation is order-
+  // insensitive (every failure throws regardless of visit order).
+  std::vector<std::pair<int, Bucket>> tag_buckets;
+  std::vector<std::pair<std::uint64_t, Bucket>> st_buckets;
+  if (rank_indexed_) {
+    flat_.for_each([&tag_buckets, &st_buckets](std::uint64_t key,
+                                               const Bucket& b) {
+      if ((key >> 32) == 0) {
+        tag_buckets.emplace_back(
+            static_cast<std::int32_t>(static_cast<std::uint32_t>(key)), b);
+      } else {
+        // Re-encode to the classic (src << 32) | tag layout the checks
+        // below decode (flat keys bias src by +1; see flat_st_key).
+        st_buckets.emplace_back(((key >> 32) - 1) << 32 |
+                                    (key & 0xffffffffu),
+                                b);
+      }
+    });
+  } else if (classic_) {
+    // smilint: allow(unordered-iter) reason=validation only; every failure throws regardless of visit order
+    for (const auto& [tag, bucket] : classic_->by_tag) {
+      tag_buckets.emplace_back(tag, bucket);
+    }
+    // smilint: allow(unordered-iter) reason=validation only; every failure throws regardless of visit order
+    for (const auto& [key, bucket] : classic_->by_src_tag) {
+      st_buckets.emplace_back(key, bucket);
+    }
+  }
+
   std::size_t tag_seen = 0;
-  // smilint: allow(unordered-iter) reason=validation only; every failure throws regardless of visit order
-  for (const auto& [tag, bucket] : by_tag_) {
+  for (const auto& [tag, bucket] : tag_buckets) {
     if (bucket.head == MessageRec::kNil) fail("empty bucket not erased");
     std::uint64_t last_seq = 0;
     bool first = true;
@@ -255,8 +298,7 @@ void UnexpectedQueue::check_invariants(const MessagePool& pool) const {
   if (tag_seen != count_) fail("tag lists do not cover the queue");
 
   std::size_t st_seen = 0;
-  // smilint: allow(unordered-iter) reason=validation only; every failure throws regardless of visit order
-  for (const auto& [key, bucket] : by_src_tag_) {
+  for (const auto& [key, bucket] : st_buckets) {
     if (bucket.head == MessageRec::kNil) fail("empty (src,tag) bucket");
     const int src = static_cast<std::int32_t>(key >> 32);
     const int tag = static_cast<std::int32_t>(key & 0xffffffffu);
@@ -301,11 +343,61 @@ NbHandleTable::Entry& NbHandleTable::open_slot(int id, bool is_send) {
   return e;
 }
 
+const std::pmr::vector<int>* NbHandleTable::find_posted(int tag) const {
+  if (rank_indexed_) {
+    const std::uint32_t* idx = posted_flat_.find(
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+    if (idx == nullptr) return nullptr;
+    return &posted_store_[*idx - 1];
+  }
+  if (!posted_by_tag_) return nullptr;
+  auto it = posted_by_tag_->find(tag);
+  return it == posted_by_tag_->end() ? nullptr : &it->second;
+}
+
+std::pmr::vector<int>& NbHandleTable::get_posted(int tag) {
+  if (rank_indexed_) {
+    // The flat map holds (store index + 1) so a value-initialized slot
+    // reads as "no bucket"; the pmr vectors never move — FlatKeyMap only
+    // relocates the 32-bit indices during rehash / backward shift.
+    std::uint32_t& ref = posted_flat_.get_or_insert(
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+    if (ref == 0) {
+      if (!store_free_.empty()) {
+        ref = store_free_.back() + 1;
+        store_free_.pop_back();
+      } else {
+        posted_store_.emplace_back(arena_);
+        ref = static_cast<std::uint32_t>(posted_store_.size());
+      }
+    }
+    return posted_store_[ref - 1];
+  }
+  if (!posted_by_tag_) {
+    posted_by_tag_ =
+        std::make_unique<std::unordered_map<int, std::pmr::vector<int>>>();
+  }
+  return posted_by_tag_->try_emplace(tag, arena_).first->second;
+}
+
+void NbHandleTable::erase_posted(int tag) {
+  if (rank_indexed_) {
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
+    std::uint32_t* idx = posted_flat_.find(key);
+    assert(idx != nullptr);
+    assert(posted_store_[*idx - 1].empty());
+    store_free_.push_back(*idx - 1);
+    posted_flat_.erase(key);
+    return;
+  }
+  posted_by_tag_->erase(tag);
+}
+
 void NbHandleTable::post_recv(int id) {
   const Entry* e = find(id);
   assert(e != nullptr && !e->is_send && !e->data_arrived);
-  std::pmr::vector<int>& ids =
-      posted_by_tag_.try_emplace(e->tag, arena_).first->second;
+  std::pmr::vector<int>& ids = get_posted(e->tag);
   // Ids arrive mostly in ascending order (collectives allocate densely),
   // so the insertion point is almost always the back.
   auto it = std::lower_bound(ids.begin(), ids.end(), id);
@@ -314,9 +406,9 @@ void NbHandleTable::post_recv(int id) {
 }
 
 int NbHandleTable::match_posted(int src_rank, int tag) const {
-  auto bucket = posted_by_tag_.find(tag);
-  if (bucket == posted_by_tag_.end()) return -1;
-  for (const int id : bucket->second) {
+  const std::pmr::vector<int>* ids = find_posted(tag);
+  if (ids == nullptr) return -1;
+  for (const int id : *ids) {
     const Entry& e = entries_[static_cast<std::size_t>(id)];
     assert(e.open && !e.is_send && !e.data_arrived && e.tag == tag);
     if (e.src == kAnySource || e.src == src_rank) return id;
@@ -327,13 +419,13 @@ int NbHandleTable::match_posted(int src_rank, int tag) const {
 void NbHandleTable::unpost(int id) {
   const Entry* e = find(id);
   assert(e != nullptr && !e->is_send);
-  auto bucket = posted_by_tag_.find(e->tag);
-  if (bucket == posted_by_tag_.end()) return;
-  std::pmr::vector<int>& ids = bucket->second;
-  auto it = std::lower_bound(ids.begin(), ids.end(), id);
-  if (it == ids.end() || *it != id) return;  // not posted (already matched)
-  ids.erase(it);
-  if (ids.empty()) posted_by_tag_.erase(bucket);
+  std::pmr::vector<int>* ids = const_cast<std::pmr::vector<int>*>(
+      static_cast<const NbHandleTable*>(this)->find_posted(e->tag));
+  if (ids == nullptr) return;
+  auto it = std::lower_bound(ids->begin(), ids->end(), id);
+  if (it == ids->end() || *it != id) return;  // not posted (already matched)
+  ids->erase(it);
+  if (ids->empty()) erase_posted(e->tag);
 }
 
 void NbHandleTable::close(int id) {
@@ -353,7 +445,13 @@ void NbHandleTable::clear() {
   for (Entry& e : entries_) e.open = false;
   open_ = 0;
   open_recvs_ = 0;
-  posted_by_tag_.clear();
+  posted_by_tag_.reset();
+  // Match the classic wholesale drop: the pmr vectors point into an arena
+  // whose lifetime the caller is about to recycle, so release them rather
+  // than keeping them on the free list.
+  posted_flat_.clear();
+  posted_store_.clear();
+  store_free_.clear();
 }
 
 }  // namespace smilab

@@ -41,10 +41,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <memory_resource>
 #include <unordered_map>
 #include <vector>
 
+#include "smilab/sim/flat_key_map.h"
 #include "smilab/sim/task.h"
 #include "smilab/time/sim_time.h"
 #include "smilab/trace/action_arena.h"
@@ -175,6 +177,21 @@ class MessagePool {
 /// per-tag arrival-ordered index for any-source matching. See file header.
 class UnexpectedQueue {
  public:
+  /// Rank-indexed mode (DESIGN.md §16): back the (src, tag) and per-tag
+  /// bucket maps with FlatKeyMap instead of unordered_map, eliminating the
+  /// node alloc/free pair every enqueue+match cycle pays. Observable
+  /// behavior is bit-identical — both modes are probed by key only, and
+  /// the intrusive lists threaded through the pool slots are shared — so
+  /// the toggle exists for A/B equality suites and benchmarks (the PR-5
+  /// set_transport_fast_paths pattern). System enables it at spawn time
+  /// for tasks in groups at or above its rank-index threshold. Must be
+  /// called while the queue is empty.
+  void set_rank_indexed(bool on) {
+    assert(count_ == 0 && "switch indexing mode only while empty");
+    rank_indexed_ = on;
+  }
+  [[nodiscard]] bool rank_indexed() const { return rank_indexed_; }
+
   /// Enqueue an arrived, unmatched message; assigns its arrival_seq and
   /// moves it to kUnexpected.
   void push(MessagePool& pool, MsgHandle h);
@@ -206,15 +223,11 @@ class UnexpectedQueue {
   /// on the message hot path.
   template <typename F>
   void for_each_arrival(const MessagePool& pool, F&& f) const {
-    std::vector<int> tags;
-    tags.reserve(by_tag_.size());
-    // smilint: allow(unordered-iter) reason=keys sorted before any effect; hash order cannot escape
-    for (const auto& [tag, bucket] : by_tag_) tags.push_back(tag);
-    std::sort(tags.begin(), tags.end());
+    std::vector<int> tags = tag_keys();  // sorted; hash order cannot escape
     std::vector<const MessageRec*> recs;
     recs.reserve(count_);
     for (const int tag : tags) {
-      for (std::uint32_t i = by_tag_.find(tag)->second.head;
+      for (std::uint32_t i = find_tag_bucket(tag)->head;
            i != MessageRec::kNil; i = pool.at_index(i).tag_next) {
         recs.push_back(&pool.at_index(i));
       }
@@ -241,21 +254,108 @@ class UnexpectedQueue {
             << 32) |
            static_cast<std::uint32_t>(tag);
   }
+  static std::uint64_t tag_key(int tag) {
+    return static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
+  }
+  /// Flat-mode (src, tag) key: src + 1 in the high word so the two key
+  /// families share one FlatKeyMap without colliding — tag-only keys have
+  /// a zero high word, (src, tag) keys never do (src >= 0). One map halves
+  /// the per-task header and first-allocation cost; at 64k ranks the pair
+  /// was ~10 MB of four-slot opening bids.
+  static std::uint64_t flat_st_key(int src_rank, int tag) {
+    return ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_rank)) +
+             1)
+            << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
+
+  /// The classic unordered_map pair, allocated on first classic-mode use.
+  /// Behind a pointer so rank-indexed tasks — tens of thousands of them —
+  /// do not each carry 112 bytes of never-touched map headers.
+  struct ClassicMaps {
+    std::unordered_map<std::uint64_t, Bucket> by_src_tag;
+    std::unordered_map<int, Bucket> by_tag;
+  };
+  [[nodiscard]] ClassicMaps& classic() {
+    if (!classic_) classic_ = std::make_unique<ClassicMaps>();
+    return *classic_;
+  }
+
+  // Mode-dispatching bucket accessors: all hot-path callers probe by
+  // (src, tag) or tag through these, so push/match/unlink are a single
+  // code path over both backing stores.
+  [[nodiscard]] Bucket* find_st_bucket(int src_rank, int tag) {
+    if (rank_indexed_) return flat_.find(flat_st_key(src_rank, tag));
+    return classic_
+               ? classic_find(classic_->by_src_tag, src_tag_key(src_rank, tag))
+               : nullptr;
+  }
+  [[nodiscard]] Bucket& get_st_bucket(int src_rank, int tag) {
+    return rank_indexed_ ? flat_.get_or_insert(flat_st_key(src_rank, tag))
+                         : classic().by_src_tag[src_tag_key(src_rank, tag)];
+  }
+  void erase_st_bucket(int src_rank, int tag) {
+    if (rank_indexed_) {
+      flat_.erase(flat_st_key(src_rank, tag));
+    } else {
+      classic_->by_src_tag.erase(src_tag_key(src_rank, tag));
+    }
+  }
+  [[nodiscard]] Bucket* find_tag_bucket(int tag) {
+    if (rank_indexed_) return flat_.find(tag_key(tag));
+    return classic_ ? classic_find(classic_->by_tag, tag) : nullptr;
+  }
+  [[nodiscard]] const Bucket* find_tag_bucket(int tag) const {
+    return const_cast<UnexpectedQueue*>(this)->find_tag_bucket(tag);
+  }
+  [[nodiscard]] Bucket& get_tag_bucket(int tag) {
+    return rank_indexed_ ? flat_.get_or_insert(tag_key(tag))
+                         : classic().by_tag[tag];
+  }
+  void erase_tag_bucket(int tag) {
+    if (rank_indexed_) {
+      flat_.erase(tag_key(tag));
+    } else {
+      classic_->by_tag.erase(tag);
+    }
+  }
+  template <typename Map, typename K>
+  static Bucket* classic_find(Map& m, K key) {
+    auto it = m.find(key);
+    return it == m.end() ? nullptr : &it->second;
+  }
+
+  /// Distinct queued tags, sorted (diagnostics/clear; hash order of either
+  /// backing store cannot escape).
+  [[nodiscard]] std::vector<int> tag_keys() const;
 
   /// Unlink `h` from both its (src, tag) bucket and its tag index;
   /// erases buckets that become empty so the maps stay bounded by
   /// *concurrently* queued traffic, not by distinct tags ever seen.
   void unlink(MessagePool& pool, MsgHandle h);
 
-  std::unordered_map<std::uint64_t, Bucket> by_src_tag_;
-  std::unordered_map<int, Bucket> by_tag_;
+  // Scratch for the policy-driven any-source candidate scan (first queued
+  // record per distinct source). Heap members, not locals, so capacity
+  // persists across matches and exploration runs don't churn the
+  // allocator; boxed because only model-checking runs with wildcard
+  // receives ever take that branch.
+  struct MatchScratch {
+    std::vector<std::uint32_t> cand;
+    std::vector<int> seen;
+  };
+  [[nodiscard]] MatchScratch& scratch() {
+    if (!scratch_) scratch_ = std::make_unique<MatchScratch>();
+    return *scratch_;
+  }
+
+  bool rank_indexed_ = false;
+  std::unique_ptr<ClassicMaps> classic_;
+  /// Flat-mode store for BOTH bucket families, keyed by flat_st_key /
+  /// tag_key (disjoint by construction — see flat_st_key).
+  FlatKeyMap<Bucket> flat_;
   std::uint64_t next_seq_ = 0;
   std::size_t count_ = 0;
-  // Scratch for the policy-driven any-source candidate scan (first queued
-  // record per distinct source). Members, not locals: capacity persists
-  // across matches, so exploration runs don't churn the allocator.
-  std::vector<std::uint32_t> cand_buf_;
-  std::vector<int> seen_buf_;
+  std::unique_ptr<MatchScratch> scratch_;
 };
 
 /// Where a rendezvous completion ack should land, plus enough routing
@@ -282,19 +382,48 @@ struct AckTarget {
 /// hashing the observable drain sequence.
 class AckRouter {
  public:
-  void add(std::uint64_t key, AckTarget target) { map_.emplace(key, target); }
+  /// Rank-indexed mode: flat open-addressed slots instead of unordered_map
+  /// nodes (one alloc/free pair saved per rendezvous). Both stores are
+  /// key-probed only, so routing is bit-identical; the hint pre-sizes the
+  /// slot array for the expected concurrent route count (O(ranks) during a
+  /// collective phase). Switch only while empty.
+  void set_rank_indexed(bool on, std::size_t capacity_hint = 0) {
+    assert(size() == 0 && "switch indexing mode only while empty");
+    rank_indexed_ = on;
+    if (on && capacity_hint != 0) flat_.reserve(capacity_hint);
+  }
+  [[nodiscard]] bool rank_indexed() const { return rank_indexed_; }
+
+  void add(std::uint64_t key, AckTarget target) {
+    if (rank_indexed_) {
+      flat_.get_or_insert(key) = target;
+    } else {
+      map_.emplace(key, target);
+    }
+  }
   [[nodiscard]] AckTarget* find(std::uint64_t key) {
+    if (rank_indexed_) return flat_.find(key);
     auto it = map_.find(key);
     return it == map_.end() ? nullptr : &it->second;
   }
   [[nodiscard]] const AckTarget* find(std::uint64_t key) const {
     return const_cast<AckRouter*>(this)->find(key);
   }
-  void erase(std::uint64_t key) { map_.erase(key); }
-  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  void erase(std::uint64_t key) {
+    if (rank_indexed_) {
+      flat_.erase(key);
+    } else {
+      map_.erase(key);
+    }
+  }
+  [[nodiscard]] std::size_t size() const {
+    return rank_indexed_ ? flat_.size() : map_.size();
+  }
 
  private:
+  bool rank_indexed_ = false;
   std::unordered_map<std::uint64_t, AckTarget> map_;
+  FlatKeyMap<AckTarget> flat_;
 };
 
 /// Per-task nonblocking-communication handle table: a flat slot vector
@@ -324,6 +453,18 @@ class NbHandleTable {
     int tag = 0;
     int peer = -1;               ///< counterpart rank (diagnosis wait-for edge)
   };
+
+  /// Rank-indexed mode: the posted-by-tag index keeps its arena-backed id
+  /// vectors but reaches them through a FlatKeyMap of store indices
+  /// instead of unordered_map nodes, so post/unpost churn at waitall-
+  /// window rate stops paying a node alloc/free per cycle. Match order is
+  /// unchanged (ids stay ascending within a bucket). Switch only while no
+  /// handle is open.
+  void set_rank_indexed(bool on) {
+    assert(open_ == 0 && "switch indexing mode only while empty");
+    rank_indexed_ = on;
+  }
+  [[nodiscard]] bool rank_indexed() const { return rank_indexed_; }
 
   /// Open slot `id` for a send or receive; asserts the id is not already
   /// in use.
@@ -379,11 +520,21 @@ class NbHandleTable {
   }
 
  private:
+  /// The posted-id vector for `tag`, or nullptr (either mode).
+  [[nodiscard]] const std::pmr::vector<int>* find_posted(int tag) const;
+  /// The posted-id vector for `tag`, creating an empty one (either mode).
+  [[nodiscard]] std::pmr::vector<int>& get_posted(int tag);
+  /// Drop `tag`'s bucket (it must be empty), recycling the store slot.
+  void erase_posted(int tag);
+
   std::vector<Entry> entries_;
   std::size_t open_ = 0;
   std::size_t open_recvs_ = 0;
+  bool rank_indexed_ = false;
   /// tag -> ascending ids of open receives still awaiting a message.
-  /// Probed by key only; cleared wholesale (smilint D3).
+  /// Probed by key only; cleared wholesale (smilint D3). Behind a pointer,
+  /// allocated on first classic-mode post, so rank-indexed tasks don't
+  /// carry the map header.
   ///
   /// The bucket vectors live on the thread's ActionArena (trace/): posting
   /// and unposting churn small id vectors at waitall-window rate, and the
@@ -391,7 +542,15 @@ class NbHandleTable {
   /// arena-backed — the outer map stays on the heap, since the arena's
   /// deallocate is a no-op and TagAllocator tags are monotonic: arena-side
   /// map nodes for dead tags would accumulate until reset.
-  std::unordered_map<int, std::pmr::vector<int>> posted_by_tag_;
+  std::unique_ptr<std::unordered_map<int, std::pmr::vector<int>>>
+      posted_by_tag_;
+  /// Rank-indexed replacement for the outer map: tag -> (store index + 1)
+  /// in a FlatKeyMap (0 = empty sentinel from value-initialization), with
+  /// the arena-backed vectors themselves recycled through posted_store_ /
+  /// store_free_ so FlatKeyMap only ever relocates 32-bit indices.
+  FlatKeyMap<std::uint32_t> posted_flat_;
+  std::vector<std::pmr::vector<int>> posted_store_;
+  std::vector<std::uint32_t> store_free_;
   std::pmr::memory_resource* arena_ = ActionArena::current();
 };
 

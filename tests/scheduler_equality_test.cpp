@@ -1,0 +1,332 @@
+// Scheduler-equality suite: the ladder/calendar event queue (DESIGN.md
+// §16) is a pure speed change. Everything observable — the PR-3 golden
+// transport hashes, the smichk corpus pins (exact explored-schedule
+// counts), and a 4096-rank streaming ring sweep — must be bit-identical
+// under Engine::Scheduler::kLadder and kHeap, with transport rank-indexing
+// on and off. A drift here is a correctness bug in the scheduler, not a
+// perf tradeoff; do not re-pin without understanding why.
+//
+// Alongside the equality pins: FlatKeyMap (the open-addressed u64 map
+// under the rank-indexed transport and the ladder slab) churned against a
+// std::unordered_map reference.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "smilab/apps/nas/nas.h"
+#include "smilab/mc/corpus.h"
+#include "smilab/mc/explorer.h"
+#include "smilab/mpi/collectives.h"
+#include "smilab/mpi/job.h"
+#include "smilab/mpi/streaming.h"
+#include "smilab/sim/flat_key_map.h"
+#include "smilab/sim/system.h"
+
+namespace smilab {
+namespace {
+
+using Scheduler = Engine::Scheduler;
+
+// FNV-1a over 64-bit words — the idiom of tests/transport_test.cpp, which
+// owns the pinned constants reasserted below.
+class TraceHash {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xff;
+      h_ *= 0x100000001b3ull;
+    }
+  }
+  void mix_signed(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+void mix_stats(TraceHash& h, const TaskStats& s) {
+  h.mix_signed(s.end_time.ns());
+  h.mix_signed(s.os_view_cpu_time.ns());
+  h.mix_signed(s.true_cpu_time.ns());
+  h.mix_signed(s.smm_stolen_time.ns());
+  h.mix_signed(s.refill_overhead.ns());
+  h.mix_signed(s.smm_hits);
+  h.mix_signed(s.messages_sent);
+  h.mix_signed(s.messages_received);
+  h.mix_signed(s.bytes_sent);
+  h.mix(s.finished ? 1 : 0);
+  h.mix(s.failed ? 1 : 0);
+}
+
+void mix_system(TraceHash& h, const System& sys) {
+  for (int t = 0; t < sys.task_count(); ++t) {
+    mix_stats(h, sys.task_stats(TaskId{t}));
+  }
+  h.mix_signed(sys.inter_node_bytes());
+  h.mix_signed(sys.messages_dropped());
+  h.mix_signed(sys.messages_duplicated());
+  h.mix_signed(sys.retransmissions());
+  h.mix_signed(sys.transport_failures());
+}
+
+// --- PR-3 golden transport hashes under both schedulers ---------------------
+
+// Pinned in tests/transport_test.cpp (seed build); re-declared here so the
+// ladder must reproduce the SAME bytes the heap has been pinned to since
+// PR-3 — not merely agree with whatever the heap produces today.
+constexpr std::uint64_t kTable2SubGridHash = 2027882165916727799ull;
+constexpr std::uint64_t kCollectiveMixHash = 17019758979342947237ull;
+
+SystemConfig wyeast_cfg(int nodes, std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::wyeast_e5520();
+  cfg.node_count = nodes;
+  cfg.net = NetworkParams::wyeast();
+  cfg.seed = seed;
+  return cfg;
+}
+
+// The Table-2 (NAS EP) sub-grid golden program, parameterized by scheduler.
+std::uint64_t table2_subgrid_hash(Scheduler sched) {
+  TraceHash h;
+  for (const bool long_smi : {false, true}) {
+    for (const std::uint64_t seed : {1ull, 2ull}) {
+      for (const int ranks_per_node : {1, 4}) {
+        const NasJobSpec spec{NasBenchmark::kEP, NasClass::kA,
+                              ranks_per_node == 1 ? 4 : 2, ranks_per_node};
+        SystemConfig cfg = wyeast_cfg(spec.nodes, seed);
+        cfg.smi = long_smi ? SmiConfig::long_every_second()
+                           : SmiConfig::short_every_second();
+        System sys{cfg};
+        sys.engine().set_scheduler(sched);
+        auto programs = build_nas_trace(spec, NasKnob{4096, 0});
+        auto result =
+            run_mpi_job(sys, std::move(programs),
+                        block_placement(spec.ranks(), spec.ranks_per_node),
+                        WorkloadProfile::dense_fp());
+        h.mix_signed(result.elapsed.ns());
+        mix_system(h, sys);
+      }
+    }
+  }
+  return h.value();
+}
+
+// The mixed blocking/nonblocking collective golden program (rendezvous
+// payloads, isend/irecv/waitall, barrier), parameterized by scheduler.
+std::uint64_t collective_mix_hash(Scheduler sched) {
+  TraceHash h;
+  for (const std::uint64_t seed : {3ull, 11ull}) {
+    SystemConfig cfg = wyeast_cfg(8, seed);
+    cfg.smi = SmiConfig::long_every_second();
+    System sys{cfg};
+    sys.engine().set_scheduler(sched);
+    auto programs = make_rank_programs(8);
+    TagAllocator tags;
+    for (int iter = 0; iter < 6; ++iter) {
+      for (auto& rp : programs) rp.compute(milliseconds(40));
+      alltoall(programs, 96 * 1024, tags);
+      alltoall_nonblocking(programs, 80 * 1024, tags);
+      allreduce(programs, 1024, tags);
+      barrier(programs, tags);
+    }
+    auto result = run_mpi_job(sys, std::move(programs), block_placement(8, 1),
+                              WorkloadProfile::dense_fp());
+    h.mix_signed(result.elapsed.ns());
+    mix_system(h, sys);
+  }
+  return h.value();
+}
+
+TEST(SchedulerEqualityTest, Table2SubGridGoldenPinnedUnderBothSchedulers) {
+  EXPECT_EQ(table2_subgrid_hash(Scheduler::kLadder), kTable2SubGridHash);
+  EXPECT_EQ(table2_subgrid_hash(Scheduler::kHeap), kTable2SubGridHash);
+}
+
+TEST(SchedulerEqualityTest, CollectiveMixGoldenPinnedUnderBothSchedulers) {
+  EXPECT_EQ(collective_mix_hash(Scheduler::kLadder), kCollectiveMixHash);
+  EXPECT_EQ(collective_mix_hash(Scheduler::kHeap), kCollectiveMixHash);
+}
+
+// --- smichk corpus pins under the heap scheduler ----------------------------
+
+// tests/mc_test.cpp pins the corpus under the default (ladder) scheduler.
+// Re-exploring under kHeap must reproduce the EXACT same tree: schedule
+// counts, pruned counts, verdicts, and the canonical observable hash. Any
+// difference means the scheduler changed which choice points exist — a
+// schedule-order drift, exactly what this suite exists to catch.
+TEST(SchedulerEqualityTest, SmichkCorpusPinsIdenticalUnderHeapScheduler) {
+  for (const mc::McCase& c : mc::corpus()) {
+    SCOPED_TRACE(c.name);
+    mc::ExplorerOptions opts;
+    opts.max_schedules = mc::kCorpusMaxSchedules;
+    opts.max_depth = mc::kCorpusMaxDepth;
+
+    opts.scheduler = Scheduler::kLadder;
+    mc::Explorer ladder{c.target, opts};
+    const mc::ExplorationReport lrep = ladder.explore();
+
+    opts.scheduler = Scheduler::kHeap;
+    mc::Explorer heap{c.target, opts};
+    const mc::ExplorationReport hrep = heap.explore();
+
+    EXPECT_EQ(hrep.verdict, c.expect_verdict) << mc::to_string(hrep.verdict);
+    EXPECT_EQ(hrep.schedules_run, c.expect_schedules);
+    EXPECT_EQ(hrep.schedules_pruned, c.expect_pruned);
+    EXPECT_TRUE(hrep.exhausted());
+    EXPECT_EQ(hrep.canonical_hash, lrep.canonical_hash);
+    EXPECT_EQ(hrep.schedules_run, lrep.schedules_run);
+  }
+}
+
+// --- 4096-rank streaming ring under all four toggle combinations ------------
+
+// The scale_projection ring halo-exchange at 4096 ranks — the shape the
+// ladder and the rank-indexed transport were built for — run under
+// {ladder, heap} x {rank-indexing on, off}. All four observable hashes
+// must be identical: the hot-path rewrites compose without drift.
+std::uint64_t ring_sweep_hash(Scheduler sched, bool rank_indexed) {
+  constexpr int kRanks = 4096;
+  constexpr int kIters = 5;
+  constexpr int kRanksPerNode = 8;
+  SystemConfig cfg;
+  cfg.machine = MachineSpec::wyeast_e5520();
+  cfg.node_count = (kRanks + kRanksPerNode - 1) / kRanksPerNode;
+  cfg.net = NetworkParams::wyeast();
+  cfg.smi = SmiConfig::none();
+  cfg.seed = 42;
+  System sys{cfg};
+  sys.engine().set_scheduler(sched);
+  sys.set_transport_rank_indexing(rank_indexed);
+  auto sources = chunked_rank_sources(kRanks, [](int rank) {
+    return [rank](int chunk, RankProgram& rp, TagAllocator& tags) {
+      if (chunk >= kIters) return false;
+      const int base = tags.allocate(2);
+      const int next = (rank + 1) % kRanks;
+      const int prev = (rank + kRanks - 1) % kRanks;
+      rp.compute(microseconds(200));
+      rp.sendrecv(next, 64 * 1024, base, prev, base);
+      rp.sendrecv(prev, 64 * 1024, base + 1, next, base + 1);
+      return true;
+    };
+  });
+  std::vector<int> placement(kRanks);
+  for (int r = 0; r < kRanks; ++r) placement[r] = r / kRanksPerNode;
+  const MpiJobResult result = run_mpi_job_streaming(
+      sys, kRanks, sources, placement, WorkloadProfile::dense_fp());
+  sys.validate();
+  TraceHash h;
+  h.mix_signed(result.elapsed.ns());
+  mix_system(h, sys);
+  return h.value();
+}
+
+TEST(SchedulerEqualityTest, StreamingRing4096BitIdenticalAcrossToggles) {
+  const std::uint64_t reference =
+      ring_sweep_hash(Scheduler::kLadder, /*rank_indexed=*/true);
+  EXPECT_EQ(ring_sweep_hash(Scheduler::kHeap, true), reference);
+  EXPECT_EQ(ring_sweep_hash(Scheduler::kLadder, false), reference);
+  EXPECT_EQ(ring_sweep_hash(Scheduler::kHeap, false), reference);
+}
+
+// --- Mid-run scheduler switch ------------------------------------------------
+
+// set_scheduler is documented safe mid-run (kHeap flushes the ladder
+// window; kLadder lets the heap drain through refills). Flipping back and
+// forth while a program runs must not change the outcome.
+TEST(SchedulerEqualityTest, MidRunSwitchPreservesOrder) {
+  auto run = [](bool flip) {
+    Engine eng;
+    std::vector<int> order;
+    for (int i = 0; i < 64; ++i) {
+      eng.schedule_at(SimTime{100 + 7 * i}, [&order, i] { order.push_back(i); });
+    }
+    eng.schedule_at(SimTime{150}, [&] {
+      if (flip) eng.set_scheduler(Scheduler::kHeap);
+    });
+    eng.schedule_at(SimTime{300}, [&] {
+      if (flip) eng.set_scheduler(Scheduler::kLadder);
+    });
+    eng.run();
+    return order;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+// --- FlatKeyMap vs unordered_map reference -----------------------------------
+
+TEST(FlatKeyMapTest, ChurnMatchesUnorderedMapReference) {
+  FlatKeyMap<int> map;
+  std::unordered_map<std::uint64_t, int> ref;
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  auto snapshot = [](auto&& for_each_fn) {
+    std::vector<std::pair<std::uint64_t, int>> v;
+    for_each_fn(v);
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  for (int round = 0; round < 20000; ++round) {
+    const std::uint64_t key = next() % 512;  // small space: heavy collisions
+    switch (next() % 4) {
+      case 0:
+      case 1: {  // insert / overwrite
+        const int val = static_cast<int>(next() & 0xffff);
+        map.get_or_insert(key) = val;
+        ref[key] = val;
+        break;
+      }
+      case 2: {  // erase (often absent: backward-shift on misses too)
+        map.erase(key);
+        ref.erase(key);
+        break;
+      }
+      case 3: {  // lookup
+        const int* got = map.find(key);
+        const auto it = ref.find(key);
+        ASSERT_EQ(got != nullptr, it != ref.end());
+        if (got != nullptr) {
+          ASSERT_EQ(*got, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(map.size(), ref.size());
+  }
+  const auto got = snapshot([&](auto& v) {
+    map.for_each([&v](std::uint64_t k, const int& val) { v.emplace_back(k, val); });
+  });
+  const auto want = snapshot([&](auto& v) {
+    for (const auto& [k, val] : ref) v.emplace_back(k, val);
+  });
+  EXPECT_EQ(got, want);
+}
+
+TEST(FlatKeyMapTest, SurvivesGrowthFromMinCapacity) {
+  FlatKeyMap<std::uint64_t> map;
+  for (std::uint64_t k = 0; k < 1000; ++k) map.get_or_insert(k * 0x10001) = k;
+  EXPECT_EQ(map.size(), 1000u);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const std::uint64_t* v = map.find(k * 0x10001);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, k);
+  }
+  for (std::uint64_t k = 0; k < 1000; k += 2) map.erase(k * 0x10001);
+  EXPECT_EQ(map.size(), 500u);
+  for (std::uint64_t k = 1; k < 1000; k += 2) {
+    ASSERT_NE(map.find(k * 0x10001), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace smilab
